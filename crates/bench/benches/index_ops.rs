@@ -1,0 +1,113 @@
+//! Criterion benchmarks of end-to-end storage operations: block execution
+//! (puts + Hstate), point lookups and provenance queries for COLE, COLE* and
+//! the MPT baseline. These correspond to the throughput and query-latency
+//! comparisons of Figures 9–14 at micro scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cole_bench::{build_engine, EngineKind};
+use cole_core::ColeConfig;
+use cole_primitives::{Address, AuthenticatedStorage};
+use cole_workloads::{execute_block, ProvenanceWorkload, SmallBank};
+
+fn small_config() -> ColeConfig {
+    ColeConfig::default()
+        .with_memtable_capacity(1024)
+        .with_size_ratio(4)
+}
+
+/// Builds an engine preloaded with `blocks` SmallBank blocks.
+fn preload(kind: EngineKind, name: &str, blocks: u64) -> (Box<dyn AuthenticatedStorage>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "cole-bench-ops-{}-{name}-{blocks}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut engine = build_engine(kind, &dir, small_config()).unwrap();
+    let mut workload = SmallBank::new(2000, 7);
+    for height in 1..=blocks {
+        let block = workload.next_block(height, 100);
+        execute_block(engine.as_mut(), &block).unwrap();
+    }
+    engine.flush().unwrap();
+    (engine, dir)
+}
+
+fn bench_block_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_execution");
+    group.sample_size(20);
+    for kind in [EngineKind::Cole, EngineKind::ColeAsync, EngineKind::Mpt] {
+        group.bench_function(format!("smallbank_block_{}", kind.label()), |b| {
+            let (mut engine, dir) = preload(kind, "exec", 20);
+            let mut workload = SmallBank::new(2000, 9);
+            let mut height = 20u64;
+            b.iter_batched(
+                || {
+                    height += 1;
+                    workload.next_block(height, 100)
+                },
+                |block| execute_block(engine.as_mut(), &block).unwrap(),
+                BatchSize::PerIteration,
+            );
+            drop(engine);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_latest_value");
+    group.sample_size(30);
+    for kind in [EngineKind::Cole, EngineKind::ColeAsync, EngineKind::Mpt] {
+        group.bench_function(format!("get_{}", kind.label()), |b| {
+            let (mut engine, dir) = preload(kind, "get", 50);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 13) % 2000;
+                engine
+                    .get(Address::from_low_u64(0x5b00_0000_0000 + i))
+                    .unwrap()
+            });
+            drop(engine);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_query");
+    group.sample_size(20);
+    for kind in [EngineKind::Cole, EngineKind::ColeAsync, EngineKind::Mpt] {
+        group.bench_function(format!("prov_q16_{}", kind.label()), |b| {
+            let dir = std::env::temp_dir().join(format!(
+                "cole-bench-prov-{}-{}",
+                std::process::id(),
+                kind.label().replace('*', "s")
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut engine = build_engine(kind, &dir, small_config()).unwrap();
+            let mut workload = ProvenanceWorkload::new(50, 11);
+            execute_block(engine.as_mut(), &workload.base_block(1)).unwrap();
+            for height in 2..=200u64 {
+                let block = workload.next_block(height, 50);
+                execute_block(engine.as_mut(), &block).unwrap();
+            }
+            engine.flush().unwrap();
+            b.iter_batched(
+                || workload.next_query(200, 16),
+                |q| engine.prov_query(q.addr, q.blk_lower, q.blk_upper).unwrap(),
+                BatchSize::PerIteration,
+            );
+            drop(engine);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_execution, bench_get, bench_provenance);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of COLE's substrates: hashing, learned-model
+//! training and lookup, streaming Merkle-file construction and MB-tree
+//! operations. These are the building blocks whose costs appear in the
+//! complexity analysis (Table 1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use cole_hash::{hash_entry, sha256};
+use cole_learned::{EpsilonTrainer, IndexFileBuilder};
+use cole_mbtree::MbTree;
+use cole_mht::MerkleFileBuilder;
+use cole_primitives::{index_epsilon, Address, CompoundKey, StateValue};
+
+fn keys(n: u64) -> Vec<CompoundKey> {
+    (0..n)
+        .map(|i| CompoundKey::new(Address::from_low_u64(i / 4), i % 4))
+        .collect()
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+    }
+    group.finish();
+}
+
+fn bench_model_training(c: &mut Criterion) {
+    let keys = keys(20_000);
+    let mut group = c.benchmark_group("learned_index");
+    group.sample_size(20);
+    group.bench_function("train_20k_keys", |b| {
+        b.iter(|| {
+            let mut trainer = EpsilonTrainer::new(index_epsilon());
+            let mut models = 0usize;
+            for (pos, key) in keys.iter().enumerate() {
+                if trainer.push(*key, pos as u64).is_some() {
+                    models += 1;
+                }
+            }
+            models + usize::from(trainer.finish().is_some())
+        })
+    });
+    group.bench_function("build_index_file_20k_keys", |b| {
+        let dir = std::env::temp_dir().join(format!("cole-bench-idx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut counter = 0u64;
+        b.iter_batched(
+            || {
+                counter += 1;
+                dir.join(format!("idx-{counter}.bin"))
+            },
+            |path| {
+                let mut builder = IndexFileBuilder::create(&path, index_epsilon()).unwrap();
+                for (pos, key) in keys.iter().enumerate() {
+                    builder.push(*key, pos as u64).unwrap();
+                }
+                builder.finish().unwrap()
+            },
+            BatchSize::PerIteration,
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+fn bench_merkle_file(c: &mut Criterion) {
+    let leaves: Vec<_> = (0..20_000u64).map(|i| sha256(&i.to_be_bytes())).collect();
+    let mut group = c.benchmark_group("merkle_file");
+    group.sample_size(20);
+    for fanout in [2u64, 4, 16] {
+        group.bench_function(format!("stream_20k_leaves_m{fanout}"), |b| {
+            let dir =
+                std::env::temp_dir().join(format!("cole-bench-mht-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut counter = 0u64;
+            b.iter_batched(
+                || {
+                    counter += 1;
+                    dir.join(format!("mht-{fanout}-{counter}.bin"))
+                },
+                |path| {
+                    let mut builder =
+                        MerkleFileBuilder::create(&path, leaves.len() as u64, fanout).unwrap();
+                    for leaf in &leaves {
+                        builder.push_leaf(*leaf).unwrap();
+                    }
+                    builder.finish().unwrap().root()
+                },
+                BatchSize::PerIteration,
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+fn bench_mbtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbtree");
+    group.sample_size(30);
+    group.bench_function("insert_10k_and_root_hash", |b| {
+        b.iter(|| {
+            let mut tree = MbTree::new();
+            for i in 0..10_000u64 {
+                tree.insert(
+                    CompoundKey::new(Address::from_low_u64(i % 500), i / 500),
+                    StateValue::from_u64(i),
+                );
+            }
+            tree.root_hash()
+        })
+    });
+    let mut tree = MbTree::new();
+    for i in 0..10_000u64 {
+        tree.insert(
+            CompoundKey::new(Address::from_low_u64(i % 500), i / 500),
+            StateValue::from_u64(i),
+        );
+    }
+    group.bench_function("get_latest", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 500;
+            tree.get_latest(Address::from_low_u64(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_entry_hash(c: &mut Criterion) {
+    let key = CompoundKey::new(Address::from_low_u64(1), 2);
+    let value = StateValue::from_u64(3);
+    c.bench_function("hash_entry", |b| b.iter(|| hash_entry(&key, &value)));
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_model_training,
+    bench_merkle_file,
+    bench_mbtree,
+    bench_entry_hash
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Minimal command-line argument parsing for the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` style command-line arguments with typed accessors and
+/// defaults.
+///
+/// Every experiment binary accepts `--blocks`, `--txs-per-block`, `--workdir`
+/// and `--out` plus experiment-specific options; run a binary with `--help`
+/// to see its defaults (Table 2 of the paper lists the corresponding paper
+/// settings).
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    help_requested: bool,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used in tests).
+    #[must_use]
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut help_requested = false;
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                help_requested = true;
+                continue;
+            }
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(value) if !value.starts_with("--") => {
+                        let value = value.clone();
+                        iter.next();
+                        values.insert(key.to_string(), value);
+                    }
+                    _ => {
+                        values.insert(key.to_string(), String::from("true"));
+                    }
+                }
+            }
+        }
+        Args {
+            values,
+            help_requested,
+        }
+    }
+
+    /// Returns `true` if `--help` was passed.
+    #[must_use]
+    pub fn help_requested(&self) -> bool {
+        self.help_requested
+    }
+
+    /// String option with a default.
+    #[must_use]
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// `u64` option with a default.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `usize` option with a default.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Comma-separated list of `u64`s with a default.
+    #[must_use]
+    pub fn get_u64_list(&self, key: &str, default: &[u64]) -> Vec<u64> {
+        match self.values.get(key) {
+            Some(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Comma-separated list of strings with a default.
+    #[must_use]
+    pub fn get_str_list(&self, key: &str, default: &[&str]) -> Vec<String> {
+        match self.values.get(key) {
+            Some(v) => v.split(',').map(|x| x.trim().to_string()).collect(),
+            None => default.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::from_iter(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn typed_accessors_and_defaults() {
+        let args = parse(&["--blocks", "500", "--systems", "cole,mpt", "--flag"]);
+        assert_eq!(args.get_u64("blocks", 100), 500);
+        assert_eq!(args.get_u64("missing", 7), 7);
+        assert_eq!(args.get_str_list("systems", &["all"]), vec!["cole", "mpt"]);
+        assert_eq!(args.get_str("flag", ""), "true");
+        assert!(!args.help_requested());
+    }
+
+    #[test]
+    fn help_flag_detected() {
+        assert!(parse(&["--help"]).help_requested());
+        assert!(parse(&["-h"]).help_requested());
+    }
+
+    #[test]
+    fn u64_list_parsing() {
+        let args = parse(&["--ratios", "2, 4,6"]);
+        assert_eq!(args.get_u64_list("ratios", &[1]), vec![2, 4, 6]);
+        assert_eq!(args.get_u64_list("other", &[9, 9]), vec![9, 9]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! 1. **ε sweep** — the learned-model error bound trades index size against
+//!    lookup work: a smaller ε means more models (larger index file) but
+//!    tighter predictions.
+//! 2. **Bloom-filter effect** — point lookups of absent addresses with and
+//!    without the benefit of Bloom-filter skips (measured through the
+//!    engine's skip counters and the latency of negative lookups).
+
+use std::time::Instant;
+
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, Args, Table};
+use cole_core::{Cole, ColeConfig};
+use cole_primitives::{Address, AuthenticatedStorage};
+use cole_workloads::{execute_block, SmallBank};
+
+fn run_epsilon(args: &Args, table: &mut Table) {
+    let blocks = args.get_u64("blocks", 400);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 5000);
+    for epsilon in args.get_u64_list("epsilons", &[4, 11, 23, 46]) {
+        let config: ColeConfig = cole_config_from(args).with_epsilon(epsilon);
+        let dir = fresh_workdir(args, &format!("ablation_eps_{epsilon}")).expect("workdir");
+        let mut engine = Cole::open(&dir, config).expect("open COLE");
+        let mut workload = SmallBank::new(accounts, 51);
+        for height in 1..=blocks {
+            let block = workload.next_block(height, txs_per_block);
+            execute_block(&mut engine, &block).expect("block");
+        }
+        engine.flush().expect("flush");
+        let stats = engine.storage_stats().expect("stats");
+        let started = Instant::now();
+        let probes = 500u64;
+        for i in 0..probes {
+            let _ = engine
+                .get(Address::from_low_u64(0x5b00_0000_0000 + (i * 13) % accounts))
+                .expect("get");
+        }
+        let get_us = started.elapsed().as_secs_f64() * 1e6 / probes as f64;
+        println!(
+            "[ablation/epsilon] eps={epsilon:>3}: index {:>9.2} MiB  get {:>7.1}us",
+            stats.index_bytes as f64 / (1024.0 * 1024.0),
+            get_us
+        );
+        table.push_row(vec![
+            "epsilon".into(),
+            epsilon.to_string(),
+            fmt_f64(stats.index_bytes as f64 / (1024.0 * 1024.0)),
+            fmt_f64(stats.data_bytes as f64 / (1024.0 * 1024.0)),
+            fmt_f64(get_us),
+            String::new(),
+        ]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn run_bloom(args: &Args, table: &mut Table) {
+    let blocks = args.get_u64("blocks", 400);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 5000);
+    let config = cole_config_from(args);
+    let dir = fresh_workdir(args, "ablation_bloom").expect("workdir");
+    let mut engine = Cole::open(&dir, config).expect("open COLE");
+    let mut workload = SmallBank::new(accounts, 52);
+    for height in 1..=blocks {
+        let block = workload.next_block(height, txs_per_block);
+        execute_block(&mut engine, &block).expect("block");
+    }
+    engine.flush().expect("flush");
+    // Lookups of addresses that were never written: almost every run should
+    // be skipped by its Bloom filter.
+    let probes = 500u64;
+    let started = Instant::now();
+    for i in 0..probes {
+        let _ = engine
+            .get(Address::from_low_u64(0xdead_0000_0000 + i))
+            .expect("get");
+    }
+    let negative_us = started.elapsed().as_secs_f64() * 1e6 / probes as f64;
+    let metrics = *engine.metrics();
+    let skip_rate = if metrics.bloom_skips + metrics.runs_searched > 0 {
+        metrics.bloom_skips as f64 / (metrics.bloom_skips + metrics.runs_searched) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "[ablation/bloom] negative get {negative_us:.1}us, bloom skip rate {:.1}%",
+        skip_rate * 100.0
+    );
+    table.push_row(vec![
+        "bloom".into(),
+        "negative-get".into(),
+        fmt_f64(negative_us),
+        fmt_f64(skip_rate * 100.0),
+        metrics.bloom_skips.to_string(),
+        metrics.runs_searched.to_string(),
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_ablation — design-choice ablations for COLE\n\
+             --epsilons 4,11,23,46  learned-model error bounds to sweep\n\
+             --blocks 400 --txs-per-block 100 --accounts 5000\n\
+             --workdir bench_work --out results/ablation.csv"
+        );
+        return;
+    }
+    let mut table = Table::new(
+        "Ablations: learned-index error bound and Bloom-filter effect",
+        &["study", "setting", "metric_a", "metric_b", "metric_c", "metric_d"],
+    );
+    run_epsilon(&args, &mut table);
+    run_bloom(&args, &mut table);
+    table.print();
+    let out = args.get_str("out", "results/ablation.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

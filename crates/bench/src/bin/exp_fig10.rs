@@ -1,0 +1,93 @@
+//! Figure 10 — storage size and throughput vs block height (KVStore).
+//!
+//! Same protocol as Figure 9 but driven by the YCSB-style KVStore workload:
+//! a loading phase writes the base records, then a read/write running phase
+//! fills the chain up to the target block height.
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table,
+};
+use cole_workloads::Mix;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig10 — storage & throughput vs block height (KVStore)\n\
+             --heights 100,400,1600   block heights to evaluate\n\
+             --txs-per-block 100      transactions per block\n\
+             --records 5000           base records written in the loading phase\n\
+             --systems mpt,cole,cole-async,lipp,cmi\n\
+             --size-ratio 4 --mht-fanout 4 --memtable 4096\n\
+             --workdir bench_work --out results/fig10.csv --no-caps false"
+        );
+        return;
+    }
+    let heights = args.get_u64_list("heights", &[100, 400, 1600]);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let records = args.get_u64("records", 5000);
+    let systems = args.get_str_list("systems", &["mpt", "cole", "cole-async", "lipp", "cmi"]);
+    let no_caps = args.get_str("no-caps", "false") == "true";
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Figure 10: KVStore — storage size and throughput vs block height",
+        &["system", "blocks", "storage_mib", "tps", "total_txs", "elapsed_s"],
+    );
+
+    for &height in &heights {
+        for system in &systems {
+            let kind = EngineKind::parse(system).expect("valid system name");
+            // In the paper LIPP cannot go beyond 10^2 blocks under KVStore and
+            // CMI beyond 10^4.
+            let capped = !no_caps
+                && ((kind == EngineKind::Lipp && height > 100)
+                    || (kind == EngineKind::Cmi && height > 2000));
+            if capped {
+                table.push_row(vec![
+                    kind.label().to_string(),
+                    height.to_string(),
+                    "✖".into(),
+                    "✖".into(),
+                    "✖".into(),
+                    "✖".into(),
+                ]);
+                continue;
+            }
+            let dir = fresh_workdir(&args, &format!("fig10_{system}_{height}"))
+                .expect("create working directory");
+            let m = run_kvstore(
+                kind,
+                &dir,
+                config,
+                height,
+                txs_per_block,
+                records,
+                Mix::ReadWrite,
+                43,
+            )
+            .expect("workload execution");
+            println!(
+                "[fig10] {:>6} blocks {:>6}: {:>10.2} MiB  {:>10.0} TPS",
+                kind.label(),
+                height,
+                m.storage_mib(),
+                m.tps
+            );
+            table.push_row(vec![
+                kind.label().to_string(),
+                height.to_string(),
+                fmt_f64(m.storage_mib()),
+                fmt_f64(m.tps),
+                m.total_txs.to_string(),
+                fmt_f64(m.elapsed.as_secs_f64()),
+            ]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig10.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

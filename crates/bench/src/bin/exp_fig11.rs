@@ -1,0 +1,79 @@
+//! Figure 11 — throughput vs workload mix (KVStore, RO / RW / WO).
+//!
+//! For each block height and each read/write mix, runs the KVStore workload
+//! on MPT, COLE and COLE* and reports the throughput. LIPP and CMI are
+//! omitted, as in the paper, because they cannot scale to these heights.
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table,
+};
+use cole_workloads::Mix;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig11 — throughput vs workload mix (KVStore)\n\
+             --heights 400,1600      block heights to evaluate (paper: 10^4, 10^5)\n\
+             --txs-per-block 100     transactions per block\n\
+             --records 5000          base records\n\
+             --systems mpt,cole,cole-async\n\
+             --workdir bench_work --out results/fig11.csv"
+        );
+        return;
+    }
+    let heights = args.get_u64_list("heights", &[400, 1600]);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let records = args.get_u64("records", 5000);
+    let systems = args.get_str_list("systems", &["mpt", "cole", "cole-async"]);
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Figure 11: KVStore — throughput vs workload mix",
+        &["blocks", "mix", "system", "tps", "storage_mib"],
+    );
+
+    for &height in &heights {
+        for mix in [Mix::ReadOnly, Mix::ReadWrite, Mix::WriteOnly] {
+            for system in &systems {
+                let kind = EngineKind::parse(system).expect("valid system name");
+                let dir = fresh_workdir(
+                    &args,
+                    &format!("fig11_{system}_{height}_{}", mix.label()),
+                )
+                .expect("create working directory");
+                let m = run_kvstore(
+                    kind,
+                    &dir,
+                    config,
+                    height,
+                    txs_per_block,
+                    records,
+                    mix,
+                    44,
+                )
+                .expect("workload execution");
+                println!(
+                    "[fig11] {:>6} {} blocks {:>6}: {:>10.0} TPS",
+                    kind.label(),
+                    mix.label(),
+                    height,
+                    m.tps
+                );
+                table.push_row(vec![
+                    height.to_string(),
+                    mix.label().to_string(),
+                    kind.label().to_string(),
+                    fmt_f64(m.tps),
+                    fmt_f64(m.storage_mib()),
+                ]);
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig11.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

@@ -1,0 +1,95 @@
+//! Figure 12 — transaction latency box plots (SmallBank and KVStore).
+//!
+//! Reports the latency distribution (minimum, quartiles, 99th percentile and
+//! maximum — the paper's "tail latency" is the maximum outlier) of MPT, COLE
+//! and COLE* at the requested block heights. The headline result is that
+//! COLE* cuts the tail latency of COLE by orders of magnitude because merges
+//! run asynchronously.
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_kvstore, run_smallbank, Args, EngineKind, Table,
+};
+use cole_workloads::Mix;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig12 — latency box plots (SmallBank and KVStore)\n\
+             --heights 400,1600     block heights to evaluate (paper: 10^4, 10^5)\n\
+             --txs-per-block 100    transactions per block\n\
+             --accounts 10000       SmallBank accounts\n\
+             --records 5000         KVStore base records\n\
+             --systems mpt,cole,cole-async\n\
+             --workdir bench_work --out results/fig12.csv"
+        );
+        return;
+    }
+    let heights = args.get_u64_list("heights", &[400, 1600]);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 10_000);
+    let records = args.get_u64("records", 5000);
+    let systems = args.get_str_list("systems", &["mpt", "cole", "cole-async"]);
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Figure 12: transaction latency distribution (microseconds)",
+        &[
+            "workload", "blocks", "system", "min", "p25", "p50", "p75", "p99", "max(tail)",
+        ],
+    );
+
+    for &height in &heights {
+        for system in &systems {
+            let kind = EngineKind::parse(system).expect("valid system name");
+
+            let dir = fresh_workdir(&args, &format!("fig12_sb_{system}_{height}"))
+                .expect("create working directory");
+            let sb = run_smallbank(kind, &dir, config, height, txs_per_block, accounts, 45)
+                .expect("workload execution");
+            std::fs::remove_dir_all(&dir).ok();
+
+            let dir = fresh_workdir(&args, &format!("fig12_kv_{system}_{height}"))
+                .expect("create working directory");
+            let kv = run_kvstore(
+                kind,
+                &dir,
+                config,
+                height,
+                txs_per_block,
+                records,
+                Mix::ReadWrite,
+                45,
+            )
+            .expect("workload execution");
+            std::fs::remove_dir_all(&dir).ok();
+
+            for (name, m) in [("SmallBank", &sb), ("KVStore", &kv)] {
+                println!(
+                    "[fig12] {:>9} {:>6} blocks {:>6}: p50 {:>9.1}us  tail {:>12.1}us",
+                    kind.label(),
+                    name,
+                    height,
+                    m.latency.p50_us,
+                    m.latency.max_us
+                );
+                table.push_row(vec![
+                    name.to_string(),
+                    height.to_string(),
+                    kind.label().to_string(),
+                    fmt_f64(m.latency.min_us),
+                    fmt_f64(m.latency.p25_us),
+                    fmt_f64(m.latency.p50_us),
+                    fmt_f64(m.latency.p75_us),
+                    fmt_f64(m.latency.p99_us),
+                    fmt_f64(m.latency.max_us),
+                ]);
+            }
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig12.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

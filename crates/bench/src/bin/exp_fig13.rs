@@ -1,0 +1,69 @@
+//! Figure 13 — impact of the LSM size ratio `T` on COLE and COLE*.
+//!
+//! Runs the SmallBank workload at a fixed block height while sweeping the
+//! size ratio and reports throughput plus the latency distribution (the paper
+//! observes stable throughput, a U-shaped tail latency and a median latency
+//! that grows with `T`).
+
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig13 — impact of the size ratio T (SmallBank)\n\
+             --ratios 2,4,6,8,10,12  size ratios to sweep\n\
+             --blocks 1600           block height (paper: 10^5)\n\
+             --txs-per-block 100 --accounts 10000\n\
+             --systems cole,cole-async\n\
+             --workdir bench_work --out results/fig13.csv"
+        );
+        return;
+    }
+    let ratios = args.get_u64_list("ratios", &[2, 4, 6, 8, 10, 12]);
+    let blocks = args.get_u64("blocks", 1600);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 10_000);
+    let systems = args.get_str_list("systems", &["cole", "cole-async"]);
+
+    let mut table = Table::new(
+        "Figure 13: impact of size ratio T (SmallBank)",
+        &[
+            "system", "T", "tps", "p50_us", "p99_us", "tail_us", "storage_mib",
+        ],
+    );
+
+    for &ratio in &ratios {
+        for system in &systems {
+            let kind = EngineKind::parse(system).expect("valid system name");
+            let config = cole_config_from(&args).with_size_ratio(ratio as usize);
+            let dir = fresh_workdir(&args, &format!("fig13_{system}_{ratio}"))
+                .expect("create working directory");
+            let m = run_smallbank(kind, &dir, config, blocks, txs_per_block, accounts, 46)
+                .expect("workload execution");
+            println!(
+                "[fig13] {:>6} T={:>2}: {:>9.0} TPS  p50 {:>8.1}us  tail {:>12.1}us",
+                kind.label(),
+                ratio,
+                m.tps,
+                m.latency.p50_us,
+                m.latency.max_us
+            );
+            table.push_row(vec![
+                kind.label().to_string(),
+                ratio.to_string(),
+                fmt_f64(m.tps),
+                fmt_f64(m.latency.p50_us),
+                fmt_f64(m.latency.p99_us),
+                fmt_f64(m.latency.max_us),
+                fmt_f64(m.storage_mib()),
+            ]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig13.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

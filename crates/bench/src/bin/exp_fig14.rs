@@ -1,0 +1,89 @@
+//! Figure 14 — provenance query CPU time and proof size vs query range.
+//!
+//! Prepares each engine with the provenance workload (a small set of base
+//! states updated continuously) and then issues provenance queries whose
+//! block range `q` is swept over powers of two. The paper's observation:
+//! MPT's CPU time and proof size grow linearly with `q`, while COLE and
+//! COLE* grow sublinearly thanks to the contiguous column layout.
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, prepare_provenance_engine, run_provenance_phase,
+    Args, EngineKind, Table,
+};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig14 — provenance query cost vs block range (KVStore-style updates)\n\
+             --ranges 2,4,8,16,32,64,128  query ranges q\n\
+             --blocks 2000                chain length (paper: 10^5)\n\
+             --base-states 100            number of continuously updated states\n\
+             --txs-per-block 100 --queries 20\n\
+             --systems mpt,cole,cole-async\n\
+             --workdir bench_work --out results/fig14.csv"
+        );
+        return;
+    }
+    let ranges = args.get_u64_list("ranges", &[2, 4, 8, 16, 32, 64, 128]);
+    let blocks = args.get_u64("blocks", 2000);
+    let base_states = args.get_u64("base-states", 100);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let queries = args.get_usize("queries", 20);
+    let systems = args.get_str_list("systems", &["mpt", "cole", "cole-async"]);
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Figure 14: provenance query cost vs block range",
+        &[
+            "system",
+            "range",
+            "query_us",
+            "verify_us",
+            "proof_kib",
+            "results_per_query",
+        ],
+    );
+
+    for system in &systems {
+        let kind = EngineKind::parse(system).expect("valid system name");
+        let dir = fresh_workdir(&args, &format!("fig14_{system}"))
+            .expect("create working directory");
+        let (mut engine, mut workload, height) = prepare_provenance_engine(
+            kind,
+            &dir,
+            config,
+            blocks,
+            txs_per_block,
+            base_states,
+            47,
+        )
+        .expect("prepare provenance workload");
+        for &range in &ranges {
+            let m = run_provenance_phase(engine.as_mut(), &mut workload, height, range, queries)
+                .expect("provenance phase");
+            println!(
+                "[fig14] {:>6} q={:>4}: query {:>10.1}us  proof {:>8.2} KiB",
+                kind.label(),
+                range,
+                m.query_us,
+                m.proof_kib
+            );
+            table.push_row(vec![
+                kind.label().to_string(),
+                range.to_string(),
+                fmt_f64(m.query_us),
+                fmt_f64(m.verify_us),
+                fmt_f64(m.proof_kib),
+                fmt_f64(m.results_per_query),
+            ]);
+        }
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig14.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

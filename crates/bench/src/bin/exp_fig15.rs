@@ -1,0 +1,80 @@
+//! Figure 15 — impact of COLE's MHT fanout `m` on provenance queries.
+//!
+//! Sweeps the Merkle-tree fanout at a fixed query range (q = 16 in the paper)
+//! and reports provenance CPU time and proof size for COLE and COLE*. The
+//! paper observes a U shape: a larger fanout shortens the tree but widens the
+//! per-layer sibling sets included in every proof.
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, prepare_provenance_engine, run_provenance_phase,
+    Args, EngineKind, Table,
+};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig15 — impact of COLE's MHT fanout m on provenance queries\n\
+             --fanouts 2,4,8,16,32,64  MHT fanouts to sweep\n\
+             --range 16                query range q\n\
+             --blocks 2000 --base-states 100 --txs-per-block 100 --queries 20\n\
+             --systems cole,cole-async\n\
+             --workdir bench_work --out results/fig15.csv"
+        );
+        return;
+    }
+    let fanouts = args.get_u64_list("fanouts", &[2, 4, 8, 16, 32, 64]);
+    let range = args.get_u64("range", 16);
+    let blocks = args.get_u64("blocks", 2000);
+    let base_states = args.get_u64("base-states", 100);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let queries = args.get_usize("queries", 20);
+    let systems = args.get_str_list("systems", &["cole", "cole-async"]);
+
+    let mut table = Table::new(
+        "Figure 15: impact of COLE's MHT fanout m (q = 16)",
+        &["system", "m", "query_us", "verify_us", "proof_kib"],
+    );
+
+    for &fanout in &fanouts {
+        for system in &systems {
+            let kind = EngineKind::parse(system).expect("valid system name");
+            let config = cole_config_from(&args).with_mht_fanout(fanout);
+            let dir = fresh_workdir(&args, &format!("fig15_{system}_{fanout}"))
+                .expect("create working directory");
+            let (mut engine, mut workload, height) = prepare_provenance_engine(
+                kind,
+                &dir,
+                config,
+                blocks,
+                txs_per_block,
+                base_states,
+                48,
+            )
+            .expect("prepare provenance workload");
+            let m = run_provenance_phase(engine.as_mut(), &mut workload, height, range, queries)
+                .expect("provenance phase");
+            println!(
+                "[fig15] {:>6} m={:>2}: query {:>10.1}us  proof {:>8.2} KiB",
+                kind.label(),
+                fanout,
+                m.query_us,
+                m.proof_kib
+            );
+            table.push_row(vec![
+                kind.label().to_string(),
+                fanout.to_string(),
+                fmt_f64(m.query_us),
+                fmt_f64(m.verify_us),
+                fmt_f64(m.proof_kib),
+            ]);
+            drop(engine);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig15.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

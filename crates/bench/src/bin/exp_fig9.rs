@@ -1,0 +1,84 @@
+//! Figure 9 — storage size and throughput vs block height (SmallBank).
+//!
+//! For each block height and each system, runs the SmallBank workload from
+//! genesis and reports the final storage size (MiB) and the average
+//! throughput (transactions per second). LIPP and CMI are capped at the
+//! block heights they could reach in the paper (they are the systems marked
+//! with ✖ beyond 10²–10⁴ blocks); pass `--no-caps true` to run them anyway.
+
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_fig9 — storage & throughput vs block height (SmallBank)\n\
+             --heights 100,400,1600   block heights to evaluate\n\
+             --txs-per-block 100      transactions per block\n\
+             --accounts 10000         SmallBank account population\n\
+             --systems mpt,cole,cole-async,lipp,cmi\n\
+             --size-ratio 4 --mht-fanout 4 --memtable 4096 --epsilon {}\n\
+             --workdir bench_work --out results/fig9.csv --no-caps false",
+            cole_primitives::index_epsilon()
+        );
+        return;
+    }
+    let heights = args.get_u64_list("heights", &[100, 400, 1600]);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 10_000);
+    let systems = args.get_str_list("systems", &["mpt", "cole", "cole-async", "lipp", "cmi"]);
+    let no_caps = args.get_str("no-caps", "false") == "true";
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Figure 9: SmallBank — storage size and throughput vs block height",
+        &["system", "blocks", "storage_mib", "tps", "total_txs", "elapsed_s"],
+    );
+
+    for &height in &heights {
+        for system in &systems {
+            let kind = EngineKind::parse(system).expect("valid system name");
+            // The paper could not finish LIPP beyond 10^3 (SmallBank) and CMI
+            // beyond 10^4 blocks; mirror those caps at this repo's scale.
+            let capped = !no_caps
+                && ((kind == EngineKind::Lipp && height > 200)
+                    || (kind == EngineKind::Cmi && height > 2000));
+            if capped {
+                table.push_row(vec![
+                    kind.label().to_string(),
+                    height.to_string(),
+                    "✖".into(),
+                    "✖".into(),
+                    "✖".into(),
+                    "✖".into(),
+                ]);
+                continue;
+            }
+            let dir = fresh_workdir(&args, &format!("fig9_{system}_{height}"))
+                .expect("create working directory");
+            let m = run_smallbank(kind, &dir, config, height, txs_per_block, accounts, 42)
+                .expect("workload execution");
+            println!(
+                "[fig9] {:>6} blocks {:>6}: {:>10.2} MiB  {:>10.0} TPS",
+                kind.label(),
+                height,
+                m.storage_mib(),
+                m.tps
+            );
+            table.push_row(vec![
+                kind.label().to_string(),
+                height.to_string(),
+                fmt_f64(m.storage_mib()),
+                fmt_f64(m.tps),
+                m.total_txs.to_string(),
+                fmt_f64(m.elapsed.as_secs_f64()),
+            ]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/fig9.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

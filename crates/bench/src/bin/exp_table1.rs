@@ -1,0 +1,116 @@
+//! Table 1 — measured complexity comparison.
+//!
+//! Table 1 of the paper is analytical; this binary reports the measurable
+//! counterparts for MPT, COLE and COLE* under a common SmallBank run:
+//! storage size, write tail latency, peak memtable footprint, get latency,
+//! provenance query latency and proof size, so the asymptotic claims can be
+//! checked empirically (who is constant, who grows, who is logarithmic).
+
+use std::time::Instant;
+
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table,
+};
+use cole_primitives::Address;
+use cole_workloads::{execute_block, ProvenanceWorkload};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_table1 — measured complexity comparison (MPT vs COLE vs COLE*)\n\
+             --blocks 800 --txs-per-block 100 --accounts 10000\n\
+             --prov-blocks 500 --range 32 --queries 20\n\
+             --workdir bench_work --out results/table1.csv"
+        );
+        return;
+    }
+    let blocks = args.get_u64("blocks", 800);
+    let txs_per_block = args.get_usize("txs-per-block", 100);
+    let accounts = args.get_u64("accounts", 10_000);
+    let prov_blocks = args.get_u64("prov-blocks", 500);
+    let range = args.get_u64("range", 32);
+    let queries = args.get_usize("queries", 20);
+    let config = cole_config_from(&args);
+
+    let mut table = Table::new(
+        "Table 1 (measured): storage, write, memory and query costs",
+        &[
+            "system",
+            "storage_mib",
+            "write_p50_us",
+            "write_tail_us",
+            "memory_mib",
+            "get_us",
+            "prov_query_us",
+            "proof_kib",
+        ],
+    );
+
+    for kind in [EngineKind::Mpt, EngineKind::Cole, EngineKind::ColeAsync] {
+        // Write-path measurement under SmallBank.
+        let dir = fresh_workdir(&args, &format!("table1_{}", kind.label().replace('*', "s")))
+            .expect("create working directory");
+        let m = run_smallbank(kind, &dir, config, blocks, txs_per_block, accounts, 49)
+            .expect("workload execution");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Provenance measurement on a dedicated provenance workload.
+        let dir = fresh_workdir(
+            &args,
+            &format!("table1_prov_{}", kind.label().replace('*', "s")),
+        )
+        .expect("create working directory");
+        let mut prov_engine = cole_bench::build_engine(kind, &dir, config).expect("engine");
+        let mut workload = ProvenanceWorkload::new(100, 50);
+        execute_block(prov_engine.as_mut(), &workload.base_block(1)).expect("base block");
+        for height in 2..=prov_blocks {
+            let block = workload.next_block(height, txs_per_block);
+            execute_block(prov_engine.as_mut(), &block).expect("update block");
+        }
+        prov_engine.flush().expect("flush");
+        // Point-query latency on the populated store (a mix of hot and cold
+        // addresses from the provenance workload's base states).
+        let get_started = Instant::now();
+        let probes = 200u64;
+        for i in 0..probes {
+            let addr = Address::from_low_u64(0x5052_0000_0000 + (i * 7) % 100);
+            let _ = prov_engine.get(addr).expect("get");
+        }
+        let get_us = get_started.elapsed().as_secs_f64() * 1e6 / probes as f64;
+        let prov = cole_bench::run_provenance_phase(
+            prov_engine.as_mut(),
+            &mut workload,
+            prov_blocks,
+            range,
+            queries,
+        )
+        .expect("provenance phase");
+        drop(prov_engine);
+        std::fs::remove_dir_all(&dir).ok();
+
+        println!(
+            "[table1] {:>6}: {:>9.2} MiB  tail {:>11.1}us  get {:>8.1}us  prov {:>9.1}us",
+            kind.label(),
+            m.storage_mib(),
+            m.latency.max_us,
+            get_us,
+            prov.query_us
+        );
+        table.push_row(vec![
+            kind.label().to_string(),
+            fmt_f64(m.storage_mib()),
+            fmt_f64(m.latency.p50_us),
+            fmt_f64(m.latency.max_us),
+            fmt_f64(m.storage.memory_bytes as f64 / (1024.0 * 1024.0)),
+            fmt_f64(get_us),
+            fmt_f64(prov.query_us),
+            fmt_f64(prov.proof_kib),
+        ]);
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/table1.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+}

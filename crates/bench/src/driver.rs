@@ -1,0 +1,324 @@
+//! Workload drivers shared by the experiment binaries.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use cole_core::ColeConfig;
+use cole_primitives::{AuthenticatedStorage, Result, StorageStats};
+use cole_workloads::{execute_block, Block, KvWorkload, Mix, ProvenanceWorkload, SmallBank};
+
+use crate::engines::{build_engine, EngineKind};
+use crate::stats::LatencyStats;
+
+/// The outcome of driving one engine through a transaction workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Engine label ("COLE", "MPT", …).
+    pub engine: String,
+    /// Number of blocks executed.
+    pub blocks: u64,
+    /// Number of transactions executed.
+    pub total_txs: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Average throughput in transactions per second.
+    pub tps: f64,
+    /// Per-transaction latency statistics.
+    pub latency: LatencyStats,
+    /// Storage footprint after the run (background merges drained).
+    pub storage: StorageStats,
+}
+
+impl Measurement {
+    /// Total persistent storage in mebibytes.
+    #[must_use]
+    pub fn storage_mib(&self) -> f64 {
+        self.storage.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Executes `blocks` blocks produced by `next_block` against `engine`,
+/// starting at `start_height`, and returns the aggregate measurement.
+///
+/// # Errors
+///
+/// Returns an error if the engine fails.
+pub fn run_workload_blocks<F>(
+    engine: &mut dyn AuthenticatedStorage,
+    start_height: u64,
+    blocks: u64,
+    txs_per_block: usize,
+    mut next_block: F,
+) -> Result<Measurement>
+where
+    F: FnMut(u64, usize) -> Block,
+{
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut total_txs = 0u64;
+    for height in start_height..start_height + blocks {
+        let block = next_block(height, txs_per_block);
+        let result = execute_block(engine, &block)?;
+        total_txs += result.tx_latencies.len() as u64;
+        latencies.extend(result.tx_latencies);
+    }
+    engine.flush()?;
+    let elapsed = started.elapsed();
+    Ok(Measurement {
+        engine: engine.name().to_string(),
+        blocks,
+        total_txs,
+        elapsed,
+        tps: if elapsed.as_secs_f64() > 0.0 {
+            total_txs as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        latency: LatencyStats::from_durations(&latencies),
+        storage: engine.storage_stats()?,
+    })
+}
+
+/// Runs the SmallBank workload for `blocks` blocks on a freshly built engine
+/// of the given kind (Figures 9, 12 and 13).
+///
+/// # Errors
+///
+/// Returns an error if the engine fails.
+pub fn run_smallbank(
+    kind: EngineKind,
+    dir: &Path,
+    config: ColeConfig,
+    blocks: u64,
+    txs_per_block: usize,
+    accounts: u64,
+    seed: u64,
+) -> Result<Measurement> {
+    let mut engine = build_engine(kind, dir, config)?;
+    let mut workload = SmallBank::new(accounts, seed);
+    run_workload_blocks(engine.as_mut(), 1, blocks, txs_per_block, |h, n| {
+        workload.next_block(h, n)
+    })
+}
+
+/// Runs the KVStore workload: a loading phase writing `records` base records
+/// followed by a running phase with the given read/write `mix`, for a total
+/// of `blocks` blocks (Figures 10 and 11).
+///
+/// # Errors
+///
+/// Returns an error if the engine fails.
+pub fn run_kvstore(
+    kind: EngineKind,
+    dir: &Path,
+    config: ColeConfig,
+    blocks: u64,
+    txs_per_block: usize,
+    records: u64,
+    mix: Mix,
+    seed: u64,
+) -> Result<Measurement> {
+    let mut engine = build_engine(kind, dir, config)?;
+    let mut workload = KvWorkload::new(records, mix, seed);
+    let load_blocks = workload.load_blocks(1, txs_per_block);
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut total_txs = 0u64;
+    let mut executed_blocks = 0u64;
+    for block in load_blocks.iter().take(blocks as usize) {
+        let result = execute_block(engine.as_mut(), block)?;
+        total_txs += result.tx_latencies.len() as u64;
+        latencies.extend(result.tx_latencies);
+        executed_blocks += 1;
+    }
+    let mut height = executed_blocks;
+    while executed_blocks < blocks {
+        height += 1;
+        let block = workload.next_block(height, txs_per_block);
+        let result = execute_block(engine.as_mut(), &block)?;
+        total_txs += result.tx_latencies.len() as u64;
+        latencies.extend(result.tx_latencies);
+        executed_blocks += 1;
+    }
+    engine.flush()?;
+    let elapsed = started.elapsed();
+    Ok(Measurement {
+        engine: engine.name().to_string(),
+        blocks: executed_blocks,
+        total_txs,
+        elapsed,
+        tps: if elapsed.as_secs_f64() > 0.0 {
+            total_txs as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        latency: LatencyStats::from_durations(&latencies),
+        storage: engine.storage_stats()?,
+    })
+}
+
+/// The outcome of a provenance-query measurement (Figures 14 and 15).
+#[derive(Clone, Debug)]
+pub struct ProvenanceMeasurement {
+    /// Engine label.
+    pub engine: String,
+    /// Queried block-height range length `q`.
+    pub range: u64,
+    /// Average server-side query CPU time in microseconds.
+    pub query_us: f64,
+    /// Average client-side verification CPU time in microseconds.
+    pub verify_us: f64,
+    /// Average proof size in KiB.
+    pub proof_kib: f64,
+    /// Average number of result versions per query.
+    pub results_per_query: f64,
+}
+
+/// Prepares an engine with the provenance workload (`base_states` states
+/// updated over `blocks` blocks) and returns it together with the workload
+/// and final height.
+///
+/// # Errors
+///
+/// Returns an error if the engine fails.
+pub fn prepare_provenance_engine(
+    kind: EngineKind,
+    dir: &Path,
+    config: ColeConfig,
+    blocks: u64,
+    txs_per_block: usize,
+    base_states: u64,
+    seed: u64,
+) -> Result<(Box<dyn AuthenticatedStorage>, ProvenanceWorkload, u64)> {
+    let mut engine = build_engine(kind, dir, config)?;
+    let mut workload = ProvenanceWorkload::new(base_states, seed);
+    execute_block(engine.as_mut(), &workload.base_block(1))?;
+    for height in 2..=blocks.max(2) {
+        let block = workload.next_block(height, txs_per_block);
+        execute_block(engine.as_mut(), &block)?;
+    }
+    engine.flush()?;
+    Ok((engine, workload, blocks.max(2)))
+}
+
+/// Issues `num_queries` provenance queries of range `range` against a
+/// prepared engine and measures CPU time, verification time and proof size.
+///
+/// # Errors
+///
+/// Returns an error if the engine fails or a proof does not verify.
+pub fn run_provenance_phase(
+    engine: &mut dyn AuthenticatedStorage,
+    workload: &mut ProvenanceWorkload,
+    current_height: u64,
+    range: u64,
+    num_queries: usize,
+) -> Result<ProvenanceMeasurement> {
+    let hstate = engine.finalize_block()?;
+    // Warm up caches (file handles, backend segment indexes) so the first
+    // measured query is not an outlier.
+    for _ in 0..2 {
+        let query = workload.next_query(current_height, range);
+        let _ = engine.prov_query(query.addr, query.blk_lower, query.blk_upper)?;
+    }
+    let mut query_time = Duration::ZERO;
+    let mut verify_time = Duration::ZERO;
+    let mut proof_bytes = 0usize;
+    let mut results = 0usize;
+    for _ in 0..num_queries {
+        let query = workload.next_query(current_height, range);
+        let start = Instant::now();
+        let result = engine.prov_query(query.addr, query.blk_lower, query.blk_upper)?;
+        query_time += start.elapsed();
+        proof_bytes += result.proof_size();
+        results += result.values.len();
+        let start = Instant::now();
+        let ok = engine.verify_prov(
+            query.addr,
+            query.blk_lower,
+            query.blk_upper,
+            &result,
+            hstate,
+        )?;
+        verify_time += start.elapsed();
+        if !ok {
+            return Err(cole_primitives::ColeError::VerificationFailed(format!(
+                "provenance proof rejected for {} at range {range}",
+                engine.name()
+            )));
+        }
+    }
+    let n = num_queries as f64;
+    Ok(ProvenanceMeasurement {
+        engine: engine.name().to_string(),
+        range,
+        query_us: query_time.as_secs_f64() * 1e6 / n,
+        verify_us: verify_time.as_secs_f64() * 1e6 / n,
+        proof_kib: proof_bytes as f64 / n / 1024.0,
+        results_per_query: results as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-driver-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_config() -> ColeConfig {
+        ColeConfig::default()
+            .with_memtable_capacity(64)
+            .with_size_ratio(3)
+    }
+
+    #[test]
+    fn smallbank_measurement_is_consistent() {
+        let dir = tmpdir("smallbank");
+        let m = run_smallbank(EngineKind::Cole, &dir, small_config(), 10, 20, 100, 1).unwrap();
+        assert_eq!(m.engine, "COLE");
+        assert_eq!(m.blocks, 10);
+        assert_eq!(m.total_txs, 200);
+        assert_eq!(m.latency.count, 200);
+        assert!(m.tps > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kvstore_runs_load_then_mix() {
+        let dir = tmpdir("kv");
+        let m = run_kvstore(
+            EngineKind::ColeAsync,
+            &dir,
+            small_config(),
+            8,
+            25,
+            100,
+            Mix::ReadWrite,
+            2,
+        )
+        .unwrap();
+        assert_eq!(m.blocks, 8);
+        assert_eq!(m.total_txs, 200);
+        assert!(m.storage.total_bytes() > 0 || m.storage.memory_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_phase_verifies_for_cole_and_mpt() {
+        for kind in [EngineKind::Cole, EngineKind::Mpt] {
+            let dir = tmpdir(&format!("prov-{}", kind.label().replace('*', "s")));
+            let (mut engine, mut workload, height) =
+                prepare_provenance_engine(kind, &dir, small_config(), 30, 10, 20, 3).unwrap();
+            let m = run_provenance_phase(engine.as_mut(), &mut workload, height, 8, 5).unwrap();
+            assert_eq!(m.range, 8);
+            assert!(m.proof_kib > 0.0);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

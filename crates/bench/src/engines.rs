@@ -1,0 +1,141 @@
+//! Construction of the evaluated storage engines.
+
+use std::path::Path;
+
+use cole_cmi::CmiStorage;
+use cole_core::{AsyncCole, Cole, ColeConfig};
+use cole_lipp::LippStorage;
+use cole_mpt::MptStorage;
+use cole_primitives::{AuthenticatedStorage, ColeError, Result};
+
+/// The storage engines evaluated in the paper (§8.1.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// COLE with synchronous merges.
+    Cole,
+    /// COLE* — COLE with the asynchronous merge.
+    ColeAsync,
+    /// The Merkle Patricia Trie baseline.
+    Mpt,
+    /// The LIPP learned-index baseline.
+    Lipp,
+    /// The column-based Merkle index baseline.
+    Cmi,
+}
+
+impl EngineKind {
+    /// Parses an engine name as used on the command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cole" => Ok(EngineKind::Cole),
+            "cole*" | "cole-async" | "coleasync" | "cole_async" => Ok(EngineKind::ColeAsync),
+            "mpt" => Ok(EngineKind::Mpt),
+            "lipp" => Ok(EngineKind::Lipp),
+            "cmi" => Ok(EngineKind::Cmi),
+            other => Err(ColeError::InvalidConfig(format!(
+                "unknown engine '{other}' (expected cole, cole-async, mpt, lipp or cmi)"
+            ))),
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Cole => "COLE",
+            EngineKind::ColeAsync => "COLE*",
+            EngineKind::Mpt => "MPT",
+            EngineKind::Lipp => "LIPP",
+            EngineKind::Cmi => "CMI",
+        }
+    }
+
+    /// All engines, in the order the paper lists them.
+    #[must_use]
+    pub fn all() -> Vec<EngineKind> {
+        vec![
+            EngineKind::Mpt,
+            EngineKind::Cole,
+            EngineKind::ColeAsync,
+            EngineKind::Lipp,
+            EngineKind::Cmi,
+        ]
+    }
+}
+
+/// Builds an engine of the given kind in `dir`, applying `config` to the COLE
+/// variants (the baselines take their own defaults, mirroring §8.1.2).
+///
+/// # Errors
+///
+/// Returns an error if the engine cannot be created.
+pub fn build_engine(
+    kind: EngineKind,
+    dir: &Path,
+    config: ColeConfig,
+) -> Result<Box<dyn AuthenticatedStorage>> {
+    Ok(match kind {
+        EngineKind::Cole => Box::new(Cole::open(dir, config)?),
+        EngineKind::ColeAsync => Box::new(AsyncCole::open(dir, config)?),
+        EngineKind::Mpt => Box::new(MptStorage::open(dir)?),
+        EngineKind::Lipp => Box::new(LippStorage::open(dir)?),
+        EngineKind::Cmi => Box::new(CmiStorage::open(dir)?),
+    })
+}
+
+/// Builds a [`ColeConfig`] from the common command-line options
+/// (`--size-ratio`, `--mht-fanout`, `--memtable`, `--epsilon`).
+#[must_use]
+pub fn cole_config_from(args: &crate::Args) -> ColeConfig {
+    ColeConfig::default()
+        .with_size_ratio(args.get_usize("size-ratio", 4))
+        .with_mht_fanout(args.get_u64("mht-fanout", 4))
+        .with_memtable_capacity(args.get_usize("memtable", 4096))
+        .with_epsilon(args.get_u64("epsilon", cole_primitives::index_epsilon()))
+}
+
+/// Returns (and creates) a fresh working sub-directory for one engine run,
+/// wiping any previous contents.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be created.
+pub fn fresh_workdir(args: &crate::Args, name: &str) -> Result<std::path::PathBuf> {
+    let base = args.get_str("workdir", "bench_work");
+    let dir = std::path::Path::new(&base).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(EngineKind::parse("COLE").unwrap(), EngineKind::Cole);
+        assert_eq!(EngineKind::parse("cole*").unwrap(), EngineKind::ColeAsync);
+        assert_eq!(EngineKind::parse("cole-async").unwrap(), EngineKind::ColeAsync);
+        assert_eq!(EngineKind::parse("mpt").unwrap(), EngineKind::Mpt);
+        assert!(EngineKind::parse("rocksdb").is_err());
+    }
+
+    #[test]
+    fn build_every_engine() {
+        let base = std::env::temp_dir().join(format!("cole-engines-test-{}", std::process::id()));
+        for kind in EngineKind::all() {
+            let dir = base.join(kind.label().replace('*', "_star"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let engine = build_engine(kind, &dir, ColeConfig::default()).unwrap();
+            assert_eq!(engine.name(), kind.label());
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

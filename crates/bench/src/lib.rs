@@ -1,0 +1,37 @@
+//! Benchmark harness regenerating every table and figure of the COLE paper.
+//!
+//! The `exp_*` binaries in this crate drive the storage engines (COLE, COLE*,
+//! MPT, LIPP, CMI) through the paper's workloads and print the same series
+//! the corresponding figure or table reports, additionally writing a CSV to
+//! `results/`. See EXPERIMENTS.md at the repository root for the mapping and
+//! for paper-vs-measured observations.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `exp_fig9` | Fig. 9 — storage & throughput vs block height (SmallBank) |
+//! | `exp_fig10` | Fig. 10 — storage & throughput vs block height (KVStore) |
+//! | `exp_fig11` | Fig. 11 — throughput vs workload mix (KVStore) |
+//! | `exp_fig12` | Fig. 12 — latency box plots |
+//! | `exp_fig13` | Fig. 13 — impact of the size ratio `T` |
+//! | `exp_fig14` | Fig. 14 — provenance query cost vs range |
+//! | `exp_fig15` | Fig. 15 — impact of COLE's MHT fanout `m` |
+//! | `exp_table1` | Table 1 — measured complexity counters |
+//! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod driver;
+mod engines;
+mod report;
+mod stats;
+
+pub use args::Args;
+pub use driver::{
+    prepare_provenance_engine, run_kvstore, run_provenance_phase, run_smallbank,
+    run_workload_blocks, Measurement, ProvenanceMeasurement,
+};
+pub use engines::{build_engine, cole_config_from, fresh_workdir, EngineKind};
+pub use report::{fmt_f64, write_csv, Table};
+pub use stats::LatencyStats;

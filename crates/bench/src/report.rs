@@ -1,0 +1,172 @@
+//! Plain-text tables and CSV output for the experiment binaries.
+
+use std::path::Path;
+
+use cole_primitives::Result;
+
+/// A simple column-aligned table that is printed to stdout and written as a
+/// CSV file under `results/`.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (missing cells are rendered empty).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:>width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        write_csv(path, &self.headers, &self.rows)
+    }
+}
+
+/// Writes rows of cells as a CSV file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn write_csv<P: AsRef<Path>>(path: P, headers: &[String], rows: &[Vec<String>]) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else if value >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_keeps_rows() {
+        let mut table = Table::new("demo", &["engine", "tps"]);
+        table.push_row(vec!["COLE".into(), "1234.5".into()]);
+        table.push_row(vec!["MPT".into(), "77".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("## demo"));
+        assert!(rendered.contains("COLE"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_with_escaping() {
+        let dir = std::env::temp_dir().join(format!("cole-report-test-{}", std::process::id()));
+        let path = dir.join("out.csv");
+        let mut table = Table::new("csv", &["a", "b"]);
+        table.push_row(vec!["x,y".into(), "plain".into()]);
+        table.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("\"x,y\",plain"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(0.5), "0.500");
+    }
+}

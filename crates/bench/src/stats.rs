@@ -1,0 +1,84 @@
+//! Latency statistics used by the latency box plots (Figures 12 and 13).
+
+use std::time::Duration;
+
+/// Summary statistics of a latency sample: the quartiles the paper's box
+/// plots show plus the tail percentiles it discusses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum latency in microseconds.
+    pub min_us: f64,
+    /// 25th percentile in microseconds.
+    pub p25_us: f64,
+    /// Median in microseconds.
+    pub p50_us: f64,
+    /// 75th percentile in microseconds.
+    pub p75_us: f64,
+    /// 99th percentile in microseconds.
+    pub p99_us: f64,
+    /// Maximum latency (the paper's tail latency, "the maximum outlier") in
+    /// microseconds.
+    pub max_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from a sample of latencies.
+    #[must_use]
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((us.len() - 1) as f64 * p).round() as usize;
+            us[idx]
+        };
+        LatencyStats {
+            count: us.len(),
+            min_us: us[0],
+            p25_us: pct(0.25),
+            p50_us: pct(0.50),
+            p75_us: pct(0.75),
+            p99_us: pct(0.99),
+            max_us: *us.last().expect("non-empty"),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples: Vec<Duration> = (1..=1000u64).map(Duration::from_micros).collect();
+        let stats = LatencyStats::from_durations(&samples);
+        assert_eq!(stats.count, 1000);
+        assert!(stats.min_us <= stats.p25_us);
+        assert!(stats.p25_us <= stats.p50_us);
+        assert!(stats.p50_us <= stats.p75_us);
+        assert!(stats.p75_us <= stats.p99_us);
+        assert!(stats.p99_us <= stats.max_us);
+        assert!((stats.p50_us - 500.0).abs() < 2.0);
+        assert!((stats.max_us - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_latency_captures_outliers() {
+        let mut samples: Vec<Duration> = vec![Duration::from_micros(10); 999];
+        samples.push(Duration::from_millis(100));
+        let stats = LatencyStats::from_durations(&samples);
+        assert!(stats.max_us > stats.p50_us * 1000.0);
+    }
+}

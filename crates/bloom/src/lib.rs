@@ -1,0 +1,247 @@
+//! Bloom filters over state addresses.
+//!
+//! §4 of the paper integrates a Bloom filter into the in-memory MB-tree and
+//! into every on-disk run to let read operations skip runs that cannot
+//! contain the queried address. Two requirements from the paper are honoured
+//! here:
+//!
+//! 1. filters are built over **addresses**, not compound keys, so that both
+//!    get and provenance queries (which search by address) can use them;
+//! 2. a filter's bits participate in the state root digest, so the filter can
+//!    serialize itself into a canonical byte representation and hash it
+//!    ([`BloomFilter::digest`]) — needed to prove the *absence* of an address
+//!    in a run during provenance queries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_bloom::BloomFilter;
+//! use cole_primitives::Address;
+//!
+//! let mut filter = BloomFilter::with_capacity(1000, 0.01);
+//! filter.insert(&Address::from_low_u64(7));
+//! assert!(filter.contains(&Address::from_low_u64(7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cole_hash::sha256;
+use cole_primitives::{Address, ColeError, Digest, Result};
+
+/// A Bloom filter over state [`Address`]es.
+///
+/// Uses the standard double-hashing construction (Kirsch–Mitzenmacher): two
+/// base hash values derived from a SHA-256 digest of the address generate the
+/// `k` probe positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    num_items: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_items` with the given false
+    /// positive rate (clamped to a sane range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_items` is zero (use at least 1).
+    #[must_use]
+    pub fn with_capacity(expected_items: usize, false_positive_rate: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be positive");
+        let fpr = false_positive_rate.clamp(1e-6, 0.5);
+        let n = expected_items as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let num_bits = ((-n * fpr.ln()) / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let num_hashes = ((num_bits as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes,
+            num_items: 0,
+        }
+    }
+
+    /// Inserts an address.
+    pub fn insert(&mut self, addr: &Address) {
+        let (h1, h2) = Self::base_hashes(addr);
+        for i in 0..self.num_hashes {
+            let bit = self.probe(h1, h2, i);
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.num_items += 1;
+    }
+
+    /// Returns `true` if the address *may* have been inserted (false
+    /// positives possible, false negatives impossible).
+    #[must_use]
+    pub fn contains(&self, addr: &Address) -> bool {
+        let (h1, h2) = Self::base_hashes(addr);
+        (0..self.num_hashes).all(|i| {
+            let bit = self.probe(h1, h2, i);
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of inserted items.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.num_items
+    }
+
+    /// Returns `true` if nothing was inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0
+    }
+
+    /// Size of the bit array in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+
+    /// Canonical serialization: header (num_bits, num_hashes, num_items)
+    /// followed by the bit array in little-endian 64-bit words.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.bits.len() * 8);
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        out.extend_from_slice(&u64::from(self.num_hashes).to_le_bytes());
+        out.extend_from_slice(&self.num_items.to_le_bytes());
+        for word in &self.bits {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a filter produced by [`BloomFilter::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidEncoding`] if the byte string is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 24 || (bytes.len() - 24) % 8 != 0 {
+            return Err(ColeError::InvalidEncoding(
+                "bloom filter byte string has invalid length".into(),
+            ));
+        }
+        let u64_at = |i: usize| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(buf)
+        };
+        let num_bits = u64_at(0);
+        let num_hashes = u64_at(8) as u32;
+        let num_items = u64_at(16);
+        let bits: Vec<u64> = bytes[24..]
+            .chunks_exact(8)
+            .map(|c| {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(c);
+                u64::from_le_bytes(buf)
+            })
+            .collect();
+        if bits.len() as u64 != num_bits.div_ceil(64) || num_hashes == 0 {
+            return Err(ColeError::InvalidEncoding(
+                "bloom filter header inconsistent with payload".into(),
+            ));
+        }
+        Ok(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+            num_items,
+        })
+    }
+
+    /// Digest of the canonical serialization. Incorporated into a run's root
+    /// hash so provenance proofs can rely on the filter's contents (§4).
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+
+    fn base_hashes(addr: &Address) -> (u64, u64) {
+        let digest = sha256(addr.as_slice());
+        let bytes = digest.as_bytes();
+        let mut h1 = [0u8; 8];
+        let mut h2 = [0u8; 8];
+        h1.copy_from_slice(&bytes[..8]);
+        h2.copy_from_slice(&bytes[8..16]);
+        (u64::from_le_bytes(h1), u64::from_le_bytes(h2))
+    }
+
+    fn probe(&self, h1: u64, h2: u64, i: u32) -> u64 {
+        h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut filter = BloomFilter::with_capacity(500, 0.01);
+        for i in 0..500u64 {
+            filter.insert(&Address::from_low_u64(i));
+        }
+        for i in 0..500u64 {
+            assert!(filter.contains(&Address::from_low_u64(i)), "missing {i}");
+        }
+        assert_eq!(filter.len(), 500);
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut filter = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u64 {
+            filter.insert(&Address::from_low_u64(i));
+        }
+        let false_positives = (1000..11_000u64)
+            .filter(|&i| filter.contains(&Address::from_low_u64(i)))
+            .count();
+        // Allow generous slack over the target 1%.
+        assert!(
+            false_positives < 500,
+            "false positive rate too high: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let filter = BloomFilter::with_capacity(10, 0.01);
+        assert!(filter.is_empty());
+        assert!(!filter.contains(&Address::from_low_u64(1)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut filter = BloomFilter::with_capacity(100, 0.05);
+        for i in 0..100u64 {
+            filter.insert(&Address::from_low_u64(i * 3));
+        }
+        let bytes = filter.to_bytes();
+        let restored = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, filter);
+        assert_eq!(restored.digest(), filter.digest());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[1, 2, 3]).is_err());
+        assert!(BloomFilter::from_bytes(&[0u8; 25]).is_err());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut a = BloomFilter::with_capacity(100, 0.01);
+        let b = BloomFilter::with_capacity(100, 0.01);
+        a.insert(&Address::from_low_u64(42));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

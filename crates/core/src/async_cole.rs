@@ -1,0 +1,617 @@
+//! COLE with the checkpoint-based asynchronous merge (§5, Algorithm 5).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cole_mbtree::MbTree;
+use cole_primitives::{
+    Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
+    StateValue, StorageStats, VersionedValue,
+};
+
+use crate::config::ColeConfig;
+use crate::merge::{build_run_from_entries, merge_runs};
+use crate::metrics::Metrics;
+use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
+use crate::run::{Run, RunId};
+
+/// A sealed in-memory group: the level-0 merging group. Its contents are
+/// immutable (the flush thread reads them) but remain visible to queries.
+#[derive(Debug, Clone)]
+struct SealedMemGroup {
+    tree: Arc<MbTree>,
+    root: Digest,
+}
+
+/// One on-disk level of the asynchronous engine: a writing group that accepts
+/// committed runs from the level above and a merging group whose runs are
+/// being merged into the next level by a background thread (Figure 7).
+#[derive(Debug, Default)]
+struct AsyncLevel {
+    /// Committed runs accepting reads and representing the level in
+    /// `root_hash_list`; newest first.
+    writing: Vec<Arc<Run>>,
+    /// Runs currently being merged into the next level; still readable and
+    /// still part of `root_hash_list` until the commit checkpoint.
+    merging: Vec<Arc<Run>>,
+    /// The background thread merging `merging` into the next level, if any.
+    merge_thread: Option<JoinHandle<Result<Run>>>,
+}
+
+/// The COLE engine with checkpoint-based asynchronous merges (COLE* in the
+/// paper's evaluation).
+///
+/// Every level holds a *writing* and a *merging* group. When a writing group
+/// fills up, the engine (1) waits for — and commits — the level's previous
+/// background merge, (2) swaps the two groups, and (3) starts a new
+/// background merge on the now-full group. Because `root_hash_list` is only
+/// updated at these commit checkpoints (never from inside the merge threads),
+/// the state root digest `Hstate` stays deterministic across blockchain nodes
+/// regardless of how long individual merges take (§5, soundness analysis).
+#[derive(Debug)]
+pub struct AsyncCole {
+    dir: PathBuf,
+    config: ColeConfig,
+    mem_writing: MbTree,
+    mem_merging: Option<SealedMemGroup>,
+    mem_flush_thread: Option<JoinHandle<Result<Run>>>,
+    /// `levels[0]` is on-disk level 1.
+    levels: Vec<AsyncLevel>,
+    current_block: u64,
+    next_run_id: RunId,
+    metrics: Metrics,
+    entries_ingested: u64,
+}
+
+impl AsyncCole {
+    /// Opens (or creates) an asynchronous COLE instance rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or files cannot be
+    /// accessed.
+    pub fn open<P: AsRef<Path>>(dir: P, config: ColeConfig) -> Result<Self> {
+        config.validate()?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(AsyncCole {
+            dir,
+            config,
+            mem_writing: MbTree::with_fanout(config.mbtree_fanout),
+            mem_merging: None,
+            mem_flush_thread: None,
+            levels: Vec::new(),
+            current_block: 0,
+            next_run_id: 0,
+            metrics: Metrics::new(),
+            entries_ingested: 0,
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ColeConfig {
+        &self.config
+    }
+
+    /// Operation counters accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of on-disk levels currently in use.
+    #[must_use]
+    pub fn num_disk_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Joins every outstanding background merge and commits its result, so
+    /// that all data is reflected in the committed structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a background merge failed.
+    pub fn wait_for_merges(&mut self) -> Result<()> {
+        self.commit_level0()?;
+        let mut level = 1usize;
+        while level <= self.levels.len() {
+            self.commit_disk_level(level)?;
+            level += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ write path
+
+    fn alloc_run_id(&mut self) -> RunId {
+        let id = self.next_run_id;
+        self.next_run_id += 1;
+        id
+    }
+
+    /// Handles full writing groups from level 0 upwards (Algorithm 5 lines
+    /// 5–21).
+    fn roll_levels(&mut self) -> Result<()> {
+        if self.mem_writing.len() < self.config.memtable_capacity {
+            return Ok(());
+        }
+        // Commit checkpoint of level 0: wait for the previous flush (if any),
+        // publish its run, drop the old merging group.
+        self.commit_level0()?;
+        // Switch roles and start flushing the sealed group in the background.
+        self.seal_and_start_flush()?;
+
+        // Cascade through the on-disk levels.
+        let mut level = 1usize;
+        loop {
+            let full = self
+                .levels
+                .get(level - 1)
+                .is_some_and(|l| l.writing.len() >= self.config.size_ratio);
+            if !full {
+                break;
+            }
+            self.commit_disk_level(level)?;
+            self.start_disk_merge(level)?;
+            level += 1;
+        }
+        Ok(())
+    }
+
+    /// Joins and commits level 0's background flush, if one exists.
+    fn commit_level0(&mut self) -> Result<()> {
+        if let Some(handle) = self.mem_flush_thread.take() {
+            let run = join_merge(handle)?;
+            self.metrics.flushes += 1;
+            self.metrics.pages_written +=
+                run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+            self.ensure_level(1);
+            self.levels[0].writing.insert(0, Arc::new(run));
+        }
+        self.mem_merging = None;
+        Ok(())
+    }
+
+    /// Seals the current writing memtable as the merging group and starts a
+    /// background flush of its contents.
+    fn seal_and_start_flush(&mut self) -> Result<()> {
+        let mut sealed_tree =
+            std::mem::replace(&mut self.mem_writing, MbTree::with_fanout(self.config.mbtree_fanout));
+        let root = sealed_tree.root_hash();
+        let sealed = SealedMemGroup {
+            tree: Arc::new(sealed_tree),
+            root,
+        };
+        self.mem_merging = Some(sealed.clone());
+        let dir = self.dir.clone();
+        let config = self.config;
+        let id = self.alloc_run_id();
+        self.mem_flush_thread = Some(std::thread::spawn(move || {
+            let entries = sealed.tree.entries();
+            build_run_from_entries(&dir, id, &entries, &config)
+        }));
+        Ok(())
+    }
+
+    /// Joins and commits the background merge of on-disk `level` (1-based),
+    /// publishing its output run into `level + 1`'s writing group and
+    /// deleting the obsolete merging-group runs.
+    fn commit_disk_level(&mut self, level: usize) -> Result<()> {
+        let Some(entry) = self.levels.get_mut(level - 1) else {
+            return Ok(());
+        };
+        let Some(handle) = entry.merge_thread.take() else {
+            return Ok(());
+        };
+        let run = join_merge(handle)?;
+        self.metrics.merges += 1;
+        self.metrics.entries_merged += run.num_entries();
+        self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+        let obsolete = std::mem::take(&mut self.levels[level - 1].merging);
+        self.ensure_level(level + 1);
+        self.levels[level].writing.insert(0, Arc::new(run));
+        for old in obsolete {
+            old.delete_files()?;
+        }
+        Ok(())
+    }
+
+    /// Swaps the groups of on-disk `level` (1-based) and starts a background
+    /// merge of the now-sealed group into the next level.
+    fn start_disk_merge(&mut self, level: usize) -> Result<()> {
+        let id = self.alloc_run_id();
+        let dir = self.dir.clone();
+        let config = self.config;
+        let entry = &mut self.levels[level - 1];
+        debug_assert!(entry.merging.is_empty(), "merging group must be committed first");
+        entry.merging = std::mem::take(&mut entry.writing);
+        let runs = entry.merging.clone();
+        entry.merge_thread = Some(std::thread::spawn(move || {
+            merge_runs(&dir, id, &runs, &config)
+        }));
+        Ok(())
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() < level {
+            self.levels.push(AsyncLevel::default());
+        }
+    }
+
+    // ------------------------------------------------------------------ root hashes
+
+    /// The ordered `root_hash_list` of the asynchronous engine: both level-0
+    /// groups, then the writing and merging groups of every on-disk level,
+    /// young to old.
+    pub fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
+        let mut list = vec![(RootEntryKind::Memtable, self.mem_writing.root_hash())];
+        if let Some(sealed) = &self.mem_merging {
+            list.push((RootEntryKind::Memtable, sealed.root));
+        }
+        for level in &self.levels {
+            for run in level.writing.iter().chain(level.merging.iter()) {
+                list.push((RootEntryKind::Run, run.commitment()));
+            }
+        }
+        list
+    }
+
+    // ------------------------------------------------------------------ queries
+
+    fn get_internal(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        self.metrics.gets += 1;
+        if let Some((_, value)) = self.mem_writing.get_latest(addr) {
+            return Ok(Some(value));
+        }
+        if let Some(sealed) = &self.mem_merging {
+            if let Some((_, value)) = sealed.tree.get_latest(addr) {
+                return Ok(Some(value));
+            }
+        }
+        for level in &self.levels {
+            for run in level.writing.iter().chain(level.merging.iter()) {
+                if !run.may_contain(&addr) {
+                    self.metrics.bloom_skips += 1;
+                    continue;
+                }
+                self.metrics.runs_searched += 1;
+                if let Some((_, value)) = run.get_latest(&addr)? {
+                    return Ok(Some(value));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn prov_query_internal(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        self.metrics.prov_queries += 1;
+        let lower = CompoundKey::new(addr, blk_lower.saturating_sub(1));
+        let upper = CompoundKey::new(addr, blk_upper.saturating_add(1));
+
+        let mut components = Vec::new();
+        let mut collected: Vec<(CompoundKey, StateValue)> = Vec::new();
+        let mut early_stop = false;
+
+        // Level 0, writing group.
+        let (results, proof) = self.mem_writing.range_with_proof(lower, upper);
+        for (k, _) in &results {
+            if k.address() == addr && k.block_height() < blk_lower {
+                early_stop = true;
+            }
+        }
+        collected.extend(results);
+        components.push(ComponentProof::MemSearched { proof });
+
+        // Level 0, merging group (still committed data).
+        if let Some(sealed) = &self.mem_merging {
+            if early_stop {
+                components.push(ComponentProof::MemUnsearched { root: sealed.root });
+            } else {
+                // The sealed tree is immutable; cloning it to produce a proof
+                // is acceptable because the group is bounded by B.
+                let mut tree = (*sealed.tree).clone();
+                let (results, proof) = tree.range_with_proof(lower, upper);
+                for (k, _) in &results {
+                    if k.address() == addr && k.block_height() < blk_lower {
+                        early_stop = true;
+                    }
+                }
+                collected.extend(results);
+                components.push(ComponentProof::MemSearched { proof });
+            }
+        }
+
+        // On-disk levels.
+        for level in &self.levels {
+            for run in level.writing.iter().chain(level.merging.iter()) {
+                if early_stop {
+                    components.push(ComponentProof::RunUnsearched {
+                        commitment: run.commitment(),
+                    });
+                    continue;
+                }
+                if !run.may_contain(&addr) {
+                    self.metrics.bloom_skips += 1;
+                    components.push(ComponentProof::RunBloomNegative {
+                        bloom: run.bloom_bytes(),
+                        merkle_root: run.merkle_root(),
+                    });
+                    continue;
+                }
+                self.metrics.runs_searched += 1;
+                let scan = run.scan_range(&lower, &upper)?;
+                let merkle_proof = run.range_proof(scan.first_pos, scan.last_pos)?;
+                for (k, _) in &scan.entries {
+                    if k.address() == addr && k.block_height() < blk_lower {
+                        early_stop = true;
+                    }
+                }
+                collected.extend(scan.entries.iter().copied());
+                components.push(ComponentProof::RunSearched {
+                    entries: scan.entries,
+                    merkle_proof,
+                    bloom_digest: run.bloom_digest(),
+                });
+            }
+        }
+
+        let mut values: Vec<VersionedValue> = collected
+            .into_iter()
+            .filter(|(k, _)| {
+                k.address() == addr
+                    && k.block_height() >= blk_lower
+                    && k.block_height() <= blk_upper
+            })
+            .map(|(k, v)| VersionedValue::new(k.block_height(), v))
+            .collect();
+        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        values.dedup();
+
+        let proof = ColeProof { components };
+        Ok(ProvenanceResult {
+            values,
+            proof: proof.to_bytes(),
+        })
+    }
+}
+
+/// Joins a background merge thread, converting a panic into an error.
+fn join_merge(handle: JoinHandle<Result<Run>>) -> Result<Run> {
+    handle
+        .join()
+        .map_err(|_| ColeError::InvalidState("background merge thread panicked".into()))?
+}
+
+impl AuthenticatedStorage for AsyncCole {
+    fn put(&mut self, addr: Address, value: StateValue) -> Result<()> {
+        let key = CompoundKey::new(addr, self.current_block);
+        self.mem_writing.insert(key, value);
+        self.entries_ingested += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        self.get_internal(addr)
+    }
+
+    fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        self.prov_query_internal(addr, blk_lower, blk_upper)
+    }
+
+    fn verify_prov(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        result: &ProvenanceResult,
+        hstate: Digest,
+    ) -> Result<bool> {
+        let proof = ColeProof::from_bytes(&result.proof)?;
+        proof.verify(addr, blk_lower, blk_upper, &result.values, hstate)
+    }
+
+    fn begin_block(&mut self, height: u64) -> Result<()> {
+        if height <= self.current_block && self.current_block != 0 {
+            return Err(ColeError::InvalidState(format!(
+                "block height {height} does not advance the chain (current {})",
+                self.current_block
+            )));
+        }
+        self.current_block = height;
+        Ok(())
+    }
+
+    fn finalize_block(&mut self) -> Result<Digest> {
+        // As for the synchronous engine, the capacity check (and therefore
+        // every start/commit checkpoint) happens at a block boundary, keeping
+        // compound keys unique per run and Hstate deterministic across nodes.
+        self.roll_levels()?;
+        let list = self.root_hash_list();
+        Ok(compute_hstate(&list))
+    }
+
+    fn current_block_height(&self) -> u64 {
+        self.current_block
+    }
+
+    fn storage_stats(&self) -> Result<StorageStats> {
+        let mut stats = StorageStats {
+            memory_bytes: self.mem_writing.memory_bytes()
+                + self
+                    .mem_merging
+                    .as_ref()
+                    .map_or(0, |s| s.tree.memory_bytes()),
+            ..StorageStats::default()
+        };
+        for level in &self.levels {
+            for run in level.writing.iter().chain(level.merging.iter()) {
+                stats.data_bytes += run.data_bytes();
+                stats.index_bytes += run.index_bytes();
+            }
+        }
+        Ok(stats)
+    }
+
+    fn name(&self) -> &'static str {
+        "COLE*"
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.wait_for_merges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-async-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_config() -> ColeConfig {
+        ColeConfig::default()
+            .with_memtable_capacity(16)
+            .with_size_ratio(3)
+    }
+
+    fn addr(i: u64) -> Address {
+        Address::from_low_u64(i)
+    }
+
+    /// Drives `engine` through `blocks` blocks of `writes_per_block` writes
+    /// with deterministic addresses, returning the per-block digests.
+    fn drive(engine: &mut AsyncCole, blocks: u64, writes_per_block: u64) -> Vec<Digest> {
+        let mut digests = Vec::new();
+        for blk in 1..=blocks {
+            engine.begin_block(blk).unwrap();
+            for w in 0..writes_per_block {
+                engine
+                    .put(addr((blk * writes_per_block + w) % 97), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            digests.push(engine.finalize_block().unwrap());
+        }
+        digests
+    }
+
+    #[test]
+    fn async_engine_reads_its_own_writes_across_merges() {
+        let dir = tmpdir("rw");
+        let mut cole = AsyncCole::open(&dir, small_config()).unwrap();
+        for blk in 1..=60u64 {
+            cole.begin_block(blk).unwrap();
+            for a in 0..5u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        cole.wait_for_merges().unwrap();
+        assert!(cole.metrics().flushes > 0);
+        for blk in 1..=60u64 {
+            for a in 0..5u64 {
+                assert_eq!(
+                    cole.get(addr(blk * 10 + a)).unwrap(),
+                    Some(StateValue::from_u64(blk)),
+                    "block {blk} addr {a}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hstate_is_deterministic_across_identical_replays() {
+        // The asynchronous merge must not make the digest depend on thread
+        // timing: two replays of the same workload give identical digests.
+        let dir1 = tmpdir("det1");
+        let dir2 = tmpdir("det2");
+        let mut a = AsyncCole::open(&dir1, small_config()).unwrap();
+        let mut b = AsyncCole::open(&dir2, small_config()).unwrap();
+        let da = drive(&mut a, 40, 6);
+        let db = drive(&mut b, 40, 6);
+        assert_eq!(da, db);
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn async_matches_sync_query_results() {
+        use crate::cole::Cole;
+        let dir_sync = tmpdir("cmp-sync");
+        let dir_async = tmpdir("cmp-async");
+        let mut sync = Cole::open(&dir_sync, small_config()).unwrap();
+        let mut asynchronous = AsyncCole::open(&dir_async, small_config()).unwrap();
+        for blk in 1..=50u64 {
+            sync.begin_block(blk).unwrap();
+            asynchronous.begin_block(blk).unwrap();
+            for a in 0..4u64 {
+                let address = addr((blk + a * 13) % 37);
+                let value = StateValue::from_u64(blk * 100 + a);
+                sync.put(address, value).unwrap();
+                asynchronous.put(address, value).unwrap();
+            }
+            sync.finalize_block().unwrap();
+            asynchronous.finalize_block().unwrap();
+        }
+        asynchronous.wait_for_merges().unwrap();
+        for a in 0..37u64 {
+            assert_eq!(
+                sync.get(addr(a)).unwrap(),
+                asynchronous.get(addr(a)).unwrap(),
+                "address {a}"
+            );
+        }
+        std::fs::remove_dir_all(&dir_sync).ok();
+        std::fs::remove_dir_all(&dir_async).ok();
+    }
+
+    #[test]
+    fn provenance_query_verifies_with_async_merge() {
+        let dir = tmpdir("prov");
+        let mut cole = AsyncCole::open(&dir, small_config()).unwrap();
+        let target = addr(5);
+        for blk in 1..=80u64 {
+            cole.begin_block(blk).unwrap();
+            cole.put(target, StateValue::from_u64(blk)).unwrap();
+            cole.put(addr(100 + blk), StateValue::from_u64(blk)).unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let hstate = cole.finalize_block().unwrap();
+        let result = cole.prov_query(target, 20, 40).unwrap();
+        let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+        let expected: Vec<u64> = (20..=40u64).rev().collect();
+        assert_eq!(got, expected);
+        assert!(cole.verify_prov(target, 20, 40, &result, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wait_for_merges_is_idempotent() {
+        let dir = tmpdir("quiesce");
+        let mut cole = AsyncCole::open(&dir, small_config()).unwrap();
+        drive(&mut cole, 30, 5);
+        cole.wait_for_merges().unwrap();
+        cole.wait_for_merges().unwrap();
+        let stats = cole.storage_stats().unwrap();
+        assert!(stats.data_bytes > 0);
+        assert_eq!(cole.name(), "COLE*");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

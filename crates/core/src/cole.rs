@@ -1,0 +1,613 @@
+//! The synchronous COLE engine (Algorithms 1, 6 and 8).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cole_mbtree::MbTree;
+use cole_primitives::{
+    Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
+    StateValue, StorageStats, VersionedValue,
+};
+
+use crate::config::ColeConfig;
+use crate::merge::{build_run_from_entries, merge_runs};
+use crate::metrics::Metrics;
+use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
+use crate::run::{Run, RunId};
+
+/// The column-based learned storage engine with synchronous merges.
+///
+/// Writes go to an in-memory MB-tree (level 0); when it reaches its capacity
+/// `B` it is flushed to level 1 as a sorted run, and full levels are
+/// recursively sort-merged into the next level (Algorithm 1). Reads search
+/// levels young-to-old (Algorithm 6); provenance queries additionally return
+/// a proof verifiable against the state root digest (Algorithm 8).
+///
+/// See the crate-level documentation for a usage example.
+#[derive(Debug)]
+pub struct Cole {
+    dir: PathBuf,
+    config: ColeConfig,
+    mem: MbTree,
+    /// `levels[0]` is on-disk level 1; runs are ordered newest first.
+    levels: Vec<Vec<Arc<Run>>>,
+    current_block: u64,
+    next_run_id: RunId,
+    metrics: Metrics,
+    entries_ingested: u64,
+}
+
+impl Cole {
+    /// Opens (or creates) a COLE instance rooted at `dir`.
+    ///
+    /// If a manifest from a previous instance exists in `dir`, the on-disk
+    /// levels are recovered from it (the in-memory level starts empty, as
+    /// after the crash recovery described in §4.3 — the caller replays any
+    /// transactions since the last checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or files cannot be
+    /// accessed.
+    pub fn open<P: AsRef<Path>>(dir: P, config: ColeConfig) -> Result<Self> {
+        config.validate()?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut cole = Cole {
+            dir,
+            config,
+            mem: MbTree::with_fanout(config.mbtree_fanout),
+            levels: Vec::new(),
+            current_block: 0,
+            next_run_id: 0,
+            metrics: Metrics::new(),
+            entries_ingested: 0,
+        };
+        cole.recover_from_manifest()?;
+        Ok(cole)
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ColeConfig {
+        &self.config
+    }
+
+    /// Operation counters accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of on-disk levels currently in use.
+    #[must_use]
+    pub fn num_disk_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of runs in on-disk level `level` (1-based).
+    #[must_use]
+    pub fn runs_in_level(&self, level: usize) -> usize {
+        self.levels.get(level.wrapping_sub(1)).map_or(0, Vec::len)
+    }
+
+    /// Number of key–value pairs currently buffered in the in-memory level.
+    #[must_use]
+    pub fn memtable_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// The state root digest over the current contents (equivalent to what
+    /// [`AuthenticatedStorage::finalize_block`] returns, without closing a
+    /// block).
+    pub fn state_root(&mut self) -> Digest {
+        let list = self.root_hash_list();
+        compute_hstate(&list)
+    }
+
+    // ------------------------------------------------------------------ write path
+
+    fn flush_and_merge(&mut self) -> Result<()> {
+        // Flush the memtable to level 1 as a sorted run (Algorithm 1 line 5).
+        let entries = self.mem.entries();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let id = self.alloc_run_id();
+        let run = build_run_from_entries(&self.dir, id, &entries, &self.config)?;
+        self.metrics.flushes += 1;
+        self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+        self.mem.clear();
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].insert(0, Arc::new(run));
+
+        // Recursively merge full levels (Algorithm 1 lines 8–12).
+        let mut i = 0usize;
+        while i < self.levels.len() && self.levels[i].len() >= self.config.size_ratio {
+            let runs = std::mem::take(&mut self.levels[i]);
+            let id = self.alloc_run_id();
+            let merged = merge_runs(&self.dir, id, &runs, &self.config)?;
+            self.metrics.merges += 1;
+            self.metrics.entries_merged += merged.num_entries();
+            self.metrics.pages_written +=
+                merged.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+            if self.levels.len() <= i + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[i + 1].insert(0, Arc::new(merged));
+            for run in runs {
+                run.delete_files()?;
+            }
+            i += 1;
+        }
+        self.write_manifest()?;
+        Ok(())
+    }
+
+    fn alloc_run_id(&mut self) -> RunId {
+        let id = self.next_run_id;
+        self.next_run_id += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------ root hashes
+
+    /// The ordered `root_hash_list`: the in-memory MB-tree root followed by
+    /// every run's commitment, young to old (§3.2).
+    pub fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
+        let mut list = vec![(RootEntryKind::Memtable, self.mem.root_hash())];
+        for level in &self.levels {
+            for run in level {
+                list.push((RootEntryKind::Run, run.commitment()));
+            }
+        }
+        list
+    }
+
+    // ------------------------------------------------------------------ manifest
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
+    }
+
+    fn write_manifest(&self) -> Result<()> {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "block {}\nnext_run {}\n",
+            self.current_block, self.next_run_id
+        ));
+        for (i, level) in self.levels.iter().enumerate() {
+            let ids: Vec<String> = level.iter().map(|r| r.id().to_string()).collect();
+            out.push_str(&format!("level {} {}\n", i + 1, ids.join(" ")));
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, self.manifest_path())?;
+        Ok(())
+    }
+
+    fn recover_from_manifest(&mut self) -> Result<()> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            return Ok(());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("block") => {
+                    self.current_block = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest block".into()))?;
+                }
+                Some("next_run") => {
+                    self.next_run_id = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest run id".into()))?;
+                }
+                Some("level") => {
+                    let _level_no: usize = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest level".into()))?;
+                    let mut runs = Vec::new();
+                    for id in parts {
+                        let id: RunId = id.parse().map_err(|_| {
+                            ColeError::InvalidEncoding("bad manifest run id".into())
+                        })?;
+                        runs.push(Arc::new(Run::open(&self.dir, id)?));
+                    }
+                    self.levels.push(runs);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ queries
+
+    fn get_internal(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        self.metrics.gets += 1;
+        if let Some((_, value)) = self.mem.get_latest(addr) {
+            return Ok(Some(value));
+        }
+        for level in &self.levels {
+            for run in level {
+                if !run.may_contain(&addr) {
+                    self.metrics.bloom_skips += 1;
+                    continue;
+                }
+                self.metrics.runs_searched += 1;
+                if let Some((_, value)) = run.get_latest(&addr)? {
+                    return Ok(Some(value));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn prov_query_internal(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        self.metrics.prov_queries += 1;
+        let lower = CompoundKey::new(addr, blk_lower.saturating_sub(1));
+        let upper = CompoundKey::new(addr, blk_upper.saturating_add(1));
+
+        let mut components = Vec::new();
+        let mut collected: Vec<(CompoundKey, StateValue)> = Vec::new();
+        let mut early_stop = false;
+
+        // Level 0: the in-memory MB-tree.
+        let (mem_results, mem_proof) = self.mem.range_with_proof(lower, upper);
+        for (k, _) in &mem_results {
+            if k.address() == addr && k.block_height() < blk_lower {
+                early_stop = true;
+            }
+        }
+        collected.extend(mem_results);
+        components.push(ComponentProof::MemSearched { proof: mem_proof });
+
+        // On-disk levels, young to old.
+        for level in &self.levels {
+            for run in level {
+                if early_stop {
+                    components.push(ComponentProof::RunUnsearched {
+                        commitment: run.commitment(),
+                    });
+                    continue;
+                }
+                if !run.may_contain(&addr) {
+                    self.metrics.bloom_skips += 1;
+                    components.push(ComponentProof::RunBloomNegative {
+                        bloom: run.bloom_bytes(),
+                        merkle_root: run.merkle_root(),
+                    });
+                    continue;
+                }
+                self.metrics.runs_searched += 1;
+                let scan = run.scan_range(&lower, &upper)?;
+                let merkle_proof = run.range_proof(scan.first_pos, scan.last_pos)?;
+                for (k, _) in &scan.entries {
+                    if k.address() == addr && k.block_height() < blk_lower {
+                        early_stop = true;
+                    }
+                }
+                collected.extend(scan.entries.iter().copied());
+                components.push(ComponentProof::RunSearched {
+                    entries: scan.entries,
+                    merkle_proof,
+                    bloom_digest: run.bloom_digest(),
+                });
+            }
+        }
+
+        let mut values: Vec<VersionedValue> = collected
+            .into_iter()
+            .filter(|(k, _)| {
+                k.address() == addr
+                    && k.block_height() >= blk_lower
+                    && k.block_height() <= blk_upper
+            })
+            .map(|(k, v)| VersionedValue::new(k.block_height(), v))
+            .collect();
+        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        values.dedup();
+
+        let proof = ColeProof { components };
+        Ok(ProvenanceResult {
+            values,
+            proof: proof.to_bytes(),
+        })
+    }
+}
+
+impl AuthenticatedStorage for Cole {
+    fn put(&mut self, addr: Address, value: StateValue) -> Result<()> {
+        let key = CompoundKey::new(addr, self.current_block);
+        self.mem.insert(key, value);
+        self.entries_ingested += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        self.get_internal(addr)
+    }
+
+    fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        self.prov_query_internal(addr, blk_lower, blk_upper)
+    }
+
+    fn verify_prov(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        result: &ProvenanceResult,
+        hstate: Digest,
+    ) -> Result<bool> {
+        let proof = ColeProof::from_bytes(&result.proof)?;
+        proof.verify(addr, blk_lower, blk_upper, &result.values, hstate)
+    }
+
+    fn begin_block(&mut self, height: u64) -> Result<()> {
+        if height <= self.current_block && self.current_block != 0 {
+            return Err(ColeError::InvalidState(format!(
+                "block height {height} does not advance the chain (current {})",
+                self.current_block
+            )));
+        }
+        self.current_block = height;
+        Ok(())
+    }
+
+    fn finalize_block(&mut self) -> Result<Digest> {
+        // Capacity checks happen at block boundaries so that a compound key
+        // ⟨addr, blk⟩ can never be split across two runs: within a block all
+        // updates of one address coalesce in the MB-tree (see DESIGN.md,
+        // "checkpointing at block boundaries").
+        if self.mem.len() >= self.config.memtable_capacity {
+            self.flush_and_merge()?;
+        }
+        let list = self.root_hash_list();
+        Ok(compute_hstate(&list))
+    }
+
+    fn current_block_height(&self) -> u64 {
+        self.current_block
+    }
+
+    fn storage_stats(&self) -> Result<StorageStats> {
+        let mut stats = StorageStats {
+            memory_bytes: self.mem.memory_bytes(),
+            ..StorageStats::default()
+        };
+        for level in &self.levels {
+            for run in level {
+                stats.data_bytes += run.data_bytes();
+                stats.index_bytes += run.index_bytes();
+            }
+        }
+        Ok(stats)
+    }
+
+    fn name(&self) -> &'static str {
+        "COLE"
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // The synchronous engine has no background work; only persist the
+        // manifest so a reopened instance sees the current levels.
+        self.write_manifest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-sync-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_config() -> ColeConfig {
+        ColeConfig::default()
+            .with_memtable_capacity(16)
+            .with_size_ratio(3)
+    }
+
+    fn addr(i: u64) -> Address {
+        Address::from_low_u64(i)
+    }
+
+    #[test]
+    fn put_get_roundtrip_within_memtable() {
+        let dir = tmpdir("memget");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        cole.begin_block(1).unwrap();
+        cole.put(addr(1), StateValue::from_u64(11)).unwrap();
+        cole.put(addr(2), StateValue::from_u64(22)).unwrap();
+        assert_eq!(cole.get(addr(1)).unwrap(), Some(StateValue::from_u64(11)));
+        assert_eq!(cole.get(addr(3)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_and_merge_cascade() {
+        let dir = tmpdir("cascade");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        // Enough writes to overflow several levels.
+        for blk in 1..=60u64 {
+            cole.begin_block(blk).unwrap();
+            for a in 0..5u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        assert!(cole.metrics().flushes > 0);
+        assert!(cole.metrics().merges > 0);
+        assert!(cole.num_disk_levels() >= 2);
+        // Every written address must still be readable.
+        for blk in 1..=60u64 {
+            for a in 0..5u64 {
+                assert_eq!(
+                    cole.get(addr(blk * 10 + a)).unwrap(),
+                    Some(StateValue::from_u64(blk)),
+                    "address {blk}/{a}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_value_wins_across_levels() {
+        let dir = tmpdir("latest");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        for blk in 1..=40u64 {
+            cole.begin_block(blk).unwrap();
+            // Address 7 is updated in every block; the latest must win even
+            // though older versions live in deeper levels.
+            cole.put(addr(7), StateValue::from_u64(blk * 100)).unwrap();
+            for a in 0..4u64 {
+                cole.put(addr(1000 + blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        assert_eq!(cole.get(addr(7)).unwrap(), Some(StateValue::from_u64(4000)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hstate_changes_with_every_block() {
+        let dir = tmpdir("hstate");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        let mut digests = Vec::new();
+        for blk in 1..=10u64 {
+            cole.begin_block(blk).unwrap();
+            cole.put(addr(blk), StateValue::from_u64(blk)).unwrap();
+            digests.push(cole.finalize_block().unwrap());
+        }
+        for pair in digests.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_query_returns_history_and_verifies() {
+        let dir = tmpdir("prov");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        let target = addr(42);
+        for blk in 1..=50u64 {
+            cole.begin_block(blk).unwrap();
+            if blk % 2 == 0 {
+                cole.put(target, StateValue::from_u64(blk)).unwrap();
+            }
+            cole.put(addr(500 + blk), StateValue::from_u64(blk)).unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let hstate = cole.finalize_block().unwrap();
+        let result = cole.prov_query(target, 10, 30).unwrap();
+        let expected: Vec<u64> = (10..=30u64).filter(|b| b % 2 == 0).rev().collect();
+        let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+        assert_eq!(got, expected);
+        for v in &result.values {
+            assert_eq!(v.value.as_u64(), v.block_height);
+        }
+        assert!(cole.verify_prov(target, 10, 30, &result, hstate).unwrap());
+        // Verification must fail against a different digest or tampered values.
+        assert!(!cole
+            .verify_prov(target, 10, 30, &result, Digest::new([1u8; 32]))
+            .unwrap());
+        let mut tampered = result.clone();
+        tampered.values[0].value = StateValue::from_u64(999);
+        assert!(!cole.verify_prov(target, 10, 30, &tampered, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_query_for_absent_address_verifies_empty() {
+        let dir = tmpdir("provempty");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        for blk in 1..=30u64 {
+            cole.begin_block(blk).unwrap();
+            cole.put(addr(blk), StateValue::from_u64(blk)).unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let hstate = cole.finalize_block().unwrap();
+        let ghost = addr(9999);
+        let result = cole.prov_query(ghost, 1, 30).unwrap();
+        assert!(result.values.is_empty());
+        assert!(cole.verify_prov(ghost, 1, 30, &result, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_disk_levels() {
+        let dir = tmpdir("reopen");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        for blk in 1..=40u64 {
+            cole.begin_block(blk).unwrap();
+            for a in 0..4u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        cole.flush().unwrap();
+        let disk_levels = cole.num_disk_levels();
+        drop(cole);
+        let mut reopened = Cole::open(&dir, small_config()).unwrap();
+        assert_eq!(reopened.num_disk_levels(), disk_levels);
+        // Flushed data is still readable after recovery.
+        assert_eq!(
+            reopened.get(addr(10)).unwrap(),
+            Some(StateValue::from_u64(1))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn begin_block_must_advance() {
+        let dir = tmpdir("blocks");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        cole.begin_block(5).unwrap();
+        assert!(cole.begin_block(5).is_err());
+        assert!(cole.begin_block(4).is_err());
+        assert!(cole.begin_block(6).is_ok());
+        assert_eq!(cole.current_block_height(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_stats_reflect_flushed_data() {
+        let dir = tmpdir("stats");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        cole.begin_block(1).unwrap();
+        for a in 0..100u64 {
+            cole.put(addr(a), StateValue::from_u64(a)).unwrap();
+        }
+        cole.finalize_block().unwrap();
+        let stats = cole.storage_stats().unwrap();
+        assert!(stats.data_bytes > 0);
+        assert!(stats.index_bytes > 0);
+        assert_eq!(cole.name(), "COLE");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,186 @@
+//! Configuration of a COLE instance.
+
+use cole_primitives::{index_epsilon, ColeError, Result};
+
+/// Configuration parameters of a COLE instance (Table 2 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use cole_core::ColeConfig;
+///
+/// let config = ColeConfig::default()
+///     .with_size_ratio(6)
+///     .with_mht_fanout(8)
+///     .with_memtable_capacity(10_000);
+/// assert_eq!(config.size_ratio, 6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColeConfig {
+    /// LSM size ratio `T`: a level holds at most `T` runs (per group) before
+    /// it is merged into the next level. Paper default: 4.
+    pub size_ratio: usize,
+    /// Fanout `m` of the per-run Merkle hash trees. Paper default: 4.
+    pub mht_fanout: u64,
+    /// Capacity `B` of the in-memory level, in number of compound key–value
+    /// pairs (per group for the asynchronous variant). The paper sizes this
+    /// from a 64 MB memory budget; experiments here use smaller values so
+    /// merges actually happen at laptop scale.
+    pub memtable_capacity: usize,
+    /// Error bound ε of the learned models. Defaults to
+    /// [`index_epsilon`] (half the number of models per page).
+    pub epsilon: u64,
+    /// Target false-positive rate of the per-run Bloom filters.
+    pub bloom_fpr: f64,
+    /// Node fanout of the in-memory MB-tree.
+    pub mbtree_fanout: usize,
+}
+
+impl Default for ColeConfig {
+    fn default() -> Self {
+        ColeConfig {
+            size_ratio: 4,
+            mht_fanout: 4,
+            memtable_capacity: 4096,
+            epsilon: index_epsilon(),
+            bloom_fpr: 0.01,
+            mbtree_fanout: 32,
+        }
+    }
+}
+
+impl ColeConfig {
+    /// Sets the LSM size ratio `T`.
+    #[must_use]
+    pub fn with_size_ratio(mut self, size_ratio: usize) -> Self {
+        self.size_ratio = size_ratio;
+        self
+    }
+
+    /// Sets the MHT fanout `m`.
+    #[must_use]
+    pub fn with_mht_fanout(mut self, mht_fanout: u64) -> Self {
+        self.mht_fanout = mht_fanout;
+        self
+    }
+
+    /// Sets the in-memory level capacity `B` (in key–value pairs).
+    #[must_use]
+    pub fn with_memtable_capacity(mut self, capacity: usize) -> Self {
+        self.memtable_capacity = capacity;
+        self
+    }
+
+    /// Sets the learned-model error bound ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: u64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the Bloom-filter false-positive rate.
+    #[must_use]
+    pub fn with_bloom_fpr(mut self, fpr: f64) -> Self {
+        self.bloom_fpr = fpr;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidConfig`] if any parameter is out of range.
+    pub fn validate(&self) -> Result<()> {
+        if self.size_ratio < 2 {
+            return Err(ColeError::InvalidConfig(
+                "size ratio T must be at least 2".into(),
+            ));
+        }
+        if self.mht_fanout < 2 {
+            return Err(ColeError::InvalidConfig(
+                "MHT fanout m must be at least 2".into(),
+            ));
+        }
+        if self.memtable_capacity < 2 {
+            return Err(ColeError::InvalidConfig(
+                "memtable capacity B must be at least 2".into(),
+            ));
+        }
+        if self.epsilon == 0 {
+            return Err(ColeError::InvalidConfig("epsilon must be positive".into()));
+        }
+        if !(self.bloom_fpr > 0.0 && self.bloom_fpr < 1.0) {
+            return Err(ColeError::InvalidConfig(
+                "bloom false-positive rate must be in (0, 1)".into(),
+            ));
+        }
+        if self.mbtree_fanout < 4 {
+            return Err(ColeError::InvalidConfig(
+                "MB-tree fanout must be at least 4".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maximum number of key–value pairs a run at on-disk level `level`
+    /// (1-based) may contain: `B · T^(level-1)`.
+    #[must_use]
+    pub fn run_capacity(&self, level: usize) -> u64 {
+        let mut cap = self.memtable_capacity as u64;
+        for _ in 1..level {
+            cap = cap.saturating_mul(self.size_ratio as u64);
+        }
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_defaults() {
+        let c = ColeConfig::default();
+        assert_eq!(c.size_ratio, 4);
+        assert_eq!(c.mht_fanout, 4);
+        assert_eq!(c.epsilon, index_epsilon());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ColeConfig::default()
+            .with_size_ratio(8)
+            .with_mht_fanout(16)
+            .with_memtable_capacity(100)
+            .with_epsilon(7)
+            .with_bloom_fpr(0.05);
+        assert_eq!(c.size_ratio, 8);
+        assert_eq!(c.mht_fanout, 16);
+        assert_eq!(c.memtable_capacity, 100);
+        assert_eq!(c.epsilon, 7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ColeConfig::default().with_size_ratio(1).validate().is_err());
+        assert!(ColeConfig::default().with_mht_fanout(1).validate().is_err());
+        assert!(ColeConfig::default()
+            .with_memtable_capacity(1)
+            .validate()
+            .is_err());
+        assert!(ColeConfig::default().with_epsilon(0).validate().is_err());
+        assert!(ColeConfig::default().with_bloom_fpr(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn run_capacity_grows_exponentially() {
+        let c = ColeConfig::default()
+            .with_memtable_capacity(10)
+            .with_size_ratio(3);
+        assert_eq!(c.run_capacity(1), 10);
+        assert_eq!(c.run_capacity(2), 30);
+        assert_eq!(c.run_capacity(4), 270);
+    }
+}

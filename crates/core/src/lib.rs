@@ -1,0 +1,68 @@
+//! # COLE — Column-based Learned Storage for Blockchain Systems
+//!
+//! This crate implements the storage engine proposed in *COLE: A Column-based
+//! Learned Storage for Blockchain Systems* (FAST 2024). The engine indexes
+//! blockchain state by compound keys `⟨addr, blk⟩` so every state's history is
+//! stored contiguously ("column-based"), organizes the data as an LSM tree of
+//! sorted runs, indexes each run with ε-bounded learned models, and
+//! authenticates each run with an m-ary complete Merkle hash tree so it can
+//! answer provenance queries with integrity proofs.
+//!
+//! Two engines are provided:
+//!
+//! * [`Cole`] — synchronous merges (Algorithm 1); simplest, but a write can
+//!   stall while levels are recursively merged,
+//! * [`AsyncCole`] — checkpoint-based asynchronous merges (Algorithm 5,
+//!   "COLE*" in the paper's evaluation); merges run in background threads and
+//!   the state root digest remains deterministic across nodes.
+//!
+//! Both implement [`cole_primitives::AuthenticatedStorage`], the interface
+//! shared with the MPT / LIPP / CMI baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_core::{Cole, ColeConfig};
+//! use cole_primitives::{Address, AuthenticatedStorage, StateValue};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-core-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let mut store = Cole::open(&dir, ColeConfig::default().with_memtable_capacity(64))?;
+//!
+//! let alice = Address::from_low_u64(1);
+//! for block in 1..=10u64 {
+//!     store.begin_block(block)?;
+//!     store.put(alice, StateValue::from_u64(block * 100))?;
+//!     store.finalize_block()?;
+//! }
+//! let hstate = store.finalize_block()?;
+//!
+//! assert_eq!(store.get(alice)?, Some(StateValue::from_u64(1000)));
+//!
+//! // Provenance query over blocks 3..=6, verified against Hstate.
+//! let result = store.prov_query(alice, 3, 6)?;
+//! assert_eq!(result.values.len(), 4);
+//! assert!(store.verify_prov(alice, 3, 6, &result, hstate)?);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_cole;
+mod cole;
+mod config;
+mod merge;
+mod metrics;
+mod proof;
+mod run;
+
+pub use async_cole::AsyncCole;
+pub use cole::Cole;
+pub use config::ColeConfig;
+pub use merge::{build_run_from_entries, merge_runs};
+pub use metrics::Metrics;
+pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
+pub use run::{Run, RunBuilder, RunEntryIter, RunId, RunMeta, RunRangeScan};

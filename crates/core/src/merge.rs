@@ -1,0 +1,150 @@
+//! Flush and sort-merge helpers shared by the synchronous and asynchronous
+//! engines (Algorithm 1 lines 5–12, Algorithm 5 lines 14–20).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::Path;
+use std::sync::Arc;
+
+use cole_primitives::{ColeError, CompoundKey, Result, StateValue};
+
+use crate::config::ColeConfig;
+use crate::run::{Run, RunBuilder, RunEntryIter, RunId};
+
+/// Builds a run from an already-sorted in-memory entry list (a flushed
+/// memtable).
+///
+/// # Errors
+///
+/// Returns an error if the entries are empty or a file write fails.
+pub fn build_run_from_entries(
+    dir: &Path,
+    id: RunId,
+    entries: &[(CompoundKey, StateValue)],
+    config: &ColeConfig,
+) -> Result<Run> {
+    let mut builder = RunBuilder::create(dir, id, entries.len() as u64, config)?;
+    for (key, value) in entries {
+        builder.push(*key, *value)?;
+    }
+    builder.finish()
+}
+
+/// Sort-merges the entries of `runs` into a single new run with identifier
+/// `id`. Compound keys are globally unique across runs (every state update
+/// creates a fresh `⟨addr, blk⟩`), so this is a pure k-way merge without
+/// deduplication.
+///
+/// # Errors
+///
+/// Returns an error if `runs` is empty or a file operation fails.
+pub fn merge_runs(
+    dir: &Path,
+    id: RunId,
+    runs: &[Arc<Run>],
+    config: &ColeConfig,
+) -> Result<Run> {
+    if runs.is_empty() {
+        return Err(ColeError::InvalidState(
+            "cannot merge an empty set of runs".into(),
+        ));
+    }
+    let total: u64 = runs.iter().map(|r| r.num_entries()).sum();
+    let mut builder = RunBuilder::create(dir, id, total, config)?;
+
+    // K-way merge over sequential iterators (each with its own file handle).
+    struct Source {
+        iter: RunEntryIter,
+        head: (CompoundKey, StateValue),
+    }
+    let mut heap: BinaryHeap<Reverse<(CompoundKey, usize)>> = BinaryHeap::new();
+    let mut sources: Vec<Option<Source>> = Vec::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        let mut iter = run.iter_entries()?;
+        match iter.next_entry()? {
+            Some(head) => {
+                heap.push(Reverse((head.0, i)));
+                sources.push(Some(Source { iter, head }));
+            }
+            None => sources.push(None),
+        }
+    }
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        let source = sources[idx]
+            .as_mut()
+            .expect("heap entries always reference live sources");
+        let (key, value) = source.head;
+        builder.push(key, value)?;
+        match source.iter.next_entry()? {
+            Some(next) => {
+                source.head = next;
+                heap.push(Reverse((next.0, idx)));
+            }
+            None => sources[idx] = None,
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cole_primitives::Address;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-merge-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn key(addr: u64, blk: u64) -> CompoundKey {
+        CompoundKey::new(Address::from_low_u64(addr), blk)
+    }
+
+    #[test]
+    fn merge_preserves_all_entries_in_order() {
+        let dir = tmpdir("order");
+        let config = ColeConfig::default();
+        // Three runs with interleaved key ranges.
+        let mut all = Vec::new();
+        let mut runs = Vec::new();
+        for (run_idx, offset) in [0u64, 1, 2].iter().enumerate() {
+            let entries: Vec<(CompoundKey, StateValue)> = (0..100u64)
+                .map(|i| (key(i * 3 + offset, 1), StateValue::from_u64(i)))
+                .collect();
+            all.extend(entries.clone());
+            runs.push(Arc::new(
+                build_run_from_entries(&dir, run_idx as u64, &entries, &config).unwrap(),
+            ));
+        }
+        let merged = merge_runs(&dir, 99, &runs, &config).unwrap();
+        assert_eq!(merged.num_entries(), 300);
+        all.sort();
+        let merged_entries: Vec<_> = merged.iter_entries().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(merged_entries, all);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_of_single_run_is_a_copy() {
+        let dir = tmpdir("single");
+        let config = ColeConfig::default();
+        let entries: Vec<(CompoundKey, StateValue)> = (0..50u64)
+            .map(|i| (key(i, 2), StateValue::from_u64(i * 7)))
+            .collect();
+        let run = Arc::new(build_run_from_entries(&dir, 0, &entries, &config).unwrap());
+        let merged = merge_runs(&dir, 1, &[run], &config).unwrap();
+        let out: Vec<_> = merged.iter_entries().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(out, entries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_rejects_empty_input() {
+        let dir = tmpdir("empty");
+        assert!(merge_runs(&dir, 0, &[], &ColeConfig::default()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,797 @@
+//! On-disk sorted runs: value file + learned index file + Merkle file +
+//! Bloom filter (§3.2, §4).
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+
+use cole_bloom::BloomFilter;
+use cole_hash::{hash_entry, hash_pair};
+use cole_learned::{IndexFileBuilder, LearnedIndexFile};
+use cole_mht::{MerkleFileBuilder, MerkleFile, RangeProof};
+use cole_primitives::{
+    Address, ColeError, CompoundKey, Digest, KeyNum, Result, StateValue, COMPOUND_KEY_LEN,
+    DIGEST_LEN, ENTRY_LEN, PAGE_SIZE, VALUE_LEN,
+};
+use cole_storage::{PageFile, PageWriter};
+
+use crate::config::ColeConfig;
+
+/// Number of compound key–value entries per value-file page.
+pub(crate) const ENTRIES_PER_PAGE: usize = PAGE_SIZE / ENTRY_LEN;
+
+/// Identifier of a run, unique within one COLE instance.
+pub type RunId = u64;
+
+fn value_path(dir: &Path, id: RunId) -> PathBuf {
+    dir.join(format!("run_{id:08}.val"))
+}
+fn index_path(dir: &Path, id: RunId) -> PathBuf {
+    dir.join(format!("run_{id:08}.idx"))
+}
+fn merkle_path(dir: &Path, id: RunId) -> PathBuf {
+    dir.join(format!("run_{id:08}.mrk"))
+}
+fn bloom_path(dir: &Path, id: RunId) -> PathBuf {
+    dir.join(format!("run_{id:08}.blm"))
+}
+fn meta_path(dir: &Path, id: RunId) -> PathBuf {
+    dir.join(format!("run_{id:08}.meta"))
+}
+
+fn encode_entry(key: &CompoundKey, value: &StateValue) -> [u8; ENTRY_LEN] {
+    let mut out = [0u8; ENTRY_LEN];
+    out[..COMPOUND_KEY_LEN].copy_from_slice(&key.to_bytes());
+    out[COMPOUND_KEY_LEN..].copy_from_slice(value.as_bytes());
+    out
+}
+
+fn decode_entry(bytes: &[u8]) -> Result<(CompoundKey, StateValue)> {
+    if bytes.len() < ENTRY_LEN {
+        return Err(ColeError::InvalidEncoding(
+            "value-file entry is truncated".into(),
+        ));
+    }
+    let key = CompoundKey::from_bytes(&bytes[..COMPOUND_KEY_LEN])?;
+    let mut value = [0u8; VALUE_LEN];
+    value.copy_from_slice(&bytes[COMPOUND_KEY_LEN..ENTRY_LEN]);
+    Ok((key, StateValue::new(value)))
+}
+
+/// Streaming builder of a run: the caller pushes key–value pairs in key
+/// order; the value, index and Merkle files and the Bloom filter are built
+/// concurrently (Algorithm 1 lines 5–6, Algorithms 3 and 4).
+#[derive(Debug)]
+pub struct RunBuilder {
+    dir: PathBuf,
+    id: RunId,
+    expected_entries: u64,
+    mht_fanout: u64,
+    value_writer: PageWriter,
+    index_builder: IndexFileBuilder,
+    merkle_builder: MerkleFileBuilder,
+    bloom: BloomFilter,
+    count: u64,
+    last_key: Option<CompoundKey>,
+}
+
+impl RunBuilder {
+    /// Creates a builder for run `id` holding exactly `expected_entries`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any of the run's files cannot be created.
+    pub fn create(
+        dir: &Path,
+        id: RunId,
+        expected_entries: u64,
+        config: &ColeConfig,
+    ) -> Result<Self> {
+        if expected_entries == 0 {
+            return Err(ColeError::InvalidState(
+                "a run must contain at least one entry".into(),
+            ));
+        }
+        std::fs::create_dir_all(dir)?;
+        Ok(RunBuilder {
+            dir: dir.to_path_buf(),
+            id,
+            expected_entries,
+            mht_fanout: config.mht_fanout,
+            value_writer: PageWriter::create(value_path(dir, id), ENTRY_LEN)?,
+            index_builder: IndexFileBuilder::create(index_path(dir, id), config.epsilon)?,
+            merkle_builder: MerkleFileBuilder::create(
+                merkle_path(dir, id),
+                expected_entries,
+                config.mht_fanout,
+            )?,
+            bloom: BloomFilter::with_capacity(expected_entries as usize, config.bloom_fpr),
+            count: 0,
+            last_key: None,
+        })
+    }
+
+    /// Appends the next key–value pair (keys must be strictly increasing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if keys are out of order, the declared size is
+    /// exceeded, or a write fails.
+    pub fn push(&mut self, key: CompoundKey, value: StateValue) -> Result<()> {
+        if let Some(last) = self.last_key {
+            if key <= last {
+                return Err(ColeError::InvalidState(format!(
+                    "run entries must be strictly increasing: {key:?} after {last:?}"
+                )));
+            }
+        }
+        if self.count >= self.expected_entries {
+            return Err(ColeError::InvalidState(format!(
+                "run {} already holds the declared {} entries",
+                self.id, self.expected_entries
+            )));
+        }
+        let position = self.count;
+        self.value_writer.push(&encode_entry(&key, &value))?;
+        self.index_builder.push(key, position)?;
+        self.merkle_builder.push_leaf(hash_entry(&key, &value))?;
+        self.bloom.insert(&key.address());
+        self.last_key = Some(key);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of entries pushed so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no entries have been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finalizes the run: flushes all three files, persists the Bloom filter
+    /// and metadata, and returns the readable [`Run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer entries than declared were pushed or a
+    /// write fails.
+    pub fn finish(self) -> Result<Run> {
+        if self.count != self.expected_entries {
+            return Err(ColeError::InvalidState(format!(
+                "run {} received {} of {} declared entries",
+                self.id, self.count, self.expected_entries
+            )));
+        }
+        let value_file = self.value_writer.finish()?;
+        let index = self.index_builder.finish()?;
+        let merkle = self.merkle_builder.finish()?;
+        std::fs::write(bloom_path(&self.dir, self.id), self.bloom.to_bytes())?;
+
+        let meta = RunMeta {
+            id: self.id,
+            num_entries: self.count,
+            mht_fanout: self.mht_fanout,
+            epsilon: index.epsilon(),
+            index_layer_counts: index.layer_counts().to_vec(),
+            merkle_root: merkle.root(),
+        };
+        meta.write(&meta_path(&self.dir, self.id))?;
+
+        Run::assemble(self.dir, meta, value_file, index, merkle, self.bloom)
+    }
+}
+
+/// Persistent metadata of a run, stored next to its files so the run can be
+/// reopened after a restart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Run identifier.
+    pub id: RunId,
+    /// Number of key–value pairs in the value file.
+    pub num_entries: u64,
+    /// MHT fanout used for the Merkle file.
+    pub mht_fanout: u64,
+    /// Learned-model error bound.
+    pub epsilon: u64,
+    /// Models per layer of the index file, bottom layer first.
+    pub index_layer_counts: Vec<u64>,
+    /// Root digest of the Merkle file.
+    pub merkle_root: Digest,
+}
+
+impl RunMeta {
+    fn write(&self, path: &Path) -> Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CRUN");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.num_entries.to_le_bytes());
+        out.extend_from_slice(&self.mht_fanout.to_le_bytes());
+        out.extend_from_slice(&self.epsilon.to_le_bytes());
+        out.extend_from_slice(&(self.index_layer_counts.len() as u32).to_le_bytes());
+        for &c in &self.index_layer_counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(self.merkle_root.as_bytes());
+        std::fs::write(path, out)?;
+        Ok(())
+    }
+
+    fn read(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 4 + 4 + 8 * 4 + 4 + DIGEST_LEN || &bytes[..4] != b"CRUN" {
+            return Err(ColeError::InvalidEncoding(format!(
+                "malformed run metadata at {}",
+                path.display()
+            )));
+        }
+        let mut pos = 8; // skip magic + version
+        let u64_field = |pos: &mut usize| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[*pos..*pos + 8]);
+            *pos += 8;
+            u64::from_le_bytes(buf)
+        };
+        let id = u64_field(&mut pos);
+        let num_entries = u64_field(&mut pos);
+        let mht_fanout = u64_field(&mut pos);
+        let epsilon = u64_field(&mut pos);
+        let mut count_buf = [0u8; 4];
+        count_buf.copy_from_slice(&bytes[pos..pos + 4]);
+        pos += 4;
+        let layer_count = u32::from_le_bytes(count_buf) as usize;
+        if bytes.len() < pos + layer_count * 8 + DIGEST_LEN {
+            return Err(ColeError::InvalidEncoding(
+                "truncated run metadata".into(),
+            ));
+        }
+        let mut index_layer_counts = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            index_layer_counts.push(u64_field(&mut pos));
+        }
+        let mut root = [0u8; DIGEST_LEN];
+        root.copy_from_slice(&bytes[pos..pos + DIGEST_LEN]);
+        Ok(RunMeta {
+            id,
+            num_entries,
+            mht_fanout,
+            epsilon,
+            index_layer_counts,
+            merkle_root: Digest::new(root),
+        })
+    }
+}
+
+/// The result of the provenance-oriented range scan of a run (§6.2): the
+/// contiguous slice of the value file that brackets the query range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunRangeScan {
+    /// Position of the first entry included in the scan.
+    pub first_pos: u64,
+    /// Position of the last entry included in the scan.
+    pub last_pos: u64,
+    /// The entries at positions `first_pos..=last_pos`.
+    pub entries: Vec<(CompoundKey, StateValue)>,
+}
+
+/// An immutable on-disk sorted run.
+#[derive(Debug)]
+pub struct Run {
+    dir: PathBuf,
+    meta: RunMeta,
+    value_file: PageFile,
+    index: LearnedIndexFile,
+    merkle: MerkleFile,
+    bloom: BloomFilter,
+    commitment: Digest,
+}
+
+impl Run {
+    fn assemble(
+        dir: PathBuf,
+        meta: RunMeta,
+        value_file: PageFile,
+        index: LearnedIndexFile,
+        merkle: MerkleFile,
+        bloom: BloomFilter,
+    ) -> Result<Self> {
+        let commitment = hash_pair(&merkle.root(), &bloom.digest());
+        Ok(Run {
+            dir,
+            meta,
+            value_file,
+            index,
+            merkle,
+            bloom,
+            commitment,
+        })
+    }
+
+    /// Reopens a run from its on-disk files and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any file is missing or inconsistent.
+    pub fn open(dir: &Path, id: RunId) -> Result<Self> {
+        let meta = RunMeta::read(&meta_path(dir, id))?;
+        let value_file = PageFile::open(value_path(dir, id))?;
+        let index = LearnedIndexFile::open(
+            index_path(dir, id),
+            meta.index_layer_counts.clone(),
+            meta.epsilon,
+        )?;
+        let merkle = MerkleFile::open(merkle_path(dir, id), meta.num_entries, meta.mht_fanout)?;
+        if merkle.root() != meta.merkle_root {
+            return Err(ColeError::InvalidState(format!(
+                "merkle root mismatch while reopening run {id}"
+            )));
+        }
+        let bloom = BloomFilter::from_bytes(&std::fs::read(bloom_path(dir, id))?)?;
+        Run::assemble(dir.to_path_buf(), meta, value_file, index, merkle, bloom)
+    }
+
+    /// The run identifier.
+    #[must_use]
+    pub fn id(&self) -> RunId {
+        self.meta.id
+    }
+
+    /// Number of key–value pairs stored.
+    #[must_use]
+    pub fn num_entries(&self) -> u64 {
+        self.meta.num_entries
+    }
+
+    /// The run's commitment `h(merkle_root ‖ bloom_digest)`, the entry that
+    /// represents this run in `root_hash_list`.
+    #[must_use]
+    pub fn commitment(&self) -> Digest {
+        self.commitment
+    }
+
+    /// Root digest of the run's Merkle file.
+    #[must_use]
+    pub fn merkle_root(&self) -> Digest {
+        self.merkle.root()
+    }
+
+    /// Digest of the run's Bloom filter.
+    #[must_use]
+    pub fn bloom_digest(&self) -> Digest {
+        self.bloom.digest()
+    }
+
+    /// Serialized Bloom filter (used in proofs of absence).
+    #[must_use]
+    pub fn bloom_bytes(&self) -> Vec<u8> {
+        self.bloom.to_bytes()
+    }
+
+    /// Returns `true` if the Bloom filter admits that `addr` may be present.
+    #[must_use]
+    pub fn may_contain(&self, addr: &Address) -> bool {
+        self.bloom.contains(addr)
+    }
+
+    /// Bytes of state data (value file).
+    #[must_use]
+    pub fn data_bytes(&self) -> u64 {
+        self.value_file.len_bytes()
+    }
+
+    /// Bytes of index overhead (index file + Merkle file + Bloom filter).
+    #[must_use]
+    pub fn index_bytes(&self) -> u64 {
+        self.index.size_bytes() + self.merkle.size_bytes() + self.bloom.size_bytes()
+    }
+
+    /// Reads the entry at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `position` is out of bounds or the read fails.
+    pub fn entry_at(&self, position: u64) -> Result<(CompoundKey, StateValue)> {
+        if position >= self.meta.num_entries {
+            return Err(ColeError::NotFound(format!(
+                "entry {position} out of bounds ({} entries)",
+                self.meta.num_entries
+            )));
+        }
+        let page_id = position / ENTRIES_PER_PAGE as u64;
+        let slot = (position % ENTRIES_PER_PAGE as u64) as usize;
+        let page = self.value_file.read_page(page_id)?;
+        decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])
+    }
+
+    /// Finds the position of the last entry whose key is `≤ key`, using the
+    /// learned index (Algorithm 7). Returns `None` if every entry is larger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file read fails.
+    pub fn position_le(&self, key: &CompoundKey) -> Result<Option<u64>> {
+        let model = match self.index.find_bottom_model(key)? {
+            Some(m) => m,
+            None => return Ok(None),
+        };
+        let key_num = KeyNum::from(key);
+        let predicted = model.predict(key_num).min(self.meta.num_entries - 1);
+        let total_pages = self
+            .meta
+            .num_entries
+            .div_ceil(ENTRIES_PER_PAGE as u64)
+            .max(1);
+        let mut page_id = predicted / ENTRIES_PER_PAGE as u64;
+        // The ε bound keeps the answer within one page of the prediction; the
+        // loop is a robustness backstop against floating-point slack.
+        loop {
+            let page = self.read_value_page(page_id)?;
+            let first = &page[0].0;
+            let last = &page[page.len() - 1].0;
+            if key < first {
+                if page_id == 0 {
+                    return Ok(None);
+                }
+                page_id -= 1;
+                continue;
+            }
+            if key >= last && page_id + 1 < total_pages {
+                // The answer might still be on this page if the next page
+                // starts beyond the key.
+                let next = self.read_value_page(page_id + 1)?;
+                if next[0].0 <= *key {
+                    page_id += 1;
+                    continue;
+                }
+            }
+            // The answer is within this page.
+            let idx = page.partition_point(|(k, _)| k <= key);
+            let global = page_id * ENTRIES_PER_PAGE as u64 + idx as u64 - 1;
+            return Ok(Some(global));
+        }
+    }
+
+    /// Returns the latest value of `addr` stored in this run, if any
+    /// (Algorithm 6's per-run step: search with `⟨addr, max_int⟩`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file read fails.
+    pub fn get_latest(&self, addr: &Address) -> Result<Option<(CompoundKey, StateValue)>> {
+        let query = CompoundKey::latest(*addr);
+        let Some(pos) = self.position_le(&query)? else {
+            return Ok(None);
+        };
+        let (key, value) = self.entry_at(pos)?;
+        if key.address() == *addr {
+            Ok(Some((key, value)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Scans the value file for the provenance range `[lower, upper]`
+    /// (Algorithm 8 lines 13–17): starts at the last entry `≤ lower` (or the
+    /// beginning of the run) and stops at the first entry `> upper` (which is
+    /// included as the right boundary witness).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file read fails.
+    pub fn scan_range(&self, lower: &CompoundKey, upper: &CompoundKey) -> Result<RunRangeScan> {
+        let first_pos = self.position_le(lower)?.unwrap_or(0);
+        let mut entries = Vec::new();
+        let mut pos = first_pos;
+        #[allow(unused_assignments)]
+        let mut last_pos = first_pos;
+        loop {
+            let entry = self.entry_at(pos)?;
+            let key = entry.0;
+            entries.push(entry);
+            last_pos = pos;
+            if key > *upper || pos + 1 >= self.meta.num_entries {
+                break;
+            }
+            pos += 1;
+        }
+        Ok(RunRangeScan {
+            first_pos,
+            last_pos,
+            entries,
+        })
+    }
+
+    /// Builds a Merkle range proof for positions `[first, last]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is invalid.
+    pub fn range_proof(&self, first: u64, last: u64) -> Result<RangeProof> {
+        self.merkle.range_proof(first, last)
+    }
+
+    /// Returns an iterator over all entries in key order, reading the value
+    /// file sequentially through a dedicated file handle (safe to use from a
+    /// background merge thread while queries keep using this `Run`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value file cannot be reopened.
+    pub fn iter_entries(&self) -> Result<RunEntryIter> {
+        RunEntryIter::open(&value_path(&self.dir, self.meta.id), self.meta.num_entries)
+    }
+
+    /// Deletes the run's files from disk. Call only after the run has been
+    /// removed from every level (obsolete runs after a merge commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file cannot be removed.
+    pub fn delete_files(&self) -> Result<()> {
+        for path in [
+            value_path(&self.dir, self.meta.id),
+            index_path(&self.dir, self.meta.id),
+            merkle_path(&self.dir, self.meta.id),
+            bloom_path(&self.dir, self.meta.id),
+            meta_path(&self.dir, self.meta.id),
+        ] {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one value-file page as decoded entries (only the slots that hold
+    /// real entries, which matters for the final page).
+    fn read_value_page(&self, page_id: u64) -> Result<Vec<(CompoundKey, StateValue)>> {
+        let page = self.value_file.read_page(page_id)?;
+        let start = page_id * ENTRIES_PER_PAGE as u64;
+        let in_page = (self.meta.num_entries - start).min(ENTRIES_PER_PAGE as u64) as usize;
+        let mut out = Vec::with_capacity(in_page);
+        for slot in 0..in_page {
+            out.push(decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])?);
+        }
+        Ok(out)
+    }
+}
+
+/// A sequential reader over a run's value file with its own file handle.
+#[derive(Debug)]
+pub struct RunEntryIter {
+    reader: BufReader<File>,
+    remaining: u64,
+    slot_in_page: usize,
+}
+
+impl RunEntryIter {
+    fn open(path: &Path, num_entries: u64) -> Result<Self> {
+        Ok(RunEntryIter {
+            reader: BufReader::with_capacity(PAGE_SIZE * 4, File::open(path)?),
+            remaining: num_entries,
+            slot_in_page: 0,
+        })
+    }
+
+    /// Reads the next entry, or `None` at the end of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying read fails.
+    pub fn next_entry(&mut self) -> Result<Option<(CompoundKey, StateValue)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Skip the zero padding at the end of a page.
+        if self.slot_in_page == ENTRIES_PER_PAGE {
+            let mut pad = vec![0u8; PAGE_SIZE - ENTRIES_PER_PAGE * ENTRY_LEN];
+            self.reader.read_exact(&mut pad)?;
+            self.slot_in_page = 0;
+        }
+        let mut buf = [0u8; ENTRY_LEN];
+        self.reader.read_exact(&mut buf)?;
+        self.slot_in_page += 1;
+        self.remaining -= 1;
+        Ok(Some(decode_entry(&buf)?))
+    }
+}
+
+impl Iterator for RunEntryIter {
+    type Item = Result<(CompoundKey, StateValue)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_entry().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cole-run-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn key(addr: u64, blk: u64) -> CompoundKey {
+        CompoundKey::new(Address::from_low_u64(addr), blk)
+    }
+
+    /// Builds a run with `versions` versions for each of `addresses` addresses.
+    fn build_run(dir: &Path, addresses: u64, versions: u64) -> Run {
+        let config = ColeConfig::default();
+        let n = addresses * versions;
+        let mut builder = RunBuilder::create(dir, 1, n, &config).unwrap();
+        for addr in 0..addresses {
+            for blk in 1..=versions {
+                builder
+                    .push(key(addr, blk), StateValue::from_u64(addr * 1000 + blk))
+                    .unwrap();
+            }
+        }
+        builder.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_point_lookup() {
+        let dir = tmpdir("lookup");
+        let run = build_run(&dir, 50, 4);
+        assert_eq!(run.num_entries(), 200);
+        for addr in 0..50u64 {
+            let (k, v) = run.get_latest(&Address::from_low_u64(addr)).unwrap().unwrap();
+            assert_eq!(k.block_height(), 4);
+            assert_eq!(v.as_u64(), addr * 1000 + 4);
+        }
+        assert!(run
+            .get_latest(&Address::from_low_u64(999))
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn position_le_matches_linear_scan() {
+        let dir = tmpdir("poslle");
+        let run = build_run(&dir, 80, 3);
+        let mut all = Vec::new();
+        let mut iter = run.iter_entries().unwrap();
+        while let Some(e) = iter.next_entry().unwrap() {
+            all.push(e);
+        }
+        assert_eq!(all.len(), 240);
+        for probe in [key(0, 0), key(0, 2), key(10, 3), key(40, 99), key(79, 3), key(200, 0)] {
+            let expected = all.iter().rposition(|(k, _)| *k <= probe);
+            let got = run.position_le(&probe).unwrap();
+            assert_eq!(got, expected.map(|p| p as u64), "probe {probe:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_range_brackets_the_query() {
+        let dir = tmpdir("scan");
+        let run = build_run(&dir, 20, 5);
+        let addr = Address::from_low_u64(7);
+        // Query versions 2..=4 of address 7.
+        let lower = CompoundKey::new(addr, 1); // blk_l - 1 = 1
+        let upper = CompoundKey::new(addr, 5); // blk_u + 1 = 5
+        let scan = run.scan_range(&lower, &upper).unwrap();
+        let keys: Vec<u64> = scan
+            .entries
+            .iter()
+            .filter(|(k, _)| k.address() == addr)
+            .map(|(k, _)| k.block_height())
+            .collect();
+        assert!(keys.contains(&2) && keys.contains(&3) && keys.contains(&4));
+        // The scan includes a right-boundary witness beyond the range.
+        assert!(scan.entries.last().unwrap().0 > upper || scan.last_pos == run.num_entries() - 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merkle_proof_over_scanned_range_verifies() {
+        let dir = tmpdir("proof");
+        let run = build_run(&dir, 30, 4);
+        let addr = Address::from_low_u64(12);
+        let scan = run
+            .scan_range(&CompoundKey::new(addr, 0), &CompoundKey::new(addr, 10))
+            .unwrap();
+        let proof = run.range_proof(scan.first_pos, scan.last_pos).unwrap();
+        let leaves: Vec<Digest> = scan
+            .entries
+            .iter()
+            .map(|(k, v)| hash_entry(k, v))
+            .collect();
+        assert_eq!(proof.compute_root(&leaves).unwrap(), run.merkle_root());
+        // The run commitment binds the bloom filter as well.
+        assert_eq!(
+            run.commitment(),
+            hash_pair(&run.merkle_root(), &run.bloom_digest())
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bloom_filter_reflects_addresses() {
+        let dir = tmpdir("bloom");
+        let run = build_run(&dir, 40, 2);
+        for addr in 0..40u64 {
+            assert!(run.may_contain(&Address::from_low_u64(addr)));
+        }
+        let misses = (1000..2000u64)
+            .filter(|&a| run.may_contain(&Address::from_low_u64(a)))
+            .count();
+        assert!(misses < 100, "bloom filter should reject most absent addresses");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_run_from_disk() {
+        let dir = tmpdir("reopen");
+        let run = build_run(&dir, 25, 3);
+        let commitment = run.commitment();
+        drop(run);
+        let reopened = Run::open(&dir, 1).unwrap();
+        assert_eq!(reopened.commitment(), commitment);
+        assert_eq!(reopened.num_entries(), 75);
+        let (k, _) = reopened
+            .get_latest(&Address::from_low_u64(10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.block_height(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_files_removes_everything() {
+        let dir = tmpdir("delete");
+        let run = build_run(&dir, 5, 2);
+        assert!(cole_storage::dir_size(&dir).unwrap() > 0);
+        run.delete_files().unwrap();
+        assert_eq!(cole_storage::dir_size(&dir).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_rejects_misuse() {
+        let dir = tmpdir("misuse");
+        let config = ColeConfig::default();
+        assert!(RunBuilder::create(&dir, 9, 0, &config).is_err());
+        let mut b = RunBuilder::create(&dir, 9, 3, &config).unwrap();
+        b.push(key(2, 1), StateValue::from_u64(1)).unwrap();
+        // Out-of-order key.
+        assert!(b.push(key(1, 1), StateValue::from_u64(2)).is_err());
+        b.push(key(2, 5), StateValue::from_u64(2)).unwrap();
+        // Too few entries at finish.
+        assert!(b.finish().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn entry_iter_streams_in_order() {
+        let dir = tmpdir("iter");
+        let run = build_run(&dir, 70, 2);
+        let entries: Vec<_> = run.iter_entries().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(entries.len(), 140);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_overhead_is_small_relative_to_data() {
+        let dir = tmpdir("overhead");
+        let run = build_run(&dir, 500, 4);
+        // Merkle file is ~55% of data size (32-byte digest per 60-byte entry
+        // plus upper layers); learned index and bloom are tiny. The total
+        // must stay well under MPT-style multiples of the data size.
+        assert!(run.index_bytes() < run.data_bytes() * 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

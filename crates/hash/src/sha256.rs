@@ -1,0 +1,267 @@
+//! A from-scratch SHA-256 implementation (FIPS 180-4).
+//!
+//! The implementation is deliberately straightforward: a 64-byte block
+//! buffer, the standard message schedule and compression function, and
+//! length-padding at finalization. It is not hardware accelerated; for the
+//! scale of the experiments in this repository hashing is far from the
+//! bottleneck.
+
+use cole_primitives::Digest;
+
+/// Initial hash values H(0): the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// Round constants K: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a_2f98, 0x7137_4491, 0xb5c0_fbcf, 0xe9b5_dba5, 0x3956_c25b, 0x59f1_11f1, 0x923f_82a4,
+    0xab1c_5ed5, 0xd807_aa98, 0x1283_5b01, 0x2431_85be, 0x550c_7dc3, 0x72be_5d74, 0x80de_b1fe,
+    0x9bdc_06a7, 0xc19b_f174, 0xe49b_69c1, 0xefbe_4786, 0x0fc1_9dc6, 0x240c_a1cc, 0x2de9_2c6f,
+    0x4a74_84aa, 0x5cb0_a9dc, 0x76f9_88da, 0x983e_5152, 0xa831_c66d, 0xb003_27c8, 0xbf59_7fc7,
+    0xc6e0_0bf3, 0xd5a7_9147, 0x06ca_6351, 0x1429_2967, 0x27b7_0a85, 0x2e1b_2138, 0x4d2c_6dfc,
+    0x5338_0d13, 0x650a_7354, 0x766a_0abb, 0x81c2_c92e, 0x9272_2c85, 0xa2bf_e8a1, 0xa81a_664b,
+    0xc24b_8b70, 0xc76c_51a3, 0xd192_e819, 0xd699_0624, 0xf40e_3585, 0x106a_a070, 0x19a4_c116,
+    0x1e37_6c08, 0x2748_774c, 0x34b0_bcb5, 0x391c_0cb3, 0x4ed8_aa4a, 0x5b9c_ca4f, 0x682e_6ff3,
+    0x748f_82ee, 0x78a5_636f, 0x84c8_7814, 0x8cc7_0208, 0x90be_fffa, 0xa450_6ceb, 0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// An incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use cole_hash::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// let digest = h.finalize();
+/// assert_eq!(digest, cole_hash::sha256(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially filled buffer first.
+        if self.buffer_len > 0 {
+            let want = 64 - self.buffer_len;
+            let take = want.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        // Process whole blocks directly from the input.
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+
+        // Stash the remainder.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finishes the computation and returns the digest, consuming the hasher.
+    #[must_use]
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buffer_len + 1 + zeros + 8) % 64 == 0.
+        let pad_len = if self.buffer_len < 56 {
+            56 - self.buffer_len
+        } else {
+            120 - self.buffer_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // `update` would adjust total_len, but it is no longer used.
+        let to_absorb = pad[..pad_len + 8].to_vec();
+        self.absorb_raw(&to_absorb);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest::new(out)
+    }
+
+    fn absorb_raw(&mut self, data: &[u8]) {
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let want = 64 - self.buffer_len;
+            let take = want.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        debug_assert!(input.is_empty(), "padding must end on a block boundary");
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn single_block_boundary_inputs() {
+        // 55, 56 and 64 byte inputs exercise the padding corner cases.
+        let d55 = {
+            let mut h = Sha256::new();
+            h.update(&[b'x'; 55]);
+            h.finalize()
+        };
+        let d56 = {
+            let mut h = Sha256::new();
+            h.update(&[b'x'; 56]);
+            h.finalize()
+        };
+        let d64 = {
+            let mut h = Sha256::new();
+            h.update(&[b'x'; 64]);
+            h.finalize()
+        };
+        assert_ne!(d55, d56);
+        assert_ne!(d56, d64);
+        // Reference value for 64 'x' bytes computed with coreutils sha256sum.
+        assert_eq!(
+            hex(&d64),
+            "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c"
+        );
+    }
+
+    #[test]
+    fn empty_update_calls_do_not_change_result() {
+        let mut h = Sha256::new();
+        h.update(b"");
+        h.update(b"abc");
+        h.update(b"");
+        assert_eq!(
+            hex(&h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut h = Sha256::new();
+        h.update(b"partial");
+        let h2 = h.clone();
+        h.update(b" input");
+        let mut h3 = h2;
+        h3.update(b" input");
+        assert_eq!(h.finalize(), h3.finalize());
+    }
+}

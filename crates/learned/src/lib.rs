@@ -1,0 +1,57 @@
+//! The disk-optimized learned index of COLE.
+//!
+//! Each on-disk run of COLE carries an *index file* holding ε-bounded
+//! piecewise linear models that map a compound key to its position in the
+//! run's value file (§4.1 of the paper). This crate provides:
+//!
+//! * [`Model`] — an ε-bounded piecewise linear model
+//!   `⟨slope, intercept, kmin, pmax⟩` (Definition 1),
+//! * [`EpsilonTrainer`] — the streaming model learner of Algorithm 2. The
+//!   paper derives segments from an online convex hull and its minimal
+//!   enclosing parallelogram (O'Rourke's algorithm); this reproduction uses
+//!   the equivalent *shrinking-cone* formulation, which maintains the
+//!   feasible slope interval of a segment anchored at its first point and
+//!   closes the segment when the interval becomes empty. Both constructions
+//!   guarantee the ε error bound for every key covered by the emitted model;
+//!   the cone variant may emit slightly more segments (see DESIGN.md),
+//! * [`IndexFileBuilder`] / [`LearnedIndexFile`] — the recursive, page-aligned
+//!   index file layout of Algorithm 3 and the top-down model lookup used by
+//!   `SearchRun` (Algorithm 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_learned::{IndexFileBuilder, LearnedIndexFile};
+//! use cole_primitives::{index_epsilon, Address, CompoundKey};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-learned-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let keys: Vec<CompoundKey> = (0..1000u64)
+//!     .map(|i| CompoundKey::new(Address::from_low_u64(i / 4), i % 4))
+//!     .collect();
+//!
+//! let mut builder = IndexFileBuilder::create(dir.join("index.bin"), index_epsilon())?;
+//! for (pos, key) in keys.iter().enumerate() {
+//!     builder.push(*key, pos as u64)?;
+//! }
+//! let index: LearnedIndexFile = builder.finish()?;
+//!
+//! // The bottom model covering a key predicts its position within ±ε.
+//! let model = index.find_bottom_model(&keys[777])?.unwrap();
+//! let predicted = model.predict(keys[777].into());
+//! assert!((predicted as i64 - 777).unsigned_abs() <= index_epsilon());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod index;
+mod model;
+mod plr;
+
+pub use index::{IndexFileBuilder, LearnedIndexFile};
+pub use model::Model;
+pub use plr::EpsilonTrainer;

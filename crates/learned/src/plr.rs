@@ -1,0 +1,283 @@
+//! Streaming construction of ε-bounded piecewise linear models (Algorithm 2).
+
+use cole_primitives::{CompoundKey, KeyNum};
+
+use crate::model::Model;
+
+/// A streaming learner that turns an ordered stream of
+/// `(compound key, position)` pairs into ε-bounded [`Model`]s.
+///
+/// The learner maintains, for the current segment, the interval of slopes
+/// `[slope_low, slope_high]` for which a line anchored at the segment's first
+/// point stays within ε of every point seen so far (the *shrinking cone*).
+/// When a new point would empty the interval, the segment is closed — the
+/// emitted model uses the midpoint slope — and a new segment starts at that
+/// point. This is the streaming equivalent of the convex-hull /
+/// minimal-parallelogram formulation in the paper: both guarantee
+/// `|predicted − actual| ≤ ε` for all covered keys; the cone variant may
+/// produce somewhat more segments on adversarial inputs.
+///
+/// # Examples
+///
+/// ```
+/// use cole_learned::EpsilonTrainer;
+/// use cole_primitives::{Address, CompoundKey};
+///
+/// let mut trainer = EpsilonTrainer::new(8);
+/// let mut models = Vec::new();
+/// for i in 0..100u64 {
+///     let key = CompoundKey::new(Address::from_low_u64(i), 0);
+///     if let Some(model) = trainer.push(key, i) {
+///         models.push(model);
+///     }
+/// }
+/// models.extend(trainer.finish());
+/// assert!(!models.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpsilonTrainer {
+    epsilon: f64,
+    /// First point of the current segment: key and exact position.
+    origin: Option<(CompoundKey, u64)>,
+    /// Numeric form of the origin key, cached for delta computation.
+    origin_num: KeyNum,
+    slope_low: f64,
+    slope_high: f64,
+    /// Last accepted point of the current segment.
+    last: Option<(CompoundKey, u64)>,
+    points_in_segment: u64,
+    models_emitted: u64,
+}
+
+impl EpsilonTrainer {
+    /// Creates a trainer with error bound `epsilon` (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is zero.
+    #[must_use]
+    pub fn new(epsilon: u64) -> Self {
+        assert!(epsilon >= 1, "epsilon must be at least 1");
+        EpsilonTrainer {
+            epsilon: epsilon as f64,
+            origin: None,
+            origin_num: KeyNum::ZERO,
+            slope_low: f64::NEG_INFINITY,
+            slope_high: f64::INFINITY,
+            last: None,
+            points_in_segment: 0,
+            models_emitted: 0,
+        }
+    }
+
+    /// Number of models emitted so far (not counting the open segment).
+    #[must_use]
+    pub fn models_emitted(&self) -> u64 {
+        self.models_emitted
+    }
+
+    /// Feeds the next `(key, position)` pair. Keys must arrive in strictly
+    /// increasing order (positions strictly increasing as well).
+    ///
+    /// Returns `Some(model)` when the pair does not fit the open segment: the
+    /// returned model covers all previous pairs of the segment and a new
+    /// segment is started at the current pair.
+    pub fn push(&mut self, key: CompoundKey, position: u64) -> Option<Model> {
+        let key_num = KeyNum::from(key);
+        let Some((_, origin_pos)) = self.origin else {
+            self.start_segment(key, key_num, position);
+            return None;
+        };
+        debug_assert!(
+            self.last.map(|(k, _)| k < key).unwrap_or(true),
+            "keys must be strictly increasing"
+        );
+
+        let x = key_num.saturating_sub(self.origin_num).to_f64();
+        let y = position as f64;
+        let y0 = origin_pos as f64;
+        if x <= 0.0 {
+            // Defensive: a duplicate key cannot be separated from the origin;
+            // treat it as belonging to the current segment.
+            self.last = Some((key, position));
+            self.points_in_segment += 1;
+            return None;
+        }
+        let max_slope = (y + self.epsilon - y0) / x;
+        let min_slope = (y - self.epsilon - y0) / x;
+        let new_low = self.slope_low.max(min_slope);
+        let new_high = self.slope_high.min(max_slope);
+        if new_low <= new_high {
+            self.slope_low = new_low;
+            self.slope_high = new_high;
+            self.last = Some((key, position));
+            self.points_in_segment += 1;
+            None
+        } else {
+            let model = self.close_segment();
+            self.start_segment(key, key_num, position);
+            Some(model)
+        }
+    }
+
+    /// Closes the final open segment, if any, and returns its model.
+    pub fn finish(&mut self) -> Option<Model> {
+        if self.origin.is_some() {
+            Some(self.close_segment())
+        } else {
+            None
+        }
+    }
+
+    fn start_segment(&mut self, key: CompoundKey, key_num: KeyNum, position: u64) {
+        self.origin = Some((key, position));
+        self.origin_num = key_num;
+        self.slope_low = f64::NEG_INFINITY;
+        self.slope_high = f64::INFINITY;
+        self.last = Some((key, position));
+        self.points_in_segment = 1;
+    }
+
+    fn close_segment(&mut self) -> Model {
+        let (origin_key, origin_pos) = self.origin.take().expect("segment must be open");
+        let (_, last_pos) = self.last.take().expect("segment must have a last point");
+        let slope = if self.points_in_segment <= 1
+            || !self.slope_low.is_finite()
+            || !self.slope_high.is_finite()
+        {
+            0.0
+        } else {
+            (self.slope_low + self.slope_high) / 2.0
+        };
+        self.points_in_segment = 0;
+        self.slope_low = f64::NEG_INFINITY;
+        self.slope_high = f64::INFINITY;
+        self.models_emitted += 1;
+        Model::new(slope, origin_pos as f64, origin_key, last_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cole_primitives::Address;
+
+    fn key(addr: u64, blk: u64) -> CompoundKey {
+        CompoundKey::new(Address::from_low_u64(addr), blk)
+    }
+
+    /// Trains on `pairs` and checks the ε bound for every pair against the
+    /// model that covers it.
+    fn check_epsilon_bound(pairs: &[(CompoundKey, u64)], epsilon: u64) -> Vec<Model> {
+        let mut trainer = EpsilonTrainer::new(epsilon);
+        let mut models = Vec::new();
+        for &(k, p) in pairs {
+            if let Some(m) = trainer.push(k, p) {
+                models.push(m);
+            }
+        }
+        models.extend(trainer.finish());
+        for &(k, p) in pairs {
+            // The covering model is the last one whose kmin <= k.
+            let model = models
+                .iter()
+                .rev()
+                .find(|m| m.kmin() <= k)
+                .expect("every key must be covered by a model");
+            let predicted = model.predict(k.into());
+            let err = predicted.abs_diff(p);
+            assert!(
+                err <= epsilon + 1,
+                "prediction error {err} exceeds epsilon {epsilon} for position {p}"
+            );
+        }
+        models
+    }
+
+    #[test]
+    fn perfectly_linear_keys_need_one_model() {
+        let pairs: Vec<(CompoundKey, u64)> =
+            (0..10_000u64).map(|i| (key(i, 0), i)).collect();
+        let models = check_epsilon_bound(&pairs, 16);
+        assert_eq!(models.len(), 1, "linear data should fit a single model");
+    }
+
+    #[test]
+    fn column_pattern_multiple_versions_per_address() {
+        // COLE's typical distribution: a handful of versions per address.
+        let mut pairs = Vec::new();
+        let mut pos = 0u64;
+        for addr in 0..2000u64 {
+            for blk in 0..(1 + addr % 5) {
+                pairs.push((key(addr, blk * 7), pos));
+                pos += 1;
+            }
+        }
+        check_epsilon_bound(&pairs, 23);
+    }
+
+    #[test]
+    fn clustered_and_skewed_keys_respect_epsilon() {
+        // Large gaps between address clusters stress the cone updates.
+        let mut pairs = Vec::new();
+        let mut pos = 0u64;
+        for cluster in 0..50u64 {
+            let base = cluster * 1_000_003;
+            for i in 0..40u64 {
+                pairs.push((key(base + i * (1 + cluster % 7), 0), pos));
+                pos += 1;
+            }
+        }
+        check_epsilon_bound(&pairs, 8);
+    }
+
+    #[test]
+    fn epsilon_one_still_bounded() {
+        let pairs: Vec<(CompoundKey, u64)> = (0..500u64)
+            .map(|i| (key(i * i % 7919 + i * 13, 0), i))
+            .collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        let sorted: Vec<(CompoundKey, u64)> = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(p, (k, _))| (k, p as u64))
+            .collect();
+        check_epsilon_bound(&sorted, 1);
+    }
+
+    #[test]
+    fn smaller_epsilon_never_produces_fewer_models() {
+        let pairs: Vec<(CompoundKey, u64)> = (0..3000u64)
+            .map(|i| (key(i * 31 % 10_007, 0), i))
+            .collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        let sorted: Vec<(CompoundKey, u64)> = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(p, (k, _))| (k, p as u64))
+            .collect();
+        let small = check_epsilon_bound(&sorted, 2).len();
+        let large = check_epsilon_bound(&sorted, 64).len();
+        assert!(large <= small);
+    }
+
+    #[test]
+    fn single_point_stream() {
+        let mut trainer = EpsilonTrainer::new(4);
+        assert!(trainer.push(key(1, 1), 0).is_none());
+        let model = trainer.finish().unwrap();
+        assert_eq!(model.kmin(), key(1, 1));
+        assert_eq!(model.pmax(), 0);
+        assert_eq!(model.predict(key(1, 1).into()), 0);
+        assert!(trainer.finish().is_none());
+    }
+
+    #[test]
+    fn empty_stream_produces_no_model() {
+        let mut trainer = EpsilonTrainer::new(4);
+        assert!(trainer.finish().is_none());
+        assert_eq!(trainer.models_emitted(), 0);
+    }
+}

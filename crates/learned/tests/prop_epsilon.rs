@@ -1,0 +1,78 @@
+//! Property-based tests of the ε-bound invariant: for any sorted key set and
+//! any ε, every key's predicted position (via the model that covers it) is
+//! within ε of its true position — both for in-memory training and for the
+//! full on-disk index file.
+
+use cole_learned::{EpsilonTrainer, IndexFileBuilder};
+use cole_primitives::{Address, CompoundKey};
+use proptest::prelude::*;
+
+/// Generates a sorted, deduplicated list of compound keys with a mix of
+/// clustered addresses and multiple versions per address.
+fn arb_sorted_keys() -> impl Strategy<Value = Vec<CompoundKey>> {
+    proptest::collection::vec((0u64..5000, 0u64..8), 2..600).prop_map(|pairs| {
+        let mut keys: Vec<CompoundKey> = pairs
+            .into_iter()
+            .map(|(addr, blk)| CompoundKey::new(Address::from_low_u64(addr * 31), blk))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trainer_respects_epsilon(keys in arb_sorted_keys(), epsilon in 1u64..64) {
+        let mut trainer = EpsilonTrainer::new(epsilon);
+        let mut models = Vec::new();
+        for (pos, key) in keys.iter().enumerate() {
+            if let Some(model) = trainer.push(*key, pos as u64) {
+                models.push(model);
+            }
+        }
+        models.extend(trainer.finish());
+        prop_assert!(!models.is_empty());
+        // Models must be ordered by their first key and cover every key.
+        prop_assert!(models.windows(2).all(|w| w[0].kmin() <= w[1].kmin()));
+        for (pos, key) in keys.iter().enumerate() {
+            let model = models
+                .iter()
+                .rev()
+                .find(|m| m.kmin() <= *key)
+                .expect("every key is covered");
+            let err = model.predict((*key).into()).abs_diff(pos as u64);
+            prop_assert!(
+                err <= epsilon + 1,
+                "error {} exceeds epsilon {} at position {}",
+                err, epsilon, pos
+            );
+        }
+    }
+
+    #[test]
+    fn index_file_lookup_respects_epsilon(keys in arb_sorted_keys(), epsilon in 2u64..48) {
+        let dir = std::env::temp_dir().join(format!(
+            "cole-prop-idx-{}-{}",
+            std::process::id(),
+            keys.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("idx-{epsilon}.bin"));
+        let mut builder = IndexFileBuilder::create(&path, epsilon).unwrap();
+        for (pos, key) in keys.iter().enumerate() {
+            builder.push(*key, pos as u64).unwrap();
+        }
+        let index = builder.finish().unwrap();
+        for (pos, key) in keys.iter().enumerate() {
+            let model = index.find_bottom_model(key).unwrap().unwrap();
+            prop_assert!(model.kmin() <= *key);
+            let err = model.predict((*key).into()).abs_diff(pos as u64);
+            prop_assert!(err <= epsilon + 1, "error {} > epsilon {}", err, epsilon);
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! An in-memory Merkle B+-tree (MB-tree).
+//!
+//! COLE keeps its first (in-memory) level in an MB-tree rather than an MPT
+//! because the MB-tree is cheaper to maintain and its leaves can be scanned
+//! in sorted order when the level is flushed to disk (§3.2). The tree both
+//! indexes compound key–value pairs and authenticates them: every node
+//! carries a digest over its content and children, and range queries can
+//! produce [`MbProof`]s that a client verifies against the root digest
+//! (Li et al., "Dynamic authenticated index structures for outsourced
+//! databases", SIGMOD 2006 — reference [29] of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_mbtree::MbTree;
+//! use cole_primitives::{Address, CompoundKey, StateValue};
+//!
+//! let mut tree = MbTree::new();
+//! let addr = Address::from_low_u64(9);
+//! tree.insert(CompoundKey::new(addr, 1), StateValue::from_u64(10));
+//! tree.insert(CompoundKey::new(addr, 3), StateValue::from_u64(30));
+//!
+//! // Latest value of the address.
+//! let (key, value) = tree.get_latest(addr).unwrap();
+//! assert_eq!(key.block_height(), 3);
+//! assert_eq!(value, StateValue::from_u64(30));
+//!
+//! // Authenticated range query over the address's history.
+//! let root = tree.root_hash();
+//! let (results, proof) = tree.range_with_proof(
+//!     CompoundKey::new(addr, 0),
+//!     CompoundKey::new(addr, u64::MAX),
+//! );
+//! let verified = proof
+//!     .verify(root, CompoundKey::new(addr, 0), CompoundKey::new(addr, u64::MAX))
+//!     .unwrap();
+//! assert_eq!(verified, results);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod proof;
+mod tree;
+
+pub use proof::{MbProof, ProofNode};
+pub use tree::MbTree;

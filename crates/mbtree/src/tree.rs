@@ -1,0 +1,587 @@
+//! The Merkle B+-tree implementation.
+
+use cole_primitives::{Address, CompoundKey, Digest, StateValue, ENTRY_LEN};
+
+use crate::proof::{digest_internal, digest_leaf, MbProof, ProofNode};
+
+/// Maximum number of entries in a leaf / children in an internal node.
+const DEFAULT_FANOUT: usize = 32;
+
+/// Node identifier inside the tree's arena.
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<CompoundKey>,
+        values: Vec<StateValue>,
+        digest: Digest,
+        dirty: bool,
+    },
+    Internal {
+        /// Separator keys; child `i` holds keys in `[keys[i-1], keys[i])`.
+        keys: Vec<CompoundKey>,
+        children: Vec<NodeId>,
+        digest: Digest,
+        dirty: bool,
+    },
+}
+
+impl Node {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            digest: Digest::ZERO,
+            dirty: true,
+        }
+    }
+
+    fn mark_dirty(&mut self) {
+        match self {
+            Node::Leaf { dirty, .. } | Node::Internal { dirty, .. } => *dirty = true,
+        }
+    }
+}
+
+/// An in-memory Merkle B+-tree over compound key–value pairs.
+///
+/// See the crate-level documentation for an overview and examples.
+#[derive(Debug, Clone)]
+pub struct MbTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    fanout: usize,
+    len: usize,
+}
+
+impl Default for MbTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MbTree {
+    /// Creates an empty tree with the default node fanout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_fanout(DEFAULT_FANOUT)
+    }
+
+    /// Creates an empty tree with the given node fanout (at least 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout < 4`.
+    #[must_use]
+    pub fn with_fanout(fanout: usize) -> Self {
+        assert!(fanout >= 4, "MB-tree fanout must be at least 4");
+        MbTree {
+            nodes: vec![Node::new_leaf()],
+            root: 0,
+            fanout,
+            len: 0,
+        }
+    }
+
+    /// Number of entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.nodes = vec![Node::new_leaf()];
+        self.root = 0;
+        self.len = 0;
+    }
+
+    /// Approximate memory footprint in bytes (entries plus node overhead).
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        let entry_bytes = self.len as u64 * ENTRY_LEN as u64;
+        let node_bytes = self.nodes.len() as u64 * 64;
+        entry_bytes + node_bytes
+    }
+
+    /// Inserts `value` under `key`. If the key already exists its value is
+    /// replaced (this happens when the same address is updated twice within
+    /// one block).
+    pub fn insert(&mut self, key: CompoundKey, value: StateValue) {
+        if let Some((sep, new_right)) = self.insert_rec(self.root, key, value) {
+            // Root split: create a new root with two children.
+            let old_root = self.root;
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, new_right],
+                digest: Digest::ZERO,
+                dirty: true,
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Returns the latest value of `addr` (the entry with the largest block
+    /// height for that address), if any.
+    #[must_use]
+    pub fn get_latest(&self, addr: Address) -> Option<(CompoundKey, StateValue)> {
+        let found = self.search_le(CompoundKey::latest(addr))?;
+        if found.0.address() == addr {
+            Some(found)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the entry with the largest key `≤ key`, if any.
+    #[must_use]
+    pub fn search_le(&self, key: CompoundKey) -> Option<(CompoundKey, StateValue)> {
+        self.search_le_rec(self.root, key)
+    }
+
+    /// Returns all entries with keys in `[lower, upper]`, in key order.
+    #[must_use]
+    pub fn range(&self, lower: CompoundKey, upper: CompoundKey) -> Vec<(CompoundKey, StateValue)> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, lower, upper, &mut out);
+        out
+    }
+
+    /// Returns all entries in key order (used when flushing the level to
+    /// disk as a sorted run).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(CompoundKey, StateValue)> {
+        self.range(CompoundKey::min_key(), CompoundKey::latest(Address::new([0xff; 20])))
+    }
+
+    /// Recomputes (if needed) and returns the root digest.
+    pub fn root_hash(&mut self) -> Digest {
+        self.recompute(self.root)
+    }
+
+    /// Performs an authenticated range query: returns the matching entries
+    /// and an [`MbProof`] that a client can verify against the root digest.
+    ///
+    /// The proof is built against the *current* tree contents; call
+    /// [`MbTree::root_hash`] afterwards (or before — the digest only changes
+    /// with inserts) to obtain the digest the proof verifies against.
+    pub fn range_with_proof(
+        &mut self,
+        lower: CompoundKey,
+        upper: CompoundKey,
+    ) -> (Vec<(CompoundKey, StateValue)>, MbProof) {
+        // Ensure digests are up to date so pruned subtrees carry valid hashes.
+        self.recompute(self.root);
+        let results = self.range(lower, upper);
+        let root_node = self.build_proof(self.root, lower, upper);
+        (results, MbProof::new(root_node))
+    }
+
+    // ---------------------------------------------------------------- internals
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Recursive insert; returns `Some((separator, new_node))` if the child split.
+    fn insert_rec(
+        &mut self,
+        node_id: NodeId,
+        key: CompoundKey,
+        value: StateValue,
+    ) -> Option<(CompoundKey, NodeId)> {
+        let fanout = self.fanout;
+        self.nodes[node_id].mark_dirty();
+        let is_leaf = matches!(self.nodes[node_id], Node::Leaf { .. });
+        if is_leaf {
+            let overflow = {
+                let Node::Leaf { keys, values, .. } = &mut self.nodes[node_id] else {
+                    unreachable!("checked to be a leaf above")
+                };
+                match keys.binary_search(&key) {
+                    Ok(pos) => {
+                        values[pos] = value;
+                        return None;
+                    }
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        values.insert(pos, value);
+                    }
+                }
+                keys.len() > fanout
+            };
+            self.len += 1;
+            if overflow {
+                return Some(self.split_leaf(node_id));
+            }
+            None
+        } else {
+            let (child_idx, child_id) = {
+                let Node::Internal { keys, children, .. } = &self.nodes[node_id] else {
+                    unreachable!("checked to be an internal node above")
+                };
+                let idx = keys.partition_point(|k| *k <= key);
+                (idx, children[idx])
+            };
+            let split = self.insert_rec(child_id, key, value);
+            if let Some((sep, new_child)) = split {
+                let overflow = {
+                    let Node::Internal { keys, children, .. } = &mut self.nodes[node_id] else {
+                        unreachable!("checked to be an internal node above")
+                    };
+                    keys.insert(child_idx, sep);
+                    children.insert(child_idx + 1, new_child);
+                    children.len() > fanout
+                };
+                if overflow {
+                    return Some(self.split_internal(node_id));
+                }
+            }
+            None
+        }
+    }
+
+    fn split_leaf(&mut self, node_id: NodeId) -> (CompoundKey, NodeId) {
+        let (right_keys, right_values) = match &mut self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => {
+                let mid = keys.len() / 2;
+                (keys.split_off(mid), values.split_off(mid))
+            }
+            Node::Internal { .. } => unreachable!("split_leaf called on internal node"),
+        };
+        let separator = right_keys[0];
+        let right = self.alloc(Node::Leaf {
+            keys: right_keys,
+            values: right_values,
+            digest: Digest::ZERO,
+            dirty: true,
+        });
+        (separator, right)
+    }
+
+    fn split_internal(&mut self, node_id: NodeId) -> (CompoundKey, NodeId) {
+        let (right_keys, right_children, separator) = match &mut self.nodes[node_id] {
+            Node::Internal { keys, children, .. } => {
+                let mid = keys.len() / 2;
+                let separator = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove the separator from the left node
+                let right_children = children.split_off(mid + 1);
+                (right_keys, right_children, separator)
+            }
+            Node::Leaf { .. } => unreachable!("split_internal called on leaf node"),
+        };
+        let right = self.alloc(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+            digest: Digest::ZERO,
+            dirty: true,
+        });
+        (separator, right)
+    }
+
+    fn search_le_rec(&self, node_id: NodeId, key: CompoundKey) -> Option<(CompoundKey, StateValue)> {
+        match &self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => {
+                let pos = keys.partition_point(|k| *k <= key);
+                if pos == 0 {
+                    None
+                } else {
+                    Some((keys[pos - 1], values[pos - 1]))
+                }
+            }
+            Node::Internal { keys, children, .. } => {
+                let child_idx = keys.partition_point(|k| *k <= key);
+                if let Some(found) = self.search_le_rec(children[child_idx], key) {
+                    return Some(found);
+                }
+                // Nothing ≤ key in that child; the predecessor (if any) is the
+                // maximum of the previous sibling's subtree.
+                if child_idx > 0 {
+                    self.subtree_max(children[child_idx - 1])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn subtree_max(&self, node_id: NodeId) -> Option<(CompoundKey, StateValue)> {
+        match &self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => keys
+                .last()
+                .map(|k| (*k, *values.last().expect("values parallel to keys"))),
+            Node::Internal { children, .. } => self.subtree_max(*children.last()?),
+        }
+    }
+
+    fn range_rec(
+        &self,
+        node_id: NodeId,
+        lower: CompoundKey,
+        upper: CompoundKey,
+        out: &mut Vec<(CompoundKey, StateValue)>,
+    ) {
+        match &self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => {
+                for (k, v) in keys.iter().zip(values.iter()) {
+                    if *k >= lower && *k <= upper {
+                        out.push((*k, *v));
+                    }
+                }
+            }
+            Node::Internal { keys, children, .. } => {
+                for (i, &child) in children.iter().enumerate() {
+                    // Child i covers [keys[i-1], keys[i]).
+                    let child_min_above_upper = i > 0 && keys[i - 1] > upper;
+                    let child_max_below_lower = i < keys.len() && keys[i] <= lower;
+                    if !child_min_above_upper && !child_max_below_lower {
+                        self.range_rec(child, lower, upper, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn recompute(&mut self, node_id: NodeId) -> Digest {
+        let (is_dirty, current) = match &self.nodes[node_id] {
+            Node::Leaf { dirty, digest, .. } | Node::Internal { dirty, digest, .. } => {
+                (*dirty, *digest)
+            }
+        };
+        if !is_dirty {
+            return current;
+        }
+        let new_digest = match self.nodes[node_id].clone() {
+            Node::Leaf { keys, values, .. } => digest_leaf(&keys, &values),
+            Node::Internal { keys, children, .. } => {
+                let child_digests: Vec<Digest> =
+                    children.iter().map(|&c| self.recompute(c)).collect();
+                digest_internal(&keys, &child_digests)
+            }
+        };
+        match &mut self.nodes[node_id] {
+            Node::Leaf { digest, dirty, .. } | Node::Internal { digest, dirty, .. } => {
+                *digest = new_digest;
+                *dirty = false;
+            }
+        }
+        new_digest
+    }
+
+    fn node_digest(&self, node_id: NodeId) -> Digest {
+        match &self.nodes[node_id] {
+            Node::Leaf { digest, .. } | Node::Internal { digest, .. } => *digest,
+        }
+    }
+
+    fn build_proof(&self, node_id: NodeId, lower: CompoundKey, upper: CompoundKey) -> ProofNode {
+        match &self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => ProofNode::Leaf {
+                keys: keys.clone(),
+                values: values.clone(),
+            },
+            Node::Internal { keys, children, .. } => {
+                let mut proof_children = Vec::with_capacity(children.len());
+                for (i, &child) in children.iter().enumerate() {
+                    let child_min_above_upper = i > 0 && keys[i - 1] > upper;
+                    let child_max_below_lower = i < keys.len() && keys[i] <= lower;
+                    if child_min_above_upper || child_max_below_lower {
+                        proof_children.push(ProofNode::Pruned {
+                            digest: self.node_digest(child),
+                        });
+                    } else {
+                        proof_children.push(self.build_proof(child, lower, upper));
+                    }
+                }
+                ProofNode::Internal {
+                    keys: keys.clone(),
+                    children: proof_children,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn key(addr: u64, blk: u64) -> CompoundKey {
+        CompoundKey::new(Address::from_low_u64(addr), blk)
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut tree = MbTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.get_latest(Address::from_low_u64(1)), None);
+        assert_eq!(tree.search_le(key(5, 5)), None);
+        assert!(tree.range(key(0, 0), key(100, 100)).is_empty());
+        let root_empty = tree.root_hash();
+        tree.insert(key(1, 1), StateValue::from_u64(1));
+        assert_ne!(tree.root_hash(), root_empty);
+    }
+
+    #[test]
+    fn insert_and_get_latest() {
+        let mut tree = MbTree::new();
+        let addr = Address::from_low_u64(7);
+        for blk in [5u64, 1, 9, 3] {
+            tree.insert(CompoundKey::new(addr, blk), StateValue::from_u64(blk * 10));
+        }
+        let (k, v) = tree.get_latest(addr).unwrap();
+        assert_eq!(k.block_height(), 9);
+        assert_eq!(v.as_u64(), 90);
+        // A different address with no entries yields None, even though the
+        // tree is non-empty.
+        assert_eq!(tree.get_latest(Address::from_low_u64(8)), None);
+    }
+
+    #[test]
+    fn duplicate_key_replaces_value() {
+        let mut tree = MbTree::new();
+        tree.insert(key(1, 1), StateValue::from_u64(10));
+        tree.insert(key(1, 1), StateValue::from_u64(20));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.search_le(key(1, 1)).unwrap().1.as_u64(), 20);
+    }
+
+    #[test]
+    fn matches_btreemap_reference_with_many_random_inserts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut tree = MbTree::with_fanout(8);
+        let mut reference = BTreeMap::new();
+        for _ in 0..5000 {
+            let k = key(rng.gen_range(0..200), rng.gen_range(0..100));
+            let v = StateValue::from_u64(rng.gen());
+            tree.insert(k, v);
+            reference.insert(k, v);
+        }
+        assert_eq!(tree.len(), reference.len());
+        assert_eq!(
+            tree.entries(),
+            reference
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect::<Vec<_>>()
+        );
+        // Spot-check search_le against the reference.
+        for probe in 0..200u64 {
+            let k = key(probe, 50);
+            let expected = reference.range(..=k).next_back().map(|(k, v)| (*k, *v));
+            assert_eq!(tree.search_le(k), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn range_returns_sorted_slice() {
+        let mut tree = MbTree::with_fanout(4);
+        for addr in 0..20u64 {
+            for blk in 0..5u64 {
+                tree.insert(key(addr, blk), StateValue::from_u64(addr * 100 + blk));
+            }
+        }
+        let results = tree.range(key(3, 1), key(3, 3));
+        assert_eq!(results.len(), 3);
+        assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(results.iter().all(|(k, _)| k.address() == Address::from_low_u64(3)));
+    }
+
+    #[test]
+    fn root_hash_is_deterministic_for_identical_insert_sequences() {
+        // Blockchain nodes apply the same transaction sequence (consensus
+        // order), so the digest must be a pure function of that sequence.
+        let keys: Vec<(CompoundKey, StateValue)> = (0..300u64)
+            .map(|i| (key(i % 50, i / 50), StateValue::from_u64(i)))
+            .collect();
+        let mut t1 = MbTree::with_fanout(6);
+        let mut t2 = MbTree::with_fanout(6);
+        for (k, v) in &keys {
+            t1.insert(*k, *v);
+            t2.insert(*k, *v);
+        }
+        assert_eq!(t1.root_hash(), t2.root_hash());
+        // Interleaving root-hash computations must not change the result.
+        let mut t3 = MbTree::with_fanout(6);
+        for (k, v) in &keys {
+            t3.insert(*k, *v);
+            let _ = t3.root_hash();
+        }
+        assert_eq!(t1.root_hash(), t3.root_hash());
+    }
+
+    #[test]
+    fn root_hash_changes_with_any_value_change() {
+        let mut t1 = MbTree::new();
+        let mut t2 = MbTree::new();
+        for i in 0..100u64 {
+            t1.insert(key(i, 0), StateValue::from_u64(i));
+            t2.insert(key(i, 0), StateValue::from_u64(if i == 57 { 999 } else { i }));
+        }
+        assert_ne!(t1.root_hash(), t2.root_hash());
+    }
+
+    #[test]
+    fn proof_roundtrip_for_ranges() {
+        let mut tree = MbTree::with_fanout(5);
+        for addr in 0..30u64 {
+            for blk in 1..=4u64 {
+                tree.insert(key(addr, blk), StateValue::from_u64(addr * 10 + blk));
+            }
+        }
+        let root = tree.root_hash();
+        for addr in [0u64, 7, 15, 29] {
+            let lower = key(addr, 2);
+            let upper = key(addr, 4);
+            let (results, proof) = tree.range_with_proof(lower, upper);
+            assert_eq!(results.len(), 3);
+            let verified = proof.verify(root, lower, upper).unwrap();
+            assert_eq!(verified, results);
+        }
+    }
+
+    #[test]
+    fn proof_fails_against_wrong_root() {
+        let mut tree = MbTree::new();
+        for i in 0..50u64 {
+            tree.insert(key(i, 1), StateValue::from_u64(i));
+        }
+        let (_, proof) = tree.range_with_proof(key(10, 0), key(10, 9));
+        tree.insert(key(99, 1), StateValue::from_u64(1));
+        let new_root = tree.root_hash();
+        assert!(proof.verify(new_root, key(10, 0), key(10, 9)).is_err());
+    }
+
+    #[test]
+    fn clear_resets_tree() {
+        let mut tree = MbTree::new();
+        for i in 0..100u64 {
+            tree.insert(key(i, 0), StateValue::from_u64(i));
+        }
+        assert_eq!(tree.len(), 100);
+        tree.clear();
+        assert!(tree.is_empty());
+        assert_eq!(tree.entries().len(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_entries() {
+        let mut tree = MbTree::new();
+        let before = tree.memory_bytes();
+        for i in 0..1000u64 {
+            tree.insert(key(i, 0), StateValue::from_u64(i));
+        }
+        assert!(tree.memory_bytes() > before);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests: the MB-tree must behave exactly like an ordered map
+//! for every query, and its range proofs must verify for arbitrary ranges.
+
+use std::collections::BTreeMap;
+
+use cole_mbtree::MbTree;
+use cole_primitives::{Address, CompoundKey, StateValue};
+use proptest::prelude::*;
+
+fn arb_entries() -> impl Strategy<Value = Vec<(CompoundKey, StateValue)>> {
+    proptest::collection::vec((0u64..64, 0u64..32, any::<u64>()), 0..500).prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(addr, blk, value)| {
+                (
+                    CompoundKey::new(Address::from_low_u64(addr), blk),
+                    StateValue::from_u64(value),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_like_btreemap(entries in arb_entries(), probe_addr in 0u64..70, lo in 0u64..32, len in 0u64..16) {
+        let mut tree = MbTree::with_fanout(8);
+        let mut reference: BTreeMap<CompoundKey, StateValue> = BTreeMap::new();
+        for (key, value) in &entries {
+            tree.insert(*key, *value);
+            reference.insert(*key, *value);
+        }
+        prop_assert_eq!(tree.len(), reference.len());
+        prop_assert_eq!(
+            tree.entries(),
+            reference.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        );
+
+        // get_latest agrees with the reference.
+        let addr = Address::from_low_u64(probe_addr);
+        let expected_latest = reference
+            .range(..=CompoundKey::latest(addr))
+            .next_back()
+            .filter(|(k, _)| k.address() == addr)
+            .map(|(k, v)| (*k, *v));
+        prop_assert_eq!(tree.get_latest(addr), expected_latest);
+
+        // Arbitrary range queries agree with the reference.
+        let lower = CompoundKey::new(addr, lo);
+        let upper = CompoundKey::new(addr, lo + len);
+        let expected_range: Vec<(CompoundKey, StateValue)> = reference
+            .range(lower..=upper)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(tree.range(lower, upper), expected_range);
+    }
+
+    #[test]
+    fn range_proofs_verify_and_bind_results(entries in arb_entries(), probe_addr in 0u64..64) {
+        let mut tree = MbTree::with_fanout(6);
+        for (key, value) in &entries {
+            tree.insert(*key, *value);
+        }
+        let root = tree.root_hash();
+        let addr = Address::from_low_u64(probe_addr);
+        let lower = CompoundKey::new(addr, 0);
+        let upper = CompoundKey::latest(addr);
+        let (results, proof) = tree.range_with_proof(lower, upper);
+        let verified = proof.verify(root, lower, upper).unwrap();
+        prop_assert_eq!(&verified, &results);
+        // The serialized form verifies identically.
+        let restored = cole_mbtree::MbProof::from_bytes(&proof.to_bytes()).unwrap();
+        prop_assert_eq!(restored.verify(root, lower, upper).unwrap(), results);
+    }
+}

@@ -1,0 +1,217 @@
+//! Reading Merkle files and extracting range proofs.
+
+use std::path::Path;
+
+use cole_primitives::{ColeError, Digest, Result, DIGEST_LEN};
+use cole_storage::PageFile;
+
+use crate::layout::MhtLayout;
+use crate::proof::{LayerSiblings, RangeProof};
+
+/// A reader over a Merkle file produced by
+/// [`MerkleFileBuilder`](crate::MerkleFileBuilder).
+///
+/// Nodes are addressed by global position (see [`MhtLayout`]); the root is
+/// cached on open.
+#[derive(Debug)]
+pub struct MerkleFile {
+    file: PageFile,
+    layout: MhtLayout,
+    root: Digest,
+}
+
+impl MerkleFile {
+    /// Opens an existing Merkle file with a known leaf count and fanout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened or is too short for the
+    /// declared layout.
+    pub fn open<P: AsRef<Path>>(path: P, num_leaves: u64, fanout: u64) -> Result<Self> {
+        let layout = MhtLayout::new(num_leaves, fanout)?;
+        let file = PageFile::open(path)?;
+        Self::from_parts(file, layout)
+    }
+
+    pub(crate) fn from_parts(file: PageFile, layout: MhtLayout) -> Result<Self> {
+        let needed = layout.total_nodes() * DIGEST_LEN as u64;
+        if file.len_bytes() < needed {
+            return Err(ColeError::InvalidState(format!(
+                "merkle file has {} bytes but layout needs {needed}",
+                file.len_bytes()
+            )));
+        }
+        let root_bytes = file.read_at(layout.root_position() * DIGEST_LEN as u64, DIGEST_LEN)?;
+        let mut root = [0u8; DIGEST_LEN];
+        root.copy_from_slice(&root_bytes);
+        Ok(MerkleFile {
+            file,
+            layout,
+            root: Digest::new(root),
+        })
+    }
+
+    /// The root digest of the tree.
+    #[must_use]
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// The tree layout.
+    #[must_use]
+    pub fn layout(&self) -> &MhtLayout {
+        &self.layout
+    }
+
+    /// File size in bytes (the paper's storage-size accounting counts this as
+    /// index overhead).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.layout.total_nodes() * DIGEST_LEN as u64
+    }
+
+    /// Reads the digest stored at a global node position.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `position` is out of bounds or the read fails.
+    pub fn node_at(&self, position: u64) -> Result<Digest> {
+        if position >= self.layout.total_nodes() {
+            return Err(ColeError::NotFound(format!(
+                "merkle node {position} out of bounds ({})",
+                self.layout.total_nodes()
+            )));
+        }
+        let bytes = self
+            .file
+            .read_at(position * DIGEST_LEN as u64, DIGEST_LEN)?;
+        let mut out = [0u8; DIGEST_LEN];
+        out.copy_from_slice(&bytes);
+        Ok(Digest::new(out))
+    }
+
+    /// Builds a [`RangeProof`] authenticating the leaves in positions
+    /// `[first, last]` (inclusive).
+    ///
+    /// The proof contains, for every layer, the sibling digests to the left
+    /// and right of the range that are needed to recompute the parents of the
+    /// boundary nodes (§6.2: "the Merkle paths of the hash values at posl and
+    /// posu are used as the Merkle proof", with interior ancestors shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is empty or out of bounds.
+    pub fn range_proof(&self, first: u64, last: u64) -> Result<RangeProof> {
+        if first > last || last >= self.layout.num_leaves() {
+            return Err(ColeError::InvalidState(format!(
+                "invalid leaf range [{first}, {last}] for {} leaves",
+                self.layout.num_leaves()
+            )));
+        }
+        let m = self.layout.fanout();
+        let mut layers = Vec::with_capacity(self.layout.depth().saturating_sub(1));
+        let mut lo = first;
+        let mut hi = last;
+        for layer in 0..self.layout.depth() - 1 {
+            let layer_size = self.layout.layer_sizes()[layer];
+            let group_lo = (lo / m) * m;
+            let group_hi = (((hi / m) + 1) * m).min(layer_size);
+            let offset = self.layout.layer_offset(layer);
+            let mut left = Vec::new();
+            for pos in group_lo..lo {
+                left.push(self.node_at(offset + pos)?);
+            }
+            let mut right = Vec::new();
+            for pos in (hi + 1)..group_hi {
+                right.push(self.node_at(offset + pos)?);
+            }
+            layers.push(LayerSiblings { left, right });
+            lo /= m;
+            hi /= m;
+        }
+        Ok(RangeProof::new(
+            self.layout.num_leaves(),
+            m,
+            first,
+            last,
+            layers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MerkleFileBuilder;
+    use cole_hash::sha256;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cole-mhtf-test-{}-{name}", std::process::id()))
+    }
+
+    fn build(n: u64, m: u64, name: &str) -> (Vec<Digest>, MerkleFile, PathBuf) {
+        let path = tmp(name);
+        let leaves: Vec<Digest> = (0..n).map(|i| sha256(&i.to_be_bytes())).collect();
+        let mut b = MerkleFileBuilder::create(&path, n, m).unwrap();
+        for leaf in &leaves {
+            b.push_leaf(*leaf).unwrap();
+        }
+        (leaves, b.finish().unwrap(), path)
+    }
+
+    #[test]
+    fn reopen_matches_built_root() {
+        let (_, merkle, path) = build(25, 4, "reopen");
+        let reopened = MerkleFile::open(&path, 25, 4).unwrap();
+        assert_eq!(reopened.root(), merkle.root());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_with_wrong_leaf_count_fails() {
+        let (_, _merkle, path) = build(4, 2, "wrongcount");
+        assert!(MerkleFile::open(&path, 400, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_proof_verifies_for_every_range() {
+        let (leaves, merkle, path) = build(13, 3, "allranges");
+        for first in 0..13u64 {
+            for last in first..13u64 {
+                let proof = merkle.range_proof(first, last).unwrap();
+                let root = proof
+                    .compute_root(&leaves[first as usize..=last as usize])
+                    .unwrap();
+                assert_eq!(root, merkle.root(), "range [{first}, {last}]");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_proof_rejects_bad_ranges() {
+        let (_, merkle, path) = build(5, 2, "badrange");
+        assert!(merkle.range_proof(3, 2).is_err());
+        assert!(merkle.range_proof(0, 5).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_leaf_fails_verification() {
+        let (mut leaves, merkle, path) = build(9, 4, "tamper");
+        let proof = merkle.range_proof(2, 4).unwrap();
+        leaves[3] = sha256(b"evil");
+        let root = proof.compute_root(&leaves[2..=4]).unwrap();
+        assert_ne!(root, merkle.root());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn node_at_out_of_bounds_errors() {
+        let (_, merkle, path) = build(3, 2, "oob");
+        assert!(merkle.node_at(merkle.layout().total_nodes()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

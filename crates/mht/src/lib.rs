@@ -1,0 +1,52 @@
+//! m-ary complete Merkle Hash Trees and Merkle files.
+//!
+//! COLE authenticates the value file of every on-disk run with an m-ary
+//! *complete* MHT stored in a Merkle file (§4.2). This crate provides:
+//!
+//! * [`MhtLayout`] — the shape arithmetic of an m-ary complete MHT with `n`
+//!   leaves: per-layer node counts, layer offsets inside the Merkle file and
+//!   the parent-position formula used by provenance proofs (§6.2),
+//! * [`MerkleFileBuilder`] — the streaming construction of Algorithm 4: one
+//!   buffer per layer, hashes flushed to their precomputed offsets as soon as
+//!   `m` of them are available,
+//! * [`MerkleFile`] — a reader over a constructed Merkle file that can
+//!   extract [`RangeProof`]s for a contiguous range of leaf positions,
+//! * [`RangeProof`] — a self-contained, serializable proof that a contiguous
+//!   slice of leaves belongs to a tree with a given root digest.
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_hash::sha256;
+//! use cole_mht::{MerkleFileBuilder, RangeProof};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-mht-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let leaves: Vec<_> = (0u8..10).map(|i| sha256(&[i])).collect();
+//!
+//! let mut builder = MerkleFileBuilder::create(dir.join("merkle.bin"), 10, 4)?;
+//! for leaf in &leaves {
+//!     builder.push_leaf(*leaf)?;
+//! }
+//! let merkle = builder.finish()?;
+//!
+//! let proof = merkle.range_proof(2, 5)?;
+//! let root = proof.compute_root(&leaves[2..=5])?;
+//! assert_eq!(root, merkle.root());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod file;
+mod layout;
+mod proof;
+
+pub use builder::MerkleFileBuilder;
+pub use file::MerkleFile;
+pub use layout::MhtLayout;
+pub use proof::RangeProof;

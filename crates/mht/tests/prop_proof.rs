@@ -1,0 +1,70 @@
+//! Property-based tests of the m-ary Merkle file: any contiguous leaf range
+//! of any tree shape yields a proof that reconstructs the root, and tampering
+//! with any covered leaf changes the reconstructed root.
+
+use cole_hash::sha256;
+use cole_mht::{MerkleFileBuilder, RangeProof};
+use cole_primitives::Digest;
+use proptest::prelude::*;
+
+fn build(leaves: &[Digest], fanout: u64, tag: &str) -> (cole_mht::MerkleFile, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "cole-prop-mht-{}-{tag}-{}-{fanout}",
+        std::process::id(),
+        leaves.len()
+    ));
+    let mut builder = MerkleFileBuilder::create(&path, leaves.len() as u64, fanout).unwrap();
+    for leaf in leaves {
+        builder.push_leaf(*leaf).unwrap();
+    }
+    (builder.finish().unwrap(), path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_proofs_reconstruct_the_root(
+        n in 1u64..400,
+        fanout in 2u64..17,
+        seed in any::<u64>(),
+        range_seed in any::<(u64, u64)>(),
+    ) {
+        let leaves: Vec<Digest> = (0..n).map(|i| sha256(&(i ^ seed).to_be_bytes())).collect();
+        let (merkle, path) = build(&leaves, fanout, "root");
+        let first = range_seed.0 % n;
+        let last = first + (range_seed.1 % (n - first));
+        let proof = merkle.range_proof(first, last).unwrap();
+        let root = proof
+            .compute_root(&leaves[first as usize..=last as usize])
+            .unwrap();
+        prop_assert_eq!(root, merkle.root());
+
+        // Serialization round-trip preserves the proof.
+        let restored = RangeProof::from_bytes(&proof.to_bytes()).unwrap();
+        prop_assert_eq!(&restored, &proof);
+
+        // Tampering with any single covered leaf changes the recomputed root.
+        let mut tampered = leaves[first as usize..=last as usize].to_vec();
+        let idx = (range_seed.0 as usize) % tampered.len();
+        tampered[idx] = sha256(b"tampered");
+        if tampered[idx] != leaves[first as usize + idx] {
+            let bad_root = proof.compute_root(&tampered).unwrap();
+            prop_assert_ne!(bad_root, merkle.root());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn proof_size_stays_logarithmic_in_tree_size(n in 64u64..4000, fanout in 2u64..9) {
+        let leaves: Vec<Digest> = (0..n).map(|i| sha256(&i.to_be_bytes())).collect();
+        let (merkle, path) = build(&leaves, fanout, "size");
+        let proof = merkle.range_proof(n / 2, n / 2).unwrap();
+        // A single-leaf proof carries at most (m-1) siblings per layer.
+        let depth = merkle.layout().depth() as u64;
+        let max_digests = depth * (fanout - 1);
+        let overhead = 36 + depth as usize * 8 + 64;
+        prop_assert!(proof.size_bytes() <= max_digests as usize * 32 + overhead);
+        std::fs::remove_file(&path).ok();
+    }
+}

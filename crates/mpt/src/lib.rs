@@ -1,0 +1,41 @@
+//! Merkle Patricia Trie baseline with node persistence (§1, §8.1.1).
+//!
+//! This is the Ethereum-style index COLE is compared against. The trie maps
+//! state addresses (as nibble paths) to values; every node is addressed by
+//! the hash of its serialization and stored in a key–value backend (the
+//! simulated RocksDB of [`cole_storage::FileKvStore`]). An update rewrites
+//! the nodes along its path and leaves the old versions in place, so any
+//! historical block's trie can still be traversed from that block's root —
+//! this node persistence is exactly what lets MPT answer provenance queries,
+//! and exactly what makes its storage grow with `O(n · d_MPT)` (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_mpt::MptStorage;
+//! use cole_primitives::{Address, AuthenticatedStorage, StateValue};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-mpt-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let mut mpt = MptStorage::open(&dir)?;
+//! mpt.begin_block(1)?;
+//! mpt.put(Address::from_low_u64(1), StateValue::from_u64(10))?;
+//! let hstate = mpt.finalize_block()?;
+//! assert_eq!(mpt.get(Address::from_low_u64(1))?, Some(StateValue::from_u64(10)));
+//! let result = mpt.prov_query(Address::from_low_u64(1), 1, 1)?;
+//! assert!(mpt.verify_prov(Address::from_low_u64(1), 1, 1, &result, hstate)?);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod proof;
+mod trie;
+
+pub use node::MptNode;
+pub use proof::MptProof;
+pub use trie::MptStorage;

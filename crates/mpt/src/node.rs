@@ -1,0 +1,228 @@
+//! MPT node types and their canonical serialization.
+
+use cole_hash::sha256;
+use cole_primitives::{ColeError, Digest, Result, StateValue, DIGEST_LEN, VALUE_LEN};
+
+/// A Merkle Patricia Trie node.
+///
+/// The three node kinds mirror Ethereum's trie (Figure 1 of the paper):
+/// leaves hold the remaining nibble path and the value, extensions compress a
+/// shared nibble path above a single child, and branches fan out over the 16
+/// possible next nibbles (plus an optional value for keys ending there —
+/// unused for fixed-length addresses but kept for generality).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MptNode {
+    /// A leaf node: remaining path nibbles and the stored value.
+    Leaf {
+        /// Remaining nibbles of the key below this node.
+        path: Vec<u8>,
+        /// The stored state value.
+        value: StateValue,
+    },
+    /// An extension node: shared path nibbles above a single child.
+    Extension {
+        /// The shared nibble path.
+        path: Vec<u8>,
+        /// Digest of the child node.
+        child: Digest,
+    },
+    /// A branch node: up to 16 children indexed by the next nibble.
+    Branch {
+        /// Child digests, indexed by nibble.
+        children: Box<[Option<Digest>; 16]>,
+        /// Value stored at this exact path, if any.
+        value: Option<StateValue>,
+    },
+}
+
+impl MptNode {
+    /// Serializes the node into its canonical byte representation.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            MptNode::Leaf { path, value } => {
+                out.push(0);
+                out.push(path.len() as u8);
+                out.extend_from_slice(path);
+                out.extend_from_slice(value.as_bytes());
+            }
+            MptNode::Extension { path, child } => {
+                out.push(1);
+                out.push(path.len() as u8);
+                out.extend_from_slice(path);
+                out.extend_from_slice(child.as_bytes());
+            }
+            MptNode::Branch { children, value } => {
+                out.push(2);
+                let mut mask = 0u16;
+                for (i, child) in children.iter().enumerate() {
+                    if child.is_some() {
+                        mask |= 1 << i;
+                    }
+                }
+                out.extend_from_slice(&mask.to_le_bytes());
+                for child in children.iter().flatten() {
+                    out.extend_from_slice(child.as_bytes());
+                }
+                match value {
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(v.as_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a node previously produced by [`MptNode::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidEncoding`] if the byte string is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let err = || ColeError::InvalidEncoding("malformed MPT node".into());
+        let tag = *bytes.first().ok_or_else(err)?;
+        match tag {
+            0 | 1 => {
+                let path_len = *bytes.get(1).ok_or_else(err)? as usize;
+                if path_len > 64 {
+                    return Err(err());
+                }
+                let path = bytes.get(2..2 + path_len).ok_or_else(err)?.to_vec();
+                let rest = bytes.get(2 + path_len..).ok_or_else(err)?;
+                if tag == 0 {
+                    if rest.len() != VALUE_LEN {
+                        return Err(err());
+                    }
+                    let mut value = [0u8; VALUE_LEN];
+                    value.copy_from_slice(rest);
+                    Ok(MptNode::Leaf {
+                        path,
+                        value: StateValue::new(value),
+                    })
+                } else {
+                    if rest.len() != DIGEST_LEN {
+                        return Err(err());
+                    }
+                    let mut child = [0u8; DIGEST_LEN];
+                    child.copy_from_slice(rest);
+                    Ok(MptNode::Extension {
+                        path,
+                        child: Digest::new(child),
+                    })
+                }
+            }
+            2 => {
+                let mask_bytes = bytes.get(1..3).ok_or_else(err)?;
+                let mask = u16::from_le_bytes([mask_bytes[0], mask_bytes[1]]);
+                let mut children: Box<[Option<Digest>; 16]> = Box::new([None; 16]);
+                let mut pos = 3usize;
+                for (i, slot) in children.iter_mut().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        let d = bytes.get(pos..pos + DIGEST_LEN).ok_or_else(err)?;
+                        let mut digest = [0u8; DIGEST_LEN];
+                        digest.copy_from_slice(d);
+                        *slot = Some(Digest::new(digest));
+                        pos += DIGEST_LEN;
+                    }
+                }
+                let has_value = *bytes.get(pos).ok_or_else(err)?;
+                pos += 1;
+                let value = if has_value == 1 {
+                    let v = bytes.get(pos..pos + VALUE_LEN).ok_or_else(err)?;
+                    let mut value = [0u8; VALUE_LEN];
+                    value.copy_from_slice(v);
+                    pos += VALUE_LEN;
+                    Some(StateValue::new(value))
+                } else {
+                    None
+                };
+                if pos != bytes.len() {
+                    return Err(err());
+                }
+                Ok(MptNode::Branch { children, value })
+            }
+            _ => Err(err()),
+        }
+    }
+
+    /// The node's digest: the hash of its canonical serialization. Nodes are
+    /// stored in the backend under this digest, which is also how parents
+    /// reference children — giving the trie its Merkle property.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+/// Returns the length of the longest common prefix of two nibble slices.
+#[must_use]
+pub(crate) fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = MptNode::Leaf {
+            path: vec![1, 2, 3, 0xf],
+            value: StateValue::from_u64(77),
+        };
+        assert_eq!(MptNode::from_bytes(&node.to_bytes()).unwrap(), node);
+    }
+
+    #[test]
+    fn extension_roundtrip() {
+        let node = MptNode::Extension {
+            path: vec![0, 0xa],
+            child: Digest::new([9u8; 32]),
+        };
+        assert_eq!(MptNode::from_bytes(&node.to_bytes()).unwrap(), node);
+    }
+
+    #[test]
+    fn branch_roundtrip_with_sparse_children() {
+        let mut children: Box<[Option<Digest>; 16]> = Box::new([None; 16]);
+        children[0] = Some(Digest::new([1u8; 32]));
+        children[7] = Some(Digest::new([7u8; 32]));
+        children[15] = Some(Digest::new([15u8; 32]));
+        let node = MptNode::Branch {
+            children,
+            value: Some(StateValue::from_u64(3)),
+        };
+        assert_eq!(MptNode::from_bytes(&node.to_bytes()).unwrap(), node);
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let a = MptNode::Leaf {
+            path: vec![1],
+            value: StateValue::from_u64(1),
+        };
+        let b = MptNode::Leaf {
+            path: vec![1],
+            value: StateValue::from_u64(2),
+        };
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(MptNode::from_bytes(&[]).is_err());
+        assert!(MptNode::from_bytes(&[9, 1, 2]).is_err());
+        assert!(MptNode::from_bytes(&[0, 200]).is_err());
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len(&[], &[1]), 0);
+        assert_eq!(common_prefix_len(&[5, 6], &[5, 6]), 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Provenance proofs for the MPT baseline.
+
+use cole_hash::sha256;
+use cole_primitives::{
+    Address, ColeError, Digest, Result, StateValue, VersionedValue, DIGEST_LEN, VALUE_LEN,
+};
+
+use crate::node::MptNode;
+
+/// The Merkle path for one queried block: the trie nodes from the root to the
+/// address's leaf (or to the point where the lookup fails), plus the value
+/// found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPathProof {
+    /// Block height this path belongs to.
+    pub height: u64,
+    /// State root of that block (known to the client from the block header).
+    pub root: Digest,
+    /// Serialized nodes along the traversal, root first.
+    pub nodes: Vec<Vec<u8>>,
+    /// The value found at the address in that block, if any.
+    pub value: Option<StateValue>,
+}
+
+/// A provenance proof of the MPT baseline: one Merkle path per block in the
+/// queried range (which is why MPT's provenance cost and proof size grow
+/// linearly with the range — Figure 14).
+///
+/// Per-block roots are assumed to be known to the client from the block
+/// headers (as in Ethereum); the proof additionally carries the latest root
+/// so the whole response can be tied to the `Hstate` the verifier holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MptProof {
+    /// Per-block Merkle paths, oldest first.
+    pub blocks: Vec<BlockPathProof>,
+    /// Root digest of the latest finalized block.
+    pub latest_root: Digest,
+}
+
+impl MptProof {
+    /// Verifies the per-block Merkle paths and checks that the claimed values
+    /// are exactly the value changes observed within `[blk_lower, blk_upper]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the proof is malformed.
+    pub fn verify(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        values: &[VersionedValue],
+        hstate: Digest,
+    ) -> Result<bool> {
+        if self.latest_root != hstate {
+            return Ok(false);
+        }
+        let path = addr.nibbles();
+        let mut previous: Option<StateValue> = None;
+        let mut derived: Vec<VersionedValue> = Vec::new();
+        for block in &self.blocks {
+            let value = verify_path(&block.nodes, block.root, &path)?;
+            if value != block.value {
+                return Ok(false);
+            }
+            if block.height >= blk_lower && block.height <= blk_upper {
+                if value != previous {
+                    if let Some(v) = value {
+                        derived.push(VersionedValue::new(block.height, v));
+                    }
+                }
+            }
+            previous = value;
+        }
+        derived.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        let mut claimed = values.to_vec();
+        claimed.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        Ok(derived == claimed)
+    }
+
+    /// Serializes the proof (the proof-size metric of Figure 14).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.latest_root.as_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for block in &self.blocks {
+            out.extend_from_slice(&block.height.to_le_bytes());
+            out.extend_from_slice(block.root.as_bytes());
+            match block.value {
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(v.as_bytes());
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&(block.nodes.len() as u32).to_le_bytes());
+            for node in &block.nodes {
+                out.extend_from_slice(&(node.len() as u32).to_le_bytes());
+                out.extend_from_slice(node);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a proof produced by [`MptProof::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidEncoding`] if the byte string is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let err = || ColeError::InvalidEncoding("malformed MPT proof".into());
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(err());
+            }
+            let out = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(out)
+        };
+        let mut latest = [0u8; DIGEST_LEN];
+        latest.copy_from_slice(take(&mut pos, DIGEST_LEN)?);
+        let mut u32buf = [0u8; 4];
+        u32buf.copy_from_slice(take(&mut pos, 4)?);
+        let num_blocks = u32::from_le_bytes(u32buf) as usize;
+        if num_blocks > 1 << 20 {
+            return Err(err());
+        }
+        let mut blocks = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let mut u64buf = [0u8; 8];
+            u64buf.copy_from_slice(take(&mut pos, 8)?);
+            let height = u64::from_le_bytes(u64buf);
+            let mut root = [0u8; DIGEST_LEN];
+            root.copy_from_slice(take(&mut pos, DIGEST_LEN)?);
+            let has_value = take(&mut pos, 1)?[0];
+            let value = if has_value == 1 {
+                let mut v = [0u8; VALUE_LEN];
+                v.copy_from_slice(take(&mut pos, VALUE_LEN)?);
+                Some(StateValue::new(v))
+            } else {
+                None
+            };
+            u32buf.copy_from_slice(take(&mut pos, 4)?);
+            let num_nodes = u32::from_le_bytes(u32buf) as usize;
+            if num_nodes > 1 << 16 {
+                return Err(err());
+            }
+            let mut nodes = Vec::with_capacity(num_nodes);
+            for _ in 0..num_nodes {
+                u32buf.copy_from_slice(take(&mut pos, 4)?);
+                let len = u32::from_le_bytes(u32buf) as usize;
+                nodes.push(take(&mut pos, len)?.to_vec());
+            }
+            blocks.push(BlockPathProof {
+                height,
+                root: Digest::new(root),
+                nodes,
+                value,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(err());
+        }
+        Ok(MptProof {
+            blocks,
+            latest_root: Digest::new(latest),
+        })
+    }
+}
+
+/// Re-traverses a serialized Merkle path and returns the value it proves for
+/// `path` under `root`.
+fn verify_path(nodes: &[Vec<u8>], root: Digest, path: &[u8]) -> Result<Option<StateValue>> {
+    if root.is_zero() {
+        // Empty trie: only an empty path proof is acceptable.
+        return if nodes.is_empty() {
+            Ok(None)
+        } else {
+            Err(ColeError::VerificationFailed(
+                "non-empty path proof for an empty trie".into(),
+            ))
+        };
+    }
+    let mut expected = root;
+    let mut remaining = path;
+    let mut iter = nodes.iter().peekable();
+    while let Some(bytes) = iter.next() {
+        if sha256(bytes) != expected {
+            return Err(ColeError::VerificationFailed(
+                "MPT path node digest mismatch".into(),
+            ));
+        }
+        let node = MptNode::from_bytes(bytes)?;
+        match node {
+            MptNode::Leaf {
+                path: leaf_path,
+                value,
+            } => {
+                if iter.peek().is_some() {
+                    return Err(ColeError::VerificationFailed(
+                        "MPT path continues past a leaf".into(),
+                    ));
+                }
+                return Ok(if leaf_path == remaining {
+                    Some(value)
+                } else {
+                    None
+                });
+            }
+            MptNode::Extension {
+                path: ext_path,
+                child,
+            } => {
+                if remaining.len() < ext_path.len() || remaining[..ext_path.len()] != ext_path {
+                    if iter.peek().is_some() {
+                        return Err(ColeError::VerificationFailed(
+                            "MPT path continues past a divergent extension".into(),
+                        ));
+                    }
+                    return Ok(None);
+                }
+                remaining = &remaining[ext_path.len()..];
+                expected = child;
+            }
+            MptNode::Branch { children, value } => {
+                if remaining.is_empty() {
+                    if iter.peek().is_some() {
+                        return Err(ColeError::VerificationFailed(
+                            "MPT path continues past the addressed branch".into(),
+                        ));
+                    }
+                    return Ok(value);
+                }
+                match children[remaining[0] as usize] {
+                    Some(child) => {
+                        expected = child;
+                        remaining = &remaining[1..];
+                    }
+                    None => {
+                        if iter.peek().is_some() {
+                            return Err(ColeError::VerificationFailed(
+                                "MPT path continues past a missing child".into(),
+                            ));
+                        }
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+    Err(ColeError::VerificationFailed(
+        "MPT path proof ended before reaching a terminal node".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::MptStorage;
+    use cole_primitives::AuthenticatedStorage;
+
+    fn addr(i: u64) -> Address {
+        Address::from_low_u64(i)
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-mptproof-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn proof_serialization_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        for blk in 1..=10u64 {
+            mpt.begin_block(blk).unwrap();
+            mpt.put(addr(1), StateValue::from_u64(blk)).unwrap();
+            mpt.put(addr(blk + 10), StateValue::from_u64(blk)).unwrap();
+            mpt.finalize_block().unwrap();
+        }
+        let result = mpt.prov_query(addr(1), 3, 7).unwrap();
+        let proof = MptProof::from_bytes(&result.proof).unwrap();
+        assert_eq!(proof.to_bytes(), result.proof);
+        assert_eq!(proof.blocks.len(), 6); // baseline block + 5 in range
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forged_root_is_rejected() {
+        let dir = tmpdir("forged");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        mpt.begin_block(1).unwrap();
+        mpt.put(addr(2), StateValue::from_u64(5)).unwrap();
+        let hstate = mpt.finalize_block().unwrap();
+        let result = mpt.prov_query(addr(2), 1, 1).unwrap();
+        let mut proof = MptProof::from_bytes(&result.proof).unwrap();
+        proof.blocks[0].root = Digest::new([5u8; 32]);
+        assert!(proof
+            .verify(addr(2), 1, 1, &result.values, hstate)
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn proof_grows_linearly_with_range() {
+        let dir = tmpdir("linear");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        for blk in 1..=64u64 {
+            mpt.begin_block(blk).unwrap();
+            mpt.put(addr(5), StateValue::from_u64(blk)).unwrap();
+            for filler in 0..10u64 {
+                mpt.put(addr(1000 + blk * 10 + filler), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            mpt.finalize_block().unwrap();
+        }
+        let small = mpt.prov_query(addr(5), 60, 61).unwrap();
+        let large = mpt.prov_query(addr(5), 30, 61).unwrap();
+        assert!(
+            large.proof_size() > small.proof_size() * 5,
+            "MPT proof should grow roughly linearly with the queried range"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,521 @@
+//! The persistent Merkle Patricia Trie storage engine.
+
+use std::path::{Path, PathBuf};
+
+use cole_primitives::{
+    Address, AuthenticatedStorage, ColeError, Digest, ProvenanceResult, Result, StateValue,
+    StorageStats, VersionedValue,
+};
+use cole_storage::{FileKvStore, KvStore};
+
+use crate::node::{common_prefix_len, MptNode};
+use crate::proof::{BlockPathProof, MptProof};
+
+/// Default memory budget of the node backend, matching the 64 MB RocksDB
+/// budget of §8.1.2.
+const DEFAULT_MEMORY_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// The MPT baseline: an Ethereum-style Merkle Patricia Trie whose nodes are
+/// persisted (never overwritten) in a key–value backend, so that provenance
+/// queries can traverse any historical block's trie.
+#[derive(Debug)]
+pub struct MptStorage {
+    kv: FileKvStore,
+    /// Root digest per finalized block, indexed implicitly by position.
+    roots: Vec<(u64, Digest)>,
+    current_root: Option<Digest>,
+    current_block: u64,
+    /// Number of trie nodes written (persisted) so far.
+    nodes_written: u64,
+}
+
+impl MptStorage {
+    /// Opens (or creates) an MPT store rooted at `dir` with the default
+    /// 64 MB backend memory budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backing directory cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Self::open_with_budget(dir, DEFAULT_MEMORY_BUDGET)
+    }
+
+    /// Opens an MPT store with an explicit backend memory budget in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backing directory cannot be created.
+    pub fn open_with_budget<P: AsRef<Path>>(dir: P, memory_budget: u64) -> Result<Self> {
+        let dir: PathBuf = dir.as_ref().to_path_buf();
+        Ok(MptStorage {
+            kv: FileKvStore::open(dir, memory_budget)?,
+            roots: Vec::new(),
+            current_root: None,
+            current_block: 0,
+            nodes_written: 0,
+        })
+    }
+
+    /// Number of trie nodes persisted so far (every update persists the nodes
+    /// of its path — the storage-amplification the paper measures).
+    #[must_use]
+    pub fn nodes_written(&self) -> u64 {
+        self.nodes_written
+    }
+
+    /// The root digest of the trie as of block `height`, if that block has
+    /// been finalized.
+    #[must_use]
+    pub fn root_at(&self, height: u64) -> Option<Digest> {
+        self.roots
+            .iter()
+            .rev()
+            .find(|(h, _)| *h <= height)
+            .map(|(_, d)| *d)
+    }
+
+    fn store_node(&mut self, node: &MptNode) -> Result<Digest> {
+        let digest = node.digest();
+        self.kv
+            .put(digest.as_bytes().to_vec(), node.to_bytes())?;
+        self.nodes_written += 1;
+        Ok(digest)
+    }
+
+    fn load_node(&mut self, digest: &Digest) -> Result<MptNode> {
+        let bytes = self
+            .kv
+            .get(digest.as_bytes())?
+            .ok_or_else(|| ColeError::NotFound(format!("missing MPT node {digest:?}")))?;
+        MptNode::from_bytes(&bytes)
+    }
+
+    fn insert_at(
+        &mut self,
+        node: Option<Digest>,
+        path: &[u8],
+        value: StateValue,
+    ) -> Result<Digest> {
+        let Some(digest) = node else {
+            let leaf = MptNode::Leaf {
+                path: path.to_vec(),
+                value,
+            };
+            return self.store_node(&leaf);
+        };
+        match self.load_node(&digest)? {
+            MptNode::Leaf {
+                path: leaf_path,
+                value: leaf_value,
+            } => {
+                if leaf_path == path {
+                    let leaf = MptNode::Leaf {
+                        path: path.to_vec(),
+                        value,
+                    };
+                    return self.store_node(&leaf);
+                }
+                let cp = common_prefix_len(&leaf_path, path);
+                let mut children: Box<[Option<Digest>; 16]> = Box::new([None; 16]);
+                let mut branch_value = None;
+                // Existing leaf moves below the branch.
+                if leaf_path.len() == cp {
+                    branch_value = Some(leaf_value);
+                } else {
+                    let child = MptNode::Leaf {
+                        path: leaf_path[cp + 1..].to_vec(),
+                        value: leaf_value,
+                    };
+                    children[leaf_path[cp] as usize] = Some(self.store_node(&child)?);
+                }
+                // New value goes below the branch as well.
+                if path.len() == cp {
+                    branch_value = Some(value);
+                } else {
+                    let child = MptNode::Leaf {
+                        path: path[cp + 1..].to_vec(),
+                        value,
+                    };
+                    children[path[cp] as usize] = Some(self.store_node(&child)?);
+                }
+                let branch = MptNode::Branch {
+                    children,
+                    value: branch_value,
+                };
+                let branch_digest = self.store_node(&branch)?;
+                if cp > 0 {
+                    let ext = MptNode::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch_digest,
+                    };
+                    self.store_node(&ext)
+                } else {
+                    Ok(branch_digest)
+                }
+            }
+            MptNode::Extension {
+                path: ext_path,
+                child,
+            } => {
+                let cp = common_prefix_len(&ext_path, path);
+                if cp == ext_path.len() {
+                    let new_child = self.insert_at(Some(child), &path[cp..], value)?;
+                    let ext = MptNode::Extension {
+                        path: ext_path,
+                        child: new_child,
+                    };
+                    return self.store_node(&ext);
+                }
+                // Split the extension at the divergence point.
+                let mut children: Box<[Option<Digest>; 16]> = Box::new([None; 16]);
+                let mut branch_value = None;
+                // Remainder of the old extension.
+                let ext_nibble = ext_path[cp] as usize;
+                if ext_path.len() == cp + 1 {
+                    children[ext_nibble] = Some(child);
+                } else {
+                    let rest = MptNode::Extension {
+                        path: ext_path[cp + 1..].to_vec(),
+                        child,
+                    };
+                    children[ext_nibble] = Some(self.store_node(&rest)?);
+                }
+                // The new value.
+                if path.len() == cp {
+                    branch_value = Some(value);
+                } else {
+                    let leaf = MptNode::Leaf {
+                        path: path[cp + 1..].to_vec(),
+                        value,
+                    };
+                    children[path[cp] as usize] = Some(self.store_node(&leaf)?);
+                }
+                let branch = MptNode::Branch {
+                    children,
+                    value: branch_value,
+                };
+                let branch_digest = self.store_node(&branch)?;
+                if cp > 0 {
+                    let ext = MptNode::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch_digest,
+                    };
+                    self.store_node(&ext)
+                } else {
+                    Ok(branch_digest)
+                }
+            }
+            MptNode::Branch {
+                mut children,
+                value: branch_value,
+            } => {
+                if path.is_empty() {
+                    let branch = MptNode::Branch {
+                        children,
+                        value: Some(value),
+                    };
+                    return self.store_node(&branch);
+                }
+                let idx = path[0] as usize;
+                let new_child = self.insert_at(children[idx], &path[1..], value)?;
+                children[idx] = Some(new_child);
+                let branch = MptNode::Branch {
+                    children,
+                    value: branch_value,
+                };
+                self.store_node(&branch)
+            }
+        }
+    }
+
+    /// Looks up `path` starting from `root`, optionally collecting the
+    /// serialized nodes of the traversal (the Merkle path proof).
+    fn lookup(
+        &mut self,
+        root: Option<Digest>,
+        path: &[u8],
+        mut proof_nodes: Option<&mut Vec<Vec<u8>>>,
+    ) -> Result<Option<StateValue>> {
+        let mut current = root;
+        let mut remaining = path;
+        loop {
+            let Some(digest) = current else {
+                return Ok(None);
+            };
+            let node = self.load_node(&digest)?;
+            if let Some(nodes) = proof_nodes.as_deref_mut() {
+                nodes.push(node.to_bytes());
+            }
+            match node {
+                MptNode::Leaf {
+                    path: leaf_path,
+                    value,
+                } => {
+                    return Ok(if leaf_path == remaining {
+                        Some(value)
+                    } else {
+                        None
+                    });
+                }
+                MptNode::Extension {
+                    path: ext_path,
+                    child,
+                } => {
+                    if remaining.len() < ext_path.len() || remaining[..ext_path.len()] != ext_path {
+                        return Ok(None);
+                    }
+                    remaining = &remaining[ext_path.len()..];
+                    current = Some(child);
+                }
+                MptNode::Branch { children, value } => {
+                    if remaining.is_empty() {
+                        return Ok(value);
+                    }
+                    current = children[remaining[0] as usize];
+                    remaining = &remaining[1..];
+                }
+            }
+        }
+    }
+}
+
+impl AuthenticatedStorage for MptStorage {
+    fn put(&mut self, addr: Address, value: StateValue) -> Result<()> {
+        let path = addr.nibbles();
+        let new_root = self.insert_at(self.current_root, &path, value)?;
+        self.current_root = Some(new_root);
+        Ok(())
+    }
+
+    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        let path = addr.nibbles();
+        self.lookup(self.current_root, &path, None)
+    }
+
+    fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        let path = addr.nibbles();
+        let mut block_proofs = Vec::new();
+        let mut values = Vec::new();
+        let mut previous: Option<StateValue> = None;
+        // Establish the value in effect just before the range so that "written
+        // in block b" can be detected as a change of value.
+        let baseline_block = blk_lower.saturating_sub(1);
+        if baseline_block >= 1 {
+            if let Some(root) = self.root_at(baseline_block) {
+                let mut nodes = Vec::new();
+                previous = self.lookup(Some(root), &path, Some(&mut nodes))?;
+                block_proofs.push(BlockPathProof {
+                    height: baseline_block,
+                    root,
+                    nodes,
+                    value: previous,
+                });
+            }
+        }
+        for (height, root) in self
+            .roots
+            .iter()
+            .filter(|(h, _)| *h >= blk_lower && *h <= blk_upper)
+            .copied()
+            .collect::<Vec<_>>()
+        {
+            let mut nodes = Vec::new();
+            let value = self.lookup(Some(root), &path, Some(&mut nodes))?;
+            if value != previous {
+                if let Some(v) = value {
+                    values.push(VersionedValue::new(height, v));
+                }
+            }
+            previous = value;
+            block_proofs.push(BlockPathProof {
+                height,
+                root,
+                nodes,
+                value,
+            });
+        }
+        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        let proof = MptProof {
+            blocks: block_proofs,
+            latest_root: self.current_root.unwrap_or(Digest::ZERO),
+        };
+        Ok(ProvenanceResult {
+            values,
+            proof: proof.to_bytes(),
+        })
+    }
+
+    fn verify_prov(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        result: &ProvenanceResult,
+        hstate: Digest,
+    ) -> Result<bool> {
+        let proof = MptProof::from_bytes(&result.proof)?;
+        proof.verify(addr, blk_lower, blk_upper, &result.values, hstate)
+    }
+
+    fn begin_block(&mut self, height: u64) -> Result<()> {
+        if height <= self.current_block && self.current_block != 0 {
+            return Err(ColeError::InvalidState(format!(
+                "block height {height} does not advance the chain (current {})",
+                self.current_block
+            )));
+        }
+        self.current_block = height;
+        Ok(())
+    }
+
+    fn finalize_block(&mut self) -> Result<Digest> {
+        let root = self.current_root.unwrap_or(Digest::ZERO);
+        match self.roots.last_mut() {
+            Some((h, r)) if *h == self.current_block => *r = root,
+            _ => self.roots.push((self.current_block, root)),
+        }
+        Ok(root)
+    }
+
+    fn current_block_height(&self) -> u64 {
+        self.current_block
+    }
+
+    fn storage_stats(&self) -> Result<StorageStats> {
+        Ok(StorageStats {
+            index_bytes: self.kv.disk_size(),
+            data_bytes: 0,
+            memory_bytes: self.kv.memory_size(),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "MPT"
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.kv.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cole-mpt-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn addr(i: u64) -> Address {
+        Address::from_low_u64(i)
+    }
+
+    #[test]
+    fn put_get_roundtrip_many_keys() {
+        let dir = tmpdir("roundtrip");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        mpt.begin_block(1).unwrap();
+        for i in 0..500u64 {
+            mpt.put(addr(i), StateValue::from_u64(i * 2)).unwrap();
+        }
+        mpt.finalize_block().unwrap();
+        for i in 0..500u64 {
+            assert_eq!(mpt.get(addr(i)).unwrap(), Some(StateValue::from_u64(i * 2)));
+        }
+        assert_eq!(mpt.get(addr(10_000)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn updates_change_root_and_preserve_history() {
+        let dir = tmpdir("history");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        let a = addr(7);
+        let mut roots = Vec::new();
+        for blk in 1..=5u64 {
+            mpt.begin_block(blk).unwrap();
+            mpt.put(a, StateValue::from_u64(blk * 10)).unwrap();
+            roots.push(mpt.finalize_block().unwrap());
+        }
+        assert!(roots.windows(2).all(|w| w[0] != w[1]));
+        // Historical lookups through retained roots.
+        for blk in 1..=5u64 {
+            let root = mpt.root_at(blk).unwrap();
+            let value = mpt.lookup(Some(root), &a.nibbles(), None).unwrap();
+            assert_eq!(value, Some(StateValue::from_u64(blk * 10)));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn node_persistence_grows_storage_with_updates() {
+        let dir = tmpdir("growth");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        mpt.begin_block(1).unwrap();
+        for i in 0..100u64 {
+            mpt.put(addr(i), StateValue::from_u64(1)).unwrap();
+        }
+        mpt.finalize_block().unwrap();
+        let nodes_after_insert = mpt.nodes_written();
+        // Updating the same keys keeps writing new path copies.
+        for blk in 2..=5u64 {
+            mpt.begin_block(blk).unwrap();
+            for i in 0..100u64 {
+                mpt.put(addr(i), StateValue::from_u64(blk)).unwrap();
+            }
+            mpt.finalize_block().unwrap();
+        }
+        assert!(mpt.nodes_written() > nodes_after_insert * 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_query_returns_changes_and_verifies() {
+        let dir = tmpdir("prov");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        let target = addr(3);
+        for blk in 1..=20u64 {
+            mpt.begin_block(blk).unwrap();
+            if blk % 4 == 0 {
+                mpt.put(target, StateValue::from_u64(blk)).unwrap();
+            }
+            mpt.put(addr(100 + blk), StateValue::from_u64(blk)).unwrap();
+            mpt.finalize_block().unwrap();
+        }
+        let hstate = mpt.finalize_block().unwrap();
+        let result = mpt.prov_query(target, 5, 15).unwrap();
+        let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+        assert_eq!(got, vec![12, 8]);
+        assert!(mpt.verify_prov(target, 5, 15, &result, hstate).unwrap());
+        // Tampering with a value defeats verification.
+        let mut tampered = result.clone();
+        tampered.values[0].value = StateValue::from_u64(999);
+        assert!(!mpt.verify_prov(target, 5, 15, &tampered, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_and_name() {
+        let dir = tmpdir("stats");
+        let mut mpt = MptStorage::open(&dir).unwrap();
+        mpt.begin_block(1).unwrap();
+        for i in 0..200u64 {
+            mpt.put(addr(i), StateValue::from_u64(i)).unwrap();
+        }
+        mpt.finalize_block().unwrap();
+        mpt.flush().unwrap();
+        let stats = mpt.storage_stats().unwrap();
+        assert!(stats.total_bytes() > 0);
+        assert_eq!(mpt.name(), "MPT");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

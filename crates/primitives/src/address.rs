@@ -1,0 +1,192 @@
+//! Fixed-size state addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::constants::ADDRESS_LEN;
+use crate::error::ColeError;
+
+/// A fixed-size (20-byte) state address, mirroring Ethereum account addresses.
+///
+/// Addresses are the "column" identifiers of COLE's column-based design: all
+/// historical versions of the state at one address are stored contiguously.
+///
+/// # Examples
+///
+/// ```
+/// use cole_primitives::Address;
+///
+/// let a = Address::from_low_u64(0xdeadbeef);
+/// let b: Address = a.to_string().parse().unwrap();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address([u8; ADDRESS_LEN]);
+
+impl Address {
+    /// The all-zero address.
+    pub const ZERO: Address = Address([0u8; ADDRESS_LEN]);
+
+    /// Creates an address from its raw bytes.
+    #[must_use]
+    pub const fn new(bytes: [u8; ADDRESS_LEN]) -> Self {
+        Address(bytes)
+    }
+
+    /// Creates an address whose low 8 bytes are the big-endian encoding of
+    /// `v` and whose remaining bytes are zero.
+    ///
+    /// This is convenient for tests and synthetic workloads where addresses
+    /// are drawn from a small integer space.
+    #[must_use]
+    pub fn from_low_u64(v: u64) -> Self {
+        let mut bytes = [0u8; ADDRESS_LEN];
+        bytes[ADDRESS_LEN - 8..].copy_from_slice(&v.to_be_bytes());
+        Address(bytes)
+    }
+
+    /// Returns the raw bytes of the address.
+    #[must_use]
+    pub const fn as_bytes(&self) -> &[u8; ADDRESS_LEN] {
+        &self.0
+    }
+
+    /// Returns the address as a big-endian byte slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Interprets the low 8 bytes of the address as a big-endian `u64`.
+    #[must_use]
+    pub fn low_u64(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.0[ADDRESS_LEN - 8..]);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Returns the sequence of 4-bit nibbles of the address, most significant
+    /// first. Used by the Merkle Patricia Trie baseline.
+    #[must_use]
+    pub fn nibbles(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ADDRESS_LEN * 2);
+        for byte in self.0 {
+            out.push(byte >> 4);
+            out.push(byte & 0x0f);
+        }
+        out
+    }
+}
+
+impl From<[u8; ADDRESS_LEN]> for Address {
+    fn from(bytes: [u8; ADDRESS_LEN]) -> Self {
+        Address(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address(0x")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Address {
+    type Err = ColeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.len() != ADDRESS_LEN * 2 {
+            return Err(ColeError::InvalidEncoding(format!(
+                "address must be {} hex chars, got {}",
+                ADDRESS_LEN * 2,
+                s.len()
+            )));
+        }
+        let mut bytes = [0u8; ADDRESS_LEN];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = hex_val(chunk[0])?;
+            let lo = hex_val(chunk[1])?;
+            bytes[i] = (hi << 4) | lo;
+        }
+        Ok(Address(bytes))
+    }
+}
+
+fn hex_val(c: u8) -> Result<u8, ColeError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(ColeError::InvalidEncoding(format!(
+            "invalid hex character {:?}",
+            c as char
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_low_u64_roundtrip() {
+        let a = Address::from_low_u64(123_456_789);
+        assert_eq!(a.low_u64(), 123_456_789);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let a = Address::from_low_u64(u64::MAX);
+        let s = a.to_string();
+        assert!(s.starts_with("0x"));
+        assert_eq!(s.len(), 2 + ADDRESS_LEN * 2);
+        let parsed: Address = s.parse().unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn parse_rejects_bad_length() {
+        assert!("0x1234".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let s = "zz".repeat(ADDRESS_LEN);
+        assert!(s.parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn nibbles_cover_all_bytes() {
+        let a = Address::from_low_u64(0xabcd);
+        let nibbles = a.nibbles();
+        assert_eq!(nibbles.len(), ADDRESS_LEN * 2);
+        assert_eq!(nibbles[ADDRESS_LEN * 2 - 4..], [0xa, 0xb, 0xc, 0xd]);
+        assert!(nibbles.iter().all(|&n| n < 16));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Address::from_low_u64(1) < Address::from_low_u64(2));
+        assert!(Address::ZERO < Address::from_low_u64(1));
+    }
+}

@@ -1,0 +1,67 @@
+//! Layout constants shared across the storage engine.
+//!
+//! The paper (§8.1.2) derives the learned-index error bound ε from the disk
+//! page size and the on-disk record sizes; we do the same here but from the
+//! sizes of this reproduction's records.
+
+/// Size of a disk page in bytes (§8.1.2 uses 4 KB pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Length of a state address in bytes (Ethereum account addresses are 20 bytes).
+pub const ADDRESS_LEN: usize = 20;
+
+/// Length of a state value in bytes (Ethereum storage slots are 32 bytes).
+pub const VALUE_LEN: usize = 32;
+
+/// Length of a cryptographic digest in bytes (SHA-256).
+pub const DIGEST_LEN: usize = 32;
+
+/// Serialized length of a compound key `⟨addr, blk⟩`: 20-byte address plus a
+/// 64-bit block height.
+pub const COMPOUND_KEY_LEN: usize = ADDRESS_LEN + 8;
+
+/// Serialized length of a value-file entry: compound key followed by value.
+pub const ENTRY_LEN: usize = COMPOUND_KEY_LEN + VALUE_LEN;
+
+/// Serialized length of a learned model `⟨slope, intercept, kmin, pmax⟩`
+/// (two `f64`s, a compound key, and a 64-bit position).
+pub const MODEL_LEN: usize = 8 + 8 + COMPOUND_KEY_LEN + 8;
+
+/// Number of learned models that fit in one disk page.
+#[must_use]
+pub const fn models_per_page() -> usize {
+    PAGE_SIZE / MODEL_LEN
+}
+
+/// The error bound ε of the piecewise linear models.
+///
+/// Following §4.1, ε is set to half the number of models that fit in a single
+/// disk page so that a model prediction touches at most two pages of the file
+/// it indexes.
+#[must_use]
+pub const fn index_epsilon() -> u64 {
+    (models_per_page() / 2) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_holds_multiple_models() {
+        assert!(models_per_page() >= 2);
+        assert!(models_per_page() * MODEL_LEN <= PAGE_SIZE);
+    }
+
+    #[test]
+    fn epsilon_is_half_models_per_page() {
+        assert_eq!(index_epsilon(), (models_per_page() / 2) as u64);
+        assert!(index_epsilon() >= 1);
+    }
+
+    #[test]
+    fn entry_len_matches_components() {
+        assert_eq!(ENTRY_LEN, COMPOUND_KEY_LEN + VALUE_LEN);
+        assert_eq!(COMPOUND_KEY_LEN, 28);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cryptographic digests.
+
+use std::fmt;
+
+use crate::constants::DIGEST_LEN;
+
+/// A 32-byte cryptographic digest (the output of SHA-256 in this repo).
+///
+/// `Digest` lives in the primitives crate (rather than next to the hash
+/// implementation) so that index-agnostic interfaces such as
+/// [`crate::AuthenticatedStorage`] can reference it without depending on a
+/// particular hash function.
+///
+/// # Examples
+///
+/// ```
+/// use cole_primitives::Digest;
+///
+/// let zero = Digest::ZERO;
+/// assert!(zero.is_zero());
+/// assert_eq!(zero.as_bytes().len(), 32);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest([u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest, used as the digest of absent/empty structures.
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Creates a digest from raw bytes.
+    #[must_use]
+    pub const fn new(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the raw bytes.
+    #[must_use]
+    pub const fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Returns `true` if the digest is all zeros.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; DIGEST_LEN]
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest(0x")?;
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_digest() {
+        assert!(Digest::ZERO.is_zero());
+        assert!(!Digest::new([1u8; DIGEST_LEN]).is_zero());
+    }
+
+    #[test]
+    fn display_has_full_hex() {
+        let d = Digest::new([0xab; DIGEST_LEN]);
+        let s = d.to_string();
+        assert_eq!(s.len(), 2 + DIGEST_LEN * 2);
+        assert!(s.contains("abab"));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Digest::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! The index-agnostic interface of a blockchain storage engine.
+//!
+//! §2 of the paper specifies the four functions a blockchain storage index
+//! must support — `Put`, `Get`, `ProvQuery`, `VerifyProv` — plus the implicit
+//! requirement of producing the per-block state root digest `Hstate`.
+//! [`AuthenticatedStorage`] captures that contract so workloads and the
+//! benchmark harness can drive COLE and every baseline (MPT, LIPP, CMI)
+//! through the same code path.
+
+use crate::address::Address;
+use crate::digest::Digest;
+use crate::error::Result;
+use crate::key::VersionedValue;
+use crate::value::StateValue;
+
+/// The result of a provenance query: the historical values plus an opaque,
+/// serialized integrity proof.
+///
+/// The proof encoding is specific to each storage engine; clients verify it
+/// via [`AuthenticatedStorage::verify_prov`], which only relies on the proof,
+/// the query parameters and the publicly known state root digest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceResult {
+    /// The historical values of the queried address, newest first.
+    pub values: Vec<VersionedValue>,
+    /// The serialized integrity proof π.
+    pub proof: Vec<u8>,
+}
+
+impl ProvenanceResult {
+    /// Size of the serialized proof in bytes (the paper's "proof size" metric).
+    #[must_use]
+    pub fn proof_size(&self) -> usize {
+        self.proof.len()
+    }
+}
+
+/// Storage-footprint statistics of an engine (the paper's "storage size"
+/// metric, Figures 9 and 10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Bytes occupied by index structures (trie nodes, learned models,
+    /// Merkle files, bloom filters, …).
+    pub index_bytes: u64,
+    /// Bytes occupied by the raw state data (compound key–value pairs).
+    pub data_bytes: u64,
+    /// Bytes held in memory (memtables / caches) that have not been flushed.
+    pub memory_bytes: u64,
+}
+
+impl StorageStats {
+    /// Total persistent storage footprint in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.index_bytes + self.data_bytes
+    }
+}
+
+/// The interface of an authenticated blockchain storage engine (§2).
+///
+/// The write path is block-oriented: the harness calls
+/// [`begin_block`](AuthenticatedStorage::begin_block), issues the block's
+/// [`put`](AuthenticatedStorage::put)s and
+/// [`get`](AuthenticatedStorage::get)s, then calls
+/// [`finalize_block`](AuthenticatedStorage::finalize_block) to obtain the
+/// state root digest `Hstate` recorded in the block header.
+pub trait AuthenticatedStorage {
+    /// Inserts (or updates) the state at `addr` with `value` in the current
+    /// block (`Put(addr, value)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn put(&mut self, addr: Address, value: StateValue) -> Result<()>;
+
+    /// Returns the latest value of the state at `addr`, or `None` if the
+    /// address has never been written (`Get(addr)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn get(&mut self, addr: Address) -> Result<Option<StateValue>>;
+
+    /// Returns the historical values of `addr` written in blocks within
+    /// `[blk_lower, blk_upper]`, together with an integrity proof
+    /// (`ProvQuery(addr, [blk_l, blk_u])`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvenanceResult>;
+
+    /// Verifies a provenance query result against the public state root
+    /// digest `hstate` (`VerifyProv(addr, [blk_l, blk_u], {value}, π, Hstate)`).
+    ///
+    /// Implementations must rely only on the proof, the query parameters and
+    /// static configuration (never on private storage contents), so that the
+    /// check mirrors what an untrusting client can perform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the proof is malformed; returns `Ok(false)` if the
+    /// proof is well-formed but does not authenticate the results.
+    fn verify_prov(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        result: &ProvenanceResult,
+        hstate: Digest,
+    ) -> Result<bool>;
+
+    /// Starts a new block at `height`. Subsequent `put`s belong to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `height` does not advance the chain.
+    fn begin_block(&mut self, height: u64) -> Result<()>;
+
+    /// Finalizes the current block and returns the state root digest `Hstate`
+    /// to be stored in the block header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn finalize_block(&mut self) -> Result<Digest>;
+
+    /// The height of the block currently being built (or of the last
+    /// finalized block if none is open).
+    fn current_block_height(&self) -> u64;
+
+    /// The current storage footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if sizes cannot be determined (e.g. directory walk
+    /// failure).
+    fn storage_stats(&self) -> Result<StorageStats>;
+
+    /// Short human-readable engine name ("COLE", "MPT", …) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Flushes any buffered state and waits for background work (such as
+    /// asynchronous merges) to complete. Used at the end of experiments so
+    /// that storage sizes are comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_stats_total() {
+        let stats = StorageStats {
+            index_bytes: 10,
+            data_bytes: 32,
+            memory_bytes: 5,
+        };
+        assert_eq!(stats.total_bytes(), 42);
+    }
+
+    #[test]
+    fn provenance_result_proof_size() {
+        let r = ProvenanceResult {
+            values: vec![],
+            proof: vec![0u8; 99],
+        };
+        assert_eq!(r.proof_size(), 99);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_obj(_s: &dyn AuthenticatedStorage) {}
+    }
+}

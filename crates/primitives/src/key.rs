@@ -1,0 +1,206 @@
+//! Compound keys — the heart of COLE's column-based design.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::address::Address;
+use crate::constants::{ADDRESS_LEN, COMPOUND_KEY_LEN};
+use crate::error::ColeError;
+use crate::value::StateValue;
+
+/// A compound key `⟨addr, blk⟩` (§3.2 of the paper).
+///
+/// Every update of a state at address `addr` in block `blk` is stored under a
+/// new compound key, so all historical versions of a state sort contiguously
+/// by `(addr, blk)` — the "column" of that state.
+///
+/// The ordering is lexicographic on `(addr, blk)`, which is identical to the
+/// numeric ordering of `binary(addr) · 2^64 + blk` ([`crate::KeyNum`]).
+///
+/// # Examples
+///
+/// ```
+/// use cole_primitives::{Address, CompoundKey};
+///
+/// let addr = Address::from_low_u64(3);
+/// let old = CompoundKey::new(addr, 10);
+/// let new = CompoundKey::new(addr, 20);
+/// assert!(old < new);
+/// assert!(new < CompoundKey::latest(Address::from_low_u64(4)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompoundKey {
+    addr: Address,
+    blk: u64,
+}
+
+impl CompoundKey {
+    /// Creates a compound key for `addr` updated at block height `blk`.
+    #[must_use]
+    pub const fn new(addr: Address, blk: u64) -> Self {
+        CompoundKey { addr, blk }
+    }
+
+    /// The search key used to retrieve the *latest* value of `addr`:
+    /// `⟨addr, max_int⟩` (§3.2).
+    #[must_use]
+    pub const fn latest(addr: Address) -> Self {
+        CompoundKey {
+            addr,
+            blk: u64::MAX,
+        }
+    }
+
+    /// The smallest possible key.
+    #[must_use]
+    pub const fn min_key() -> Self {
+        CompoundKey {
+            addr: Address::ZERO,
+            blk: 0,
+        }
+    }
+
+    /// The state address of the key.
+    #[must_use]
+    pub const fn address(&self) -> Address {
+        self.addr
+    }
+
+    /// The block height at which the state was updated.
+    #[must_use]
+    pub const fn block_height(&self) -> u64 {
+        self.blk
+    }
+
+    /// Serializes the key as `addr || blk` in big-endian order
+    /// ([`COMPOUND_KEY_LEN`] bytes). The serialization preserves ordering.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; COMPOUND_KEY_LEN] {
+        let mut out = [0u8; COMPOUND_KEY_LEN];
+        out[..ADDRESS_LEN].copy_from_slice(self.addr.as_slice());
+        out[ADDRESS_LEN..].copy_from_slice(&self.blk.to_be_bytes());
+        out
+    }
+
+    /// Deserializes a key previously produced by [`CompoundKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidEncoding`] if `bytes` is not exactly
+    /// [`COMPOUND_KEY_LEN`] bytes long.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ColeError> {
+        if bytes.len() != COMPOUND_KEY_LEN {
+            return Err(ColeError::InvalidEncoding(format!(
+                "compound key must be {COMPOUND_KEY_LEN} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut addr = [0u8; ADDRESS_LEN];
+        addr.copy_from_slice(&bytes[..ADDRESS_LEN]);
+        let mut blk = [0u8; 8];
+        blk.copy_from_slice(&bytes[ADDRESS_LEN..]);
+        Ok(CompoundKey {
+            addr: Address::new(addr),
+            blk: u64::from_be_bytes(blk),
+        })
+    }
+}
+
+impl PartialOrd for CompoundKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompoundKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.addr
+            .cmp(&other.addr)
+            .then_with(|| self.blk.cmp(&other.blk))
+    }
+}
+
+impl fmt::Debug for CompoundKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.addr, self.blk)
+    }
+}
+
+impl fmt::Display for CompoundKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A state value together with the block height at which it was written.
+///
+/// Provenance queries return sequences of versioned values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct VersionedValue {
+    /// Block height at which the value was written.
+    pub block_height: u64,
+    /// The value itself.
+    pub value: StateValue,
+}
+
+impl VersionedValue {
+    /// Creates a versioned value.
+    #[must_use]
+    pub const fn new(block_height: u64, value: StateValue) -> Self {
+        VersionedValue {
+            block_height,
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_by_address_then_height() {
+        let a = Address::from_low_u64(1);
+        let b = Address::from_low_u64(2);
+        let mut keys = vec![
+            CompoundKey::new(b, 0),
+            CompoundKey::new(a, 5),
+            CompoundKey::new(a, 1),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                CompoundKey::new(a, 1),
+                CompoundKey::new(a, 5),
+                CompoundKey::new(b, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn latest_sorts_after_all_versions_of_same_address() {
+        let a = Address::from_low_u64(7);
+        assert!(CompoundKey::new(a, u64::MAX - 1) < CompoundKey::latest(a));
+        assert!(CompoundKey::latest(a) < CompoundKey::new(Address::from_low_u64(8), 0));
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_order_preserving() {
+        let k1 = CompoundKey::new(Address::from_low_u64(10), 3);
+        let k2 = CompoundKey::new(Address::from_low_u64(10), 4);
+        assert_eq!(CompoundKey::from_bytes(&k1.to_bytes()).unwrap(), k1);
+        assert!(k1.to_bytes() < k2.to_bytes());
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_length() {
+        assert!(CompoundKey::from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn min_key_is_smallest() {
+        let k = CompoundKey::new(Address::from_low_u64(1), 0);
+        assert!(CompoundKey::min_key() <= k);
+    }
+}

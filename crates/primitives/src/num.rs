@@ -1,0 +1,257 @@
+//! Big-integer representation of compound keys.
+//!
+//! §3.2 of the paper converts a compound key `⟨addr, blk⟩` into a big integer
+//! `binary(addr) · 2^64 + blk` so that learned models can operate on numeric
+//! keys. Addresses are 160-bit and block heights 64-bit, so the integer fits
+//! in 224 bits; [`KeyNum`] stores it in four 64-bit limbs (256 bits).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::address::Address;
+use crate::constants::ADDRESS_LEN;
+use crate::key::CompoundKey;
+
+/// A 256-bit unsigned integer used as the numeric form of a [`CompoundKey`].
+///
+/// Limbs are stored little-endian (`limbs[0]` is least significant).
+///
+/// # Examples
+///
+/// ```
+/// use cole_primitives::{Address, CompoundKey, KeyNum};
+///
+/// let k1 = KeyNum::from(CompoundKey::new(Address::from_low_u64(1), 5));
+/// let k2 = KeyNum::from(CompoundKey::new(Address::from_low_u64(1), 9));
+/// assert!(k1 < k2);
+/// assert_eq!(k2.saturating_sub(k1).to_f64(), 4.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct KeyNum {
+    limbs: [u64; 4],
+}
+
+impl KeyNum {
+    /// The integer zero.
+    pub const ZERO: KeyNum = KeyNum { limbs: [0; 4] };
+
+    /// The maximum representable integer.
+    pub const MAX: KeyNum = KeyNum {
+        limbs: [u64::MAX; 4],
+    };
+
+    /// Creates a `KeyNum` from little-endian limbs.
+    #[must_use]
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        KeyNum { limbs }
+    }
+
+    /// Creates a `KeyNum` from a `u64`.
+    #[must_use]
+    pub const fn from_u64(v: u64) -> Self {
+        KeyNum {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Returns the little-endian limbs.
+    #[must_use]
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.limbs
+    }
+
+    /// Computes `self - other`, saturating at zero.
+    #[must_use]
+    pub fn saturating_sub(&self, other: KeyNum) -> KeyNum {
+        if *self <= other {
+            return KeyNum::ZERO;
+        }
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        KeyNum { limbs: out }
+    }
+
+    /// Computes `self + other`, saturating at [`KeyNum::MAX`].
+    #[must_use]
+    pub fn saturating_add(&self, other: KeyNum) -> KeyNum {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            KeyNum::MAX
+        } else {
+            KeyNum { limbs: out }
+        }
+    }
+
+    /// Converts to `f64`, rounding to the nearest representable value.
+    ///
+    /// Large keys lose precision (as any 224-bit integer must in a 53-bit
+    /// mantissa); the learned-index construction always subtracts a nearby
+    /// origin first so that the values actually fed to floating point are
+    /// small relative deltas.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for i in (0..4).rev() {
+            acc = acc * 18_446_744_073_709_551_616.0 + self.limbs[i] as f64;
+        }
+        acc
+    }
+
+    /// Returns `true` if the integer is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+}
+
+impl PartialOrd for KeyNum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyNum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<CompoundKey> for KeyNum {
+    /// Computes `binary(addr) · 2^64 + blk` (§3.2).
+    fn from(key: CompoundKey) -> Self {
+        KeyNum::from(&key)
+    }
+}
+
+impl From<&CompoundKey> for KeyNum {
+    fn from(key: &CompoundKey) -> Self {
+        let mut limbs = [0u64; 4];
+        limbs[0] = key.block_height();
+        // The 20-byte big-endian address occupies bits [64, 224).
+        let addr = key.address();
+        let bytes = addr.as_bytes();
+        // Low 8 address bytes -> limb 1, middle 8 -> limb 2, top 4 -> limb 3.
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[ADDRESS_LEN - 8..]);
+        limbs[1] = u64::from_be_bytes(buf);
+        buf.copy_from_slice(&bytes[ADDRESS_LEN - 16..ADDRESS_LEN - 8]);
+        limbs[2] = u64::from_be_bytes(buf);
+        let mut top = [0u8; 8];
+        top[4..].copy_from_slice(&bytes[..ADDRESS_LEN - 16]);
+        limbs[3] = u64::from_be_bytes(top);
+        KeyNum { limbs }
+    }
+}
+
+impl From<KeyNum> for CompoundKey {
+    /// Inverse of the `binary(addr) · 2^64 + blk` encoding.
+    fn from(num: KeyNum) -> Self {
+        let limbs = num.limbs;
+        let mut addr = [0u8; ADDRESS_LEN];
+        addr[..ADDRESS_LEN - 16].copy_from_slice(&limbs[3].to_be_bytes()[4..]);
+        addr[ADDRESS_LEN - 16..ADDRESS_LEN - 8].copy_from_slice(&limbs[2].to_be_bytes());
+        addr[ADDRESS_LEN - 8..].copy_from_slice(&limbs[1].to_be_bytes());
+        CompoundKey::new(Address::new(addr), limbs[0])
+    }
+}
+
+impl fmt::Debug for KeyNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KeyNum(0x{:016x}{:016x}{:016x}{:016x})",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+impl fmt::Display for KeyNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compound_key_roundtrip() {
+        let key = CompoundKey::new(Address::from_low_u64(0xdead_beef), 77);
+        let num = KeyNum::from(key);
+        assert_eq!(CompoundKey::from(num), key);
+    }
+
+    #[test]
+    fn ordering_matches_compound_key_ordering() {
+        let a1 = CompoundKey::new(Address::from_low_u64(1), 9);
+        let a2 = CompoundKey::new(Address::from_low_u64(2), 0);
+        assert!(a1 < a2);
+        assert!(KeyNum::from(a1) < KeyNum::from(a2));
+    }
+
+    #[test]
+    fn saturating_sub_basics() {
+        let one = KeyNum::from_u64(1);
+        let two = KeyNum::from_u64(2);
+        assert_eq!(two.saturating_sub(one), one);
+        assert_eq!(one.saturating_sub(two), KeyNum::ZERO);
+        assert_eq!(one.saturating_sub(one), KeyNum::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_with_borrow_across_limbs() {
+        let big = KeyNum::from_limbs([0, 1, 0, 0]); // 2^64
+        let one = KeyNum::from_u64(1);
+        let diff = big.saturating_sub(one);
+        assert_eq!(diff, KeyNum::from_limbs([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn saturating_add_saturates() {
+        assert_eq!(KeyNum::MAX.saturating_add(KeyNum::from_u64(1)), KeyNum::MAX);
+        assert_eq!(
+            KeyNum::from_u64(3).saturating_add(KeyNum::from_u64(4)),
+            KeyNum::from_u64(7)
+        );
+    }
+
+    #[test]
+    fn to_f64_small_values_exact() {
+        assert_eq!(KeyNum::from_u64(12345).to_f64(), 12345.0);
+        assert_eq!(KeyNum::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn to_f64_uses_higher_limbs() {
+        let v = KeyNum::from_limbs([0, 1, 0, 0]);
+        assert_eq!(v.to_f64(), 18_446_744_073_709_551_616.0);
+    }
+
+    #[test]
+    fn block_height_difference_is_exact_in_f64() {
+        let addr = Address::from_low_u64(99);
+        let k1 = KeyNum::from(CompoundKey::new(addr, 10));
+        let k2 = KeyNum::from(CompoundKey::new(addr, 1_000_000));
+        assert_eq!(k2.saturating_sub(k1).to_f64(), 999_990.0);
+    }
+}

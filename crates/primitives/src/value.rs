@@ -1,0 +1,111 @@
+//! Fixed-size state values.
+
+use std::fmt;
+
+use crate::constants::VALUE_LEN;
+
+/// A fixed-size (32-byte) state value, mirroring Ethereum storage slots.
+///
+/// # Examples
+///
+/// ```
+/// use cole_primitives::StateValue;
+///
+/// let v = StateValue::from_u64(100);
+/// assert_eq!(v.as_u64(), 100);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StateValue([u8; VALUE_LEN]);
+
+impl StateValue {
+    /// The all-zero value.
+    pub const ZERO: StateValue = StateValue([0u8; VALUE_LEN]);
+
+    /// Creates a value from raw bytes.
+    #[must_use]
+    pub const fn new(bytes: [u8; VALUE_LEN]) -> Self {
+        StateValue(bytes)
+    }
+
+    /// Creates a value whose low 8 bytes encode `v` in big-endian order.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        let mut bytes = [0u8; VALUE_LEN];
+        bytes[VALUE_LEN - 8..].copy_from_slice(&v.to_be_bytes());
+        StateValue(bytes)
+    }
+
+    /// Interprets the low 8 bytes as a big-endian `u64`.
+    ///
+    /// Used by the synthetic workloads (e.g. SmallBank account balances).
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.0[VALUE_LEN - 8..]);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Returns the raw bytes of the value.
+    #[must_use]
+    pub const fn as_bytes(&self) -> &[u8; VALUE_LEN] {
+        &self.0
+    }
+}
+
+impl From<[u8; VALUE_LEN]> for StateValue {
+    fn from(bytes: [u8; VALUE_LEN]) -> Self {
+        StateValue(bytes)
+    }
+}
+
+impl From<u64> for StateValue {
+    fn from(v: u64) -> Self {
+        StateValue::from_u64(v)
+    }
+}
+
+impl AsRef<[u8]> for StateValue {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for StateValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateValue(0x")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for StateValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0, 1, 42, u64::MAX] {
+            assert_eq!(StateValue::from_u64(v).as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(StateValue::ZERO, StateValue::default());
+        assert_eq!(StateValue::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", StateValue::from_u64(7));
+        assert!(s.contains("StateValue"));
+    }
+}

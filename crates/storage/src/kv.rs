@@ -1,0 +1,428 @@
+//! A simulated RocksDB: a small LSM-flavoured persistent key–value store.
+//!
+//! The paper's baselines persist their index nodes in RocksDB with a 64 MB
+//! memory budget (§8.1.2). [`FileKvStore`] reproduces the relevant behaviour:
+//! writes land in an in-memory memtable; when the memtable exceeds the memory
+//! budget it is flushed to an immutable sorted segment file on disk; reads
+//! consult the memtable and then segments from newest to oldest. Overwritten
+//! keys therefore occupy space in older segments until a (rare, explicit)
+//! compaction — the same storage-amplification behaviour the paper attributes
+//! to the RocksDB-backed baselines.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use cole_primitives::{ColeError, Result};
+
+/// The interface of a byte-oriented key–value store.
+///
+/// Both the in-memory store (used in unit tests) and the on-disk store (used
+/// by the baselines) implement it, so index implementations can be written
+/// against the trait.
+pub trait KvStore {
+    /// Inserts or overwrites `key` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the write fails.
+    fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()>;
+
+    /// Returns the latest value of `key`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the read fails.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Returns `true` if `key` currently has a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the read fails.
+    fn contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Flushes buffered data to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush fails.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Bytes of stable storage used by the store.
+    fn disk_size(&self) -> u64;
+
+    /// Bytes of memory used by buffered (unflushed) data.
+    fn memory_size(&self) -> u64;
+
+    /// Number of live key–value pairs visible to readers.
+    fn len(&mut self) -> usize;
+
+    /// Returns `true` if the store holds no visible pairs.
+    fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A purely in-memory [`KvStore`], useful for unit tests and small fixtures.
+#[derive(Debug, Default, Clone)]
+pub struct MemKvStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemKvStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KvStore for MemKvStore {
+    fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.map.insert(key, value);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn disk_size(&self) -> u64 {
+        0
+    }
+
+    fn memory_size(&self) -> u64 {
+        self.map
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    fn len(&mut self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One immutable on-disk segment: sorted records plus an in-memory offset
+/// index for point lookups.
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    file: File,
+    /// key -> (offset, value length) of the record payload in the file.
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    bytes: u64,
+}
+
+impl Segment {
+    fn write(dir: &Path, seq: u64, entries: &BTreeMap<Vec<u8>, Vec<u8>>) -> Result<Segment> {
+        let path = dir.join(format!("segment-{seq:08}.kv"));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut writer = BufWriter::new(&file);
+        let mut index = HashMap::with_capacity(entries.len());
+        let mut offset = 0u64;
+        for (key, value) in entries {
+            writer.write_all(&(key.len() as u32).to_le_bytes())?;
+            writer.write_all(&(value.len() as u32).to_le_bytes())?;
+            writer.write_all(key)?;
+            offset += 8 + key.len() as u64;
+            index.insert(key.clone(), (offset, value.len() as u32));
+            writer.write_all(value)?;
+            offset += value.len() as u64;
+        }
+        writer.flush()?;
+        drop(writer);
+        Ok(Segment {
+            path,
+            file,
+            index,
+            bytes: offset,
+        })
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let Some(&(offset, len)) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let mut buf = vec![0u8; len as usize];
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut buf)?;
+        Ok(Some(buf))
+    }
+}
+
+/// A persistent [`KvStore`] simulating the RocksDB backend of the baselines.
+///
+/// # Examples
+///
+/// ```
+/// use cole_storage::{FileKvStore, KvStore};
+/// # fn main() -> cole_primitives::Result<()> {
+/// let dir = std::env::temp_dir().join(format!("cole-filekv-doc-{}", std::process::id()));
+/// let mut kv = FileKvStore::open(&dir, 128)?; // tiny budget to force flushes
+/// for i in 0..100u64 {
+///     kv.put(i.to_be_bytes().to_vec(), vec![0u8; 32])?;
+/// }
+/// assert_eq!(kv.get(&5u64.to_be_bytes())?, Some(vec![0u8; 32]));
+/// assert!(kv.disk_size() > 0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FileKvStore {
+    dir: PathBuf,
+    memtable: BTreeMap<Vec<u8>, Vec<u8>>,
+    memtable_bytes: u64,
+    memory_budget: u64,
+    segments: Vec<Segment>,
+    next_seq: u64,
+    /// Number of distinct keys ever seen (approximation of live length).
+    key_count: HashMap<Vec<u8>, ()>,
+}
+
+impl FileKvStore {
+    /// Opens (creating if needed) a store rooted at `dir` with the given
+    /// memtable `memory_budget` in bytes.
+    ///
+    /// Any existing segment files in `dir` are ignored: the store is intended
+    /// for freshly created experiment directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P, memory_budget: u64) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        if memory_budget == 0 {
+            return Err(ColeError::InvalidConfig(
+                "memory budget must be positive".into(),
+            ));
+        }
+        Ok(FileKvStore {
+            dir,
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            memory_budget,
+            segments: Vec::new(),
+            next_seq: 0,
+            key_count: HashMap::new(),
+        })
+    }
+
+    /// The directory backing this store.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of on-disk segments (flushed memtables).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn flush_memtable(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let segment = Segment::write(&self.dir, self.next_seq, &self.memtable)?;
+        self.next_seq += 1;
+        self.segments.push(segment);
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        Ok(())
+    }
+
+    /// Rewrites all live pairs into a single segment, dropping obsolete
+    /// versions. The baselines never call this during measured runs (RocksDB
+    /// compaction of historical trie nodes never reclaims them because every
+    /// node digest is unique); it exists for tests and tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rewrite fails.
+    pub fn compact(&mut self) -> Result<()> {
+        let mut all: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        // Oldest first so newer values overwrite older ones.
+        for seg in &mut self.segments {
+            let keys: Vec<Vec<u8>> = seg.index.keys().cloned().collect();
+            for key in keys {
+                if let Some(value) = seg.get(&key)? {
+                    all.insert(key, value);
+                }
+            }
+        }
+        for (k, v) in &self.memtable {
+            all.insert(k.clone(), v.clone());
+        }
+        let old_paths: Vec<PathBuf> = self.segments.iter().map(|s| s.path.clone()).collect();
+        self.segments.clear();
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        if !all.is_empty() {
+            let segment = Segment::write(&self.dir, self.next_seq, &all)?;
+            self.next_seq += 1;
+            self.segments.push(segment);
+        }
+        for path in old_paths {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl KvStore for FileKvStore {
+    fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.key_count.entry(key.clone()).or_insert(());
+        let value_len = value.len() as u64;
+        let entry_len = (key.len() + value.len()) as u64;
+        if let Some(old) = self.memtable.insert(key, value) {
+            // The key bytes were already accounted for on first insertion.
+            self.memtable_bytes = self.memtable_bytes - old.len() as u64 + value_len;
+        } else {
+            self.memtable_bytes += entry_len;
+        }
+        if self.memtable_bytes >= self.memory_budget {
+            self.flush_memtable()?;
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(v) = self.memtable.get(key) {
+            return Ok(Some(v.clone()));
+        }
+        for seg in self.segments.iter_mut().rev() {
+            if let Some(v) = seg.get(key)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.flush_memtable()
+    }
+
+    fn disk_size(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    fn memory_size(&self) -> u64 {
+        self.memtable_bytes
+    }
+
+    fn len(&mut self) -> usize {
+        self.key_count.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cole-kv-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let mut kv = MemKvStore::new();
+        kv.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        kv.put(b"a".to_vec(), b"2".to_vec()).unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(kv.get(b"b").unwrap(), None);
+        assert_eq!(kv.len(), 1);
+        assert!(!kv.is_empty());
+    }
+
+    #[test]
+    fn file_store_roundtrip_across_flushes() {
+        let dir = tmp("roundtrip");
+        let mut kv = FileKvStore::open(&dir, 256).unwrap();
+        for i in 0..200u64 {
+            kv.put(i.to_be_bytes().to_vec(), vec![i as u8; 16]).unwrap();
+        }
+        kv.flush().unwrap();
+        assert!(kv.segment_count() > 1);
+        for i in 0..200u64 {
+            assert_eq!(
+                kv.get(&i.to_be_bytes()).unwrap(),
+                Some(vec![i as u8; 16]),
+                "key {i}"
+            );
+        }
+        assert_eq!(kv.get(b"missing").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newest_version_wins_across_segments() {
+        let dir = tmp("versions");
+        let mut kv = FileKvStore::open(&dir, 64).unwrap();
+        for round in 0..5u8 {
+            for i in 0..10u64 {
+                kv.put(i.to_be_bytes().to_vec(), vec![round; 8]).unwrap();
+            }
+            kv.flush().unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(kv.get(&i.to_be_bytes()).unwrap(), Some(vec![4u8; 8]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_size_grows_with_obsolete_versions() {
+        let dir = tmp("growth");
+        let mut kv = FileKvStore::open(&dir, 128).unwrap();
+        for round in 0..4u8 {
+            for i in 0..50u64 {
+                kv.put(i.to_be_bytes().to_vec(), vec![round; 32]).unwrap();
+            }
+        }
+        kv.flush().unwrap();
+        let before = kv.disk_size();
+        kv.compact().unwrap();
+        let after = kv.disk_size();
+        assert!(after < before, "compaction should reclaim space");
+        for i in 0..50u64 {
+            assert_eq!(kv.get(&i.to_be_bytes()).unwrap(), Some(vec![3u8; 32]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let dir = tmp("zero");
+        assert!(FileKvStore::open(&dir, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_usage_tracks_memtable() {
+        let dir = tmp("mem");
+        let mut kv = FileKvStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(kv.memory_size(), 0);
+        kv.put(vec![1, 2, 3], vec![4, 5, 6, 7]).unwrap();
+        assert_eq!(kv.memory_size(), 7);
+        kv.flush().unwrap();
+        assert_eq!(kv.memory_size(), 0);
+        assert!(kv.disk_size() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

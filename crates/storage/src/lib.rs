@@ -1,0 +1,41 @@
+//! Disk-storage substrates for the COLE reproduction.
+//!
+//! Two families of abstractions live here:
+//!
+//! * **Page-oriented files** ([`PageFile`], [`PageWriter`]) — COLE's value,
+//!   index and Merkle files are plain files accessed in 4 KiB pages (§3.2,
+//!   §4). A [`PageFile`] supports appending pages, positioned reads and
+//!   positioned overwrites (needed by the streaming Merkle-file construction
+//!   of Algorithm 4, which writes each MHT layer at a precomputed offset).
+//!
+//! * **A simulated RocksDB** ([`KvStore`], [`MemKvStore`], [`FileKvStore`]) —
+//!   the paper's baselines (MPT, LIPP, CMI) persist their index nodes in
+//!   RocksDB (§8.1.2). [`FileKvStore`] is a small LSM-flavoured key–value
+//!   store (memtable + sorted segment files) that plays that role without an
+//!   external dependency, while exposing the storage-size counters the
+//!   experiments need.
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_storage::{FileKvStore, KvStore};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-kv-doc-{}", std::process::id()));
+//! let mut kv = FileKvStore::open(&dir, 1024 * 1024)?;
+//! kv.put(b"key".to_vec(), b"value".to_vec())?;
+//! assert_eq!(kv.get(b"key")?, Some(b"value".to_vec()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kv;
+mod page;
+mod util;
+
+pub use kv::{FileKvStore, KvStore, MemKvStore};
+pub use page::{PageFile, PageWriter};
+pub use util::dir_size;

@@ -1,0 +1,370 @@
+//! Page-oriented file access.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use cole_primitives::{ColeError, Result, PAGE_SIZE};
+
+/// A file accessed in [`PAGE_SIZE`]-byte pages.
+///
+/// COLE's value files, index files and Merkle files are all `PageFile`s:
+/// they are written once during a flush/merge (streamingly, page by page or
+/// at precomputed offsets) and then only read until the next level merge
+/// deletes them (§4).
+///
+/// # Examples
+///
+/// ```
+/// use cole_storage::PageFile;
+/// # fn main() -> cole_primitives::Result<()> {
+/// let path = std::env::temp_dir().join(format!("cole-pagefile-doc-{}", std::process::id()));
+/// let mut f = PageFile::create(&path)?;
+/// f.append_page(&[7u8; 10])?;
+/// let page = f.read_page(0)?;
+/// assert_eq!(&page[..10], &[7u8; 10]);
+/// # std::fs::remove_file(&path).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    num_pages: u64,
+}
+
+impl PageFile {
+    /// Creates (or truncates) a page file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(PageFile {
+            file,
+            path,
+            num_pages: 0,
+        })
+    }
+
+    /// Opens an existing page file for reading and writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file does not exist or cannot be opened.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(PageFile {
+            file,
+            path,
+            num_pages: len.div_ceil(PAGE_SIZE as u64),
+        })
+    }
+
+    /// The number of pages currently in the file.
+    #[must_use]
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// The file size in bytes (always a multiple of [`PAGE_SIZE`]).
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.num_pages * PAGE_SIZE as u64
+    }
+
+    /// The path backing this file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends `data` as a new page (padded with zeros to [`PAGE_SIZE`]) and
+    /// returns its page id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` exceeds one page or the write fails.
+    pub fn append_page(&mut self, data: &[u8]) -> Result<u64> {
+        if data.len() > PAGE_SIZE {
+            return Err(ColeError::InvalidState(format!(
+                "page payload of {} bytes exceeds page size {PAGE_SIZE}",
+                data.len()
+            )));
+        }
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..data.len()].copy_from_slice(data);
+        self.file
+            .seek(SeekFrom::Start(self.num_pages * PAGE_SIZE as u64))?;
+        self.file.write_all(&page)?;
+        let id = self.num_pages;
+        self.num_pages += 1;
+        Ok(id)
+    }
+
+    /// Reads the page with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `page_id` is out of bounds or the read fails.
+    pub fn read_page(&self, page_id: u64) -> Result<Vec<u8>> {
+        if page_id >= self.num_pages {
+            return Err(ColeError::NotFound(format!(
+                "page {page_id} out of bounds ({} pages)",
+                self.num_pages
+            )));
+        }
+        let mut file = &self.file;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `data` at an arbitrary byte offset, extending the file if
+    /// needed. Used by the streaming Merkle-file construction, which knows
+    /// each layer's offset in advance (Algorithm 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the write fails.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        let end = offset + data.len() as u64;
+        let pages = end.div_ceil(PAGE_SIZE as u64);
+        if pages > self.num_pages {
+            self.num_pages = pages;
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `len` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is out of bounds or the read fails.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut file = &self.file;
+        let mut buf = vec![0u8; len];
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Flushes buffered writes to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush fails.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// A streaming writer that packs fixed-size records into pages.
+///
+/// Records never straddle a page boundary, matching the paper's layout where
+/// "files are often organized into pages" and a model prediction resolves to
+/// a page that is then binary-searched (§4.1, Algorithm 7).
+#[derive(Debug)]
+pub struct PageWriter {
+    file: PageFile,
+    record_len: usize,
+    records_per_page: usize,
+    current: Vec<u8>,
+    records_in_current: usize,
+    total_records: u64,
+}
+
+impl PageWriter {
+    /// Creates a writer producing `record_len`-byte records at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created or `record_len` does
+    /// not fit a page.
+    pub fn create<P: AsRef<Path>>(path: P, record_len: usize) -> Result<Self> {
+        if record_len == 0 || record_len > PAGE_SIZE {
+            return Err(ColeError::InvalidConfig(format!(
+                "record length {record_len} must be in 1..={PAGE_SIZE}"
+            )));
+        }
+        Ok(PageWriter {
+            file: PageFile::create(path)?,
+            record_len,
+            records_per_page: PAGE_SIZE / record_len,
+            current: Vec::with_capacity(PAGE_SIZE),
+            records_in_current: 0,
+            total_records: 0,
+        })
+    }
+
+    /// Number of records per page for this writer.
+    #[must_use]
+    pub fn records_per_page(&self) -> usize {
+        self.records_per_page
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `record` has the wrong length or the write fails.
+    pub fn push(&mut self, record: &[u8]) -> Result<()> {
+        if record.len() != self.record_len {
+            return Err(ColeError::InvalidState(format!(
+                "record of {} bytes does not match configured length {}",
+                record.len(),
+                self.record_len
+            )));
+        }
+        self.current.extend_from_slice(record);
+        self.records_in_current += 1;
+        self.total_records += 1;
+        if self.records_in_current == self.records_per_page {
+            self.file.append_page(&self.current)?;
+            self.current.clear();
+            self.records_in_current = 0;
+        }
+        Ok(())
+    }
+
+    /// Pads the current partial page with zeros so that the next record
+    /// starts on a fresh page boundary. A no-op if the current page is empty.
+    ///
+    /// Used by the learned-index file construction to start each model layer
+    /// on a page boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush fails.
+    pub fn pad_page(&mut self) -> Result<()> {
+        if self.records_in_current > 0 {
+            self.file.append_page(&self.current)?;
+            self.current.clear();
+            self.records_in_current = 0;
+        }
+        Ok(())
+    }
+
+    /// Number of full pages written so far (not counting the buffered partial
+    /// page).
+    #[must_use]
+    pub fn pages_written(&self) -> u64 {
+        self.file.num_pages()
+    }
+
+    /// Flushes the final partial page and returns the underlying [`PageFile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush fails.
+    pub fn finish(mut self) -> Result<PageFile> {
+        if self.records_in_current > 0 {
+            self.file.append_page(&self.current)?;
+        }
+        self.file.sync()?;
+        Ok(self.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cole-page-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_read_pages() {
+        let path = tmp("append");
+        let mut f = PageFile::create(&path).unwrap();
+        assert_eq!(f.append_page(&[1u8; 100]).unwrap(), 0);
+        assert_eq!(f.append_page(&[2u8; PAGE_SIZE]).unwrap(), 1);
+        assert_eq!(f.num_pages(), 2);
+        assert_eq!(f.read_page(0).unwrap()[..100], [1u8; 100]);
+        assert_eq!(f.read_page(1).unwrap(), vec![2u8; PAGE_SIZE]);
+        assert!(f.read_page(2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_page_rejected() {
+        let path = tmp("oversized");
+        let mut f = PageFile::create(&path).unwrap();
+        assert!(f.append_page(&vec![0u8; PAGE_SIZE + 1]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_at_and_read_at() {
+        let path = tmp("writeat");
+        let mut f = PageFile::create(&path).unwrap();
+        f.write_at(10_000, b"hello").unwrap();
+        assert_eq!(f.read_at(10_000, 5).unwrap(), b"hello");
+        assert!(f.num_pages() >= 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_page_count() {
+        let path = tmp("reopen");
+        {
+            let mut f = PageFile::create(&path).unwrap();
+            f.append_page(&[3u8; 8]).unwrap();
+            f.sync().unwrap();
+        }
+        let f = PageFile::open(&path).unwrap();
+        assert_eq!(f.num_pages(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_writer_packs_records_without_straddling() {
+        let path = tmp("writer");
+        let record_len = 100;
+        let mut w = PageWriter::create(&path, record_len).unwrap();
+        let per_page = w.records_per_page();
+        for i in 0..(per_page + 3) {
+            w.push(&vec![i as u8; record_len]).unwrap();
+        }
+        let f = w.finish().unwrap();
+        assert_eq!(f.num_pages(), 2);
+        // First record of page 1 is record `per_page`.
+        let page1 = f.read_page(1).unwrap();
+        assert_eq!(page1[..record_len], vec![per_page as u8; record_len]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_writer_rejects_wrong_record_length() {
+        let path = tmp("wronglen");
+        let mut w = PageWriter::create(&path, 16).unwrap();
+        assert!(w.push(&[0u8; 15]).is_err());
+        assert!(PageWriter::create(&path, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

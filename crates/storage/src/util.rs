@@ -1,0 +1,58 @@
+//! Small filesystem helpers shared by the experiment harness.
+
+use std::path::Path;
+
+use cole_primitives::Result;
+
+/// Returns the total size in bytes of all regular files under `dir`
+/// (recursively). Missing directories count as zero.
+///
+/// The benchmark harness uses this to report the on-disk storage footprint
+/// of each engine (Figures 9 and 10 of the paper).
+///
+/// # Errors
+///
+/// Returns an error if a directory entry cannot be inspected.
+pub fn dir_size<P: AsRef<Path>>(dir: P) -> Result<u64> {
+    let dir = dir.as_ref();
+    if !dir.exists() {
+        return Ok(0);
+    }
+    let mut total = 0u64;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(path) = stack.pop() {
+        for entry in std::fs::read_dir(&path)? {
+            let entry = entry?;
+            let metadata = entry.metadata()?;
+            if metadata.is_dir() {
+                stack.push(entry.path());
+            } else {
+                total += metadata.len();
+            }
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn missing_directory_is_zero() {
+        assert_eq!(dir_size("/definitely/not/a/real/path").unwrap(), 0);
+    }
+
+    #[test]
+    fn counts_nested_files() {
+        let dir = std::env::temp_dir().join(format!("cole-dirsize-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let mut f = std::fs::File::create(dir.join("a.bin")).unwrap();
+        f.write_all(&[0u8; 100]).unwrap();
+        let mut g = std::fs::File::create(dir.join("sub/b.bin")).unwrap();
+        g.write_all(&[0u8; 50]).unwrap();
+        assert_eq!(dir_size(&dir).unwrap(), 150);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

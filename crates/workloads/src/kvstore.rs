@@ -1,0 +1,187 @@
+//! The KVStore (YCSB-style) macro benchmark.
+
+use cole_primitives::{Address, StateValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::txn::{Block, Transaction};
+use crate::zipf::Zipf;
+
+/// Address-space offset for KVStore records.
+const RECORD_BASE: u64 = 0x4b56_0000_0000;
+
+/// Read/write mix of the KVStore running phase (Figure 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Only read transactions.
+    ReadOnly,
+    /// Half read, half write transactions.
+    ReadWrite,
+    /// Only write transactions.
+    WriteOnly,
+}
+
+impl Mix {
+    /// Probability that a generated transaction is a write.
+    #[must_use]
+    pub fn write_ratio(self) -> f64 {
+        match self {
+            Mix::ReadOnly => 0.0,
+            Mix::ReadWrite => 0.5,
+            Mix::WriteOnly => 1.0,
+        }
+    }
+
+    /// Short label used in reports ("RO", "RW", "WO").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::ReadOnly => "RO",
+            Mix::ReadWrite => "RW",
+            Mix::WriteOnly => "WO",
+        }
+    }
+}
+
+/// The KVStore workload: a loading phase that writes `num_records` base
+/// records followed by a running phase whose transactions read or update
+/// records chosen by a Zipfian distribution (YCSB's request distribution).
+#[derive(Clone, Debug)]
+pub struct KvWorkload {
+    num_records: u64,
+    mix: Mix,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl KvWorkload {
+    /// Creates a KVStore workload over `num_records` records with the given
+    /// running-phase `mix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_records` is zero.
+    #[must_use]
+    pub fn new(num_records: u64, mix: Mix, seed: u64) -> Self {
+        assert!(num_records > 0, "KVStore needs at least one record");
+        KvWorkload {
+            num_records,
+            mix,
+            zipf: Zipf::new(num_records as usize, 0.99),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The address of record `i`.
+    #[must_use]
+    pub fn record(&self, i: u64) -> Address {
+        Address::from_low_u64(RECORD_BASE + (i % self.num_records))
+    }
+
+    /// The loading phase: blocks that write every base record once.
+    #[must_use]
+    pub fn load_blocks(&self, starting_height: u64, txs_per_block: usize) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut txs = Vec::new();
+        let mut height = starting_height;
+        for i in 0..self.num_records {
+            txs.push(Transaction::Write {
+                addr: self.record(i),
+                value: StateValue::from_u64(i),
+            });
+            if txs.len() == txs_per_block {
+                blocks.push(Block {
+                    height,
+                    transactions: std::mem::take(&mut txs),
+                });
+                height += 1;
+            }
+        }
+        if !txs.is_empty() {
+            blocks.push(Block {
+                height,
+                transactions: txs,
+            });
+        }
+        blocks
+    }
+
+    /// Generates the next running-phase block of `txs_per_block` transactions
+    /// according to the configured read/write mix.
+    pub fn next_block(&mut self, height: u64, txs_per_block: usize) -> Block {
+        let mut transactions = Vec::with_capacity(txs_per_block);
+        for _ in 0..txs_per_block {
+            let record = self.zipf.sample(&mut self.rng) as u64;
+            let addr = self.record(record);
+            let is_write = self.rng.gen_bool(self.mix.write_ratio());
+            if is_write {
+                transactions.push(Transaction::Write {
+                    addr,
+                    value: StateValue::from_u64(self.rng.gen()),
+                });
+            } else {
+                transactions.push(Transaction::Read { addr });
+            }
+        }
+        Block {
+            height,
+            transactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_phase_writes_every_record_once() {
+        let wl = KvWorkload::new(1050, Mix::ReadWrite, 1);
+        let blocks = wl.load_blocks(1, 100);
+        assert_eq!(blocks.len(), 11);
+        let total: usize = blocks.iter().map(|b| b.transactions.len()).sum();
+        assert_eq!(total, 1050);
+        assert!(blocks
+            .iter()
+            .flat_map(|b| &b.transactions)
+            .all(Transaction::is_write));
+    }
+
+    #[test]
+    fn mixes_produce_expected_write_ratios() {
+        for (mix, lo, hi) in [
+            (Mix::ReadOnly, 0.0, 0.0),
+            (Mix::ReadWrite, 0.35, 0.65),
+            (Mix::WriteOnly, 1.0, 1.0),
+        ] {
+            let mut wl = KvWorkload::new(1000, mix, 5);
+            let mut writes = 0usize;
+            let mut total = 0usize;
+            for h in 1..=20u64 {
+                let block = wl.next_block(h, 100);
+                writes += block.transactions.iter().filter(|t| t.is_write()).count();
+                total += block.transactions.len();
+            }
+            let ratio = writes as f64 / total as f64;
+            assert!(
+                ratio >= lo && ratio <= hi,
+                "{} write ratio {ratio}",
+                mix.label()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = KvWorkload::new(500, Mix::ReadWrite, 77);
+        let mut b = KvWorkload::new(500, Mix::ReadWrite, 77);
+        assert_eq!(a.next_block(1, 50), b.next_block(1, 50));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Mix::ReadOnly.label(), "RO");
+        assert_eq!(Mix::ReadWrite.label(), "RW");
+        assert_eq!(Mix::WriteOnly.label(), "WO");
+    }
+}

@@ -1,0 +1,60 @@
+//! Blockchain workloads used by the COLE evaluation (§8.1.3).
+//!
+//! The paper drives every storage engine with Blockbench-style macro
+//! benchmarks executed through the Rust EVM; this crate provides the
+//! equivalent workload generators and a deterministic transaction executor
+//! (the EVM substitute documented in DESIGN.md):
+//!
+//! * [`SmallBank`] — account-transfer transactions over a fixed population of
+//!   accounts (the SmallBank benchmark),
+//! * [`KvWorkload`] — the YCSB-style KVStore benchmark with a loading phase
+//!   and a running phase whose read/write mix is configurable
+//!   ([`Mix::ReadOnly`], [`Mix::ReadWrite`], [`Mix::WriteOnly`]),
+//! * [`ProvenanceWorkload`] — the provenance-query workload: a small set of
+//!   base states updated continuously, queried over varying block ranges,
+//! * [`BlockHeader`] / [`HeaderChain`] / [`TxInclusionProof`] — the block
+//!   header structure of Figure 2 (`Hprev_blk`, `Htx`, `Hstate`) with
+//!   hash-chain validation and transaction-inclusion proofs,
+//! * [`Transaction`] / [`Block`] / [`execute_block`] — the block format
+//!   (100 transactions per block by default) and the executor that replays
+//!   blocks against any [`AuthenticatedStorage`] engine while recording
+//!   per-transaction latencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_workloads::{execute_block, SmallBank};
+//! use cole_core::{Cole, ColeConfig};
+//! # fn main() -> cole_primitives::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-wl-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let mut storage = Cole::open(&dir, ColeConfig::default())?;
+//! let mut workload = SmallBank::new(1000, 42);
+//! for height in 1..=5u64 {
+//!     let block = workload.next_block(height, 100);
+//!     execute_block(&mut storage, &block)?;
+//! }
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod kvstore;
+mod provenance;
+mod smallbank;
+mod txn;
+mod zipf;
+
+pub use chain::{
+    consensus_digest, hash_transaction, transaction_root, BlockHeader, HeaderChain,
+    TxInclusionProof,
+};
+pub use kvstore::{KvWorkload, Mix};
+pub use provenance::{ProvenanceQuery, ProvenanceWorkload};
+pub use smallbank::SmallBank;
+pub use txn::{execute_block, Block, BlockResult, Transaction, INITIAL_BALANCE};
+pub use zipf::Zipf;

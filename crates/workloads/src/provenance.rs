@@ -1,0 +1,138 @@
+//! The provenance-query workload (§8.1.3, last paragraph).
+//!
+//! 100 base states are written once and then updated continuously by write
+//! transactions; provenance queries pick a random base state and ask for its
+//! history over the latest `q` blocks (`q ∈ {2, 4, …, 128}` in Figure 14).
+
+use cole_primitives::{Address, StateValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::txn::{Block, Transaction};
+
+/// Address-space offset for provenance-workload states.
+const PROV_BASE: u64 = 0x5052_0000_0000;
+
+/// A provenance query: an address plus a block-height range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvenanceQuery {
+    /// The queried state address.
+    pub addr: Address,
+    /// Lower end of the block range (inclusive).
+    pub blk_lower: u64,
+    /// Upper end of the block range (inclusive).
+    pub blk_upper: u64,
+}
+
+/// The provenance workload generator.
+#[derive(Clone, Debug)]
+pub struct ProvenanceWorkload {
+    num_states: u64,
+    rng: StdRng,
+}
+
+impl ProvenanceWorkload {
+    /// Creates a provenance workload over `num_states` base states (the paper
+    /// uses 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is zero.
+    #[must_use]
+    pub fn new(num_states: u64, seed: u64) -> Self {
+        assert!(num_states > 0, "provenance workload needs base states");
+        ProvenanceWorkload {
+            num_states,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The address of base state `i`.
+    #[must_use]
+    pub fn state(&self, i: u64) -> Address {
+        Address::from_low_u64(PROV_BASE + (i % self.num_states))
+    }
+
+    /// The block writing the base data (all base states once).
+    #[must_use]
+    pub fn base_block(&self, height: u64) -> Block {
+        Block {
+            height,
+            transactions: (0..self.num_states)
+                .map(|i| Transaction::Write {
+                    addr: self.state(i),
+                    value: StateValue::from_u64(i),
+                })
+                .collect(),
+        }
+    }
+
+    /// The next update block: `txs_per_block` writes to random base states.
+    pub fn next_block(&mut self, height: u64, txs_per_block: usize) -> Block {
+        let transactions = (0..txs_per_block)
+            .map(|_| {
+                let idx = self.rng.gen_range(0..self.num_states);
+                Transaction::Write {
+                    addr: self.state(idx),
+                    value: StateValue::from_u64(self.rng.gen()),
+                }
+            })
+            .collect();
+        Block {
+            height,
+            transactions,
+        }
+    }
+
+    /// Generates a provenance query over the latest `range` blocks given the
+    /// current block height.
+    pub fn next_query(&mut self, current_height: u64, range: u64) -> ProvenanceQuery {
+        let idx = self.rng.gen_range(0..self.num_states);
+        let addr = self.state(idx);
+        let blk_upper = current_height;
+        let blk_lower = current_height.saturating_sub(range.saturating_sub(1)).max(1);
+        ProvenanceQuery {
+            addr,
+            blk_lower,
+            blk_upper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_block_covers_all_states() {
+        let wl = ProvenanceWorkload::new(100, 1);
+        let block = wl.base_block(1);
+        assert_eq!(block.transactions.len(), 100);
+    }
+
+    #[test]
+    fn update_blocks_touch_only_base_states() {
+        let wl_probe = ProvenanceWorkload::new(10, 2);
+        let valid: Vec<Address> = (0..10).map(|i| wl_probe.state(i)).collect();
+        let mut wl = ProvenanceWorkload::new(10, 2);
+        let block = wl.next_block(5, 50);
+        for tx in &block.transactions {
+            match tx {
+                Transaction::Write { addr, .. } => assert!(valid.contains(addr)),
+                _ => panic!("provenance workload only issues writes"),
+            }
+        }
+    }
+
+    #[test]
+    fn queries_cover_the_requested_range() {
+        let mut wl = ProvenanceWorkload::new(100, 3);
+        let q = wl.next_query(1000, 16);
+        assert_eq!(q.blk_upper, 1000);
+        assert_eq!(q.blk_upper - q.blk_lower + 1, 16);
+        // Range longer than the chain is clamped at block 1.
+        let q = wl.next_query(5, 128);
+        assert_eq!(q.blk_lower, 1);
+        assert_eq!(q.blk_upper, 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! The SmallBank macro benchmark (account transfers).
+
+use cole_primitives::{Address, StateValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::txn::{Block, Transaction};
+
+/// Address-space offset so SmallBank accounts do not collide with other
+/// workloads' addresses in mixed experiments.
+const ACCOUNT_BASE: u64 = 0x5b00_0000_0000;
+
+/// The SmallBank workload: a fixed population of accounts; every transaction
+/// transfers a random amount between two random accounts (§8.1.3 uses the
+/// Blockbench SmallBank contract, which has the same read/write footprint:
+/// two reads plus two writes per transaction).
+#[derive(Clone, Debug)]
+pub struct SmallBank {
+    num_accounts: u64,
+    rng: StdRng,
+}
+
+impl SmallBank {
+    /// Creates a SmallBank workload over `num_accounts` accounts with a
+    /// deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_accounts < 2`.
+    #[must_use]
+    pub fn new(num_accounts: u64, seed: u64) -> Self {
+        assert!(num_accounts >= 2, "SmallBank needs at least two accounts");
+        SmallBank {
+            num_accounts,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The address of account `i`.
+    #[must_use]
+    pub fn account(&self, i: u64) -> Address {
+        Address::from_low_u64(ACCOUNT_BASE + (i % self.num_accounts))
+    }
+
+    /// A block that initializes every account with `balance` (used once
+    /// before the measured run; spread over several blocks if large).
+    #[must_use]
+    pub fn setup_blocks(&self, starting_height: u64, balance: u64, txs_per_block: usize) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut txs = Vec::new();
+        let mut height = starting_height;
+        for i in 0..self.num_accounts {
+            txs.push(Transaction::Write {
+                addr: self.account(i),
+                value: StateValue::from_u64(balance),
+            });
+            if txs.len() == txs_per_block {
+                blocks.push(Block {
+                    height,
+                    transactions: std::mem::take(&mut txs),
+                });
+                height += 1;
+            }
+        }
+        if !txs.is_empty() {
+            blocks.push(Block {
+                height,
+                transactions: txs,
+            });
+        }
+        blocks
+    }
+
+    /// Generates the next block of `txs_per_block` transfer transactions.
+    pub fn next_block(&mut self, height: u64, txs_per_block: usize) -> Block {
+        let mut transactions = Vec::with_capacity(txs_per_block);
+        for _ in 0..txs_per_block {
+            let from = self.rng.gen_range(0..self.num_accounts);
+            let mut to = self.rng.gen_range(0..self.num_accounts);
+            if to == from {
+                to = (to + 1) % self.num_accounts;
+            }
+            transactions.push(Transaction::Transfer {
+                from: self.account(from),
+                to: self.account(to),
+                amount: self.rng.gen_range(1..100),
+            });
+        }
+        Block {
+            height,
+            transactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_have_requested_size_and_valid_accounts() {
+        let mut wl = SmallBank::new(100, 1);
+        let block = wl.next_block(5, 100);
+        assert_eq!(block.height, 5);
+        assert_eq!(block.transactions.len(), 100);
+        for tx in &block.transactions {
+            match tx {
+                Transaction::Transfer { from, to, amount } => {
+                    assert_ne!(from, to);
+                    assert!(*amount > 0);
+                }
+                _ => panic!("SmallBank only issues transfers"),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = SmallBank::new(50, 9);
+        let mut b = SmallBank::new(50, 9);
+        assert_eq!(a.next_block(1, 20), b.next_block(1, 20));
+        let mut c = SmallBank::new(50, 10);
+        assert_ne!(a.next_block(2, 20), c.next_block(2, 20));
+    }
+
+    #[test]
+    fn setup_blocks_cover_every_account() {
+        let wl = SmallBank::new(250, 3);
+        let blocks = wl.setup_blocks(1, 1000, 100);
+        assert_eq!(blocks.len(), 3);
+        let total: usize = blocks.iter().map(|b| b.transactions.len()).sum();
+        assert_eq!(total, 250);
+        assert_eq!(blocks[0].height, 1);
+        assert_eq!(blocks[2].height, 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! A small Zipfian distribution sampler (YCSB uses Zipfian request keys).
+
+use rand::Rng;
+
+/// Samples indices in `[0, n)` following a Zipf distribution with exponent
+/// `theta` (YCSB's default is 0.99; `theta = 0` degenerates to uniform).
+///
+/// The implementation precomputes the cumulative distribution once, so
+/// sampling is a binary search — fine for the population sizes used here
+/// (up to a few hundred thousand keys).
+///
+/// # Examples
+///
+/// ```
+/// use cole_workloads::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let idx = zipf.sample(&mut rng);
+/// assert!(idx < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items in the population.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the population is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(50, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_small_indices() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let hits_low = (0..10_000)
+            .filter(|_| zipf.sample(&mut rng) < 10)
+            .count();
+        // With theta = 0.99 the 10 hottest keys receive a large share.
+        assert!(hits_low > 2000, "got only {hits_low} hits on the hot keys");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let hits_low = (0..10_000)
+            .filter(|_| zipf.sample(&mut rng) < 10)
+            .count();
+        assert!((500..2000).contains(&hits_low), "got {hits_low}");
+    }
+}

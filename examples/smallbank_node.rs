@@ -1,0 +1,83 @@
+//! A blockchain node executing the SmallBank workload on COLE* and on the
+//! MPT baseline side by side, reporting throughput, tail latency and storage
+//! size — a miniature of the paper's headline comparison (Figures 9 and 12).
+//!
+//! Run with (optionally passing the number of blocks):
+//!
+//! ```text
+//! cargo run --release --example smallbank_node -- 300
+//! ```
+
+use cole::prelude::*;
+use cole_mpt::MptStorage;
+use cole_workloads::{execute_block, SmallBank};
+use std::time::Duration;
+
+fn drive(
+    storage: &mut dyn AuthenticatedStorage,
+    blocks: u64,
+    accounts: u64,
+) -> cole::Result<(f64, Duration, StorageStats)> {
+    let mut workload = SmallBank::new(accounts, 2024);
+    let started = std::time::Instant::now();
+    let mut latencies = Vec::new();
+    let mut txs = 0u64;
+    for height in 1..=blocks {
+        let block = workload.next_block(height, 100);
+        let result = execute_block(storage, &block)?;
+        txs += result.tx_latencies.len() as u64;
+        latencies.extend(result.tx_latencies);
+    }
+    storage.flush()?;
+    let elapsed = started.elapsed();
+    let tail = latencies.iter().max().copied().unwrap_or_default();
+    Ok((
+        txs as f64 / elapsed.as_secs_f64(),
+        tail,
+        storage.storage_stats()?,
+    ))
+}
+
+fn main() -> cole::Result<()> {
+    let blocks: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let accounts = 5_000u64;
+    let base = std::env::temp_dir().join(format!("cole-smallbank-node-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    println!("executing {blocks} blocks × 100 SmallBank transactions over {accounts} accounts\n");
+
+    let config = ColeConfig::default()
+        .with_memtable_capacity(4096)
+        .with_size_ratio(4);
+    let mut cole_star = AsyncCole::open(base.join("cole_star"), config)?;
+    let (cole_tps, cole_tail, cole_stats) = drive(&mut cole_star, blocks, accounts)?;
+
+    let mut mpt = MptStorage::open(base.join("mpt"))?;
+    let (mpt_tps, mpt_tail, mpt_stats) = drive(&mut mpt, blocks, accounts)?;
+
+    println!("engine  |       TPS | tail latency | storage");
+    println!("--------+-----------+--------------+----------------");
+    println!(
+        "COLE*   | {:>9.0} | {:>9.2} ms | {:>10.2} MiB",
+        cole_tps,
+        cole_tail.as_secs_f64() * 1e3,
+        cole_stats.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "MPT     | {:>9.0} | {:>9.2} ms | {:>10.2} MiB",
+        mpt_tps,
+        mpt_tail.as_secs_f64() * 1e3,
+        mpt_stats.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "\nCOLE* uses {:.1}% of MPT's storage and delivers {:.1}× its throughput",
+        100.0 * cole_stats.total_bytes() as f64 / mpt_stats.total_bytes().max(1) as f64,
+        cole_tps / mpt_tps.max(1.0)
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # COLE — Column-based Learned Storage for Blockchain Systems
+//!
+//! This facade crate re-exports the public API of the COLE reproduction so
+//! downstream users can depend on a single crate:
+//!
+//! * [`cole_core`] — the COLE storage engine itself,
+//! * [`cole_mpt`], [`cole_lipp`], [`cole_cmi`] — the baselines evaluated in
+//!   the paper,
+//! * [`cole_workloads`] — SmallBank / KVStore (YCSB) workload generators,
+//! * the substrate crates ([`cole_mbtree`], [`cole_mht`], [`cole_learned`],
+//!   [`cole_bloom`], [`cole_storage`], [`cole_hash`], [`cole_primitives`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cole::prelude::*;
+//! # fn main() -> cole::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("cole-doc-{}", std::process::id()));
+//! let mut store = Cole::open(&dir, ColeConfig::default())?;
+//!
+//! let addr = Address::from_low_u64(42);
+//! store.begin_block(1)?;
+//! store.put(addr, StateValue::from_u64(100))?;
+//! let hstate = store.finalize_block()?;
+//!
+//! assert_eq!(store.get(addr)?, Some(StateValue::from_u64(100)));
+//! let result = store.prov_query(addr, 1, 1)?;
+//! assert!(store.verify_prov(addr, 1, 1, &result, hstate)?);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cole_bloom;
+pub use cole_cmi;
+pub use cole_core;
+pub use cole_hash;
+pub use cole_learned;
+pub use cole_lipp;
+pub use cole_mbtree;
+pub use cole_mht;
+pub use cole_mpt;
+pub use cole_primitives;
+pub use cole_storage;
+pub use cole_workloads;
+
+pub use cole_core::{AsyncCole, Cole, ColeConfig};
+pub use cole_primitives::{
+    Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
+    StateValue, StorageStats, VersionedValue,
+};
+
+/// Convenient glob import for examples and applications.
+pub mod prelude {
+    pub use cole_core::{AsyncCole, Cole, ColeConfig};
+    pub use cole_primitives::{
+        Address, AuthenticatedStorage, CompoundKey, Digest, ProvenanceResult, StateValue,
+        StorageStats, VersionedValue,
+    };
+}

@@ -1,0 +1,148 @@
+//! Adversarial tests of COLE's provenance proofs: a malicious full node must
+//! not be able to hide versions, move them to other blocks, splice proof
+//! components or replay proofs for a different query without the client
+//! noticing.
+
+use cole::cole_core::{ColeProof, ComponentProof};
+use cole::prelude::*;
+use cole_workloads::{execute_block, Block, Transaction};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cole-it-adv-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a store where `target` is written at every even block height.
+fn build_store(dir: &std::path::Path) -> (Cole, Address, Digest) {
+    let config = ColeConfig::default()
+        .with_memtable_capacity(64)
+        .with_size_ratio(3);
+    let mut store = Cole::open(dir, config).unwrap();
+    let target = Address::from_low_u64(7);
+    let mut hstate = Digest::ZERO;
+    for height in 1..=60u64 {
+        let mut transactions = vec![Transaction::Write {
+            addr: Address::from_low_u64(1000 + height),
+            value: StateValue::from_u64(height),
+        }];
+        if height % 2 == 0 {
+            transactions.push(Transaction::Write {
+                addr: target,
+                value: StateValue::from_u64(height * 10),
+            });
+        }
+        let block = Block {
+            height,
+            transactions,
+        };
+        hstate = execute_block(&mut store, &block).unwrap().hstate;
+    }
+    (store, target, hstate)
+}
+
+#[test]
+fn omitting_a_version_is_detected() {
+    let dir = tmpdir("omit");
+    let (mut store, target, hstate) = build_store(&dir);
+    let result = store.prov_query(target, 10, 30).unwrap();
+    assert!(result.values.len() >= 5);
+    // The node answers honestly but tries to hide one version from the
+    // result list (e.g. to conceal a past balance).
+    let mut censored = result.clone();
+    censored.values.remove(2);
+    assert!(!store.verify_prov(target, 10, 30, &censored, hstate).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn moving_a_version_to_another_block_is_detected() {
+    let dir = tmpdir("move");
+    let (mut store, target, hstate) = build_store(&dir);
+    let result = store.prov_query(target, 10, 30).unwrap();
+    let mut shifted = result.clone();
+    let first = shifted.values[0];
+    shifted.values[0] = VersionedValue::new(first.block_height - 1, first.value);
+    assert!(!store.verify_prov(target, 10, 30, &shifted, hstate).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replaying_a_proof_for_a_different_range_or_address_fails() {
+    let dir = tmpdir("replay");
+    let (mut store, target, hstate) = build_store(&dir);
+    let result = store.prov_query(target, 10, 30).unwrap();
+    // Same proof, different range: either the proof structure no longer
+    // matches (error) or the result set disagrees (false).
+    match store.verify_prov(target, 10, 40, &result, hstate) {
+        Ok(ok) => assert!(!ok),
+        Err(_) => {}
+    }
+    // Same proof, different address.
+    let other = Address::from_low_u64(8);
+    match store.verify_prov(other, 10, 30, &result, hstate) {
+        Ok(ok) => assert!(!ok),
+        Err(_) => {}
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn splicing_proof_components_is_detected() {
+    let dir = tmpdir("splice");
+    let (mut store, target, hstate) = build_store(&dir);
+    let result = store.prov_query(target, 10, 30).unwrap();
+    let parsed = ColeProof::from_bytes(&result.proof).unwrap();
+    assert!(parsed.components.len() >= 2);
+
+    // Dropping a component breaks Hstate reconstruction.
+    let mut dropped = parsed.clone();
+    dropped.components.pop();
+    let forged = ProvenanceResult {
+        values: result.values.clone(),
+        proof: dropped.to_bytes(),
+    };
+    match store.verify_prov(target, 10, 30, &forged, hstate) {
+        Ok(ok) => assert!(!ok),
+        Err(_) => {}
+    }
+
+    // Declaring a searched run "unsearched" without the early-stop
+    // justification is rejected as well.
+    let mut laundered = parsed.clone();
+    for component in &mut laundered.components {
+        if let ComponentProof::RunSearched { .. } = component {
+            *component = ComponentProof::RunUnsearched {
+                commitment: Digest::new([0u8; 32]),
+            };
+            break;
+        }
+    }
+    let forged = ProvenanceResult {
+        values: result.values,
+        proof: laundered.to_bytes(),
+    };
+    match store.verify_prov(target, 10, 30, &forged, hstate) {
+        Ok(ok) => assert!(!ok),
+        Err(_) => {}
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn proof_for_old_state_root_fails_after_new_blocks() {
+    let dir = tmpdir("stale");
+    let (mut store, target, old_hstate) = build_store(&dir);
+    // Chain advances; the old digest no longer commits to the storage.
+    store.begin_block(61).unwrap();
+    store
+        .put(target, StateValue::from_u64(999_999))
+        .unwrap();
+    let new_hstate = store.finalize_block().unwrap();
+    assert_ne!(old_hstate, new_hstate);
+    let result = store.prov_query(target, 10, 30).unwrap();
+    assert!(store.verify_prov(target, 10, 30, &result, new_hstate).unwrap());
+    assert!(!store.verify_prov(target, 10, 30, &result, old_hstate).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,109 @@
+//! Property-based end-to-end test: for arbitrary block workloads, COLE (both
+//! engines) must agree with an in-memory oracle on latest values and
+//! provenance results, and every provenance proof must verify against the
+//! state root digest.
+
+use std::collections::HashMap;
+
+use cole::prelude::*;
+use proptest::prelude::*;
+
+/// One generated block: a list of (address index, value) writes.
+type GenBlock = Vec<(u64, u64)>;
+
+fn arb_chain() -> impl Strategy<Value = Vec<GenBlock>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..20, any::<u64>()), 1..12),
+        1..40,
+    )
+}
+
+fn run_chain(
+    engine: &mut dyn AuthenticatedStorage,
+    chain: &[GenBlock],
+) -> (Digest, HashMap<u64, Vec<(u64, u64)>>) {
+    let mut oracle: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut hstate = Digest::ZERO;
+    for (i, block) in chain.iter().enumerate() {
+        let height = i as u64 + 1;
+        engine.begin_block(height).unwrap();
+        for (addr_idx, value) in block {
+            engine
+                .put(Address::from_low_u64(*addr_idx), StateValue::from_u64(*value))
+                .unwrap();
+            let history = oracle.entry(*addr_idx).or_default();
+            match history.last_mut() {
+                Some((h, v)) if *h == height => *v = *value,
+                _ => history.push((height, *value)),
+            }
+        }
+        hstate = engine.finalize_block().unwrap();
+    }
+    (hstate, oracle)
+}
+
+fn check_engine(engine: &mut dyn AuthenticatedStorage, chain: &[GenBlock]) {
+    let blocks = chain.len() as u64;
+    let (hstate, oracle) = run_chain(engine, chain);
+    for addr_idx in 0..20u64 {
+        let addr = Address::from_low_u64(addr_idx);
+        let expected_latest = oracle
+            .get(&addr_idx)
+            .and_then(|h| h.last())
+            .map(|(_, v)| StateValue::from_u64(*v));
+        assert_eq!(engine.get(addr).unwrap(), expected_latest, "latest value");
+
+        let lo = 1 + blocks / 3;
+        let hi = blocks;
+        let result = engine.prov_query(addr, lo, hi).unwrap();
+        let expected: Vec<VersionedValue> = oracle
+            .get(&addr_idx)
+            .map(|h| {
+                h.iter()
+                    .filter(|(blk, _)| *blk >= lo && *blk <= hi)
+                    .map(|(blk, v)| VersionedValue::new(*blk, StateValue::from_u64(*v)))
+                    .rev()
+                    .collect()
+            })
+            .unwrap_or_default();
+        assert_eq!(result.values, expected, "provenance history");
+        assert!(
+            engine.verify_prov(addr, lo, hi, &result, hstate).unwrap(),
+            "provenance proof must verify"
+        );
+    }
+}
+
+proptest! {
+    // End-to-end cases are comparatively expensive; a modest number of cases
+    // still explores many block/key interleavings.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cole_matches_oracle_for_arbitrary_chains(chain in arb_chain()) {
+        let dir = std::env::temp_dir().join(format!(
+            "cole-prop-e2e-sync-{}-{}",
+            std::process::id(),
+            chain.len()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ColeConfig::default().with_memtable_capacity(32).with_size_ratio(3);
+        let mut engine = Cole::open(&dir, config).unwrap();
+        check_engine(&mut engine, &chain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_cole_matches_oracle_for_arbitrary_chains(chain in arb_chain()) {
+        let dir = std::env::temp_dir().join(format!(
+            "cole-prop-e2e-async-{}-{}",
+            std::process::id(),
+            chain.len()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ColeConfig::default().with_memtable_capacity(32).with_size_ratio(3);
+        let mut engine = AsyncCole::open(&dir, config).unwrap();
+        check_engine(&mut engine, &chain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
