@@ -17,7 +17,11 @@ fn small_config() -> ColeConfig {
 }
 
 /// Builds an engine preloaded with `blocks` SmallBank blocks.
-fn preload(kind: EngineKind, name: &str, blocks: u64) -> (Box<dyn AuthenticatedStorage>, std::path::PathBuf) {
+fn preload(
+    kind: EngineKind,
+    name: &str,
+    blocks: u64,
+) -> (Box<dyn AuthenticatedStorage>, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!(
         "cole-bench-ops-{}-{name}-{blocks}",
         std::process::id()

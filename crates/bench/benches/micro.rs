@@ -72,8 +72,7 @@ fn bench_merkle_file(c: &mut Criterion) {
     group.sample_size(20);
     for fanout in [2u64, 4, 16] {
         group.bench_function(format!("stream_20k_leaves_m{fanout}"), |b| {
-            let dir =
-                std::env::temp_dir().join(format!("cole-bench-mht-{}", std::process::id()));
+            let dir = std::env::temp_dir().join(format!("cole-bench-mht-{}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             let mut counter = 0u64;
             b.iter_batched(

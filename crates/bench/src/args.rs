@@ -19,12 +19,12 @@ impl Args {
     /// Parses the process arguments.
     #[must_use]
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (used in tests).
     #[must_use]
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut help_requested = false;
         let mut iter = iter.into_iter().peekable();
@@ -109,7 +109,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Args {
-        Args::from_iter(args.iter().map(|s| (*s).to_string()))
+        Args::parse_from(args.iter().map(|s| (*s).to_string()))
     }
 
     #[test]

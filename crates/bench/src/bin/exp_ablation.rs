@@ -33,7 +33,9 @@ fn run_epsilon(args: &Args, table: &mut Table) {
         let probes = 500u64;
         for i in 0..probes {
             let _ = engine
-                .get(Address::from_low_u64(0x5b00_0000_0000 + (i * 13) % accounts))
+                .get(Address::from_low_u64(
+                    0x5b00_0000_0000 + (i * 13) % accounts,
+                ))
                 .expect("get");
         }
         let get_us = started.elapsed().as_secs_f64() * 1e6 / probes as f64;
@@ -111,7 +113,9 @@ fn main() {
     }
     let mut table = Table::new(
         "Ablations: learned-index error bound and Bloom-filter effect",
-        &["study", "setting", "metric_a", "metric_b", "metric_c", "metric_d"],
+        &[
+            "study", "setting", "metric_a", "metric_b", "metric_c", "metric_d",
+        ],
     );
     run_epsilon(&args, &mut table);
     run_bloom(&args, &mut table);

@@ -4,9 +4,7 @@
 //! a loading phase writes the base records, then a read/write running phase
 //! fills the chain up to the target block height.
 
-use cole_bench::{
-    cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table,
-};
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table};
 use cole_workloads::Mix;
 
 fn main() {
@@ -32,7 +30,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 10: KVStore — storage size and throughput vs block height",
-        &["system", "blocks", "storage_mib", "tps", "total_txs", "elapsed_s"],
+        &[
+            "system",
+            "blocks",
+            "storage_mib",
+            "tps",
+            "total_txs",
+            "elapsed_s",
+        ],
     );
 
     for &height in &heights {

@@ -4,9 +4,7 @@
 //! on MPT, COLE and COLE* and reports the throughput. LIPP and CMI are
 //! omitted, as in the paper, because they cannot scale to these heights.
 
-use cole_bench::{
-    cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table,
-};
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table};
 use cole_workloads::Mix;
 
 fn main() {
@@ -37,22 +35,10 @@ fn main() {
         for mix in [Mix::ReadOnly, Mix::ReadWrite, Mix::WriteOnly] {
             for system in &systems {
                 let kind = EngineKind::parse(system).expect("valid system name");
-                let dir = fresh_workdir(
-                    &args,
-                    &format!("fig11_{system}_{height}_{}", mix.label()),
-                )
-                .expect("create working directory");
-                let m = run_kvstore(
-                    kind,
-                    &dir,
-                    config,
-                    height,
-                    txs_per_block,
-                    records,
-                    mix,
-                    44,
-                )
-                .expect("workload execution");
+                let dir = fresh_workdir(&args, &format!("fig11_{system}_{height}_{}", mix.label()))
+                    .expect("create working directory");
+                let m = run_kvstore(kind, &dir, config, height, txs_per_block, records, mix, 44)
+                    .expect("workload execution");
                 println!(
                     "[fig11] {:>6} {} blocks {:>6}: {:>10.0} TPS",
                     kind.label(),

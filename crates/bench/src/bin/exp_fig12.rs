@@ -35,7 +35,15 @@ fn main() {
     let mut table = Table::new(
         "Figure 12: transaction latency distribution (microseconds)",
         &[
-            "workload", "blocks", "system", "min", "p25", "p50", "p75", "p99", "max(tail)",
+            "workload",
+            "blocks",
+            "system",
+            "min",
+            "p25",
+            "p50",
+            "p75",
+            "p99",
+            "max(tail)",
         ],
     );
 

@@ -5,7 +5,9 @@
 //! observes stable throughput, a U-shaped tail latency and a median latency
 //! that grows with `T`).
 
-use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table};
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -29,7 +31,13 @@ fn main() {
     let mut table = Table::new(
         "Figure 13: impact of size ratio T (SmallBank)",
         &[
-            "system", "T", "tps", "p50_us", "p99_us", "tail_us", "storage_mib",
+            "system",
+            "T",
+            "tps",
+            "p50_us",
+            "p99_us",
+            "tail_us",
+            "storage_mib",
         ],
     );
 

@@ -47,18 +47,11 @@ fn main() {
 
     for system in &systems {
         let kind = EngineKind::parse(system).expect("valid system name");
-        let dir = fresh_workdir(&args, &format!("fig14_{system}"))
-            .expect("create working directory");
-        let (mut engine, mut workload, height) = prepare_provenance_engine(
-            kind,
-            &dir,
-            config,
-            blocks,
-            txs_per_block,
-            base_states,
-            47,
-        )
-        .expect("prepare provenance workload");
+        let dir =
+            fresh_workdir(&args, &format!("fig14_{system}")).expect("create working directory");
+        let (mut engine, mut workload, height) =
+            prepare_provenance_engine(kind, &dir, config, blocks, txs_per_block, base_states, 47)
+                .expect("prepare provenance workload");
         for &range in &ranges {
             let m = run_provenance_phase(engine.as_mut(), &mut workload, height, range, queries)
                 .expect("provenance phase");

@@ -6,7 +6,9 @@
 //! block heights they could reach in the paper (they are the systems marked
 //! with ✖ beyond 10²–10⁴ blocks); pass `--no-caps true` to run them anyway.
 
-use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table};
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -32,7 +34,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 9: SmallBank — storage size and throughput vs block height",
-        &["system", "blocks", "storage_mib", "tps", "total_txs", "elapsed_s"],
+        &[
+            "system",
+            "blocks",
+            "storage_mib",
+            "tps",
+            "total_txs",
+            "elapsed_s",
+        ],
     );
 
     for &height in &heights {

@@ -108,6 +108,7 @@ pub fn run_smallbank(
 /// # Errors
 ///
 /// Returns an error if the engine fails.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's experiment knobs
 pub fn run_kvstore(
     kind: EngineKind,
     dir: &Path,

@@ -122,7 +122,10 @@ mod tests {
     fn parse_accepts_aliases() {
         assert_eq!(EngineKind::parse("COLE").unwrap(), EngineKind::Cole);
         assert_eq!(EngineKind::parse("cole*").unwrap(), EngineKind::ColeAsync);
-        assert_eq!(EngineKind::parse("cole-async").unwrap(), EngineKind::ColeAsync);
+        assert_eq!(
+            EngineKind::parse("cole-async").unwrap(),
+            EngineKind::ColeAsync
+        );
         assert_eq!(EngineKind::parse("mpt").unwrap(), EngineKind::Mpt);
         assert!(EngineKind::parse("rocksdb").is_err());
     }

@@ -165,8 +165,10 @@ impl AuthenticatedStorage for CmiStorage {
             _ => history.push((self.current_block, value)),
         }
         let root = history_root(&history);
-        self.kv.put(addr.as_slice().to_vec(), encode_history(&history))?;
-        self.upper.insert(Self::upper_key(&addr), root_as_value(root));
+        self.kv
+            .put(addr.as_slice().to_vec(), encode_history(&history))?;
+        self.upper
+            .insert(Self::upper_key(&addr), root_as_value(root));
         Ok(())
     }
 
@@ -249,9 +251,9 @@ impl AuthenticatedStorage for CmiStorage {
             .rev()
             .collect();
         let mut claimed = result.values.clone();
-        claimed.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        claimed.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         let mut expected_sorted = expected;
-        expected_sorted.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        expected_sorted.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         Ok(claimed == expected_sorted)
     }
 
@@ -296,8 +298,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("cole-cmi-test-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cole-cmi-test-{}-{name}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -314,7 +315,8 @@ mod tests {
         for blk in 1..=10u64 {
             cmi.begin_block(blk).unwrap();
             for i in 0..20u64 {
-                cmi.put(addr(i), StateValue::from_u64(blk * 100 + i)).unwrap();
+                cmi.put(addr(i), StateValue::from_u64(blk * 100 + i))
+                    .unwrap();
             }
             cmi.finalize_block().unwrap();
         }

@@ -165,8 +165,7 @@ impl AsyncCole {
         if let Some(handle) = self.mem_flush_thread.take() {
             let run = join_merge(handle)?;
             self.metrics.flushes += 1;
-            self.metrics.pages_written +=
-                run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+            self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
             self.ensure_level(1);
             self.levels[0].writing.insert(0, Arc::new(run));
         }
@@ -177,8 +176,10 @@ impl AsyncCole {
     /// Seals the current writing memtable as the merging group and starts a
     /// background flush of its contents.
     fn seal_and_start_flush(&mut self) -> Result<()> {
-        let mut sealed_tree =
-            std::mem::replace(&mut self.mem_writing, MbTree::with_fanout(self.config.mbtree_fanout));
+        let mut sealed_tree = std::mem::replace(
+            &mut self.mem_writing,
+            MbTree::with_fanout(self.config.mbtree_fanout),
+        );
         let root = sealed_tree.root_hash();
         let sealed = SealedMemGroup {
             tree: Arc::new(sealed_tree),
@@ -225,7 +226,10 @@ impl AsyncCole {
         let dir = self.dir.clone();
         let config = self.config;
         let entry = &mut self.levels[level - 1];
-        debug_assert!(entry.merging.is_empty(), "merging group must be committed first");
+        debug_assert!(
+            entry.merging.is_empty(),
+            "merging group must be committed first"
+        );
         entry.merging = std::mem::take(&mut entry.writing);
         let runs = entry.merging.clone();
         entry.merge_thread = Some(std::thread::spawn(move || {
@@ -371,7 +375,7 @@ impl AsyncCole {
             })
             .map(|(k, v)| VersionedValue::new(k.block_height(), v))
             .collect();
-        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        values.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         values.dedup();
 
         let proof = ColeProof { components };
@@ -503,7 +507,10 @@ mod tests {
             engine.begin_block(blk).unwrap();
             for w in 0..writes_per_block {
                 engine
-                    .put(addr((blk * writes_per_block + w) % 97), StateValue::from_u64(blk))
+                    .put(
+                        addr((blk * writes_per_block + w) % 97),
+                        StateValue::from_u64(blk),
+                    )
                     .unwrap();
             }
             digests.push(engine.finalize_block().unwrap());
@@ -518,7 +525,8 @@ mod tests {
         for blk in 1..=60u64 {
             cole.begin_block(blk).unwrap();
             for a in 0..5u64 {
-                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
             }
             cole.finalize_block().unwrap();
         }
@@ -590,7 +598,8 @@ mod tests {
         for blk in 1..=80u64 {
             cole.begin_block(blk).unwrap();
             cole.put(target, StateValue::from_u64(blk)).unwrap();
-            cole.put(addr(100 + blk), StateValue::from_u64(blk)).unwrap();
+            cole.put(addr(100 + blk), StateValue::from_u64(blk))
+                .unwrap();
             cole.finalize_block().unwrap();
         }
         let hstate = cole.finalize_block().unwrap();

@@ -318,7 +318,7 @@ impl Cole {
             })
             .map(|(k, v)| VersionedValue::new(k.block_height(), v))
             .collect();
-        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        values.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         values.dedup();
 
         let proof = ColeProof { components };
@@ -456,7 +456,8 @@ mod tests {
         for blk in 1..=60u64 {
             cole.begin_block(blk).unwrap();
             for a in 0..5u64 {
-                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
             }
             cole.finalize_block().unwrap();
         }
@@ -486,7 +487,8 @@ mod tests {
             // though older versions live in deeper levels.
             cole.put(addr(7), StateValue::from_u64(blk * 100)).unwrap();
             for a in 0..4u64 {
-                cole.put(addr(1000 + blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+                cole.put(addr(1000 + blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
             }
             cole.finalize_block().unwrap();
         }
@@ -520,7 +522,8 @@ mod tests {
             if blk % 2 == 0 {
                 cole.put(target, StateValue::from_u64(blk)).unwrap();
             }
-            cole.put(addr(500 + blk), StateValue::from_u64(blk)).unwrap();
+            cole.put(addr(500 + blk), StateValue::from_u64(blk))
+                .unwrap();
             cole.finalize_block().unwrap();
         }
         let hstate = cole.finalize_block().unwrap();
@@ -566,7 +569,8 @@ mod tests {
         for blk in 1..=40u64 {
             cole.begin_block(blk).unwrap();
             for a in 0..4u64 {
-                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk)).unwrap();
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
             }
             cole.finalize_block().unwrap();
         }

@@ -171,7 +171,10 @@ mod tests {
             .validate()
             .is_err());
         assert!(ColeConfig::default().with_epsilon(0).validate().is_err());
-        assert!(ColeConfig::default().with_bloom_fpr(0.0).validate().is_err());
+        assert!(ColeConfig::default()
+            .with_bloom_fpr(0.0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -38,12 +38,7 @@ pub fn build_run_from_entries(
 /// # Errors
 ///
 /// Returns an error if `runs` is empty or a file operation fails.
-pub fn merge_runs(
-    dir: &Path,
-    id: RunId,
-    runs: &[Arc<Run>],
-    config: &ColeConfig,
-) -> Result<Run> {
+pub fn merge_runs(dir: &Path, id: RunId, runs: &[Arc<Run>], config: &ColeConfig) -> Result<Run> {
     if runs.is_empty() {
         return Err(ColeError::InvalidState(
             "cannot merge an empty set of runs".into(),

@@ -6,8 +6,8 @@ use cole_hash::{hash_entry, hash_pair, Sha256};
 use cole_mbtree::MbProof;
 use cole_mht::RangeProof;
 use cole_primitives::{
-    Address, ColeError, CompoundKey, Digest, Result, StateValue, VersionedValue,
-    COMPOUND_KEY_LEN, DIGEST_LEN, VALUE_LEN,
+    Address, ColeError, CompoundKey, Digest, Result, StateValue, VersionedValue, COMPOUND_KEY_LEN,
+    DIGEST_LEN, VALUE_LEN,
 };
 
 /// Tag identifying the kind of an entry of `root_hash_list`.
@@ -159,10 +159,8 @@ impl ColeProof {
                     let leaves: Vec<Digest> =
                         entries.iter().map(|(k, v)| hash_entry(k, v)).collect();
                     let merkle_root = merkle_proof.compute_root(&leaves)?;
-                    root_hash_list.push((
-                        RootEntryKind::Run,
-                        hash_pair(&merkle_root, bloom_digest),
-                    ));
+                    root_hash_list
+                        .push((RootEntryKind::Run, hash_pair(&merkle_root, bloom_digest)));
                     // Completeness at the left boundary: unless the scan
                     // started at the first entry of the run, the first entry
                     // must lie at or before the lower search key.
@@ -188,10 +186,8 @@ impl ColeProof {
                     if filter.contains(&addr) {
                         return Ok(false);
                     }
-                    root_hash_list.push((
-                        RootEntryKind::Run,
-                        hash_pair(merkle_root, &filter.digest()),
-                    ));
+                    root_hash_list
+                        .push((RootEntryKind::Run, hash_pair(merkle_root, &filter.digest())));
                 }
                 ComponentProof::RunUnsearched { commitment } => {
                     if !early_stop_justified {
@@ -217,11 +213,11 @@ impl ColeProof {
             })
             .map(|(k, v)| VersionedValue::new(k.block_height(), v))
             .collect();
-        authenticated.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        authenticated.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         authenticated.dedup();
 
         let mut claimed = values.to_vec();
-        claimed.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        claimed.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         claimed.dedup();
 
         Ok(authenticated == claimed)

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use cole_bloom::BloomFilter;
 use cole_hash::{hash_entry, hash_pair};
 use cole_learned::{IndexFileBuilder, LearnedIndexFile};
-use cole_mht::{MerkleFileBuilder, MerkleFile, RangeProof};
+use cole_mht::{MerkleFile, MerkleFileBuilder, RangeProof};
 use cole_primitives::{
     Address, ColeError, CompoundKey, Digest, KeyNum, Result, StateValue, COMPOUND_KEY_LEN,
     DIGEST_LEN, ENTRY_LEN, PAGE_SIZE, VALUE_LEN,
@@ -247,9 +247,7 @@ impl RunMeta {
         pos += 4;
         let layer_count = u32::from_le_bytes(count_buf) as usize;
         if bytes.len() < pos + layer_count * 8 + DIGEST_LEN {
-            return Err(ColeError::InvalidEncoding(
-                "truncated run metadata".into(),
-            ));
+            return Err(ColeError::InvalidEncoding("truncated run metadata".into()));
         }
         let mut index_layer_counts = Vec::with_capacity(layer_count);
         for _ in 0..layer_count {
@@ -556,7 +554,9 @@ impl Run {
         let in_page = (self.meta.num_entries - start).min(ENTRIES_PER_PAGE as u64) as usize;
         let mut out = Vec::with_capacity(in_page);
         for slot in 0..in_page {
-            out.push(decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])?);
+            out.push(decode_entry(
+                &page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN],
+            )?);
         }
         Ok(out)
     }
@@ -645,7 +645,10 @@ mod tests {
         let run = build_run(&dir, 50, 4);
         assert_eq!(run.num_entries(), 200);
         for addr in 0..50u64 {
-            let (k, v) = run.get_latest(&Address::from_low_u64(addr)).unwrap().unwrap();
+            let (k, v) = run
+                .get_latest(&Address::from_low_u64(addr))
+                .unwrap()
+                .unwrap();
             assert_eq!(k.block_height(), 4);
             assert_eq!(v.as_u64(), addr * 1000 + 4);
         }
@@ -666,7 +669,14 @@ mod tests {
             all.push(e);
         }
         assert_eq!(all.len(), 240);
-        for probe in [key(0, 0), key(0, 2), key(10, 3), key(40, 99), key(79, 3), key(200, 0)] {
+        for probe in [
+            key(0, 0),
+            key(0, 2),
+            key(10, 3),
+            key(40, 99),
+            key(79, 3),
+            key(200, 0),
+        ] {
             let expected = all.iter().rposition(|(k, _)| *k <= probe);
             let got = run.position_le(&probe).unwrap();
             assert_eq!(got, expected.map(|p| p as u64), "probe {probe:?}");
@@ -704,11 +714,7 @@ mod tests {
             .scan_range(&CompoundKey::new(addr, 0), &CompoundKey::new(addr, 10))
             .unwrap();
         let proof = run.range_proof(scan.first_pos, scan.last_pos).unwrap();
-        let leaves: Vec<Digest> = scan
-            .entries
-            .iter()
-            .map(|(k, v)| hash_entry(k, v))
-            .collect();
+        let leaves: Vec<Digest> = scan.entries.iter().map(|(k, v)| hash_entry(k, v)).collect();
         assert_eq!(proof.compute_root(&leaves).unwrap(), run.merkle_root());
         // The run commitment binds the bloom filter as well.
         assert_eq!(
@@ -728,7 +734,10 @@ mod tests {
         let misses = (1000..2000u64)
             .filter(|&a| run.may_contain(&Address::from_low_u64(a)))
             .count();
-        assert!(misses < 100, "bloom filter should reject most absent addresses");
+        assert!(
+            misses < 100,
+            "bloom filter should reject most absent addresses"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

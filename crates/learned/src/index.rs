@@ -144,7 +144,7 @@ impl LearnedIndexFile {
     /// Returns an error if the file cannot be opened or the counts are
     /// inconsistent with its size.
     pub fn open<P: AsRef<Path>>(path: P, layer_counts: Vec<u64>, epsilon: u64) -> Result<Self> {
-        if layer_counts.is_empty() || layer_counts.iter().any(|&c| c == 0) {
+        if layer_counts.is_empty() || layer_counts.contains(&0) {
             return Err(ColeError::InvalidConfig(
                 "layer counts must be non-empty and positive".into(),
             ));
@@ -229,9 +229,8 @@ impl LearnedIndexFile {
             let last_idx = ((page_hi + 1) * mpp - 1).min(last_index);
             let last = self.model_at(layer, last_idx)?;
             let need_left = key < KeyNum::from(first.kmin()) && page_lo > 0;
-            let need_right = key >= KeyNum::from(last.kmin())
-                && last_idx < last_index
-                && page_hi < max_page;
+            let need_right =
+                key >= KeyNum::from(last.kmin()) && last_idx < last_index && page_hi < max_page;
             if !need_left && !need_right {
                 break;
             }

@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn perfectly_linear_keys_need_one_model() {
-        let pairs: Vec<(CompoundKey, u64)> =
-            (0..10_000u64).map(|i| (key(i, 0), i)).collect();
+        let pairs: Vec<(CompoundKey, u64)> = (0..10_000u64).map(|i| (key(i, 0), i)).collect();
         let models = check_epsilon_bound(&pairs, 16);
         assert_eq!(models.len(), 1, "linear data should fit a single model");
     }
@@ -248,9 +247,8 @@ mod tests {
 
     #[test]
     fn smaller_epsilon_never_produces_fewer_models() {
-        let pairs: Vec<(CompoundKey, u64)> = (0..3000u64)
-            .map(|i| (key(i * 31 % 10_007, 0), i))
-            .collect();
+        let pairs: Vec<(CompoundKey, u64)> =
+            (0..3000u64).map(|i| (key(i * 31 % 10_007, 0), i)).collect();
         let mut sorted = pairs.clone();
         sorted.sort();
         let sorted: Vec<(CompoundKey, u64)> = sorted

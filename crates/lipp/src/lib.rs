@@ -380,7 +380,10 @@ mod tests {
         }
         lipp.finalize_block().unwrap();
         for i in 0..1000u64 {
-            assert_eq!(lipp.get(addr(i * 7)).unwrap(), Some(StateValue::from_u64(i)));
+            assert_eq!(
+                lipp.get(addr(i * 7)).unwrap(),
+                Some(StateValue::from_u64(i))
+            );
         }
         assert_eq!(lipp.get(addr(3)).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();

@@ -187,8 +187,8 @@ impl MbProof {
                 let mut child_digests = Vec::with_capacity(children.len());
                 for (i, child) in children.iter().enumerate() {
                     // Child i covers [keys[i-1], keys[i]).
-                    let cannot_overlap = (i > 0 && keys[i - 1] > upper)
-                        || (i < keys.len() && keys[i] <= lower);
+                    let cannot_overlap =
+                        (i > 0 && keys[i - 1] > upper) || (i < keys.len() && keys[i] <= lower);
                     let child_pruned_context = pruned_context || cannot_overlap;
                     child_digests.push(Self::check_node(
                         child,
@@ -289,7 +289,11 @@ impl MbProof {
                 let mut keys = Vec::with_capacity(n);
                 let mut values = Vec::with_capacity(n);
                 for _ in 0..n {
-                    keys.push(CompoundKey::from_bytes(take(bytes, pos, COMPOUND_KEY_LEN)?)?);
+                    keys.push(CompoundKey::from_bytes(take(
+                        bytes,
+                        pos,
+                        COMPOUND_KEY_LEN,
+                    )?)?);
                     let mut v = [0u8; VALUE_LEN];
                     v.copy_from_slice(take(bytes, pos, VALUE_LEN)?);
                     values.push(StateValue::new(v));
@@ -305,7 +309,11 @@ impl MbProof {
                 }
                 let mut keys = Vec::with_capacity(n);
                 for _ in 0..n {
-                    keys.push(CompoundKey::from_bytes(take(bytes, pos, COMPOUND_KEY_LEN)?)?);
+                    keys.push(CompoundKey::from_bytes(take(
+                        bytes,
+                        pos,
+                        COMPOUND_KEY_LEN,
+                    )?)?);
                 }
                 let mut children = Vec::with_capacity(n + 1);
                 for _ in 0..=n {
@@ -322,9 +330,7 @@ impl MbProof {
 
 fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
     if *pos + n > bytes.len() {
-        return Err(ColeError::InvalidEncoding(
-            "truncated MB-tree proof".into(),
-        ));
+        return Err(ColeError::InvalidEncoding("truncated MB-tree proof".into()));
     }
     let out = &bytes[*pos..*pos + n];
     *pos += n;
@@ -436,6 +442,9 @@ mod tests {
         assert_ne!(digest_leaf(&k1, &v1), digest_leaf(&k1, &v2));
         let d1 = digest_leaf(&k1, &v1);
         let d2 = digest_leaf(&k1, &v2);
-        assert_ne!(digest_internal(&[key(2, 0)], &[d1, d2]), digest_internal(&[key(3, 0)], &[d1, d2]));
+        assert_ne!(
+            digest_internal(&[key(2, 0)], &[d1, d2]),
+            digest_internal(&[key(3, 0)], &[d1, d2])
+        );
     }
 }

@@ -158,7 +158,10 @@ impl MbTree {
     /// disk as a sorted run).
     #[must_use]
     pub fn entries(&self) -> Vec<(CompoundKey, StateValue)> {
-        self.range(CompoundKey::min_key(), CompoundKey::latest(Address::new([0xff; 20])))
+        self.range(
+            CompoundKey::min_key(),
+            CompoundKey::latest(Address::new([0xff; 20])),
+        )
     }
 
     /// Recomputes (if needed) and returns the root digest.
@@ -288,7 +291,11 @@ impl MbTree {
         (separator, right)
     }
 
-    fn search_le_rec(&self, node_id: NodeId, key: CompoundKey) -> Option<(CompoundKey, StateValue)> {
+    fn search_le_rec(
+        &self,
+        node_id: NodeId,
+        key: CompoundKey,
+    ) -> Option<(CompoundKey, StateValue)> {
         match &self.nodes[node_id] {
             Node::Leaf { keys, values, .. } => {
                 let pos = keys.partition_point(|k| *k <= key);
@@ -471,10 +478,7 @@ mod tests {
         assert_eq!(tree.len(), reference.len());
         assert_eq!(
             tree.entries(),
-            reference
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .collect::<Vec<_>>()
+            reference.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
         );
         // Spot-check search_le against the reference.
         for probe in 0..200u64 {
@@ -495,7 +499,9 @@ mod tests {
         let results = tree.range(key(3, 1), key(3, 3));
         assert_eq!(results.len(), 3);
         assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(results.iter().all(|(k, _)| k.address() == Address::from_low_u64(3)));
+        assert!(results
+            .iter()
+            .all(|(k, _)| k.address() == Address::from_low_u64(3)));
     }
 
     #[test]
@@ -527,7 +533,10 @@ mod tests {
         let mut t2 = MbTree::new();
         for i in 0..100u64 {
             t1.insert(key(i, 0), StateValue::from_u64(i));
-            t2.insert(key(i, 0), StateValue::from_u64(if i == 57 { 999 } else { i }));
+            t2.insert(
+                key(i, 0),
+                StateValue::from_u64(if i == 57 { 999 } else { i }),
+            );
         }
         assert_ne!(t1.root_hash(), t2.root_hash());
     }

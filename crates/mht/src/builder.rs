@@ -168,7 +168,11 @@ mod tests {
         for (layer, ref_layer) in reference.iter().enumerate() {
             for (i, expected) in ref_layer.iter().enumerate() {
                 let pos = merkle.layout().layer_offset(layer) + i as u64;
-                assert_eq!(merkle.node_at(pos).unwrap(), *expected, "layer {layer} node {i}");
+                assert_eq!(
+                    merkle.node_at(pos).unwrap(),
+                    *expected,
+                    "layer {layer} node {i}"
+                );
             }
         }
         std::fs::remove_file(&path).ok();

@@ -63,18 +63,16 @@ impl MptProof {
             if value != block.value {
                 return Ok(false);
             }
-            if block.height >= blk_lower && block.height <= blk_upper {
-                if value != previous {
-                    if let Some(v) = value {
-                        derived.push(VersionedValue::new(block.height, v));
-                    }
+            if block.height >= blk_lower && block.height <= blk_upper && value != previous {
+                if let Some(v) = value {
+                    derived.push(VersionedValue::new(block.height, v));
                 }
             }
             previous = value;
         }
-        derived.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        derived.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         let mut claimed = values.to_vec();
-        claimed.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        claimed.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         Ok(derived == claimed)
     }
 
@@ -300,9 +298,7 @@ mod tests {
         let result = mpt.prov_query(addr(2), 1, 1).unwrap();
         let mut proof = MptProof::from_bytes(&result.proof).unwrap();
         proof.blocks[0].root = Digest::new([5u8; 32]);
-        assert!(proof
-            .verify(addr(2), 1, 1, &result.values, hstate)
-            .is_err());
+        assert!(proof.verify(addr(2), 1, 1, &result.values, hstate).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,8 +76,7 @@ impl MptStorage {
 
     fn store_node(&mut self, node: &MptNode) -> Result<Digest> {
         let digest = node.digest();
-        self.kv
-            .put(digest.as_bytes().to_vec(), node.to_bytes())?;
+        self.kv.put(digest.as_bytes().to_vec(), node.to_bytes())?;
         self.nodes_written += 1;
         Ok(digest)
     }
@@ -339,7 +338,7 @@ impl AuthenticatedStorage for MptStorage {
                 value,
             });
         }
-        values.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        values.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         let proof = MptProof {
             blocks: block_proofs,
             latest_root: self.current_root.unwrap_or(Digest::ZERO),
@@ -408,8 +407,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("cole-mpt-test-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cole-mpt-test-{}-{name}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir

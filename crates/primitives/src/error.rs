@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert_and_expose_source() {
-        let io_err = io::Error::new(io::ErrorKind::Other, "boom");
+        let io_err = io::Error::other("boom");
         let e: ColeError = io_err.into();
         assert!(std::error::Error::source(&e).is_some());
     }

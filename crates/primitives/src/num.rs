@@ -68,10 +68,10 @@ impl KeyNum {
         }
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *slot = d2;
             borrow = u64::from(b1) + u64::from(b2);
         }
         KeyNum { limbs: out }
@@ -82,10 +82,10 @@ impl KeyNum {
     pub fn saturating_add(&self, other: KeyNum) -> KeyNum {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *slot = s2;
             carry = u64::from(c1) + u64::from(c2);
         }
         if carry > 0 {

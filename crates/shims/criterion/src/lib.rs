@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by the
+//! workspace benches: [`Criterion`], benchmark groups, `Bencher::iter` /
+//! `iter_batched`, [`Throughput`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple wall-clock loop: a short warm-up, then timed
+//! iterations until a time budget (`COLE_BENCH_BUDGET_MS`, default 200 ms
+//! per benchmark) or an iteration cap is reached, reporting mean ns/iter.
+//! No statistical analysis, outlier detection or HTML reports — good enough
+//! for smoke runs and relative comparisons while offline. Bench sources use
+//! upstream-compatible signatures only, so the real `criterion` can be
+//! swapped back in without source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batched inputs are grouped between setup calls (size is ignored by
+/// the shim's measurement loop; every variant times one routine call per
+/// setup call, matching `PerIteration` semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream batches few per allocation.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Units for reporting normalized throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let started = Instant::now();
+        while started.elapsed() < self.budget && self.iters < 1_000_000 {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while started.elapsed() < self.budget && self.iters < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<50} no samples");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(bytes) => {
+                format!(" ({:.1} MiB/s)", bytes as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / ns * 1e9),
+        });
+        println!(
+            "{name:<50} {ns:>12.1} ns/iter ({} iters){}",
+            self.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("COLE_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: budget() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        bencher.report(&id.into(), None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput / sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's time budget governs
+    /// the number of iterations instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into()), self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("COLE_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut bencher = Bencher::new(Duration::from_millis(5));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| {
+                runs += 1;
+                v * 2
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, runs);
+        assert!(bencher.iters > 0);
+    }
+}

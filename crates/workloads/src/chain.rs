@@ -231,12 +231,13 @@ impl HeaderChain {
     /// hash of its predecessor.
     #[must_use]
     pub fn validate(&self) -> bool {
-        self.headers.windows(2).all(|pair| {
-            pair[1].prev_hash == pair[0].hash() && pair[1].height > pair[0].height
-        }) && self
-            .headers
-            .first()
-            .map_or(true, |genesis| genesis.prev_hash == Digest::ZERO)
+        self.headers
+            .windows(2)
+            .all(|pair| pair[1].prev_hash == pair[0].hash() && pair[1].height > pair[0].height)
+            && self
+                .headers
+                .first()
+                .map_or(true, |genesis| genesis.prev_hash == Digest::ZERO)
     }
 
     /// Verifies that `tx` is included in the block at `height` using the

@@ -90,7 +90,9 @@ impl ProvenanceWorkload {
         let idx = self.rng.gen_range(0..self.num_states);
         let addr = self.state(idx);
         let blk_upper = current_height;
-        let blk_lower = current_height.saturating_sub(range.saturating_sub(1)).max(1);
+        let blk_lower = current_height
+            .saturating_sub(range.saturating_sub(1))
+            .max(1);
         ProvenanceQuery {
             addr,
             blk_lower,

@@ -45,7 +45,12 @@ impl SmallBank {
     /// A block that initializes every account with `balance` (used once
     /// before the measured run; spread over several blocks if large).
     #[must_use]
-    pub fn setup_blocks(&self, starting_height: u64, balance: u64, txs_per_block: usize) -> Vec<Block> {
+    pub fn setup_blocks(
+        &self,
+        starting_height: u64,
+        balance: u64,
+        txs_per_block: usize,
+    ) -> Vec<Block> {
         let mut blocks = Vec::new();
         let mut txs = Vec::new();
         let mut height = starting_height;

@@ -101,9 +101,7 @@ where
                 // Accounts are created with an initial balance on first touch,
                 // mirroring SmallBank's pre-populated accounts table (the real
                 // benchmark loads the accounts before the measured run).
-                let from_balance = storage
-                    .get(*from)?
-                    .map_or(INITIAL_BALANCE, |v| v.as_u64());
+                let from_balance = storage.get(*from)?.map_or(INITIAL_BALANCE, |v| v.as_u64());
                 let to_balance = storage.get(*to)?.map_or(INITIAL_BALANCE, |v| v.as_u64());
                 let moved = (*amount).min(from_balance);
                 storage.put(*from, StateValue::from_u64(from_balance - moved))?;
@@ -139,8 +137,7 @@ mod tests {
     use cole_core::{Cole, ColeConfig};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("cole-txn-test-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cole-txn-test-{}-{name}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -228,7 +225,7 @@ mod tests {
         };
         let r2 = execute_block(&mut storage, &block2).unwrap();
         assert_eq!(r1.hstate, r2.hstate, "reads must not change Hstate");
-        assert!(Transaction::Read { addr }.is_write() == false);
+        assert!(!Transaction::Read { addr }.is_write());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

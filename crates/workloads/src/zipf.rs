@@ -61,7 +61,9 @@ impl Zipf {
     /// Draws one index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -83,9 +85,7 @@ mod tests {
     fn skewed_distribution_prefers_small_indices() {
         let zipf = Zipf::new(1000, 0.99);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let hits_low = (0..10_000)
-            .filter(|_| zipf.sample(&mut rng) < 10)
-            .count();
+        let hits_low = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
         // With theta = 0.99 the 10 hottest keys receive a large share.
         assert!(hits_low > 2000, "got only {hits_low} hits on the hot keys");
     }
@@ -94,9 +94,7 @@ mod tests {
     fn theta_zero_is_roughly_uniform() {
         let zipf = Zipf::new(100, 0.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let hits_low = (0..10_000)
-            .filter(|_| zipf.sample(&mut rng) < 10)
-            .count();
+        let hits_low = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
         assert!((500..2000).contains(&hits_low), "got {hits_low}");
     }
 }

@@ -44,7 +44,7 @@ impl Oracle {
                     .collect()
             })
             .unwrap_or_default();
-        out.sort_by(|a, b| b.block_height.cmp(&a.block_height));
+        out.sort_by_key(|v| std::cmp::Reverse(v.block_height));
         out
     }
 }
@@ -120,7 +120,11 @@ fn all_engines_agree_with_oracle_on_latest_values() {
 fn cole_provenance_matches_oracle_and_verifies() {
     for async_mode in [false, true] {
         let blocks = workload_blocks(80, 15, 10, 2);
-        let dir = tmpdir(if async_mode { "prov-async" } else { "prov-sync" });
+        let dir = tmpdir(if async_mode {
+            "prov-async"
+        } else {
+            "prov-sync"
+        });
         let mut engine: Box<dyn AuthenticatedStorage> = if async_mode {
             Box::new(AsyncCole::open(&dir, small_config()).unwrap())
         } else {
@@ -138,7 +142,8 @@ fn cole_provenance_matches_oracle_and_verifies() {
                 let result = engine.prov_query(addr, lo, hi).unwrap();
                 let expected = oracle.versions_in(addr, lo, hi);
                 assert_eq!(
-                    result.values, expected,
+                    result.values,
+                    expected,
                     "{} history mismatch for address {addr_idx} in [{lo}, {hi}]",
                     engine.name()
                 );

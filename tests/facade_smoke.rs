@@ -1,0 +1,80 @@
+//! Workspace smoke test guarding the public facade API surface that the
+//! crate-level doctests and the examples rely on: open both engines through
+//! the `cole` facade, write blocks, read them back, and verify a provenance
+//! proof end-to-end against the state root.
+
+use cole::prelude::*;
+
+fn smoke_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cole-facade-smoke-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn exercise_engine(engine: &mut dyn AuthenticatedStorage) {
+    let alice = Address::from_low_u64(0xA11CE);
+    let bob = Address::from_low_u64(0xB0B);
+
+    // Block 1: two writes.
+    engine.begin_block(1).expect("begin block 1");
+    engine
+        .put(alice, StateValue::from_u64(100))
+        .expect("put alice@1");
+    engine
+        .put(bob, StateValue::from_u64(50))
+        .expect("put bob@1");
+    engine.finalize_block().expect("finalize block 1");
+
+    // Block 2: overwrite alice.
+    engine.begin_block(2).expect("begin block 2");
+    engine
+        .put(alice, StateValue::from_u64(75))
+        .expect("put alice@2");
+    let hstate = engine.finalize_block().expect("finalize block 2");
+    assert_ne!(hstate, Digest::ZERO, "state root must be bound to content");
+
+    // Latest values.
+    assert_eq!(engine.get(alice).unwrap(), Some(StateValue::from_u64(75)));
+    assert_eq!(engine.get(bob).unwrap(), Some(StateValue::from_u64(50)));
+    assert_eq!(engine.get(Address::from_low_u64(0xDEAD)).unwrap(), None);
+
+    // Provenance over both blocks: alice has two versions, newest first.
+    let result = engine.prov_query(alice, 1, 2).expect("prov query");
+    assert_eq!(
+        result.values,
+        vec![
+            VersionedValue::new(2, StateValue::from_u64(75)),
+            VersionedValue::new(1, StateValue::from_u64(100)),
+        ]
+    );
+    assert!(
+        engine.verify_prov(alice, 1, 2, &result, hstate).unwrap(),
+        "provenance proof must verify against the state root"
+    );
+
+    // A proof for a different claim must not verify.
+    let mut forged = result.clone();
+    forged.values[0] = VersionedValue::new(2, StateValue::from_u64(76));
+    assert!(
+        !engine.verify_prov(alice, 1, 2, &forged, hstate).unwrap(),
+        "tampered provenance result must be rejected"
+    );
+}
+
+#[test]
+fn facade_cole_end_to_end() {
+    let dir = smoke_dir("sync");
+    let mut engine = Cole::open(&dir, ColeConfig::default()).expect("open Cole");
+    exercise_engine(&mut engine);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn facade_async_cole_end_to_end() {
+    let dir = smoke_dir("async");
+    let mut engine = AsyncCole::open(&dir, ColeConfig::default()).expect("open AsyncCole");
+    exercise_engine(&mut engine);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -29,7 +29,10 @@ fn run_chain(
         engine.begin_block(height).unwrap();
         for (addr_idx, value) in block {
             engine
-                .put(Address::from_low_u64(*addr_idx), StateValue::from_u64(*value))
+                .put(
+                    Address::from_low_u64(*addr_idx),
+                    StateValue::from_u64(*value),
+                )
                 .unwrap();
             let history = oracle.entry(*addr_idx).or_default();
             match history.last_mut() {

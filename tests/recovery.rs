@@ -49,7 +49,10 @@ fn reopened_store_serves_all_flushed_data() {
     // flushed history must be readable.
     for addr in 0..50u64 {
         assert!(
-            recovered.get(Address::from_low_u64(addr)).unwrap().is_some(),
+            recovered
+                .get(Address::from_low_u64(addr))
+                .unwrap()
+                .is_some(),
             "address {addr} lost after recovery"
         );
     }
@@ -121,6 +124,8 @@ fn recovery_preserves_provenance_proof_verifiability() {
     let hstate = recovered.finalize_block().unwrap();
     let result = recovered.prov_query(target, 1, 50).unwrap();
     assert!(!result.values.is_empty());
-    assert!(recovered.verify_prov(target, 1, 50, &result, hstate).unwrap());
+    assert!(recovered
+        .verify_prov(target, 1, 50, &result, hstate)
+        .unwrap());
     std::fs::remove_dir_all(&dir).ok();
 }
