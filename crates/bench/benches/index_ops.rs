@@ -66,7 +66,7 @@ fn bench_get(c: &mut Criterion) {
     group.sample_size(30);
     for kind in [EngineKind::Cole, EngineKind::ColeAsync, EngineKind::Mpt] {
         group.bench_function(format!("get_{}", kind.label()), |b| {
-            let (mut engine, dir) = preload(kind, "get", 50);
+            let (engine, dir) = preload(kind, "get", 50);
             let mut i = 0u64;
             b.iter(|| {
                 i = (i + 13) % 2000;

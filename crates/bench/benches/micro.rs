@@ -9,7 +9,8 @@ use cole_hash::{hash_entry, sha256};
 use cole_learned::{EpsilonTrainer, IndexFileBuilder};
 use cole_mbtree::MbTree;
 use cole_mht::MerkleFileBuilder;
-use cole_primitives::{index_epsilon, Address, CompoundKey, StateValue};
+use cole_primitives::{index_epsilon, Address, CompoundKey, StateValue, PAGE_SIZE};
+use cole_storage::{PageCache, PageFile};
 
 fn keys(n: u64) -> Vec<CompoundKey> {
     (0..n)
@@ -128,6 +129,48 @@ fn bench_mbtree(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_page_reads(c: &mut Criterion) {
+    // Cached vs uncached page reads: the cost a point lookup pays per value
+    // page with and without the shared page cache.
+    let dir = std::env::temp_dir().join(format!("cole-bench-pages-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pages = 256u64;
+    let build = |name: &str| {
+        let mut f = PageFile::create(dir.join(name)).unwrap();
+        for i in 0..pages {
+            f.append_page(&vec![i as u8; PAGE_SIZE]).unwrap();
+        }
+        f
+    };
+    let uncached = build("uncached.bin");
+    let mut cached = build("cached.bin");
+    let cache = std::sync::Arc::new(PageCache::new(pages as usize * 2));
+    cached.attach_cache(std::sync::Arc::clone(&cache));
+    // Warm the cache so the cached series measures the hit path.
+    for i in 0..pages {
+        cached.read_page(i).unwrap();
+    }
+
+    let mut group = c.benchmark_group("page_read");
+    group.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    let mut i = 0u64;
+    group.bench_function("uncached_4k", |b| {
+        b.iter(|| {
+            i = (i + 37) % pages;
+            uncached.read_page(i).unwrap()
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("cached_4k", |b| {
+        b.iter(|| {
+            j = (j + 37) % pages;
+            cached.read_page(j).unwrap()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_entry_hash(c: &mut Criterion) {
     let key = CompoundKey::new(Address::from_low_u64(1), 2);
     let value = StateValue::from_u64(3);
@@ -140,6 +183,7 @@ criterion_group!(
     bench_model_training,
     bench_merkle_file,
     bench_mbtree,
+    bench_page_reads,
     bench_entry_hash
 );
 criterion_main!(benches);

@@ -79,7 +79,7 @@ fn run_bloom(args: &Args, table: &mut Table) {
             .expect("get");
     }
     let negative_us = started.elapsed().as_secs_f64() * 1e6 / probes as f64;
-    let metrics = *engine.metrics();
+    let metrics = engine.metrics();
     let skip_rate = if metrics.bloom_skips + metrics.runs_searched > 0 {
         metrics.bloom_skips as f64 / (metrics.bloom_skips + metrics.runs_searched) as f64
     } else {

@@ -1,0 +1,181 @@
+//! Concurrent point-lookup throughput and page-cache ablation.
+//!
+//! Builds one COLE store with at least two on-disk levels, then hammers it
+//! with N reader threads sharing the engine through an `Arc` (the `&self`
+//! query surface introduced with the positioned-read fix). For every
+//! `(cache size, thread count)` combination the store is reopened — so the
+//! cache starts cold and the counters at zero — and each thread performs its
+//! share of uniformly random point lookups over the written address space.
+//!
+//! Reported per combination: throughput (lookups/s), logical page reads and
+//! the page-cache hit rate. The interesting shapes: throughput scaling from
+//! 1 → N threads (impossible before the `&mut self` read path was fixed) and
+//! the hit-rate / throughput response to cache capacity.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, Args, Table};
+use cole_core::Cole;
+use cole_primitives::{Address, AuthenticatedStorage, StateValue};
+
+/// SplitMix64 — a tiny deterministic generator for the lookup streams.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_concurrent — multi-threaded point lookups & cache ablation\n\
+             --accounts 5000          distinct addresses in the store\n\
+             --blocks 200             blocks written while building\n\
+             --writes-per-block 50    puts per block while building\n\
+             --threads 1,2,4,8        reader thread counts to sweep\n\
+             --cache-pages 0,256,4096 page-cache capacities to sweep\n\
+             --ops 100000             total lookups per combination\n\
+             --size-ratio 4 --mht-fanout 4 --memtable 1024 --epsilon {}\n\
+             --workdir bench_work --out results/concurrent.csv",
+            cole_primitives::index_epsilon()
+        );
+        return;
+    }
+    let accounts = args.get_u64("accounts", 5_000);
+    let blocks = args.get_u64("blocks", 200);
+    let writes_per_block = args.get_u64("writes-per-block", 50);
+    let threads = args.get_u64_list("threads", &[1, 2, 4, 8]);
+    let cache_sizes = args.get_u64_list("cache-pages", &[0, 256, 4096]);
+    let total_ops = args.get_u64("ops", 100_000);
+    let config = cole_config_from(&args).with_memtable_capacity(args.get_usize("memtable", 1024));
+
+    let dir = fresh_workdir(&args, "concurrent").expect("create working directory");
+
+    // ---------------------------------------------------------------- build
+    let mut latest = vec![0u64; accounts as usize];
+    {
+        let mut store = Cole::open(&dir, config).expect("open store");
+        for blk in 1..=blocks {
+            store.begin_block(blk).expect("begin block");
+            for w in 0..writes_per_block {
+                let account = (blk * writes_per_block + w) % accounts;
+                latest[account as usize] = blk;
+                store
+                    .put(Address::from_low_u64(account), StateValue::from_u64(blk))
+                    .expect("put");
+            }
+            store.finalize_block().expect("finalize block");
+        }
+        // A reopened Cole recovers only flushed runs (the memtable is lost,
+        // as after a crash). One filler block that fills the memtable to
+        // capacity forces a final flush, so every real account's latest
+        // value is on disk — and lookups below all exercise the disk path.
+        store.begin_block(blocks + 1).expect("begin filler block");
+        for i in 0..config.memtable_capacity as u64 {
+            store
+                .put(Address::from_low_u64(u64::MAX - i), StateValue::from_u64(1))
+                .expect("filler put");
+        }
+        store.finalize_block().expect("finalize filler block");
+        store.flush().expect("flush");
+        println!(
+            "[concurrent] built {} entries over {} blocks → {} disk levels",
+            blocks * writes_per_block,
+            blocks,
+            store.num_disk_levels()
+        );
+        assert!(
+            store.num_disk_levels() >= 2,
+            "store too small for a meaningful concurrency experiment; \
+             raise --blocks or lower --memtable"
+        );
+    }
+    let latest = Arc::new(latest);
+
+    // ---------------------------------------------------------------- sweep
+    let mut table = Table::new(
+        "Concurrent point lookups: throughput vs threads and cache size",
+        &[
+            "cache_pages",
+            "threads",
+            "ops",
+            "elapsed_s",
+            "ops_per_sec",
+            "pages_read",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+        ],
+    );
+
+    for &cache_pages in &cache_sizes {
+        for &num_threads in &threads {
+            // Reopen per combination: cold cache, zeroed counters.
+            let store = Arc::new(
+                Cole::open(&dir, config.with_page_cache_pages(cache_pages as usize))
+                    .expect("reopen store"),
+            );
+            let ops_per_thread = total_ops / num_threads.max(1);
+            let started = Instant::now();
+            let mut handles = Vec::new();
+            for t in 0..num_threads {
+                let store = Arc::clone(&store);
+                let latest = Arc::clone(&latest);
+                handles.push(std::thread::spawn(move || {
+                    let mut rng = 0x5EED_0000 + t;
+                    for _ in 0..ops_per_thread {
+                        let account = splitmix(&mut rng) % accounts;
+                        let got = store
+                            .get(Address::from_low_u64(account))
+                            .expect("lookup failed");
+                        let expected = latest[account as usize];
+                        if expected > 0 {
+                            assert_eq!(
+                                got,
+                                Some(StateValue::from_u64(expected)),
+                                "wrong value for account {account}"
+                            );
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("reader thread panicked");
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            let executed = ops_per_thread * num_threads;
+            let throughput = if elapsed > 0.0 {
+                executed as f64 / elapsed
+            } else {
+                0.0
+            };
+            let m = store.metrics();
+            println!(
+                "[concurrent] cache {cache_pages:>6} pages, {num_threads:>2} threads: \
+                 {throughput:>12.0} ops/s  hit-rate {:.3}",
+                m.cache_hit_rate()
+            );
+            table.push_row(vec![
+                cache_pages.to_string(),
+                num_threads.to_string(),
+                executed.to_string(),
+                fmt_f64(elapsed),
+                fmt_f64(throughput),
+                m.pages_read.to_string(),
+                m.cache_hits.to_string(),
+                m.cache_misses.to_string(),
+                fmt_f64(m.cache_hit_rate()),
+            ]);
+        }
+    }
+
+    table.print();
+    let out = args.get_str("out", "results/concurrent.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -17,6 +17,7 @@
 //! | `exp_fig15` | Fig. 15 — impact of COLE's MHT fanout `m` |
 //! | `exp_table1` | Table 1 — measured complexity counters |
 //! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect) |
+//! | `exp_concurrent` | concurrent point-lookup throughput & page-cache ablation |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -141,7 +141,7 @@ impl CmiStorage {
         })
     }
 
-    fn history_of(&mut self, addr: &Address) -> Result<Vec<(u64, StateValue)>> {
+    fn history_of(&self, addr: &Address) -> Result<Vec<(u64, StateValue)>> {
         match self.kv.get(addr.as_slice())? {
             Some(bytes) => decode_history(&bytes),
             None => Ok(Vec::new()),
@@ -172,12 +172,12 @@ impl AuthenticatedStorage for CmiStorage {
         Ok(())
     }
 
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+    fn get(&self, addr: Address) -> Result<Option<StateValue>> {
         Ok(self.history_of(&addr)?.last().map(|(_, v)| *v))
     }
 
     fn prov_query(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,

@@ -9,12 +9,13 @@ use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
+use cole_storage::PageCache;
 
 use crate::config::ColeConfig;
 use crate::merge::{build_run_from_entries, merge_runs};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
-use crate::run::{Run, RunId};
+use crate::run::{Run, RunContext, RunId};
 
 /// A sealed in-memory group: the level-0 merging group. Its contents are
 /// immutable (the flush thread reads them) but remain visible to queries.
@@ -60,7 +61,9 @@ pub struct AsyncCole {
     levels: Vec<AsyncLevel>,
     current_block: u64,
     next_run_id: RunId,
-    metrics: Metrics,
+    /// Cache + metrics shared with every run of this engine (including the
+    /// runs built by background merge threads).
+    ctx: RunContext,
     entries_ingested: u64,
 }
 
@@ -84,7 +87,7 @@ impl AsyncCole {
             levels: Vec::new(),
             current_block: 0,
             next_run_id: 0,
-            metrics: Metrics::new(),
+            ctx: RunContext::from_config(&config),
             entries_ingested: 0,
         })
     }
@@ -95,10 +98,17 @@ impl AsyncCole {
         &self.config
     }
 
-    /// Operation counters accumulated so far.
+    /// A point-in-time copy of the operation counters accumulated so far,
+    /// including the page cache's hit/miss counts.
     #[must_use]
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.ctx.metrics_snapshot()
+    }
+
+    /// The page cache shared by this engine's runs, if caching is enabled.
+    #[must_use]
+    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+        self.ctx.cache.as_ref()
     }
 
     /// Number of on-disk levels currently in use.
@@ -164,8 +174,11 @@ impl AsyncCole {
     fn commit_level0(&mut self) -> Result<()> {
         if let Some(handle) = self.mem_flush_thread.take() {
             let run = join_merge(handle)?;
-            self.metrics.flushes += 1;
-            self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+            Metrics::inc(&self.ctx.metrics.flushes);
+            Metrics::add(
+                &self.ctx.metrics.pages_written,
+                run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64),
+            );
             self.ensure_level(1);
             self.levels[0].writing.insert(0, Arc::new(run));
         }
@@ -189,9 +202,10 @@ impl AsyncCole {
         let dir = self.dir.clone();
         let config = self.config;
         let id = self.alloc_run_id();
+        let ctx = self.ctx.clone();
         self.mem_flush_thread = Some(std::thread::spawn(move || {
             let entries = sealed.tree.entries();
-            build_run_from_entries(&dir, id, &entries, &config)
+            build_run_from_entries(&dir, id, &entries, &config, ctx)
         }));
         Ok(())
     }
@@ -207,9 +221,12 @@ impl AsyncCole {
             return Ok(());
         };
         let run = join_merge(handle)?;
-        self.metrics.merges += 1;
-        self.metrics.entries_merged += run.num_entries();
-        self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+        Metrics::inc(&self.ctx.metrics.merges);
+        Metrics::add(&self.ctx.metrics.entries_merged, run.num_entries());
+        Metrics::add(
+            &self.ctx.metrics.pages_written,
+            run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64),
+        );
         let obsolete = std::mem::take(&mut self.levels[level - 1].merging);
         self.ensure_level(level + 1);
         self.levels[level].writing.insert(0, Arc::new(run));
@@ -225,6 +242,7 @@ impl AsyncCole {
         let id = self.alloc_run_id();
         let dir = self.dir.clone();
         let config = self.config;
+        let ctx = self.ctx.clone();
         let entry = &mut self.levels[level - 1];
         debug_assert!(
             entry.merging.is_empty(),
@@ -233,7 +251,7 @@ impl AsyncCole {
         entry.merging = std::mem::take(&mut entry.writing);
         let runs = entry.merging.clone();
         entry.merge_thread = Some(std::thread::spawn(move || {
-            merge_runs(&dir, id, &runs, &config)
+            merge_runs(&dir, id, &runs, &config, ctx)
         }));
         Ok(())
     }
@@ -264,8 +282,8 @@ impl AsyncCole {
 
     // ------------------------------------------------------------------ queries
 
-    fn get_internal(&mut self, addr: Address) -> Result<Option<StateValue>> {
-        self.metrics.gets += 1;
+    fn get_internal(&self, addr: Address) -> Result<Option<StateValue>> {
+        Metrics::inc(&self.ctx.metrics.gets);
         if let Some((_, value)) = self.mem_writing.get_latest(addr) {
             return Ok(Some(value));
         }
@@ -277,10 +295,10 @@ impl AsyncCole {
         for level in &self.levels {
             for run in level.writing.iter().chain(level.merging.iter()) {
                 if !run.may_contain(&addr) {
-                    self.metrics.bloom_skips += 1;
+                    Metrics::inc(&self.ctx.metrics.bloom_skips);
                     continue;
                 }
-                self.metrics.runs_searched += 1;
+                Metrics::inc(&self.ctx.metrics.runs_searched);
                 if let Some((_, value)) = run.get_latest(&addr)? {
                     return Ok(Some(value));
                 }
@@ -290,12 +308,12 @@ impl AsyncCole {
     }
 
     fn prov_query_internal(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,
     ) -> Result<ProvenanceResult> {
-        self.metrics.prov_queries += 1;
+        Metrics::inc(&self.ctx.metrics.prov_queries);
         let lower = CompoundKey::new(addr, blk_lower.saturating_sub(1));
         let upper = CompoundKey::new(addr, blk_upper.saturating_add(1));
 
@@ -313,15 +331,14 @@ impl AsyncCole {
         collected.extend(results);
         components.push(ComponentProof::MemSearched { proof });
 
-        // Level 0, merging group (still committed data).
+        // Level 0, merging group (still committed data). The sealed tree's
+        // digests were fixed by `root_hash` at seal time, so the `&self`
+        // proof construction sees clean hashes.
         if let Some(sealed) = &self.mem_merging {
             if early_stop {
                 components.push(ComponentProof::MemUnsearched { root: sealed.root });
             } else {
-                // The sealed tree is immutable; cloning it to produce a proof
-                // is acceptable because the group is bounded by B.
-                let mut tree = (*sealed.tree).clone();
-                let (results, proof) = tree.range_with_proof(lower, upper);
+                let (results, proof) = sealed.tree.range_with_proof(lower, upper);
                 for (k, _) in &results {
                     if k.address() == addr && k.block_height() < blk_lower {
                         early_stop = true;
@@ -342,14 +359,14 @@ impl AsyncCole {
                     continue;
                 }
                 if !run.may_contain(&addr) {
-                    self.metrics.bloom_skips += 1;
+                    Metrics::inc(&self.ctx.metrics.bloom_skips);
                     components.push(ComponentProof::RunBloomNegative {
                         bloom: run.bloom_bytes(),
                         merkle_root: run.merkle_root(),
                     });
                     continue;
                 }
-                self.metrics.runs_searched += 1;
+                Metrics::inc(&self.ctx.metrics.runs_searched);
                 let scan = run.scan_range(&lower, &upper)?;
                 let merkle_proof = run.range_proof(scan.first_pos, scan.last_pos)?;
                 for (k, _) in &scan.entries {
@@ -401,12 +418,12 @@ impl AuthenticatedStorage for AsyncCole {
         Ok(())
     }
 
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+    fn get(&self, addr: Address) -> Result<Option<StateValue>> {
         self.get_internal(addr)
     }
 
     fn prov_query(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,

@@ -8,12 +8,13 @@ use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
+use cole_storage::PageCache;
 
 use crate::config::ColeConfig;
 use crate::merge::{build_run_from_entries, merge_runs};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
-use crate::run::{Run, RunId};
+use crate::run::{Run, RunContext, RunId};
 
 /// The column-based learned storage engine with synchronous merges.
 ///
@@ -22,6 +23,12 @@ use crate::run::{Run, RunId};
 /// recursively sort-merged into the next level (Algorithm 1). Reads search
 /// levels young-to-old (Algorithm 6); provenance queries additionally return
 /// a proof verifiable against the state root digest (Algorithm 8).
+///
+/// The query surface ([`get`](AuthenticatedStorage::get),
+/// [`prov_query`](AuthenticatedStorage::prov_query)) takes `&self`: all run
+/// reads use positioned I/O through a shared [`PageCache`] and all counters
+/// are atomics, so an engine behind an `Arc` serves many reader threads
+/// concurrently (writes still require `&mut self`).
 ///
 /// See the crate-level documentation for a usage example.
 #[derive(Debug)]
@@ -33,7 +40,8 @@ pub struct Cole {
     levels: Vec<Vec<Arc<Run>>>,
     current_block: u64,
     next_run_id: RunId,
-    metrics: Metrics,
+    /// Cache + metrics shared with every run of this engine.
+    ctx: RunContext,
     entries_ingested: u64,
 }
 
@@ -60,7 +68,7 @@ impl Cole {
             levels: Vec::new(),
             current_block: 0,
             next_run_id: 0,
-            metrics: Metrics::new(),
+            ctx: RunContext::from_config(&config),
             entries_ingested: 0,
         };
         cole.recover_from_manifest()?;
@@ -73,10 +81,17 @@ impl Cole {
         &self.config
     }
 
-    /// Operation counters accumulated so far.
+    /// A point-in-time copy of the operation counters accumulated so far,
+    /// including the page cache's hit/miss counts.
     #[must_use]
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.ctx.metrics_snapshot()
+    }
+
+    /// The page cache shared by this engine's runs, if caching is enabled.
+    #[must_use]
+    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+        self.ctx.cache.as_ref()
     }
 
     /// Number of on-disk levels currently in use.
@@ -114,9 +129,12 @@ impl Cole {
             return Ok(());
         }
         let id = self.alloc_run_id();
-        let run = build_run_from_entries(&self.dir, id, &entries, &self.config)?;
-        self.metrics.flushes += 1;
-        self.metrics.pages_written += run.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+        let run = build_run_from_entries(&self.dir, id, &entries, &self.config, self.ctx.clone())?;
+        Metrics::inc(&self.ctx.metrics.flushes);
+        Metrics::add(
+            &self.ctx.metrics.pages_written,
+            run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64),
+        );
         self.mem.clear();
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
@@ -128,11 +146,15 @@ impl Cole {
         while i < self.levels.len() && self.levels[i].len() >= self.config.size_ratio {
             let runs = std::mem::take(&mut self.levels[i]);
             let id = self.alloc_run_id();
-            let merged = merge_runs(&self.dir, id, &runs, &self.config)?;
-            self.metrics.merges += 1;
-            self.metrics.entries_merged += merged.num_entries();
-            self.metrics.pages_written +=
-                merged.data_bytes() / cole_primitives::PAGE_SIZE as u64 + 1;
+            let merged = merge_runs(&self.dir, id, &runs, &self.config, self.ctx.clone())?;
+            Metrics::inc(&self.ctx.metrics.merges);
+            Metrics::add(&self.ctx.metrics.entries_merged, merged.num_entries());
+            Metrics::add(
+                &self.ctx.metrics.pages_written,
+                merged
+                    .data_bytes()
+                    .div_ceil(cole_primitives::PAGE_SIZE as u64),
+            );
             if self.levels.len() <= i + 1 {
                 self.levels.push(Vec::new());
             }
@@ -219,7 +241,7 @@ impl Cole {
                         let id: RunId = id.parse().map_err(|_| {
                             ColeError::InvalidEncoding("bad manifest run id".into())
                         })?;
-                        runs.push(Arc::new(Run::open(&self.dir, id)?));
+                        runs.push(Arc::new(Run::open(&self.dir, id, self.ctx.clone())?));
                     }
                     self.levels.push(runs);
                 }
@@ -231,18 +253,18 @@ impl Cole {
 
     // ------------------------------------------------------------------ queries
 
-    fn get_internal(&mut self, addr: Address) -> Result<Option<StateValue>> {
-        self.metrics.gets += 1;
+    fn get_internal(&self, addr: Address) -> Result<Option<StateValue>> {
+        Metrics::inc(&self.ctx.metrics.gets);
         if let Some((_, value)) = self.mem.get_latest(addr) {
             return Ok(Some(value));
         }
         for level in &self.levels {
             for run in level {
                 if !run.may_contain(&addr) {
-                    self.metrics.bloom_skips += 1;
+                    Metrics::inc(&self.ctx.metrics.bloom_skips);
                     continue;
                 }
-                self.metrics.runs_searched += 1;
+                Metrics::inc(&self.ctx.metrics.runs_searched);
                 if let Some((_, value)) = run.get_latest(&addr)? {
                     return Ok(Some(value));
                 }
@@ -252,12 +274,12 @@ impl Cole {
     }
 
     fn prov_query_internal(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,
     ) -> Result<ProvenanceResult> {
-        self.metrics.prov_queries += 1;
+        Metrics::inc(&self.ctx.metrics.prov_queries);
         let lower = CompoundKey::new(addr, blk_lower.saturating_sub(1));
         let upper = CompoundKey::new(addr, blk_upper.saturating_add(1));
 
@@ -285,14 +307,14 @@ impl Cole {
                     continue;
                 }
                 if !run.may_contain(&addr) {
-                    self.metrics.bloom_skips += 1;
+                    Metrics::inc(&self.ctx.metrics.bloom_skips);
                     components.push(ComponentProof::RunBloomNegative {
                         bloom: run.bloom_bytes(),
                         merkle_root: run.merkle_root(),
                     });
                     continue;
                 }
-                self.metrics.runs_searched += 1;
+                Metrics::inc(&self.ctx.metrics.runs_searched);
                 let scan = run.scan_range(&lower, &upper)?;
                 let merkle_proof = run.range_proof(scan.first_pos, scan.last_pos)?;
                 for (k, _) in &scan.entries {
@@ -337,12 +359,12 @@ impl AuthenticatedStorage for Cole {
         Ok(())
     }
 
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+    fn get(&self, addr: Address) -> Result<Option<StateValue>> {
         self.get_internal(addr)
     }
 
     fn prov_query(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,
@@ -577,7 +599,7 @@ mod tests {
         cole.flush().unwrap();
         let disk_levels = cole.num_disk_levels();
         drop(cole);
-        let mut reopened = Cole::open(&dir, small_config()).unwrap();
+        let reopened = Cole::open(&dir, small_config()).unwrap();
         assert_eq!(reopened.num_disk_levels(), disk_levels);
         // Flushed data is still readable after recovery.
         assert_eq!(
@@ -596,6 +618,57 @@ mod tests {
         assert!(cole.begin_block(4).is_err());
         assert!(cole.begin_block(6).is_ok());
         assert_eq!(cole.current_block_height(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_get_counts_page_reads() {
+        // Regression test: `pages_read` maps onto the IO-cost columns of
+        // Table 1 and must be incremented by the read path, not just
+        // declared.
+        let dir = tmpdir("pagesread");
+        let mut cole = Cole::open(&dir, small_config()).unwrap();
+        for blk in 1..=20u64 {
+            cole.begin_block(blk).unwrap();
+            for a in 0..4u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        assert!(cole.num_disk_levels() >= 1);
+        assert_eq!(cole.metrics().pages_read, 0, "writes must not count reads");
+        // Address 10 was written in block 1 and has long been flushed.
+        assert_eq!(cole.get(addr(10)).unwrap(), Some(StateValue::from_u64(1)));
+        let m = cole.metrics();
+        assert!(m.pages_read > 0, "an on-disk get must read pages");
+        assert_eq!(m.cache_hits + m.cache_misses, m.pages_read);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabling_the_page_cache_still_reads_correctly() {
+        let dir = tmpdir("nocache");
+        let mut cole = Cole::open(&dir, small_config().with_page_cache_pages(0)).unwrap();
+        assert!(cole.page_cache().is_none());
+        for blk in 1..=20u64 {
+            cole.begin_block(blk).unwrap();
+            for a in 0..4u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        for blk in 1..=20u64 {
+            assert_eq!(
+                cole.get(addr(blk * 10)).unwrap(),
+                Some(StateValue::from_u64(blk))
+            );
+        }
+        let m = cole.metrics();
+        assert!(m.pages_read > 0);
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.cache_misses, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,6 +34,11 @@ pub struct ColeConfig {
     pub bloom_fpr: f64,
     /// Node fanout of the in-memory MB-tree.
     pub mbtree_fanout: usize,
+    /// Capacity, in [`cole_primitives::PAGE_SIZE`]-byte pages, of the page
+    /// cache shared by all of the engine's runs. `0` disables caching.
+    /// Default: 4096 pages (16 MiB), small next to the paper's 64 MB memory
+    /// budget.
+    pub page_cache_pages: usize,
 }
 
 impl Default for ColeConfig {
@@ -45,6 +50,7 @@ impl Default for ColeConfig {
             epsilon: index_epsilon(),
             bloom_fpr: 0.01,
             mbtree_fanout: 32,
+            page_cache_pages: 4096,
         }
     }
 }
@@ -82,6 +88,13 @@ impl ColeConfig {
     #[must_use]
     pub fn with_bloom_fpr(mut self, fpr: f64) -> Self {
         self.bloom_fpr = fpr;
+        self
+    }
+
+    /// Sets the shared page-cache capacity in pages (`0` disables caching).
+    #[must_use]
+    pub fn with_page_cache_pages(mut self, pages: usize) -> Self {
+        self.page_cache_pages = pages;
         self
     }
 
@@ -154,11 +167,13 @@ mod tests {
             .with_mht_fanout(16)
             .with_memtable_capacity(100)
             .with_epsilon(7)
-            .with_bloom_fpr(0.05);
+            .with_bloom_fpr(0.05)
+            .with_page_cache_pages(0);
         assert_eq!(c.size_ratio, 8);
         assert_eq!(c.mht_fanout, 16);
         assert_eq!(c.memtable_capacity, 100);
         assert_eq!(c.epsilon, 7);
+        assert_eq!(c.page_cache_pages, 0);
         assert!(c.validate().is_ok());
     }
 

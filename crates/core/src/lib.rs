@@ -63,6 +63,6 @@ pub use async_cole::AsyncCole;
 pub use cole::Cole;
 pub use config::ColeConfig;
 pub use merge::{build_run_from_entries, merge_runs};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
-pub use run::{Run, RunBuilder, RunEntryIter, RunId, RunMeta, RunRangeScan};
+pub use run::{Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan};

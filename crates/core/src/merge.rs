@@ -9,10 +9,10 @@ use std::sync::Arc;
 use cole_primitives::{ColeError, CompoundKey, Result, StateValue};
 
 use crate::config::ColeConfig;
-use crate::run::{Run, RunBuilder, RunEntryIter, RunId};
+use crate::run::{Run, RunBuilder, RunContext, RunEntryIter, RunId};
 
 /// Builds a run from an already-sorted in-memory entry list (a flushed
-/// memtable).
+/// memtable). The run joins `ctx`'s page cache and metrics.
 ///
 /// # Errors
 ///
@@ -22,8 +22,9 @@ pub fn build_run_from_entries(
     id: RunId,
     entries: &[(CompoundKey, StateValue)],
     config: &ColeConfig,
+    ctx: RunContext,
 ) -> Result<Run> {
-    let mut builder = RunBuilder::create(dir, id, entries.len() as u64, config)?;
+    let mut builder = RunBuilder::create(dir, id, entries.len() as u64, config, ctx)?;
     for (key, value) in entries {
         builder.push(*key, *value)?;
     }
@@ -38,14 +39,20 @@ pub fn build_run_from_entries(
 /// # Errors
 ///
 /// Returns an error if `runs` is empty or a file operation fails.
-pub fn merge_runs(dir: &Path, id: RunId, runs: &[Arc<Run>], config: &ColeConfig) -> Result<Run> {
+pub fn merge_runs(
+    dir: &Path,
+    id: RunId,
+    runs: &[Arc<Run>],
+    config: &ColeConfig,
+    ctx: RunContext,
+) -> Result<Run> {
     if runs.is_empty() {
         return Err(ColeError::InvalidState(
             "cannot merge an empty set of runs".into(),
         ));
     }
     let total: u64 = runs.iter().map(|r| r.num_entries()).sum();
-    let mut builder = RunBuilder::create(dir, id, total, config)?;
+    let mut builder = RunBuilder::create(dir, id, total, config, ctx)?;
 
     // K-way merge over sequential iterators (each with its own file handle).
     struct Source {
@@ -111,10 +118,17 @@ mod tests {
                 .collect();
             all.extend(entries.clone());
             runs.push(Arc::new(
-                build_run_from_entries(&dir, run_idx as u64, &entries, &config).unwrap(),
+                build_run_from_entries(
+                    &dir,
+                    run_idx as u64,
+                    &entries,
+                    &config,
+                    RunContext::default(),
+                )
+                .unwrap(),
             ));
         }
-        let merged = merge_runs(&dir, 99, &runs, &config).unwrap();
+        let merged = merge_runs(&dir, 99, &runs, &config, RunContext::default()).unwrap();
         assert_eq!(merged.num_entries(), 300);
         all.sort();
         let merged_entries: Vec<_> = merged.iter_entries().unwrap().map(|r| r.unwrap()).collect();
@@ -129,8 +143,10 @@ mod tests {
         let entries: Vec<(CompoundKey, StateValue)> = (0..50u64)
             .map(|i| (key(i, 2), StateValue::from_u64(i * 7)))
             .collect();
-        let run = Arc::new(build_run_from_entries(&dir, 0, &entries, &config).unwrap());
-        let merged = merge_runs(&dir, 1, &[run], &config).unwrap();
+        let run = Arc::new(
+            build_run_from_entries(&dir, 0, &entries, &config, RunContext::default()).unwrap(),
+        );
+        let merged = merge_runs(&dir, 1, &[run], &config, RunContext::default()).unwrap();
         let out: Vec<_> = merged.iter_entries().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(out, entries);
         std::fs::remove_dir_all(&dir).ok();
@@ -139,7 +155,7 @@ mod tests {
     #[test]
     fn merge_rejects_empty_input() {
         let dir = tmpdir("empty");
-        assert!(merge_runs(&dir, 0, &[], &ColeConfig::default()).is_err());
+        assert!(merge_runs(&dir, 0, &[], &ColeConfig::default(), RunContext::default()).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,13 +1,91 @@
 //! Operation counters used by the complexity experiments (Table 1).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Cumulative counters describing the work a COLE instance has performed.
 ///
-/// The counters are *logical*: a "page read" is one page-granular access to a
-/// value, index or Merkle file, independent of OS caching, so they map
-/// directly onto the IO-cost columns of Table 1.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// The counters are *logical*: a "page read" is one page-granular access to
+/// a run's **value file**, independent of OS or page-cache state, so it
+/// tracks the dominant IO term of Table 1's cost columns. Learned-index and
+/// Merkle-file accesses are not yet counted (nor cached) — see the ROADMAP
+/// open items.
+///
+/// All counters are relaxed atomics so the query path can update them
+/// through `&self` — the whole read surface (`get`, `prov_query`) is shared
+/// between threads without locks. An engine and its runs share one
+/// `Metrics` instance via `Arc`; call [`Metrics::snapshot`] for a coherent
+/// plain-integer view.
+#[derive(Debug, Default)]
 pub struct Metrics {
-    /// Pages read from run files during queries.
+    /// Value-file pages read during queries (hit or miss — a cache hit is
+    /// still a logical page access).
+    pub pages_read: AtomicU64,
+    /// Pages written while building run files.
+    pub pages_written: AtomicU64,
+    /// Number of memtable flushes (level-0 → level-1 runs).
+    pub flushes: AtomicU64,
+    /// Number of level merges (including flushes).
+    pub merges: AtomicU64,
+    /// Total key–value pairs rewritten by merges.
+    pub entries_merged: AtomicU64,
+    /// Get queries answered.
+    pub gets: AtomicU64,
+    /// Provenance queries answered.
+    pub prov_queries: AtomicU64,
+    /// Runs skipped thanks to a negative Bloom-filter check.
+    pub bloom_skips: AtomicU64,
+    /// Runs actually searched (Bloom filter positive or absent).
+    pub runs_searched: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter. All metric updates are relaxed: the counters
+    /// are statistics, not synchronization.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a plain-integer copy of the counters. Cache hit/miss counts
+    /// are zero here; the engines fill them in from their page cache.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            entries_merged: self.entries_merged.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            prov_queries: self.prov_queries.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            runs_searched: self.runs_searched.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], as plain integers.
+///
+/// This is what [`Cole::metrics`](crate::Cole::metrics) and
+/// [`AsyncCole::metrics`](crate::AsyncCole::metrics) return; the engines
+/// additionally fill in the page-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Value-file pages read during queries.
     pub pages_read: u64,
     /// Pages written while building run files.
     pub pages_written: u64,
@@ -25,15 +103,13 @@ pub struct Metrics {
     pub bloom_skips: u64,
     /// Runs actually searched (Bloom filter positive or absent).
     pub runs_searched: u64,
+    /// Page-cache hits across the engine's run files.
+    pub cache_hits: u64,
+    /// Page-cache misses across the engine's run files.
+    pub cache_misses: u64,
 }
 
-impl Metrics {
-    /// Creates zeroed counters.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+impl MetricsSnapshot {
     /// Write amplification: pairs rewritten by merges per flushed pair.
     /// Returns zero before any flush happened.
     #[must_use]
@@ -42,6 +118,17 @@ impl Metrics {
             0.0
         } else {
             self.entries_merged as f64 / entries_ingested as f64
+        }
+    }
+
+    /// Fraction of page-cache lookups that hit, or zero before any lookup.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }
@@ -53,15 +140,34 @@ mod tests {
     #[test]
     fn default_is_zeroed() {
         let m = Metrics::new();
-        assert_eq!(m, Metrics::default());
-        assert_eq!(m.pages_read, 0);
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert_eq!(m.snapshot().pages_read, 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let m = Metrics::new();
+        Metrics::inc(&m.gets);
+        Metrics::add(&m.pages_read, 5);
+        let s = m.snapshot();
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.pages_read, 5);
     }
 
     #[test]
     fn write_amplification_handles_zero_ingest() {
-        let mut m = Metrics::new();
-        assert_eq!(m.write_amplification(0), 0.0);
-        m.entries_merged = 500;
-        assert_eq!(m.write_amplification(100), 5.0);
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.write_amplification(0), 0.0);
+        s.entries_merged = 500;
+        assert_eq!(s.write_amplification(100), 5.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_lookups() {
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert_eq!(s.cache_hit_rate(), 0.75);
     }
 }

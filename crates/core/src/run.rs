@@ -4,6 +4,7 @@
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cole_bloom::BloomFilter;
 use cole_hash::{hash_entry, hash_pair};
@@ -13,9 +14,53 @@ use cole_primitives::{
     Address, ColeError, CompoundKey, Digest, KeyNum, Result, StateValue, COMPOUND_KEY_LEN,
     DIGEST_LEN, ENTRY_LEN, PAGE_SIZE, VALUE_LEN,
 };
-use cole_storage::{PageFile, PageWriter};
+use cole_storage::{PageCache, PageFile, PageWriter};
 
 use crate::config::ColeConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Shared read-path plumbing of one engine instance, cloned into every run
+/// it builds or reopens: the page cache value-file reads go through and the
+/// [`Metrics`] instance those reads update.
+///
+/// Both members are `Arc`-shared and cheap to clone; the default (no cache,
+/// fresh metrics) is what standalone runs — tests, tools — use.
+#[derive(Clone, Debug, Default)]
+pub struct RunContext {
+    /// Page cache shared by all runs of one engine; `None` disables caching.
+    pub cache: Option<Arc<PageCache>>,
+    /// Operation counters shared with the owning engine.
+    pub metrics: Arc<Metrics>,
+}
+
+impl RunContext {
+    /// Creates a context sharing the given cache (if any) and metrics.
+    #[must_use]
+    pub fn new(cache: Option<Arc<PageCache>>, metrics: Arc<Metrics>) -> Self {
+        RunContext { cache, metrics }
+    }
+
+    /// Creates a fresh engine context from a configuration: a page cache of
+    /// `config.page_cache_pages` pages (none if `0`) and zeroed metrics.
+    #[must_use]
+    pub fn from_config(config: &ColeConfig) -> Self {
+        let cache = (config.page_cache_pages > 0)
+            .then(|| Arc::new(PageCache::new(config.page_cache_pages)));
+        RunContext::new(cache, Arc::new(Metrics::new()))
+    }
+
+    /// A point-in-time copy of the shared counters, with the page cache's
+    /// hit/miss counts filled in.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        if let Some(cache) = &self.cache {
+            snapshot.cache_hits = cache.hits();
+            snapshot.cache_misses = cache.misses();
+        }
+        snapshot
+    }
+}
 
 /// Number of compound key–value entries per value-file page.
 pub(crate) const ENTRIES_PER_PAGE: usize = PAGE_SIZE / ENTRY_LEN;
@@ -73,11 +118,13 @@ pub struct RunBuilder {
     bloom: BloomFilter,
     count: u64,
     last_key: Option<CompoundKey>,
+    ctx: RunContext,
 }
 
 impl RunBuilder {
     /// Creates a builder for run `id` holding exactly `expected_entries`
-    /// pairs.
+    /// pairs. The finished run reads through `ctx`'s cache and reports into
+    /// its metrics.
     ///
     /// # Errors
     ///
@@ -87,6 +134,7 @@ impl RunBuilder {
         id: RunId,
         expected_entries: u64,
         config: &ColeConfig,
+        ctx: RunContext,
     ) -> Result<Self> {
         if expected_entries == 0 {
             return Err(ColeError::InvalidState(
@@ -109,6 +157,7 @@ impl RunBuilder {
             bloom: BloomFilter::with_capacity(expected_entries as usize, config.bloom_fpr),
             count: 0,
             last_key: None,
+            ctx,
         })
     }
 
@@ -168,7 +217,10 @@ impl RunBuilder {
                 self.id, self.count, self.expected_entries
             )));
         }
-        let value_file = self.value_writer.finish()?;
+        let mut value_file = self.value_writer.finish()?;
+        if let Some(cache) = &self.ctx.cache {
+            value_file.attach_cache(Arc::clone(cache));
+        }
         let index = self.index_builder.finish()?;
         let merkle = self.merkle_builder.finish()?;
         std::fs::write(bloom_path(&self.dir, self.id), self.bloom.to_bytes())?;
@@ -183,7 +235,9 @@ impl RunBuilder {
         };
         meta.write(&meta_path(&self.dir, self.id))?;
 
-        Run::assemble(self.dir, meta, value_file, index, merkle, self.bloom)
+        Run::assemble(
+            self.dir, meta, value_file, index, merkle, self.bloom, self.ctx,
+        )
     }
 }
 
@@ -288,6 +342,7 @@ pub struct Run {
     merkle: MerkleFile,
     bloom: BloomFilter,
     commitment: Digest,
+    ctx: RunContext,
 }
 
 impl Run {
@@ -298,6 +353,7 @@ impl Run {
         index: LearnedIndexFile,
         merkle: MerkleFile,
         bloom: BloomFilter,
+        ctx: RunContext,
     ) -> Result<Self> {
         let commitment = hash_pair(&merkle.root(), &bloom.digest());
         Ok(Run {
@@ -308,17 +364,22 @@ impl Run {
             merkle,
             bloom,
             commitment,
+            ctx,
         })
     }
 
-    /// Reopens a run from its on-disk files and metadata.
+    /// Reopens a run from its on-disk files and metadata, wiring its reads
+    /// into `ctx`'s cache and metrics.
     ///
     /// # Errors
     ///
     /// Returns an error if any file is missing or inconsistent.
-    pub fn open(dir: &Path, id: RunId) -> Result<Self> {
+    pub fn open(dir: &Path, id: RunId, ctx: RunContext) -> Result<Self> {
         let meta = RunMeta::read(&meta_path(dir, id))?;
-        let value_file = PageFile::open(value_path(dir, id))?;
+        let mut value_file = PageFile::open(value_path(dir, id))?;
+        if let Some(cache) = &ctx.cache {
+            value_file.attach_cache(Arc::clone(cache));
+        }
         let index = LearnedIndexFile::open(
             index_path(dir, id),
             meta.index_layer_counts.clone(),
@@ -331,7 +392,15 @@ impl Run {
             )));
         }
         let bloom = BloomFilter::from_bytes(&std::fs::read(bloom_path(dir, id))?)?;
-        Run::assemble(dir.to_path_buf(), meta, value_file, index, merkle, bloom)
+        Run::assemble(
+            dir.to_path_buf(),
+            meta,
+            value_file,
+            index,
+            merkle,
+            bloom,
+            ctx,
+        )
     }
 
     /// The run identifier.
@@ -403,6 +472,7 @@ impl Run {
         }
         let page_id = position / ENTRIES_PER_PAGE as u64;
         let slot = (position % ENTRIES_PER_PAGE as u64) as usize;
+        Metrics::inc(&self.ctx.metrics.pages_read);
         let page = self.value_file.read_page(page_id)?;
         decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])
     }
@@ -485,18 +555,15 @@ impl Run {
     pub fn scan_range(&self, lower: &CompoundKey, upper: &CompoundKey) -> Result<RunRangeScan> {
         let first_pos = self.position_le(lower)?.unwrap_or(0);
         let mut entries = Vec::new();
-        let mut pos = first_pos;
-        #[allow(unused_assignments)]
         let mut last_pos = first_pos;
-        loop {
+        for pos in first_pos..self.meta.num_entries {
             let entry = self.entry_at(pos)?;
             let key = entry.0;
             entries.push(entry);
             last_pos = pos;
-            if key > *upper || pos + 1 >= self.meta.num_entries {
+            if key > *upper {
                 break;
             }
-            pos += 1;
         }
         Ok(RunRangeScan {
             first_pos,
@@ -532,6 +599,10 @@ impl Run {
     ///
     /// Returns an error if a file cannot be removed.
     pub fn delete_files(&self) -> Result<()> {
+        // Drop cached pages first so the shared cache can never serve pages
+        // of a deleted run (its file id is unique, but eager invalidation
+        // also frees the memory immediately).
+        self.value_file.invalidate_cached_pages();
         for path in [
             value_path(&self.dir, self.meta.id),
             index_path(&self.dir, self.meta.id),
@@ -549,6 +620,7 @@ impl Run {
     /// Reads one value-file page as decoded entries (only the slots that hold
     /// real entries, which matters for the final page).
     fn read_value_page(&self, page_id: u64) -> Result<Vec<(CompoundKey, StateValue)>> {
+        Metrics::inc(&self.ctx.metrics.pages_read);
         let page = self.value_file.read_page(page_id)?;
         let start = page_id * ENTRIES_PER_PAGE as u64;
         let in_page = (self.meta.num_entries - start).min(ENTRIES_PER_PAGE as u64) as usize;
@@ -628,7 +700,7 @@ mod tests {
     fn build_run(dir: &Path, addresses: u64, versions: u64) -> Run {
         let config = ColeConfig::default();
         let n = addresses * versions;
-        let mut builder = RunBuilder::create(dir, 1, n, &config).unwrap();
+        let mut builder = RunBuilder::create(dir, 1, n, &config, RunContext::default()).unwrap();
         for addr in 0..addresses {
             for blk in 1..=versions {
                 builder
@@ -747,7 +819,7 @@ mod tests {
         let run = build_run(&dir, 25, 3);
         let commitment = run.commitment();
         drop(run);
-        let reopened = Run::open(&dir, 1).unwrap();
+        let reopened = Run::open(&dir, 1, RunContext::default()).unwrap();
         assert_eq!(reopened.commitment(), commitment);
         assert_eq!(reopened.num_entries(), 75);
         let (k, _) = reopened
@@ -772,8 +844,8 @@ mod tests {
     fn builder_rejects_misuse() {
         let dir = tmpdir("misuse");
         let config = ColeConfig::default();
-        assert!(RunBuilder::create(&dir, 9, 0, &config).is_err());
-        let mut b = RunBuilder::create(&dir, 9, 3, &config).unwrap();
+        assert!(RunBuilder::create(&dir, 9, 0, &config, RunContext::default()).is_err());
+        let mut b = RunBuilder::create(&dir, 9, 3, &config, RunContext::default()).unwrap();
         b.push(key(2, 1), StateValue::from_u64(1)).unwrap();
         // Out-of-order key.
         assert!(b.push(key(1, 1), StateValue::from_u64(2)).is_err());
@@ -790,6 +862,81 @@ mod tests {
         let entries: Vec<_> = run.iter_entries().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(entries.len(), 140);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_runs_hit_on_repeated_lookups() {
+        let dir = tmpdir("cachehits");
+        let cache = Arc::new(cole_storage::PageCache::new(256));
+        let ctx = RunContext::new(Some(Arc::clone(&cache)), Arc::default());
+        let config = ColeConfig::default();
+        let mut builder = RunBuilder::create(&dir, 1, 100, &config, ctx.clone()).unwrap();
+        for addr in 0..100u64 {
+            builder
+                .push(key(addr, 1), StateValue::from_u64(addr))
+                .unwrap();
+        }
+        let run = builder.finish().unwrap();
+        for _ in 0..3 {
+            for addr in [3u64, 50, 97] {
+                let (_, v) = run
+                    .get_latest(&Address::from_low_u64(addr))
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(v.as_u64(), addr);
+            }
+        }
+        assert!(cache.hits() > 0, "repeated lookups must hit the cache");
+        assert_eq!(
+            ctx.metrics.snapshot().pages_read,
+            cache.hits() + cache.misses(),
+            "every logical value-page read goes through the cache"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleting_a_run_never_leaves_stale_pages_in_a_shared_cache() {
+        // The cache is shared across the runs of an engine; after a merge
+        // deletes a run, a successor run written to the same directory (and
+        // even the same run id) must never see the old run's pages.
+        let dir = tmpdir("stale");
+        let cache = Arc::new(cole_storage::PageCache::new(256));
+        let ctx = RunContext::new(Some(Arc::clone(&cache)), Arc::default());
+        let config = ColeConfig::default();
+
+        let mut builder = RunBuilder::create(&dir, 1, 50, &config, ctx.clone()).unwrap();
+        for addr in 0..50u64 {
+            builder
+                .push(key(addr, 1), StateValue::from_u64(addr + 1000))
+                .unwrap();
+        }
+        let old = builder.finish().unwrap();
+        // Warm the cache with the old run's pages.
+        for addr in 0..50u64 {
+            old.get_latest(&Address::from_low_u64(addr)).unwrap();
+        }
+        assert!(!cache.is_empty());
+        old.delete_files().unwrap();
+        assert!(cache.is_empty(), "deletion must invalidate cached pages");
+
+        // Same directory, same run id, different contents.
+        let mut builder = RunBuilder::create(&dir, 1, 50, &config, ctx).unwrap();
+        for addr in 0..50u64 {
+            builder
+                .push(key(addr, 2), StateValue::from_u64(addr + 2000))
+                .unwrap();
+        }
+        let new = builder.finish().unwrap();
+        for addr in 0..50u64 {
+            let (k, v) = new
+                .get_latest(&Address::from_low_u64(addr))
+                .unwrap()
+                .unwrap();
+            assert_eq!(k.block_height(), 2);
+            assert_eq!(v.as_u64(), addr + 2000, "stale page served for {addr}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -278,12 +278,12 @@ impl AuthenticatedStorage for LippStorage {
         Ok(())
     }
 
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+    fn get(&self, addr: Address) -> Result<Option<StateValue>> {
         Ok(self.lookup(0, &addr))
     }
 
     fn prov_query(
-        &mut self,
+        &self,
         _addr: Address,
         _blk_lower: u64,
         _blk_upper: u64,
@@ -447,7 +447,7 @@ mod tests {
     #[test]
     fn provenance_is_unsupported() {
         let dir = tmpdir("prov");
-        let mut lipp = LippStorage::open(&dir).unwrap();
+        let lipp = LippStorage::open(&dir).unwrap();
         assert!(lipp.prov_query(addr(1), 1, 2).is_err());
         assert_eq!(lipp.name(), "LIPP");
         std::fs::remove_dir_all(&dir).ok();

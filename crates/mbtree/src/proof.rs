@@ -365,7 +365,7 @@ mod tests {
 
     #[test]
     fn proof_serialization_roundtrip() {
-        let mut tree = sample_tree();
+        let tree = sample_tree();
         let (_, proof) = tree.range_with_proof(key(10, 0), key(12, 9));
         let bytes = proof.to_bytes();
         let restored = MbProof::from_bytes(&bytes).unwrap();
@@ -427,7 +427,7 @@ mod tests {
     fn decoding_garbage_fails() {
         assert!(MbProof::from_bytes(&[]).is_err());
         assert!(MbProof::from_bytes(&[0xff, 0, 0]).is_err());
-        let mut tree = sample_tree();
+        let tree = sample_tree();
         let (_, proof) = tree.range_with_proof(key(1, 0), key(1, 9));
         let mut bytes = proof.to_bytes();
         bytes.truncate(bytes.len() - 3);

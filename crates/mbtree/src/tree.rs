@@ -172,16 +172,19 @@ impl MbTree {
     /// Performs an authenticated range query: returns the matching entries
     /// and an [`MbProof`] that a client can verify against the root digest.
     ///
-    /// The proof is built against the *current* tree contents; call
-    /// [`MbTree::root_hash`] afterwards (or before — the digest only changes
-    /// with inserts) to obtain the digest the proof verifies against.
+    /// Takes `&self` so concurrent readers can build proofs without
+    /// serializing. The pruned subtrees of the proof carry the digests
+    /// cached by the most recent [`MbTree::root_hash`] call: call
+    /// `root_hash` after the last insert (engines do this when finalizing a
+    /// block) and the proof verifies against the digest it returned.
+    /// Inserting after `root_hash` and then asking for a proof yields one
+    /// that verifies against no digest — the same as proving against a
+    /// not-yet-published root.
     pub fn range_with_proof(
-        &mut self,
+        &self,
         lower: CompoundKey,
         upper: CompoundKey,
     ) -> (Vec<(CompoundKey, StateValue)>, MbProof) {
-        // Ensure digests are up to date so pruned subtrees carry valid hashes.
-        self.recompute(self.root);
         let results = self.range(lower, upper);
         let root_node = self.build_proof(self.root, lower, upper);
         (results, MbProof::new(root_node))

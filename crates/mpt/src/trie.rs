@@ -81,7 +81,7 @@ impl MptStorage {
         Ok(digest)
     }
 
-    fn load_node(&mut self, digest: &Digest) -> Result<MptNode> {
+    fn load_node(&self, digest: &Digest) -> Result<MptNode> {
         let bytes = self
             .kv
             .get(digest.as_bytes())?
@@ -230,7 +230,7 @@ impl MptStorage {
     /// Looks up `path` starting from `root`, optionally collecting the
     /// serialized nodes of the traversal (the Merkle path proof).
     fn lookup(
-        &mut self,
+        &self,
         root: Option<Digest>,
         path: &[u8],
         mut proof_nodes: Option<&mut Vec<Vec<u8>>>,
@@ -286,13 +286,13 @@ impl AuthenticatedStorage for MptStorage {
         Ok(())
     }
 
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+    fn get(&self, addr: Address) -> Result<Option<StateValue>> {
         let path = addr.nibbles();
         self.lookup(self.current_root, &path, None)
     }
 
     fn prov_query(
-        &mut self,
+        &self,
         addr: Address,
         blk_lower: u64,
         blk_upper: u64,

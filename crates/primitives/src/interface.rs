@@ -76,24 +76,30 @@ pub trait AuthenticatedStorage {
     /// Returns the latest value of the state at `addr`, or `None` if the
     /// address has never been written (`Get(addr)`).
     ///
+    /// Queries take `&self`: engines must support concurrent read traffic
+    /// (many threads sharing one instance behind an `Arc`), with any
+    /// read-side bookkeeping kept in atomics or behind internal locks.
+    ///
     /// # Errors
     ///
     /// Returns an error if the underlying storage fails.
-    fn get(&mut self, addr: Address) -> Result<Option<StateValue>>;
+    fn get(&self, addr: Address) -> Result<Option<StateValue>>;
 
     /// Returns the historical values of `addr` written in blocks within
     /// `[blk_lower, blk_upper]`, together with an integrity proof
     /// (`ProvQuery(addr, [blk_l, blk_u])`).
     ///
+    /// Takes `&self` like [`get`](AuthenticatedStorage::get). The returned
+    /// proof verifies against the `Hstate` of the most recently finalized
+    /// block; issuing the query mid-block (after `put`s, before
+    /// `finalize_block`) yields values that include the in-flight writes but
+    /// a proof no published digest authenticates.
+    ///
     /// # Errors
     ///
     /// Returns an error if the underlying storage fails.
-    fn prov_query(
-        &mut self,
-        addr: Address,
-        blk_lower: u64,
-        blk_upper: u64,
-    ) -> Result<ProvenanceResult>;
+    fn prov_query(&self, addr: Address, blk_lower: u64, blk_upper: u64)
+        -> Result<ProvenanceResult>;
 
     /// Verifies a provenance query result against the public state root
     /// digest `hstate` (`VerifyProv(addr, [blk_l, blk_u], {value}, π, Hstate)`).

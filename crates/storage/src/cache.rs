@@ -1,0 +1,423 @@
+//! A sharded, capacity-bounded page cache shared by the files of one engine.
+//!
+//! COLE's read path is dominated by page-granular reads of immutable run
+//! files: a point lookup touches a couple of learned-index pages and one or
+//! two value-file pages, and under a skewed workload the same hot pages are
+//! fetched over and over. The [`PageCache`] keeps recently used pages in
+//! memory so concurrent readers can serve repeated lookups without touching
+//! the file system at all.
+//!
+//! # Design
+//!
+//! * **Keyed by `(file id, page id)`.** Every [`PageFile`](crate::PageFile)
+//!   draws a process-unique [`FileId`] from [`next_file_id`] when it is
+//!   created or opened, so cache entries can never be confused between
+//!   files — even after a run is deleted and its run id is reused, the new
+//!   files carry fresh [`FileId`]s. Deletion additionally calls
+//!   [`PageCache::invalidate_file`] so stale pages are dropped eagerly.
+//! * **Sharded.** The key hash picks one of a fixed number of shards, each
+//!   protected by its own mutex, so readers on different pages rarely
+//!   contend. The critical sections are a hash-map probe plus a pointer
+//!   clone — no I/O is ever performed under a lock.
+//! * **Clock (second-chance) eviction.** Each shard keeps its slots in a
+//!   circular buffer with a referenced bit; eviction advances the clock hand,
+//!   clearing referenced bits until it finds a cold slot. This approximates
+//!   LRU without per-access list surgery, keeping the hit path cheap.
+//! * **Shared pages.** Pages are stored as `Arc<[u8]>` and handed out by
+//!   cloning the `Arc`, so a hit never copies page bytes and an evicted page
+//!   stays alive while any reader still holds it.
+//!
+//! Hit and miss counts are tracked with relaxed atomics and surface in the
+//! engine's metrics (and in the `exp_concurrent` benchmark's CSV output).
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Process-unique identifier of a cacheable file.
+pub type FileId = u64;
+
+/// Global [`FileId`] source. Never reused within a process, which makes
+/// `(file id, page id)` cache keys immune to file-path or run-id reuse.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next process-unique [`FileId`].
+#[must_use]
+pub fn next_file_id() -> FileId {
+    NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Number of independently locked shards. A small power of two: enough to
+/// make lock contention negligible for tens of reader threads while keeping
+/// per-shard bookkeeping dense.
+const NUM_SHARDS: usize = 16;
+
+/// One cached page.
+#[derive(Debug)]
+struct Slot {
+    key: (FileId, u64),
+    page: Arc<[u8]>,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// sweeps past.
+    referenced: bool,
+}
+
+/// One shard: a clock ring plus an index into it.
+#[derive(Debug, Default)]
+struct Shard {
+    /// `(file id, page id)` → slot index in `slots`.
+    map: HashMap<(FileId, u64), usize>,
+    /// Clock ring; `None` marks slots freed by invalidation.
+    slots: Vec<Option<Slot>>,
+    /// Indices of `None` entries in `slots`, reusable before the ring grows.
+    free: Vec<usize>,
+    /// Clock hand position.
+    hand: usize,
+}
+
+impl Shard {
+    fn get(&mut self, key: (FileId, u64)) -> Option<Arc<[u8]>> {
+        let idx = *self.map.get(&key)?;
+        let slot = self.slots[idx]
+            .as_mut()
+            .expect("map entries always point at live slots");
+        slot.referenced = true;
+        Some(Arc::clone(&slot.page))
+    }
+
+    fn insert(&mut self, key: (FileId, u64), page: Arc<[u8]>, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = self.slots[idx]
+                .as_mut()
+                .expect("map entries always point at live slots");
+            slot.page = page;
+            slot.referenced = true;
+            return;
+        }
+        let slot = Slot {
+            key,
+            page,
+            referenced: true,
+        };
+        let idx = if let Some(free_idx) = self.free.pop() {
+            self.slots[free_idx] = Some(slot);
+            free_idx
+        } else if self.slots.len() < capacity {
+            self.slots.push(Some(slot));
+            self.slots.len() - 1
+        } else {
+            let victim = self.evict();
+            self.slots[victim] = Some(slot);
+            victim
+        };
+        self.map.insert(key, idx);
+    }
+
+    /// Advances the clock hand to a victim slot, removing it from the index.
+    fn evict(&mut self) -> usize {
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            match &mut self.slots[idx] {
+                Some(slot) if slot.referenced => slot.referenced = false,
+                Some(slot) => {
+                    let key = slot.key;
+                    self.map.remove(&key);
+                    self.slots[idx] = None;
+                    return idx;
+                }
+                // Freed by invalidation. Take it off the free list before
+                // handing it out, or a later insert would pop the same index
+                // and leave two map entries aliasing one slot.
+                None => {
+                    self.free.retain(|&f| f != idx);
+                    return idx;
+                }
+            }
+        }
+    }
+
+    fn invalidate_page(&mut self, key: (FileId, u64)) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.slots[idx] = None;
+            self.free.push(idx);
+        }
+    }
+
+    fn invalidate_file(&mut self, file: FileId) {
+        let doomed: Vec<(FileId, u64)> = self
+            .map
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        for key in doomed {
+            self.invalidate_page(key);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A sharded, capacity-bounded cache of file pages with clock eviction.
+///
+/// One cache is shared — via `Arc` — by all runs of an engine instance;
+/// see the [module documentation](self) for the design rationale.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cole_storage::{next_file_id, PageCache};
+///
+/// let cache = PageCache::new(64);
+/// let file = next_file_id();
+/// let page: Arc<[u8]> = vec![7u8; 4096].into();
+/// assert!(cache.get(file, 0).is_none());
+/// cache.insert(file, 0, Arc::clone(&page));
+/// assert_eq!(cache.get(file, 0).as_deref(), Some(&page[..]));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct PageCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum number of pages each shard may hold.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity_pages` pages (rounded up to
+    /// a multiple of the shard count). A capacity of zero creates a cache
+    /// that never stores anything (every lookup is a miss).
+    #[must_use]
+    pub fn new(capacity_pages: usize) -> Self {
+        let shard_capacity = capacity_pages.div_ceil(NUM_SHARDS);
+        PageCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: (FileId, u64)) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % NUM_SHARDS]
+    }
+
+    /// Looks up a page, counting a hit or a miss.
+    #[must_use]
+    pub fn get(&self, file: FileId, page_id: u64) -> Option<Arc<[u8]>> {
+        let found = self
+            .shard((file, page_id))
+            .lock()
+            .expect("page-cache shard lock poisoned")
+            .get((file, page_id));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) a page, evicting a cold page if the shard is
+    /// full.
+    pub fn insert(&self, file: FileId, page_id: u64, page: Arc<[u8]>) {
+        self.shard((file, page_id))
+            .lock()
+            .expect("page-cache shard lock poisoned")
+            .insert((file, page_id), page, self.shard_capacity);
+    }
+
+    /// Drops one cached page, if present. Called by positioned writes that
+    /// overwrite an already-cached page.
+    pub fn invalidate_page(&self, file: FileId, page_id: u64) {
+        self.shard((file, page_id))
+            .lock()
+            .expect("page-cache shard lock poisoned")
+            .invalidate_page((file, page_id));
+    }
+
+    /// Drops every cached page of `file`. Called when a run's files are
+    /// deleted after a merge so the cache never serves pages of dead files.
+    pub fn invalidate_file(&self, file: FileId) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("page-cache shard lock poisoned")
+                .invalidate_file(file);
+        }
+    }
+
+    /// Number of cache hits served so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that missed so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of pages currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("page-cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if no pages are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of pages the cache may hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * NUM_SHARDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(byte: u8) -> Arc<[u8]> {
+        vec![byte; 64].into()
+    }
+
+    #[test]
+    fn file_ids_are_unique() {
+        let a = next_file_id();
+        let b = next_file_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = PageCache::new(16);
+        let f = next_file_id();
+        assert!(cache.get(f, 3).is_none());
+        cache.insert(f, 3, page(1));
+        assert_eq!(cache.get(f, 3).as_deref(), Some(&page(1)[..]));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let cache = PageCache::new(32);
+        let f = next_file_id();
+        for i in 0..10_000u64 {
+            cache.insert(f, i, page(i as u8));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() >= 32);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = PageCache::new(0);
+        let f = next_file_id();
+        cache.insert(f, 0, page(9));
+        assert!(cache.get(f, 0).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn clock_keeps_hot_pages() {
+        let cache = PageCache::new(NUM_SHARDS * 2);
+        let f = next_file_id();
+        cache.insert(f, 0, page(0));
+        // Touch page 0 every round while churning through cold pages. The
+        // referenced bit keeps the hot page resident most of the time, while
+        // the cold pages (never re-read) are the ones evicted.
+        let mut hot_hits = 0u64;
+        for i in 1..500u64 {
+            if cache.get(f, 0).is_some() {
+                hot_hits += 1;
+            } else {
+                cache.insert(f, 0, page(0));
+            }
+            cache.insert(f, i, page(i as u8));
+        }
+        assert!(
+            hot_hits > 300,
+            "hot page should mostly survive churn, hit {hot_hits}/499"
+        );
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn invalidate_file_drops_all_its_pages() {
+        // Generous capacity so nothing is evicted; only invalidation may
+        // drop pages.
+        let cache = PageCache::new(1024);
+        let f1 = next_file_id();
+        let f2 = next_file_id();
+        for i in 0..20u64 {
+            cache.insert(f1, i, page(1));
+            cache.insert(f2, i, page(2));
+        }
+        cache.invalidate_file(f1);
+        for i in 0..20u64 {
+            assert!(cache.get(f1, i).is_none(), "page {i} of f1 not dropped");
+            assert!(cache.get(f2, i).is_some(), "page {i} of f2 lost");
+        }
+    }
+
+    #[test]
+    fn insert_after_invalidation_reuses_slots() {
+        let cache = PageCache::new(1024);
+        let f = next_file_id();
+        for i in 0..40u64 {
+            cache.insert(f, i, page(3));
+        }
+        cache.invalidate_file(f);
+        assert!(cache.is_empty());
+        for i in 0..40u64 {
+            cache.insert(f, i, page(4));
+        }
+        assert_eq!(cache.get(f, 7).as_deref(), Some(&page(4)[..]));
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(PageCache::new(128));
+        let f = next_file_id();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let id = (t * 131 + i) % 64;
+                    if cache.get(f, id).is_none() {
+                        cache.insert(f, id, vec![id as u8; 32].into());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.hits() + cache.misses() >= 8_000);
+    }
+}

@@ -11,10 +11,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use cole_primitives::{ColeError, Result};
+
+use crate::page::read_exact_at;
 
 /// The interface of a byte-oriented key–value store.
 ///
@@ -31,17 +33,20 @@ pub trait KvStore {
 
     /// Returns the latest value of `key`, if any.
     ///
+    /// Reads take `&self` (implementations use positioned I/O rather than a
+    /// shared file cursor), so lookups may be issued concurrently.
+    ///
     /// # Errors
     ///
     /// Returns an error if the read fails.
-    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
 
     /// Returns `true` if `key` currently has a value.
     ///
     /// # Errors
     ///
     /// Returns an error if the read fails.
-    fn contains(&mut self, key: &[u8]) -> Result<bool> {
+    fn contains(&self, key: &[u8]) -> Result<bool> {
         Ok(self.get(key)?.is_some())
     }
 
@@ -59,10 +64,10 @@ pub trait KvStore {
     fn memory_size(&self) -> u64;
 
     /// Number of live key–value pairs visible to readers.
-    fn len(&mut self) -> usize;
+    fn len(&self) -> usize;
 
     /// Returns `true` if the store holds no visible pairs.
-    fn is_empty(&mut self) -> bool {
+    fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
@@ -87,7 +92,7 @@ impl KvStore for MemKvStore {
         Ok(())
     }
 
-    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         Ok(self.map.get(key).cloned())
     }
 
@@ -106,7 +111,7 @@ impl KvStore for MemKvStore {
             .sum()
     }
 
-    fn len(&mut self) -> usize {
+    fn len(&self) -> usize {
         self.map.len()
     }
 }
@@ -153,13 +158,12 @@ impl Segment {
         })
     }
 
-    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let Some(&(offset, len)) = self.index.get(key) else {
             return Ok(None);
         };
         let mut buf = vec![0u8; len as usize];
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.read_exact(&mut buf)?;
+        read_exact_at(&self.file, &mut buf, offset)?;
         Ok(Some(buf))
     }
 }
@@ -258,11 +262,10 @@ impl FileKvStore {
     pub fn compact(&mut self) -> Result<()> {
         let mut all: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         // Oldest first so newer values overwrite older ones.
-        for seg in &mut self.segments {
-            let keys: Vec<Vec<u8>> = seg.index.keys().cloned().collect();
-            for key in keys {
-                if let Some(value) = seg.get(&key)? {
-                    all.insert(key, value);
+        for seg in &self.segments {
+            for key in seg.index.keys() {
+                if let Some(value) = seg.get(key)? {
+                    all.insert(key.clone(), value);
                 }
             }
         }
@@ -302,11 +305,11 @@ impl KvStore for FileKvStore {
         Ok(())
     }
 
-    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         if let Some(v) = self.memtable.get(key) {
             return Ok(Some(v.clone()));
         }
-        for seg in self.segments.iter_mut().rev() {
+        for seg in self.segments.iter().rev() {
             if let Some(v) = seg.get(key)? {
                 return Ok(Some(v));
             }
@@ -326,7 +329,7 @@ impl KvStore for FileKvStore {
         self.memtable_bytes
     }
 
-    fn len(&mut self) -> usize {
+    fn len(&self) -> usize {
         self.key_count.len()
     }
 }

@@ -8,6 +8,12 @@
 //!   positioned overwrites (needed by the streaming Merkle-file construction
 //!   of Algorithm 4, which writes each MHT layer at a precomputed offset).
 //!
+//! * **A shared page cache** ([`PageCache`]) — a sharded, capacity-bounded
+//!   cache of file pages with clock eviction, shared via `Arc` by all runs
+//!   of an engine so concurrent readers serve hot pages without I/O. All
+//!   `PageFile` reads use positioned I/O (`pread`-style), so `&self` reads
+//!   are safe from many threads at once.
+//!
 //! * **A simulated RocksDB** ([`KvStore`], [`MemKvStore`], [`FileKvStore`]) —
 //!   the paper's baselines (MPT, LIPP, CMI) persist their index nodes in
 //!   RocksDB (§8.1.2). [`FileKvStore`] is a small LSM-flavoured key–value
@@ -32,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod kv;
 mod page;
 mod util;
 
+pub use cache::{next_file_id, FileId, PageCache};
 pub use kv::{FileKvStore, KvStore, MemKvStore};
 pub use page::{PageFile, PageWriter};
 pub use util::dir_size;

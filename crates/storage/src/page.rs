@@ -1,10 +1,79 @@
 //! Page-oriented file access.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cole_primitives::{ColeError, Result, PAGE_SIZE};
+
+use crate::cache::{next_file_id, FileId, PageCache};
+
+/// Reads exactly `buf.len()` bytes at `offset` without touching any file
+/// cursor, so concurrent readers of one [`File`] never race.
+#[cfg(unix)]
+pub(crate) fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+/// Windows fallback of [`read_exact_at`]: `seek_read` takes its offset per
+/// call, so it is cursor-free in the same way as `pread`.
+#[cfg(windows)]
+pub(crate) fn read_exact_at(
+    file: &File,
+    mut buf: &mut [u8],
+    mut offset: u64,
+) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "failed to fill whole buffer",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes all of `data` at `offset` without touching any file cursor.
+#[cfg(unix)]
+fn write_all_at(file: &File, data: &[u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(data, offset)
+}
+
+/// Windows fallback of [`write_all_at`].
+#[cfg(windows)]
+fn write_all_at(file: &File, mut data: &[u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !data.is_empty() {
+        match file.seek_write(data, offset) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole buffer",
+                ))
+            }
+            Ok(n) => {
+                data = &data[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// A file accessed in [`PAGE_SIZE`]-byte pages.
 ///
@@ -12,6 +81,11 @@ use cole_primitives::{ColeError, Result, PAGE_SIZE};
 /// they are written once during a flush/merge (streamingly, page by page or
 /// at precomputed offsets) and then only read until the next level merge
 /// deletes them (§4).
+///
+/// All reads use positioned I/O (`pread`-style), never the shared file
+/// cursor, so `&self` reads are safe to issue from many threads at once.
+/// A [`PageCache`] can be attached with [`PageFile::attach_cache`]; page
+/// reads are then served from (and fill) the cache.
 ///
 /// # Examples
 ///
@@ -32,6 +106,9 @@ pub struct PageFile {
     file: File,
     path: PathBuf,
     num_pages: u64,
+    /// Process-unique identity used as the cache-key prefix.
+    id: FileId,
+    cache: Option<Arc<PageCache>>,
 }
 
 impl PageFile {
@@ -55,6 +132,8 @@ impl PageFile {
             file,
             path,
             num_pages: 0,
+            id: next_file_id(),
+            cache: None,
         })
     }
 
@@ -71,7 +150,29 @@ impl PageFile {
             file,
             path,
             num_pages: len.div_ceil(PAGE_SIZE as u64),
+            id: next_file_id(),
+            cache: None,
         })
+    }
+
+    /// Routes this file's page reads through `cache`.
+    pub fn attach_cache(&mut self, cache: Arc<PageCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The process-unique identity of this file (the cache-key prefix).
+    #[must_use]
+    pub fn file_id(&self) -> FileId {
+        self.id
+    }
+
+    /// Drops every page of this file from the attached cache, if any. Call
+    /// before deleting the file from disk so the cache never serves pages of
+    /// dead files.
+    pub fn invalidate_cached_pages(&self) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate_file(self.id);
+        }
     }
 
     /// The number of pages currently in the file.
@@ -107,31 +208,40 @@ impl PageFile {
         }
         let mut page = vec![0u8; PAGE_SIZE];
         page[..data.len()].copy_from_slice(data);
-        self.file
-            .seek(SeekFrom::Start(self.num_pages * PAGE_SIZE as u64))?;
-        self.file.write_all(&page)?;
+        write_all_at(&self.file, &page, self.num_pages * PAGE_SIZE as u64)?;
         let id = self.num_pages;
         self.num_pages += 1;
         Ok(id)
     }
 
-    /// Reads the page with the given id.
+    /// Reads the page with the given id, consulting (and filling) the
+    /// attached cache if one is present.
+    ///
+    /// The page is returned as a shared buffer so cache hits never copy the
+    /// page bytes.
     ///
     /// # Errors
     ///
     /// Returns an error if `page_id` is out of bounds or the read fails.
-    pub fn read_page(&self, page_id: u64) -> Result<Vec<u8>> {
+    pub fn read_page(&self, page_id: u64) -> Result<Arc<[u8]>> {
         if page_id >= self.num_pages {
             return Err(ColeError::NotFound(format!(
                 "page {page_id} out of bounds ({} pages)",
                 self.num_pages
             )));
         }
-        let mut file = &self.file;
+        if let Some(cache) = &self.cache {
+            if let Some(page) = cache.get(self.id, page_id) {
+                return Ok(page);
+            }
+        }
         let mut buf = vec![0u8; PAGE_SIZE];
-        file.seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
-        file.read_exact(&mut buf)?;
-        Ok(buf)
+        read_exact_at(&self.file, &mut buf, page_id * PAGE_SIZE as u64)?;
+        let page: Arc<[u8]> = buf.into();
+        if let Some(cache) = &self.cache {
+            cache.insert(self.id, page_id, Arc::clone(&page));
+        }
+        Ok(page)
     }
 
     /// Writes `data` at an arbitrary byte offset, extending the file if
@@ -142,26 +252,29 @@ impl PageFile {
     ///
     /// Returns an error if the write fails.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(data)?;
+        write_all_at(&self.file, data, offset)?;
         let end = offset + data.len() as u64;
         let pages = end.div_ceil(PAGE_SIZE as u64);
         if pages > self.num_pages {
             self.num_pages = pages;
         }
+        if let Some(cache) = &self.cache {
+            for page_id in (offset / PAGE_SIZE as u64)..end.div_ceil(PAGE_SIZE as u64) {
+                cache.invalidate_page(self.id, page_id);
+            }
+        }
         Ok(())
     }
 
-    /// Reads exactly `len` bytes starting at `offset`.
+    /// Reads exactly `len` bytes starting at `offset` with a positioned read
+    /// (cursor-free, so concurrent `&self` readers never race).
     ///
     /// # Errors
     ///
     /// Returns an error if the range is out of bounds or the read fails.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let mut file = &self.file;
         let mut buf = vec![0u8; len];
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(&mut buf)?;
+        read_exact_at(&self.file, &mut buf, offset)?;
         Ok(buf)
     }
 
@@ -306,8 +419,59 @@ mod tests {
         assert_eq!(f.append_page(&[2u8; PAGE_SIZE]).unwrap(), 1);
         assert_eq!(f.num_pages(), 2);
         assert_eq!(f.read_page(0).unwrap()[..100], [1u8; 100]);
-        assert_eq!(f.read_page(1).unwrap(), vec![2u8; PAGE_SIZE]);
+        assert_eq!(f.read_page(1).unwrap()[..], vec![2u8; PAGE_SIZE]);
         assert!(f.read_page(2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_file_without_racing() {
+        // Regression test for the shared-cursor data race: many threads
+        // reading different pages through one `&PageFile` must each see
+        // exactly their page's contents.
+        let path = tmp("concurrent");
+        let mut f = PageFile::create(&path).unwrap();
+        let pages = 64u64;
+        for i in 0..pages {
+            f.append_page(&vec![i as u8; PAGE_SIZE]).unwrap();
+        }
+        let f = std::sync::Arc::new(f);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let f = std::sync::Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200u64 {
+                    let page_id = (t * 31 + round * 7) % pages;
+                    let page = f.read_page(page_id).unwrap();
+                    assert!(
+                        page.iter().all(|&b| b == page_id as u8),
+                        "torn read of page {page_id}"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cached_reads_hit_after_first_access() {
+        let path = tmp("cached");
+        let cache = std::sync::Arc::new(crate::PageCache::new(16));
+        let mut f = PageFile::create(&path).unwrap();
+        f.append_page(&[5u8; 32]).unwrap();
+        f.attach_cache(std::sync::Arc::clone(&cache));
+        let first = f.read_page(0).unwrap();
+        let second = f.read_page(0).unwrap();
+        assert_eq!(first[..32], [5u8; 32]);
+        assert!(std::sync::Arc::ptr_eq(&first, &second) || first == second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Invalidation drops the file's pages.
+        f.invalidate_cached_pages();
+        assert!(cache.is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,116 @@
+//! Property-based tests of the shared page cache.
+//!
+//! The safety property that matters to the engine: the cache may *forget*
+//! pages (bounded capacity), but it must never *invent* or *resurrect* them.
+//! Every `get` returns either nothing or exactly the bytes most recently
+//! inserted for that `(file, page)` key — in particular, never a page of a
+//! file that has been invalidated (deleted run) and not re-inserted since.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cole_storage::PageCache;
+use proptest::prelude::*;
+
+/// One scripted cache operation. Files and pages are drawn from small
+/// ranges so the script repeatedly revisits the same keys.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert { file: u64, page: u64, stamp: u8 },
+    Get { file: u64, page: u64 },
+    InvalidatePage { file: u64, page: u64 },
+    InvalidateFile { file: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..4, 0u64..4, 0u64..16, any::<u8>()).prop_map(|(kind, file, page, stamp)| match kind {
+        0 => Op::Insert { file, page, stamp },
+        1 => Op::Get { file, page },
+        2 => Op::InvalidatePage { file, page },
+        _ => Op::InvalidateFile { file },
+    })
+}
+
+/// Encodes a page whose contents identify the exact insertion that produced
+/// it, so a stale or cross-wired page is unmistakable.
+fn page_bytes(file: u64, page: u64, stamp: u8) -> Arc<[u8]> {
+    let mut bytes = vec![stamp; 32];
+    bytes[..8].copy_from_slice(&file.to_le_bytes());
+    bytes[8..16].copy_from_slice(&page.to_le_bytes());
+    bytes.into()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Against a perfect-memory model: a hit always returns the most
+    /// recently inserted bytes for that key, and invalidated keys never
+    /// resurface until re-inserted.
+    #[test]
+    fn cache_never_serves_stale_or_foreign_pages(
+        capacity in 0usize..48,
+        ops in prop::collection::vec(arb_op(), 1..200),
+    ) {
+        let cache = PageCache::new(capacity);
+        let mut model: HashMap<(u64, u64), Arc<[u8]>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { file, page, stamp } => {
+                    let bytes = page_bytes(file, page, stamp);
+                    cache.insert(file, page, Arc::clone(&bytes));
+                    model.insert((file, page), bytes);
+                }
+                Op::Get { file, page } => {
+                    if let Some(got) = cache.get(file, page) {
+                        let expected = model.get(&(file, page));
+                        prop_assert_eq!(
+                            Some(&got[..]),
+                            expected.map(|b| &b[..]),
+                            "cache served bytes that were never the latest insert for ({}, {})",
+                            file,
+                            page
+                        );
+                    }
+                    // A miss is always legal: the cache is allowed to forget.
+                }
+                Op::InvalidatePage { file, page } => {
+                    cache.invalidate_page(file, page);
+                    model.remove(&(file, page));
+                }
+                Op::InvalidateFile { file } => {
+                    cache.invalidate_file(file);
+                    model.retain(|(f, _), _| *f != file);
+                }
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// After a file is invalidated, every one of its pages misses until it
+    /// is re-inserted — the run-deletion safety property.
+    #[test]
+    fn invalidated_file_stays_gone(
+        capacity in 1usize..64,
+        pages in prop::collection::vec(0u64..32, 1..40),
+    ) {
+        let cache = PageCache::new(capacity);
+        let doomed = 1u64;
+        let survivor = 2u64;
+        for &p in &pages {
+            cache.insert(doomed, p, page_bytes(doomed, p, 1));
+            cache.insert(survivor, p, page_bytes(survivor, p, 2));
+        }
+        cache.invalidate_file(doomed);
+        for &p in &pages {
+            prop_assert!(cache.get(doomed, p).is_none(), "page {} survived deletion", p);
+        }
+        // The survivor's pages were untouched by the other file's deletion
+        // (they may still have been evicted by capacity pressure, which is
+        // legal — but any hit must carry the survivor's bytes).
+        for &p in &pages {
+            if let Some(got) = cache.get(survivor, p) {
+                prop_assert_eq!(&got[..], &page_bytes(survivor, p, 2)[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrent read-path tests: many threads hammering one engine instance
+//! through `Arc<Cole>` / `Arc<AsyncCole>`.
+//!
+//! Before the positioned-read fix, sharing a store across threads raced on
+//! the `PageFile` cursor (torn pages, wrong entries); these tests fail
+//! loudly in that world and pin down the `&self` query surface.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cole::prelude::*;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cole-concurrent-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn addr(i: u64) -> Address {
+    Address::from_low_u64(i)
+}
+
+/// Writes `blocks` blocks of `writes` addresses each, so the store ends up
+/// with several on-disk levels.
+fn populate(store: &mut impl AuthenticatedStorage, blocks: u64, writes: u64) {
+    for blk in 1..=blocks {
+        store.begin_block(blk).unwrap();
+        for w in 0..writes {
+            store
+                .put(addr(blk * writes + w), StateValue::from_u64(blk))
+                .unwrap();
+        }
+        store.finalize_block().unwrap();
+    }
+    store.flush().unwrap();
+}
+
+#[test]
+fn eight_threads_point_lookups_share_one_cole() {
+    let dir = tmpdir("sync");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let blocks = 60u64;
+    let writes = 5u64;
+    let mut store = Cole::open(&dir, config).unwrap();
+    populate(&mut store, blocks, writes);
+    assert!(
+        store.num_disk_levels() >= 2,
+        "workload must reach at least two disk levels"
+    );
+
+    let store = Arc::new(store);
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..4 {
+                for blk in 1..=blocks {
+                    let w = (t + round) % writes;
+                    let got = store.get(addr(blk * writes + w)).unwrap();
+                    assert_eq!(
+                        got,
+                        Some(StateValue::from_u64(blk)),
+                        "thread {t} read a wrong value for block {blk}"
+                    );
+                }
+                // Absent addresses must stay absent under concurrency.
+                assert_eq!(store.get(addr(1_000_000 + t)).unwrap(), None);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let m = store.metrics();
+    assert!(m.gets >= 8 * 4 * blocks);
+    assert!(m.pages_read > 0, "disk lookups must count page reads");
+    assert!(
+        m.cache_hits > 0,
+        "repeated lookups of the same pages must hit the shared cache"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_provenance_queries_verify_against_hstate() {
+    let dir = tmpdir("prov");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let mut store = Cole::open(&dir, config).unwrap();
+    let target = addr(7);
+    for blk in 1..=50u64 {
+        store.begin_block(blk).unwrap();
+        store.put(target, StateValue::from_u64(blk)).unwrap();
+        store
+            .put(addr(100 + blk), StateValue::from_u64(blk))
+            .unwrap();
+        store.finalize_block().unwrap();
+    }
+    let hstate = store.finalize_block().unwrap();
+
+    let store = Arc::new(store);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            let lo = 10 + t;
+            let hi = 30 + t;
+            let result = store.prov_query(target, lo, hi).unwrap();
+            let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+            let expected: Vec<u64> = (lo..=hi).rev().collect();
+            assert_eq!(got, expected, "thread {t}");
+            assert!(store.verify_prov(target, lo, hi, &result, hstate).unwrap());
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eight_threads_point_lookups_share_one_async_cole() {
+    let dir = tmpdir("async");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let blocks = 60u64;
+    let writes = 5u64;
+    let mut store = AsyncCole::open(&dir, config).unwrap();
+    populate(&mut store, blocks, writes);
+
+    let store = Arc::new(store);
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            for blk in 1..=blocks {
+                let w = (t + blk) % writes;
+                assert_eq!(
+                    store.get(addr(blk * writes + w)).unwrap(),
+                    Some(StateValue::from_u64(blk)),
+                    "thread {t} block {blk}"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

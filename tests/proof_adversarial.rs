@@ -45,7 +45,7 @@ fn build_store(dir: &std::path::Path) -> (Cole, Address, Digest) {
 #[test]
 fn omitting_a_version_is_detected() {
     let dir = tmpdir("omit");
-    let (mut store, target, hstate) = build_store(&dir);
+    let (store, target, hstate) = build_store(&dir);
     let result = store.prov_query(target, 10, 30).unwrap();
     assert!(result.values.len() >= 5);
     // The node answers honestly but tries to hide one version from the
@@ -61,7 +61,7 @@ fn omitting_a_version_is_detected() {
 #[test]
 fn moving_a_version_to_another_block_is_detected() {
     let dir = tmpdir("move");
-    let (mut store, target, hstate) = build_store(&dir);
+    let (store, target, hstate) = build_store(&dir);
     let result = store.prov_query(target, 10, 30).unwrap();
     let mut shifted = result.clone();
     let first = shifted.values[0];
@@ -73,7 +73,7 @@ fn moving_a_version_to_another_block_is_detected() {
 #[test]
 fn replaying_a_proof_for_a_different_range_or_address_fails() {
     let dir = tmpdir("replay");
-    let (mut store, target, hstate) = build_store(&dir);
+    let (store, target, hstate) = build_store(&dir);
     let result = store.prov_query(target, 10, 30).unwrap();
     // Same proof, different range: either the proof structure no longer
     // matches (error) or the result set disagrees (false).
@@ -91,7 +91,7 @@ fn replaying_a_proof_for_a_different_range_or_address_fails() {
 #[test]
 fn splicing_proof_components_is_detected() {
     let dir = tmpdir("splice");
-    let (mut store, target, hstate) = build_store(&dir);
+    let (store, target, hstate) = build_store(&dir);
     let result = store.prov_query(target, 10, 30).unwrap();
     let parsed = ColeProof::from_bytes(&result.proof).unwrap();
     assert!(parsed.components.len() >= 2);

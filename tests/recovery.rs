@@ -43,7 +43,7 @@ fn reopened_store_serves_all_flushed_data() {
         store.flush().unwrap();
     } // crash: the instance is dropped without further ado
 
-    let mut recovered = Cole::open(&dir, config()).unwrap();
+    let recovered = Cole::open(&dir, config()).unwrap();
     assert!(recovered.num_disk_levels() >= 1);
     // Every address was last written in one of the final blocks; all of the
     // flushed history must be readable.
