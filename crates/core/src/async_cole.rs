@@ -9,9 +9,11 @@ use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
-use cole_storage::PageCache;
+use cole_storage::{PageCache, WriteAheadLog};
 
 use crate::config::ColeConfig;
+use crate::failpoint::KillPoints;
+use crate::manifest::{self, Manifest, ManifestState};
 use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
@@ -60,25 +62,77 @@ pub struct AsyncCole {
     /// `levels[0]` is on-disk level 1.
     levels: Vec<AsyncLevel>,
     current_block: u64,
+    /// Height through which every finalized block is durable in
+    /// manifest-committed runs (advanced at level-0 commit checkpoints; WAL
+    /// records at or below it are stale on recovery).
+    flushed_block: u64,
+    /// Height covered by the sealed memtable currently being flushed;
+    /// becomes `flushed_block` when that flush commits.
+    sealed_through: u64,
     next_run_id: RunId,
     /// Cache + metrics shared with every run of this engine (including the
     /// runs built by background merge threads).
     ctx: RunContext,
     entries_ingested: u64,
+    /// Durable commit point, shared format with the synchronous engine.
+    /// Commit checkpoints (level-0 flush commits, disk-level merge commits)
+    /// publish the new level contents crash-atomically through it.
+    manifest: Manifest,
+    /// Active WAL segment; `None` when `config.wal_enabled` is off.
+    wal: Option<WriteAheadLog>,
+    /// Segments covering the sealed memtable currently being flushed;
+    /// deleted after the commit checkpoint that makes that data durable.
+    /// (Segments found at open are compacted into the fresh active segment
+    /// and deleted immediately, so only seal-time rotation feeds this.)
+    wal_retired: Vec<PathBuf>,
+    /// Sequence number of the next WAL segment to create.
+    wal_seq: u64,
+    /// Entries `put` since the last `finalize_block`, in insertion order.
+    wal_block_buf: Vec<(CompoundKey, StateValue)>,
 }
 
 impl AsyncCole {
     /// Opens (or creates) an asynchronous COLE instance rooted at `dir`.
     ///
+    /// If a committed manifest exists, the on-disk levels are recovered from
+    /// it: every run (writing and merging groups alike) reopens into the
+    /// level's writing group — a merge that was in flight at the crash is
+    /// simply lost and will be redone when the level next fills, which
+    /// preserves `root_hash_list` order and therefore `Hstate`. Orphan run
+    /// files are garbage-collected, and with
+    /// [`wal_enabled`](ColeConfig::wal_enabled) the WAL segments are
+    /// replayed into the writing memtable.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the configuration is invalid or files cannot be
-    /// accessed.
+    /// Returns an error if the configuration is invalid, the manifest is
+    /// corrupt ([`ColeError::InvalidEncoding`]), a referenced run is missing
+    /// ([`ColeError::NotFound`]), or files cannot be accessed.
     pub fn open<P: AsRef<Path>>(dir: P, config: ColeConfig) -> Result<Self> {
+        AsyncCole::open_with_kill_points(dir, config, None)
+    }
+
+    /// [`AsyncCole::open`] with a crash-injection hook threaded through
+    /// every write-path step, including the background flush/merge threads
+    /// (used by the kill-point crash tests; see [`KillPoints`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AsyncCole::open`].
+    pub fn open_with_kill_points<P: AsRef<Path>>(
+        dir: P,
+        config: ColeConfig,
+        kill_points: Option<Arc<KillPoints>>,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Ok(AsyncCole {
+        let mut ctx = RunContext::from_config(&config);
+        if let Some(kp) = &kill_points {
+            ctx = ctx.with_kill_points(Arc::clone(kp));
+        }
+        let (manifest, state) = Manifest::open(&dir, kill_points)?;
+        let mut cole = AsyncCole {
             dir,
             config,
             mem_writing: MbTree::with_fanout(config.mbtree_fanout),
@@ -86,10 +140,85 @@ impl AsyncCole {
             mem_flush_thread: None,
             levels: Vec::new(),
             current_block: 0,
+            flushed_block: 0,
+            sealed_through: 0,
             next_run_id: 0,
-            ctx: RunContext::from_config(&config),
+            ctx,
             entries_ingested: 0,
-        })
+            manifest,
+            wal: None,
+            wal_retired: Vec::new(),
+            wal_seq: 1,
+            wal_block_buf: Vec::new(),
+        };
+        cole.recover(state)?;
+        Ok(cole)
+    }
+
+    /// Recovers levels from the committed manifest state, garbage-collects
+    /// orphan runs, and replays the WAL segments (if enabled).
+    ///
+    /// As for the synchronous engine, `current_block` resumes at the
+    /// durably *flushed* height advanced by every recovered WAL record —
+    /// not at the manifest's last recorded height (commit checkpoints
+    /// record heights whose blocks still live in the memtables), so that
+    /// without a WAL the caller can replay its external transaction log
+    /// from `current_block + 1`.
+    fn recover(&mut self, state: Option<ManifestState>) -> Result<()> {
+        if let Some(state) = &state {
+            self.current_block = state.flushed_block;
+            self.flushed_block = state.flushed_block;
+            self.sealed_through = state.flushed_block;
+            self.next_run_id = state.next_run;
+            self.levels = manifest::open_levels(&self.dir, state, &self.ctx)?
+                .into_iter()
+                .map(|writing| AsyncLevel {
+                    writing,
+                    merging: Vec::new(),
+                    merge_thread: None,
+                })
+                .collect();
+        }
+        let live = state.map(|s| s.live_runs()).unwrap_or_default();
+        manifest::gc_and_log(&self.dir, "cole*", &live, &self.ctx.metrics)?;
+        if self.config.wal_enabled {
+            let (mem, ingested) = (&mut self.mem_writing, &mut self.entries_ingested);
+            let (wal, next_seq) = manifest::recover_wal(
+                &self.dir,
+                self.config.wal_sync_policy,
+                self.flushed_block,
+                &mut self.current_block,
+                |key, value| {
+                    mem.insert(key, value);
+                    *ingested += 1;
+                },
+            )?;
+            self.wal = Some(wal);
+            self.wal_seq = next_seq;
+        }
+        Ok(())
+    }
+
+    /// Creates the next numbered WAL segment.
+    fn create_wal_segment(&mut self) -> Result<WriteAheadLog> {
+        let path = self.dir.join(format!("wal-{:06}.log", self.wal_seq));
+        self.wal_seq += 1;
+        let (wal, replayed) = WriteAheadLog::open(path, self.config.wal_sync_policy)?;
+        debug_assert!(replayed.is_empty(), "fresh segments start empty");
+        Ok(wal)
+    }
+
+    /// Deletes WAL segments whose data just became durable in a
+    /// manifest-committed run.
+    fn delete_retired_wals(&mut self) -> Result<()> {
+        for path in self.wal_retired.drain(..) {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 
     /// The engine's configuration.
@@ -118,7 +247,8 @@ impl AsyncCole {
     }
 
     /// Joins every outstanding background merge and commits its result, so
-    /// that all data is reflected in the committed structure.
+    /// that all data is reflected in the committed structure, then persists
+    /// a final manifest recording the current block height.
     ///
     /// # Errors
     ///
@@ -130,7 +260,32 @@ impl AsyncCole {
             self.commit_disk_level(level)?;
             level += 1;
         }
-        Ok(())
+        self.commit_manifest()
+    }
+
+    /// Durably publishes the current committed structure (see
+    /// [`Manifest::commit`] for the crash-atomicity protocol). A level's
+    /// manifest entry is its writing group followed by its merging group —
+    /// exactly the runs that are live until the next commit checkpoint.
+    fn commit_manifest(&mut self) -> Result<()> {
+        let state = ManifestState {
+            block: self.current_block,
+            flushed_block: self.flushed_block,
+            next_run: self.next_run_id,
+            levels: self
+                .levels
+                .iter()
+                .map(|level| {
+                    level
+                        .writing
+                        .iter()
+                        .chain(level.merging.iter())
+                        .map(|r| r.id())
+                        .collect()
+                })
+                .collect(),
+        };
+        self.manifest.commit(&state)
     }
 
     // ------------------------------------------------------------------ write path
@@ -170,7 +325,10 @@ impl AsyncCole {
         Ok(())
     }
 
-    /// Joins and commits level 0's background flush, if one exists.
+    /// Joins and commits level 0's background flush, if one exists: the
+    /// flushed run is published into level 1's writing group, a manifest
+    /// commit makes the publication durable, and only then are the WAL
+    /// segments covering the sealed memtable deleted.
     fn commit_level0(&mut self) -> Result<()> {
         if let Some(handle) = self.mem_flush_thread.take() {
             let run = join_merge(handle)?;
@@ -181,13 +339,22 @@ impl AsyncCole {
             );
             self.ensure_level(1);
             self.levels[0].writing.insert(0, Arc::new(run));
+            self.ctx.kill("async-flush:published")?;
+            // The committed run holds every block the sealed memtable
+            // covered; the manifest records that height as durably flushed.
+            self.flushed_block = self.sealed_through;
+            self.commit_manifest()?;
+            self.delete_retired_wals()?;
+            self.ctx.kill("async-flush:committed")?;
         }
         self.mem_merging = None;
         Ok(())
     }
 
     /// Seals the current writing memtable as the merging group and starts a
-    /// background flush of its contents.
+    /// background flush of its contents. The WAL rotates with the seal: the
+    /// segments covering the sealed tree are retired (deleted once the
+    /// flush commits) and a fresh segment receives subsequent blocks.
     fn seal_and_start_flush(&mut self) -> Result<()> {
         let mut sealed_tree = std::mem::replace(
             &mut self.mem_writing,
@@ -199,6 +366,12 @@ impl AsyncCole {
             root,
         };
         self.mem_merging = Some(sealed.clone());
+        self.sealed_through = self.current_block;
+        if let Some(active) = self.wal.take() {
+            self.wal_retired.push(active.path().to_path_buf());
+            drop(active);
+            self.wal = Some(self.create_wal_segment()?);
+        }
         let dir = self.dir.clone();
         let config = self.config;
         let id = self.alloc_run_id();
@@ -210,9 +383,11 @@ impl AsyncCole {
         Ok(())
     }
 
-    /// Joins and commits the background merge of on-disk `level` (1-based),
-    /// publishing its output run into `level + 1`'s writing group and
-    /// deleting the obsolete merging-group runs.
+    /// Joins and commits the background merge of on-disk `level` (1-based):
+    /// the merged run is published into `level + 1`'s writing group, a
+    /// manifest commit (which also drops the obsolete merging group) makes
+    /// the publication durable, and only then are the obsolete run files
+    /// deleted — the crash-safe ordering the old in-place deletion lacked.
     fn commit_disk_level(&mut self, level: usize) -> Result<()> {
         let Some(entry) = self.levels.get_mut(level - 1) else {
             return Ok(());
@@ -230,8 +405,12 @@ impl AsyncCole {
         let obsolete = std::mem::take(&mut self.levels[level - 1].merging);
         self.ensure_level(level + 1);
         self.levels[level].writing.insert(0, Arc::new(run));
+        self.ctx.kill("async-merge:published")?;
+        self.commit_manifest()?;
+        self.ctx.kill("async-merge:committed")?;
         for old in obsolete {
             old.delete_files()?;
+            self.ctx.kill("async-merge:run_deleted")?;
         }
         Ok(())
     }
@@ -410,9 +589,29 @@ fn join_merge(handle: JoinHandle<Result<Run>>) -> Result<Run> {
         .map_err(|_| ColeError::InvalidState("background merge thread panicked".into()))?
 }
 
+/// Joining outstanding background threads on drop keeps a dropped engine
+/// from racing a successor opened on the same directory (a dropped
+/// `JoinHandle` would detach the thread, which could still be writing run
+/// files while recovery garbage-collects them).
+impl Drop for AsyncCole {
+    fn drop(&mut self) {
+        if let Some(handle) = self.mem_flush_thread.take() {
+            let _ = handle.join();
+        }
+        for level in &mut self.levels {
+            if let Some(handle) = level.merge_thread.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
 impl AuthenticatedStorage for AsyncCole {
     fn put(&mut self, addr: Address, value: StateValue) -> Result<()> {
         let key = CompoundKey::new(addr, self.current_block);
+        if self.wal.is_some() {
+            self.wal_block_buf.push((key, value));
+        }
         self.mem_writing.insert(key, value);
         self.entries_ingested += 1;
         Ok(())
@@ -455,6 +654,22 @@ impl AuthenticatedStorage for AsyncCole {
     }
 
     fn finalize_block(&mut self) -> Result<Digest> {
+        // The block's entries become WAL-recoverable before any checkpoint
+        // work, so a crash at any later point in this call cannot lose
+        // them. An empty block still gets a record so the recovered chain
+        // height never regresses past finalized heights; when the writing
+        // memtable is empty the active segment holds nothing live (data
+        // records rotate out with the seal), so past a size threshold it is
+        // reset to keep an idle chain from growing it without bound (see
+        // the synchronous engine for the crash-window note).
+        if let Some(wal) = &mut self.wal {
+            if self.mem_writing.is_empty() && wal.len_bytes() > crate::cole::IDLE_WAL_RESET_BYTES {
+                wal.truncate()?;
+            }
+            wal.append_block(self.current_block, &self.wal_block_buf)?;
+            Metrics::inc(&self.ctx.metrics.wal_appends);
+            self.wal_block_buf.clear();
+        }
         // As for the synchronous engine, the capacity check (and therefore
         // every start/commit checkpoint) happens at a block boundary, keeping
         // compound keys unique per run and Hstate deterministic across nodes.
@@ -625,6 +840,118 @@ mod tests {
         let expected: Vec<u64> = (20..=40u64).rev().collect();
         assert_eq!(got, expected);
         assert!(cole.verify_prov(target, 20, 40, &result, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_disk_levels_previously_lost() {
+        // Regression: AsyncCole used to have no manifest at all, so
+        // reopening a directory silently dropped every disk level. The WAL
+        // covers the unflushed memtable so the full state is comparable.
+        let dir = tmpdir("reopen");
+        let config = small_config().with_wal_enabled(true);
+        let mut expected = Vec::new();
+        let disk_levels;
+        {
+            let mut cole = AsyncCole::open(&dir, config).unwrap();
+            drive(&mut cole, 40, 6);
+            cole.wait_for_merges().unwrap();
+            disk_levels = cole.num_disk_levels();
+            assert!(disk_levels >= 1, "workload must reach disk");
+            for a in 0..97u64 {
+                expected.push(cole.get(addr(a)).unwrap());
+            }
+        }
+        let reopened = AsyncCole::open(&dir, config).unwrap();
+        assert_eq!(
+            reopened.num_disk_levels(),
+            disk_levels,
+            "disk levels lost on reopen"
+        );
+        for a in 0..97u64 {
+            assert_eq!(
+                reopened.get(addr(a)).unwrap(),
+                expected[a as usize],
+                "address {a} after reopen"
+            );
+        }
+        // The recovered store keeps serving verifiable provenance proofs.
+        let mut reopened = reopened;
+        let hstate = reopened.finalize_block().unwrap();
+        let result = reopened.prov_query(addr(5), 1, 40).unwrap();
+        assert!(reopened
+            .verify_prov(addr(5), 1, 40, &result, hstate)
+            .unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_recovers_unflushed_memtable_without_external_replay() {
+        let dir = tmpdir("wal");
+        let config = small_config().with_wal_enabled(true);
+        let pre_root;
+        {
+            let mut cole = AsyncCole::open(&dir, config).unwrap();
+            drive(&mut cole, 30, 5);
+            cole.wait_for_merges().unwrap();
+            // A few more blocks that stay in the writing memtable (capacity
+            // 16, 5 writes per block).
+            for blk in 31..=33u64 {
+                cole.begin_block(blk).unwrap();
+                cole.put(addr(blk), StateValue::from_u64(blk * 7)).unwrap();
+                cole.finalize_block().unwrap();
+            }
+            pre_root = compute_hstate(&cole.root_hash_list());
+            // Crash: dropped without flush — the tail lives only in the WAL.
+        }
+        let mut recovered = AsyncCole::open(&dir, config).unwrap();
+        for blk in 31..=33u64 {
+            assert_eq!(
+                recovered.get(addr(blk)).unwrap(),
+                Some(StateValue::from_u64(blk * 7)),
+                "unflushed block {blk} lost"
+            );
+        }
+        assert_eq!(recovered.current_block_height(), 33);
+        assert_eq!(
+            compute_hstate(&recovered.root_hash_list()),
+            pre_root,
+            "recovered state root must match the pre-crash root"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_segments_do_not_accumulate_across_reopens() {
+        // Each open compacts the recovered segments into the fresh active
+        // one; without that, every restart would leave a segment behind.
+        let dir = tmpdir("walcompact");
+        let config = small_config().with_wal_enabled(true);
+        for round in 1..=5u64 {
+            let mut cole = AsyncCole::open(&dir, config).unwrap();
+            cole.begin_block(round).unwrap();
+            cole.put(addr(round), StateValue::from_u64(round * 3))
+                .unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let segments = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                let name = e.as_ref().unwrap().file_name();
+                let name = name.to_string_lossy().into_owned();
+                name.starts_with("wal-") && name.ends_with(".log")
+            })
+            .count();
+        assert_eq!(segments, 1, "reopens must not leave WAL segments behind");
+        // All five rounds' data survived the compactions.
+        let reopened = AsyncCole::open(&dir, config).unwrap();
+        for round in 1..=5u64 {
+            assert_eq!(
+                reopened.get(addr(round)).unwrap(),
+                Some(StateValue::from_u64(round * 3)),
+                "round {round} lost across reopen compactions"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

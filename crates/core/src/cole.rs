@@ -8,13 +8,20 @@ use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
-use cole_storage::PageCache;
+use cole_storage::{PageCache, WriteAheadLog};
 
 use crate::config::ColeConfig;
+use crate::failpoint::KillPoints;
+use crate::manifest::{self, Manifest, ManifestState};
 use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
 use crate::run::{Run, RunContext, RunId};
+
+/// Once an all-empty-records WAL exceeds this size, it is reset instead of
+/// growing further (bounds an idle chain's log at ~2.7k empty-block
+/// records).
+pub(crate) const IDLE_WAL_RESET_BYTES: u64 = 64 * 1024;
 
 /// The column-based learned storage engine with synchronous merges.
 ///
@@ -39,40 +46,117 @@ pub struct Cole {
     /// `levels[0]` is on-disk level 1; runs are ordered newest first.
     levels: Vec<Vec<Arc<Run>>>,
     current_block: u64,
+    /// Height through which every finalized block is durable in on-disk
+    /// runs (advanced when a flush commits; WAL records at or below it are
+    /// stale on recovery).
+    flushed_block: u64,
     next_run_id: RunId,
     /// Cache + metrics shared with every run of this engine.
     ctx: RunContext,
     entries_ingested: u64,
+    /// Durable commit point of the write path (`MANIFEST-NNNNNN` chain).
+    manifest: Manifest,
+    /// Block-boundary write-ahead log; `None` when `config.wal_enabled` is
+    /// off.
+    wal: Option<WriteAheadLog>,
+    /// Entries `put` since the last `finalize_block`, in insertion order
+    /// (the WAL record of the block being built).
+    wal_block_buf: Vec<(CompoundKey, StateValue)>,
 }
 
 impl Cole {
     /// Opens (or creates) a COLE instance rooted at `dir`.
     ///
-    /// If a manifest from a previous instance exists in `dir`, the on-disk
-    /// levels are recovered from it (the in-memory level starts empty, as
-    /// after the crash recovery described in §4.3 — the caller replays any
-    /// transactions since the last checkpoint).
+    /// If a committed manifest from a previous instance exists in `dir`, the
+    /// on-disk levels are recovered from it and any run files it does not
+    /// reference (orphans of a crashed flush/merge, or superseded runs whose
+    /// deletion crashed) are garbage-collected. With
+    /// [`wal_enabled`](ColeConfig::wal_enabled), the write-ahead log is then
+    /// replayed so the unflushed memtable survives too; without it, the
+    /// in-memory level starts empty, as after the crash recovery described
+    /// in §4.3 — the caller replays any transactions since the last
+    /// checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns an error if the configuration is invalid or files cannot be
-    /// accessed.
+    /// Returns an error if the configuration is invalid, the manifest is
+    /// corrupt ([`ColeError::InvalidEncoding`]), a referenced run is missing
+    /// ([`ColeError::NotFound`]), or files cannot be accessed.
     pub fn open<P: AsRef<Path>>(dir: P, config: ColeConfig) -> Result<Self> {
+        Cole::open_with_kill_points(dir, config, None)
+    }
+
+    /// [`Cole::open`] with a crash-injection hook threaded through every
+    /// write-path step (used by the kill-point crash tests; see
+    /// [`KillPoints`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cole::open`].
+    pub fn open_with_kill_points<P: AsRef<Path>>(
+        dir: P,
+        config: ColeConfig,
+        kill_points: Option<Arc<KillPoints>>,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let mut ctx = RunContext::from_config(&config);
+        if let Some(kp) = &kill_points {
+            ctx = ctx.with_kill_points(Arc::clone(kp));
+        }
+        let (manifest, state) = Manifest::open(&dir, kill_points)?;
         let mut cole = Cole {
             dir,
             config,
             mem: MbTree::with_fanout(config.mbtree_fanout),
             levels: Vec::new(),
             current_block: 0,
+            flushed_block: 0,
             next_run_id: 0,
-            ctx: RunContext::from_config(&config),
+            ctx,
             entries_ingested: 0,
+            manifest,
+            wal: None,
+            wal_block_buf: Vec::new(),
         };
-        cole.recover_from_manifest()?;
+        cole.recover(state)?;
         Ok(cole)
+    }
+
+    /// Recovers the on-disk levels from the committed manifest state,
+    /// garbage-collects orphan runs, and replays the WAL (if enabled).
+    ///
+    /// `current_block` resumes at the durably *flushed* height advanced by
+    /// every recovered WAL record — not at the manifest's last recorded
+    /// height, which may lie past the durable data (an explicit `flush`
+    /// persists the manifest without flushing the memtable). Keeping the
+    /// height at the durable boundary lets the caller replay its external
+    /// transaction log from `current_block + 1` exactly as §4.3 prescribes.
+    fn recover(&mut self, state: Option<ManifestState>) -> Result<()> {
+        if let Some(state) = &state {
+            self.current_block = state.flushed_block;
+            self.flushed_block = state.flushed_block;
+            self.next_run_id = state.next_run;
+            self.levels = manifest::open_levels(&self.dir, state, &self.ctx)?;
+        }
+        let live = state.map(|s| s.live_runs()).unwrap_or_default();
+        manifest::gc_and_log(&self.dir, "cole", &live, &self.ctx.metrics)?;
+        if self.config.wal_enabled {
+            let (mem, ingested) = (&mut self.mem, &mut self.entries_ingested);
+            let (wal, _) = manifest::recover_wal(
+                &self.dir,
+                self.config.wal_sync_policy,
+                self.flushed_block,
+                &mut self.current_block,
+                |key, value| {
+                    mem.insert(key, value);
+                    *ingested += 1;
+                },
+            )?;
+            self.wal = Some(wal);
+        }
+        Ok(())
     }
 
     /// The engine's configuration.
@@ -122,6 +206,23 @@ impl Cole {
 
     // ------------------------------------------------------------------ write path
 
+    /// Flushes the memtable and cascades full levels, in crash-safe commit
+    /// order (Algorithm 1 lines 5–12 plus the §4.3 durability contract):
+    ///
+    /// 1. build and fsync the new run files (flush + every cascade merge),
+    /// 2. durably commit a manifest referencing the new runs and dropping
+    ///    the superseded ones,
+    /// 3. only then clear the memtable, truncate the WAL, and delete the
+    ///    superseded run files.
+    ///
+    /// A crash before step 2 leaves the previous manifest intact (the new
+    /// files are orphans, GC'd on reopen); a crash after step 2 leaves
+    /// superseded files as orphans. No crash point loses committed data.
+    ///
+    /// If an error escapes mid-way (a real I/O failure or an injected kill
+    /// point), the *in-memory* state may be inconsistent — the caller must
+    /// treat the error as fatal, drop the engine, and reopen the directory;
+    /// the on-disk state is unharmed by the ordering above.
     fn flush_and_merge(&mut self) -> Result<()> {
         // Flush the memtable to level 1 as a sorted run (Algorithm 1 line 5).
         let entries = self.mem.entries();
@@ -135,13 +236,15 @@ impl Cole {
             &self.ctx.metrics.pages_written,
             run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64),
         );
-        self.mem.clear();
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
         self.levels[0].insert(0, Arc::new(run));
+        self.ctx.kill("flush:run_built")?;
 
-        // Recursively merge full levels (Algorithm 1 lines 8–12).
+        // Recursively merge full levels (Algorithm 1 lines 8–12), deferring
+        // the deletion of superseded runs until after the manifest commit.
+        let mut superseded: Vec<Arc<Run>> = Vec::new();
         let mut i = 0usize;
         while i < self.levels.len() && self.levels[i].len() >= self.config.size_ratio {
             let runs = std::mem::take(&mut self.levels[i]);
@@ -159,12 +262,33 @@ impl Cole {
                 self.levels.push(Vec::new());
             }
             self.levels[i + 1].insert(0, Arc::new(merged));
-            for run in runs {
-                run.delete_files()?;
-            }
+            superseded.extend(runs);
+            self.ctx.kill("merge:run_built")?;
             i += 1;
         }
-        self.write_manifest()?;
+
+        // Commit point: the manifest that references the new runs and drops
+        // the superseded ones becomes durable. The whole memtable — every
+        // finalized block — is in the flushed run, so the manifest also
+        // records the current height as durably flushed.
+        self.ctx.kill("flush:pre_manifest")?;
+        self.flushed_block = self.current_block;
+        let state = self.manifest_state();
+        self.manifest.commit(&state)?;
+
+        // The flushed memtable is durable now — forget its volatile copies.
+        self.mem.clear();
+        if let Some(wal) = &mut self.wal {
+            wal.truncate()?;
+        }
+        self.ctx.kill("flush:wal_truncated")?;
+
+        // Superseded runs are dropped from the committed manifest; deleting
+        // their files is now safe (a crash mid-deletion leaves orphans).
+        for run in superseded {
+            run.delete_files()?;
+            self.ctx.kill("flush:run_deleted")?;
+        }
         Ok(())
     }
 
@@ -190,65 +314,18 @@ impl Cole {
 
     // ------------------------------------------------------------------ manifest
 
-    fn manifest_path(&self) -> PathBuf {
-        self.dir.join("MANIFEST")
-    }
-
-    fn write_manifest(&self) -> Result<()> {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "block {}\nnext_run {}\n",
-            self.current_block, self.next_run_id
-        ));
-        for (i, level) in self.levels.iter().enumerate() {
-            let ids: Vec<String> = level.iter().map(|r| r.id().to_string()).collect();
-            out.push_str(&format!("level {} {}\n", i + 1, ids.join(" ")));
+    /// The durable state a manifest commit would record right now.
+    fn manifest_state(&self) -> ManifestState {
+        ManifestState {
+            block: self.current_block,
+            flushed_block: self.flushed_block,
+            next_run: self.next_run_id,
+            levels: self
+                .levels
+                .iter()
+                .map(|level| level.iter().map(|r| r.id()).collect())
+                .collect(),
         }
-        let tmp = self.dir.join("MANIFEST.tmp");
-        std::fs::write(&tmp, out)?;
-        std::fs::rename(&tmp, self.manifest_path())?;
-        Ok(())
-    }
-
-    fn recover_from_manifest(&mut self) -> Result<()> {
-        let path = self.manifest_path();
-        if !path.exists() {
-            return Ok(());
-        }
-        let text = std::fs::read_to_string(&path)?;
-        for line in text.lines() {
-            let mut parts = line.split_whitespace();
-            match parts.next() {
-                Some("block") => {
-                    self.current_block = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest block".into()))?;
-                }
-                Some("next_run") => {
-                    self.next_run_id = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest run id".into()))?;
-                }
-                Some("level") => {
-                    let _level_no: usize = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| ColeError::InvalidEncoding("bad manifest level".into()))?;
-                    let mut runs = Vec::new();
-                    for id in parts {
-                        let id: RunId = id.parse().map_err(|_| {
-                            ColeError::InvalidEncoding("bad manifest run id".into())
-                        })?;
-                        runs.push(Arc::new(Run::open(&self.dir, id, self.ctx.clone())?));
-                    }
-                    self.levels.push(runs);
-                }
-                _ => {}
-            }
-        }
-        Ok(())
     }
 
     // ------------------------------------------------------------------ queries
@@ -354,6 +431,9 @@ impl Cole {
 impl AuthenticatedStorage for Cole {
     fn put(&mut self, addr: Address, value: StateValue) -> Result<()> {
         let key = CompoundKey::new(addr, self.current_block);
+        if self.wal.is_some() {
+            self.wal_block_buf.push((key, value));
+        }
         self.mem.insert(key, value);
         self.entries_ingested += 1;
         Ok(())
@@ -396,6 +476,23 @@ impl AuthenticatedStorage for Cole {
     }
 
     fn finalize_block(&mut self) -> Result<Digest> {
+        // The block's entries become WAL-recoverable before any flush work,
+        // so a crash at any later point in this call cannot lose them. An
+        // empty block still gets a record so the recovered chain height
+        // never regresses past finalized heights. When the memtable is
+        // empty the log holds no live data, so once it passes a size
+        // threshold it is reset to keep an idle chain from growing it
+        // without bound (a crash exactly between the rare reset and the
+        // following append can regress the recovered height across empty
+        // blocks only — never past data).
+        if let Some(wal) = &mut self.wal {
+            if self.mem.is_empty() && wal.len_bytes() > IDLE_WAL_RESET_BYTES {
+                wal.truncate()?;
+            }
+            wal.append_block(self.current_block, &self.wal_block_buf)?;
+            Metrics::inc(&self.ctx.metrics.wal_appends);
+            self.wal_block_buf.clear();
+        }
         // Capacity checks happen at block boundaries so that a compound key
         // ⟨addr, blk⟩ can never be split across two runs: within a block all
         // updates of one address coalesce in the MB-tree (see DESIGN.md,
@@ -431,8 +528,10 @@ impl AuthenticatedStorage for Cole {
 
     fn flush(&mut self) -> Result<()> {
         // The synchronous engine has no background work; only persist the
-        // manifest so a reopened instance sees the current levels.
-        self.write_manifest()
+        // manifest so a reopened instance sees the current levels and block
+        // height.
+        let state = self.manifest_state();
+        self.manifest.commit(&state)
     }
 }
 
@@ -606,6 +705,98 @@ mod tests {
             reopened.get(addr(10)).unwrap(),
             Some(StateValue::from_u64(1))
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_recovers_unflushed_memtable_and_state_root() {
+        let dir = tmpdir("wal");
+        let config = small_config().with_wal_enabled(true);
+        let pre_root;
+        let pre_len;
+        {
+            let mut cole = Cole::open(&dir, config).unwrap();
+            // 5 blocks × 2 writes stay below the capacity of 16: nothing is
+            // flushed, everything lives in the memtable + WAL.
+            for blk in 1..=5u64 {
+                cole.begin_block(blk).unwrap();
+                cole.put(addr(blk), StateValue::from_u64(blk * 11)).unwrap();
+                cole.put(addr(7), StateValue::from_u64(blk)).unwrap();
+                cole.finalize_block().unwrap();
+            }
+            // Empty finalized blocks still advance the recoverable height.
+            for blk in 6..=7u64 {
+                cole.begin_block(blk).unwrap();
+                cole.finalize_block().unwrap();
+            }
+            pre_len = cole.memtable_len();
+            pre_root = cole.state_root();
+            assert!(pre_len > 0);
+            // Crash: dropped without flush() — no manifest covers this data.
+        }
+        let mut recovered = Cole::open(&dir, config).unwrap();
+        assert_eq!(recovered.memtable_len(), pre_len);
+        assert_eq!(recovered.state_root(), pre_root);
+        assert_eq!(
+            recovered.current_block_height(),
+            7,
+            "trailing empty blocks must not regress the recovered height"
+        );
+        assert_eq!(
+            recovered.get(addr(3)).unwrap(),
+            Some(StateValue::from_u64(33))
+        );
+        assert_eq!(
+            recovered.get(addr(7)).unwrap(),
+            Some(StateValue::from_u64(5))
+        );
+        assert!(
+            recovered.metrics().wal_appends == 0,
+            "replay is not an append"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn without_wal_unflushed_memtable_is_lost_but_store_reopens() {
+        let dir = tmpdir("nowal");
+        {
+            let mut cole = Cole::open(&dir, small_config()).unwrap();
+            cole.begin_block(1).unwrap();
+            cole.put(addr(1), StateValue::from_u64(1)).unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let recovered = Cole::open(&dir, small_config()).unwrap();
+        assert_eq!(recovered.memtable_len(), 0);
+        assert_eq!(recovered.get(addr(1)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_run_files_are_gced_on_open() {
+        let dir = tmpdir("orphans");
+        {
+            let mut cole = Cole::open(&dir, small_config()).unwrap();
+            for blk in 1..=20u64 {
+                cole.begin_block(blk).unwrap();
+                for a in 0..4u64 {
+                    cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                        .unwrap();
+                }
+                cole.finalize_block().unwrap();
+            }
+            cole.flush().unwrap();
+        }
+        // Plant run files no manifest references — the leftovers of a
+        // crashed flush or an interrupted superseded-run deletion.
+        for ext in ["val", "idx", "mrk", "blm", "meta"] {
+            std::fs::write(dir.join(format!("run_00000099.{ext}")), b"orphan").unwrap();
+        }
+        let cole = Cole::open(&dir, small_config()).unwrap();
+        assert!(!dir.join("run_00000099.val").exists(), "orphan not deleted");
+        assert_eq!(cole.metrics().orphan_runs_deleted, 1);
+        // Committed data is untouched.
+        assert_eq!(cole.get(addr(10)).unwrap(), Some(StateValue::from_u64(1)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

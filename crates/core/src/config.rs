@@ -1,6 +1,7 @@
 //! Configuration of a COLE instance.
 
 use cole_primitives::{index_epsilon, ColeError, Result};
+use cole_storage::WalSyncPolicy;
 
 /// Configuration parameters of a COLE instance (Table 2 of the paper).
 ///
@@ -39,6 +40,20 @@ pub struct ColeConfig {
     /// Default: 4096 pages (16 MiB), small next to the paper's 64 MB memory
     /// budget.
     pub page_cache_pages: usize,
+    /// Whether the engine keeps a block-boundary write-ahead log so the
+    /// unflushed memtable survives a crash without external log replay.
+    ///
+    /// Default: `false`, matching the paper's recovery model (§4.3) where
+    /// the blockchain node replays its own transaction log after the store
+    /// recovers to the last flush checkpoint. Enable it for a store that
+    /// must recover finalized blocks by itself.
+    pub wal_enabled: bool,
+    /// When the write-ahead log fsyncs (only meaningful with
+    /// [`wal_enabled`](Self::wal_enabled)):
+    /// [`WalSyncPolicy::Always`] fsyncs every finalized block (survives
+    /// power failure), [`WalSyncPolicy::OsBuffered`] leaves appends in the
+    /// OS page cache (survives process crashes only). Default: `Always`.
+    pub wal_sync_policy: WalSyncPolicy,
 }
 
 impl Default for ColeConfig {
@@ -51,6 +66,8 @@ impl Default for ColeConfig {
             bloom_fpr: 0.01,
             mbtree_fanout: 32,
             page_cache_pages: 4096,
+            wal_enabled: false,
+            wal_sync_policy: WalSyncPolicy::Always,
         }
     }
 }
@@ -95,6 +112,20 @@ impl ColeConfig {
     #[must_use]
     pub fn with_page_cache_pages(mut self, pages: usize) -> Self {
         self.page_cache_pages = pages;
+        self
+    }
+
+    /// Enables or disables the block-boundary write-ahead log.
+    #[must_use]
+    pub fn with_wal_enabled(mut self, enabled: bool) -> Self {
+        self.wal_enabled = enabled;
+        self
+    }
+
+    /// Sets the write-ahead log's fsync policy.
+    #[must_use]
+    pub fn with_wal_sync_policy(mut self, policy: WalSyncPolicy) -> Self {
+        self.wal_sync_policy = policy;
         self
     }
 
@@ -157,6 +188,8 @@ mod tests {
         assert_eq!(c.size_ratio, 4);
         assert_eq!(c.mht_fanout, 4);
         assert_eq!(c.epsilon, index_epsilon());
+        assert!(!c.wal_enabled, "WAL is opt-in (paper replays externally)");
+        assert_eq!(c.wal_sync_policy, WalSyncPolicy::Always);
         assert!(c.validate().is_ok());
     }
 
@@ -168,12 +201,16 @@ mod tests {
             .with_memtable_capacity(100)
             .with_epsilon(7)
             .with_bloom_fpr(0.05)
-            .with_page_cache_pages(0);
+            .with_page_cache_pages(0)
+            .with_wal_enabled(true)
+            .with_wal_sync_policy(WalSyncPolicy::OsBuffered);
         assert_eq!(c.size_ratio, 8);
         assert_eq!(c.mht_fanout, 16);
         assert_eq!(c.memtable_capacity, 100);
         assert_eq!(c.epsilon, 7);
         assert_eq!(c.page_cache_pages, 0);
+        assert!(c.wal_enabled);
+        assert_eq!(c.wal_sync_policy, WalSyncPolicy::OsBuffered);
         assert!(c.validate().is_ok());
     }
 

@@ -1,0 +1,167 @@
+//! Kill-point crash injection for the durability test harness.
+//!
+//! A [`KillPoints`] instance is threaded through [`RunContext`] into every
+//! step of the write path — run construction, cascade merges, manifest
+//! publication, superseded-run deletion. Each step calls
+//! [`KillPoints::hit`] with a stable name; an armed instance makes exactly
+//! one such call fail with an I/O error, which the crash tests treat as the
+//! moment the process died: the engine value is dropped without further
+//! writes and the directory is reopened.
+//!
+//! Because a triggered kill point stops the operation *before* any later
+//! step runs, everything the reopened store observes is exactly what a real
+//! crash at that point would have left on disk (completed writes are
+//! treated as durable — the harness simulates process death, while fsync
+//! *ordering* bugs are prevented structurally by the manifest protocol).
+//!
+//! [`RunContext`]: crate::RunContext
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cole_primitives::{ColeError, Result};
+
+/// Value of the trigger index meaning "never fire".
+const DISARMED: u64 = u64::MAX;
+
+/// A crash-injection hook counting the kill points an engine crosses and
+/// optionally failing at one of them.
+///
+/// Disarmed by default; [`KillPoints::arm`] schedules a failure at the
+/// `n`-th crossing (0-based), [`KillPoints::arm_at`] at the `k`-th crossing
+/// of one named point. Counting continues either way, so a first
+/// instrumented pass with a disarmed instance discovers how many points a
+/// workload crosses.
+#[derive(Debug, Default)]
+pub struct KillPoints {
+    crossed: AtomicU64,
+    kill_at: AtomicU64,
+    named: Mutex<Option<(String, u64)>>,
+}
+
+impl KillPoints {
+    /// Creates a disarmed instance that only counts crossings.
+    #[must_use]
+    pub fn new() -> Self {
+        KillPoints {
+            crossed: AtomicU64::new(0),
+            kill_at: AtomicU64::new(DISARMED),
+            named: Mutex::new(None),
+        }
+    }
+
+    /// Arms the instance to fail at the `index`-th kill point crossed from
+    /// now on (0-based), resets the crossing counter, and clears any
+    /// pending named arm.
+    pub fn arm(&self, index: u64) {
+        self.crossed.store(0, Ordering::SeqCst);
+        self.kill_at.store(index, Ordering::SeqCst);
+        *self.named.lock().expect("killpoint lock poisoned") = None;
+    }
+
+    /// Arms the instance to fail at the `occurrence`-th crossing (0-based)
+    /// of the kill point called `name`, and resets the crossing counter.
+    pub fn arm_at(&self, name: &str, occurrence: u64) {
+        self.crossed.store(0, Ordering::SeqCst);
+        self.kill_at.store(DISARMED, Ordering::SeqCst);
+        *self.named.lock().expect("killpoint lock poisoned") = Some((name.to_string(), occurrence));
+    }
+
+    /// Disarms without resetting the crossing counter.
+    pub fn disarm(&self) {
+        self.kill_at.store(DISARMED, Ordering::SeqCst);
+        *self.named.lock().expect("killpoint lock poisoned") = None;
+    }
+
+    /// Number of kill points crossed since the last [`arm`](Self::arm) /
+    /// [`arm_at`](Self::arm_at) (or construction).
+    #[must_use]
+    pub fn crossed(&self) -> u64 {
+        self.crossed.load(Ordering::SeqCst)
+    }
+
+    /// Crosses the kill point `name`: returns an I/O error if the instance
+    /// is armed for this crossing, `Ok(())` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::Io`] exactly when armed for this crossing.
+    pub fn hit(&self, name: &str) -> Result<()> {
+        let index = self.crossed.fetch_add(1, Ordering::SeqCst);
+        let mut fire = index == self.kill_at.load(Ordering::SeqCst);
+        if !fire {
+            let mut named = self.named.lock().expect("killpoint lock poisoned");
+            if let Some((armed_name, occurrence)) = named.as_mut() {
+                if armed_name == name {
+                    if *occurrence == 0 {
+                        fire = true;
+                        *named = None;
+                    } else {
+                        *occurrence -= 1;
+                    }
+                }
+            }
+        }
+        if fire {
+            return Err(ColeError::Io(std::io::Error::other(format!(
+                "injected crash at kill point `{name}` (crossing {index})"
+            ))));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_counts_without_firing() {
+        let kp = KillPoints::new();
+        for _ in 0..5 {
+            kp.hit("a").unwrap();
+        }
+        assert_eq!(kp.crossed(), 5);
+    }
+
+    #[test]
+    fn armed_index_fires_exactly_once() {
+        let kp = KillPoints::new();
+        kp.arm(2);
+        assert!(kp.hit("a").is_ok());
+        assert!(kp.hit("b").is_ok());
+        let err = kp.hit("c").unwrap_err();
+        assert!(err.to_string().contains("kill point `c`"), "{err}");
+        // Subsequent crossings pass (the "process" is already dead by then —
+        // tests stop at the first error, but the hook itself is one-shot per
+        // index).
+        assert!(kp.hit("d").is_ok());
+    }
+
+    #[test]
+    fn armed_name_fires_on_requested_occurrence() {
+        let kp = KillPoints::new();
+        kp.arm_at("target", 1);
+        assert!(kp.hit("other").is_ok());
+        assert!(kp.hit("target").is_ok(), "occurrence 0 passes");
+        assert!(kp.hit("target").is_err(), "occurrence 1 fires");
+        assert!(kp.hit("target").is_ok(), "named arm is one-shot");
+    }
+
+    #[test]
+    fn disarm_stops_firing() {
+        let kp = KillPoints::new();
+        kp.arm(0);
+        kp.disarm();
+        assert!(kp.hit("a").is_ok());
+    }
+
+    #[test]
+    fn rearming_by_index_clears_a_pending_named_arm() {
+        let kp = KillPoints::new();
+        kp.arm_at("never-hit", 0);
+        kp.arm(1);
+        assert!(kp.hit("never-hit").is_ok(), "stale named arm must not fire");
+        assert!(kp.hit("b").is_err(), "index arm fires at its crossing");
+    }
+}

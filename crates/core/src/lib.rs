@@ -54,6 +54,8 @@
 mod async_cole;
 mod cole;
 mod config;
+mod failpoint;
+mod manifest;
 mod merge;
 mod metrics;
 mod proof;
@@ -62,6 +64,8 @@ mod run;
 pub use async_cole::AsyncCole;
 pub use cole::Cole;
 pub use config::ColeConfig;
+pub use failpoint::KillPoints;
+pub use manifest::{gc_orphan_runs, Manifest, ManifestState};
 pub use merge::{build_run_from_entries, merge_runs};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};

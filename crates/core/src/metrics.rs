@@ -36,6 +36,10 @@ pub struct Metrics {
     pub bloom_skips: AtomicU64,
     /// Runs actually searched (Bloom filter positive or absent).
     pub runs_searched: AtomicU64,
+    /// Blocks appended to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Orphan runs (unreferenced by the committed manifest) deleted on open.
+    pub orphan_runs_deleted: AtomicU64,
 }
 
 impl Metrics {
@@ -72,6 +76,8 @@ impl Metrics {
             prov_queries: self.prov_queries.load(Ordering::Relaxed),
             bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
             runs_searched: self.runs_searched.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            orphan_runs_deleted: self.orphan_runs_deleted.load(Ordering::Relaxed),
             cache_hits: 0,
             cache_misses: 0,
         }
@@ -103,6 +109,10 @@ pub struct MetricsSnapshot {
     pub bloom_skips: u64,
     /// Runs actually searched (Bloom filter positive or absent).
     pub runs_searched: u64,
+    /// Blocks appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Orphan runs (unreferenced by the committed manifest) deleted on open.
+    pub orphan_runs_deleted: u64,
     /// Page-cache hits across the engine's run files.
     pub cache_hits: u64,
     /// Page-cache misses across the engine's run files.

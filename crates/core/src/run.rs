@@ -14,30 +14,40 @@ use cole_primitives::{
     Address, ColeError, CompoundKey, Digest, KeyNum, Result, StateValue, COMPOUND_KEY_LEN,
     DIGEST_LEN, ENTRY_LEN, PAGE_SIZE, VALUE_LEN,
 };
-use cole_storage::{PageCache, PageFile, PageWriter};
+use cole_storage::{sync_dir, write_durable, PageCache, PageFile, PageWriter};
 
 use crate::config::ColeConfig;
+use crate::failpoint::KillPoints;
 use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Shared read-path plumbing of one engine instance, cloned into every run
-/// it builds or reopens: the page cache value-file reads go through and the
-/// [`Metrics`] instance those reads update.
+/// it builds or reopens: the page cache value-file reads go through, the
+/// [`Metrics`] instance those reads update, and the optional crash-injection
+/// [`KillPoints`] hook the write path crosses.
 ///
-/// Both members are `Arc`-shared and cheap to clone; the default (no cache,
-/// fresh metrics) is what standalone runs — tests, tools — use.
+/// All members are `Arc`-shared and cheap to clone; the default (no cache,
+/// fresh metrics, no kill points) is what standalone runs — tests, tools —
+/// use.
 #[derive(Clone, Debug, Default)]
 pub struct RunContext {
     /// Page cache shared by all runs of one engine; `None` disables caching.
     pub cache: Option<Arc<PageCache>>,
     /// Operation counters shared with the owning engine.
     pub metrics: Arc<Metrics>,
+    /// Crash-injection hook crossed by every write-path step; `None` (the
+    /// default outside crash tests) makes every crossing free.
+    pub kill_points: Option<Arc<KillPoints>>,
 }
 
 impl RunContext {
     /// Creates a context sharing the given cache (if any) and metrics.
     #[must_use]
     pub fn new(cache: Option<Arc<PageCache>>, metrics: Arc<Metrics>) -> Self {
-        RunContext { cache, metrics }
+        RunContext {
+            cache,
+            metrics,
+            kill_points: None,
+        }
     }
 
     /// Creates a fresh engine context from a configuration: a page cache of
@@ -47,6 +57,26 @@ impl RunContext {
         let cache = (config.page_cache_pages > 0)
             .then(|| Arc::new(PageCache::new(config.page_cache_pages)));
         RunContext::new(cache, Arc::new(Metrics::new()))
+    }
+
+    /// Attaches a crash-injection hook (see [`KillPoints`]).
+    #[must_use]
+    pub fn with_kill_points(mut self, kill_points: Arc<KillPoints>) -> Self {
+        self.kill_points = Some(kill_points);
+        self
+    }
+
+    /// Crosses the kill point `name`; a no-op unless a hook is attached and
+    /// armed for this crossing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected crash error when armed for this crossing.
+    pub fn kill(&self, name: &str) -> Result<()> {
+        match &self.kill_points {
+            Some(kp) => kp.hit(name),
+            None => Ok(()),
+        }
     }
 
     /// A point-in-time copy of the shared counters, with the page cache's
@@ -203,8 +233,16 @@ impl RunBuilder {
         self.count == 0
     }
 
-    /// Finalizes the run: flushes all three files, persists the Bloom filter
-    /// and metadata, and returns the readable [`Run`].
+    /// Finalizes the run: flushes and **fsyncs** all of the run's files (the
+    /// value, index and Merkle files sync in their builders; the Bloom
+    /// filter and metadata are written durably here), fsyncs the directory
+    /// so the new files' entries survive a crash, and returns the readable
+    /// [`Run`].
+    ///
+    /// Durability contract: once `finish` returns, every byte of the run is
+    /// on stable storage — a manifest committed afterwards may reference it
+    /// unconditionally. Until a manifest does, the files are orphans that
+    /// recovery garbage-collects.
     ///
     /// # Errors
     ///
@@ -223,7 +261,9 @@ impl RunBuilder {
         }
         let index = self.index_builder.finish()?;
         let merkle = self.merkle_builder.finish()?;
-        std::fs::write(bloom_path(&self.dir, self.id), self.bloom.to_bytes())?;
+        self.ctx.kill("run:files_synced")?;
+        write_durable(bloom_path(&self.dir, self.id), &self.bloom.to_bytes())?;
+        self.ctx.kill("run:bloom_written")?;
 
         let meta = RunMeta {
             id: self.id,
@@ -234,6 +274,9 @@ impl RunBuilder {
             merkle_root: merkle.root(),
         };
         meta.write(&meta_path(&self.dir, self.id))?;
+        self.ctx.kill("run:meta_written")?;
+        sync_dir(&self.dir)?;
+        self.ctx.kill("run:dir_synced")?;
 
         Run::assemble(
             self.dir, meta, value_file, index, merkle, self.bloom, self.ctx,
@@ -273,7 +316,7 @@ impl RunMeta {
             out.extend_from_slice(&c.to_le_bytes());
         }
         out.extend_from_slice(self.merkle_root.as_bytes());
-        std::fs::write(path, out)?;
+        write_durable(path, &out)?;
         Ok(())
     }
 
@@ -373,25 +416,52 @@ impl Run {
     ///
     /// # Errors
     ///
-    /// Returns an error if any file is missing or inconsistent.
+    /// Returns [`ColeError::NotFound`] naming the run id and file when one
+    /// of the run's files is missing, and an error carrying the same
+    /// context when a file is corrupt — recovery surfaces *which* run broke
+    /// instead of a bare I/O error.
     pub fn open(dir: &Path, id: RunId, ctx: RunContext) -> Result<Self> {
-        let meta = RunMeta::read(&meta_path(dir, id))?;
-        let mut value_file = PageFile::open(value_path(dir, id))?;
+        let context = |what: &str, path: &Path| {
+            let what = what.to_string();
+            let path = path.display().to_string();
+            move |e: ColeError| match e {
+                ColeError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+                    ColeError::NotFound(format!("run {id}: missing {what} file at {path}"))
+                }
+                // Transient/environmental I/O failures (EACCES, EIO, …) stay
+                // I/O errors — only decode failures are corruption.
+                ColeError::Io(io) => ColeError::Io(std::io::Error::new(
+                    io.kind(),
+                    format!("run {id}: cannot open {what} file at {path}: {io}"),
+                )),
+                other => ColeError::InvalidEncoding(format!(
+                    "run {id}: cannot open {what} file at {path}: {other}"
+                )),
+            }
+        };
+        let path = meta_path(dir, id);
+        let meta = RunMeta::read(&path).map_err(context("meta", &path))?;
+        let path = value_path(dir, id);
+        let mut value_file = PageFile::open(&path).map_err(context("value", &path))?;
         if let Some(cache) = &ctx.cache {
             value_file.attach_cache(Arc::clone(cache));
         }
-        let index = LearnedIndexFile::open(
-            index_path(dir, id),
-            meta.index_layer_counts.clone(),
-            meta.epsilon,
-        )?;
-        let merkle = MerkleFile::open(merkle_path(dir, id), meta.num_entries, meta.mht_fanout)?;
+        let path = index_path(dir, id);
+        let index = LearnedIndexFile::open(&path, meta.index_layer_counts.clone(), meta.epsilon)
+            .map_err(context("index", &path))?;
+        let path = merkle_path(dir, id);
+        let merkle = MerkleFile::open(&path, meta.num_entries, meta.mht_fanout)
+            .map_err(context("merkle", &path))?;
         if merkle.root() != meta.merkle_root {
             return Err(ColeError::InvalidState(format!(
                 "merkle root mismatch while reopening run {id}"
             )));
         }
-        let bloom = BloomFilter::from_bytes(&std::fs::read(bloom_path(dir, id))?)?;
+        let path = bloom_path(dir, id);
+        let bloom = std::fs::read(&path)
+            .map_err(ColeError::from)
+            .and_then(|bytes| BloomFilter::from_bytes(&bytes))
+            .map_err(context("bloom", &path))?;
         Run::assemble(
             dir.to_path_buf(),
             meta,
@@ -827,6 +897,25 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(k.block_height(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_failures_name_the_run_and_file() {
+        let dir = tmpdir("openctx");
+        let run = build_run(&dir, 10, 2);
+        drop(run);
+        // Missing value file → NotFound naming the run id and the file.
+        std::fs::remove_file(dir.join("run_00000001.val")).unwrap();
+        let err = Run::open(&dir, 1, RunContext::default()).unwrap_err();
+        assert!(matches!(err, ColeError::NotFound(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("run 1") && msg.contains(".val"), "{msg}");
+        // Corrupt meta file → an error that still names the run.
+        std::fs::write(dir.join("run_00000001.meta"), b"garbage").unwrap();
+        let err = Run::open(&dir, 1, RunContext::default()).unwrap_err();
+        assert!(!matches!(err, ColeError::NotFound(_)), "{err}");
+        assert!(err.to_string().contains("run 1"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,6 +14,11 @@
 //!   `PageFile` reads use positioned I/O (`pread`-style), so `&self` reads
 //!   are safe from many threads at once.
 //!
+//! * **A write-ahead log** ([`WriteAheadLog`]) — block-boundary, framed and
+//!   checksummed, with torn-tail repair on open. The COLE engines use it to
+//!   make the unflushed memtable survive a crash; [`WalSyncPolicy`] states
+//!   the fsync semantics.
+//!
 //! * **A simulated RocksDB** ([`KvStore`], [`MemKvStore`], [`FileKvStore`]) —
 //!   the paper's baselines (MPT, LIPP, CMI) persist their index nodes in
 //!   RocksDB (§8.1.2). [`FileKvStore`] is a small LSM-flavoured key–value
@@ -42,8 +47,10 @@ mod cache;
 mod kv;
 mod page;
 mod util;
+mod wal;
 
 pub use cache::{next_file_id, FileId, PageCache};
 pub use kv::{FileKvStore, KvStore, MemKvStore};
 pub use page::{PageFile, PageWriter};
-pub use util::dir_size;
+pub use util::{dir_size, sync_dir, write_durable};
+pub use wal::{replay_wal, WalBlock, WalSyncPolicy, WriteAheadLog};

@@ -1,8 +1,47 @@
-//! Small filesystem helpers shared by the experiment harness.
+//! Small filesystem helpers shared by the experiment harness and the
+//! crash-consistent write path.
 
 use std::path::Path;
 
 use cole_primitives::Result;
+
+/// Fsyncs a directory so that renames and file creations inside it become
+/// durable (on POSIX, a rename is only guaranteed to survive a power failure
+/// once the containing directory has been synced).
+///
+/// On platforms where directories cannot be opened for syncing (Windows),
+/// this is a no-op: NTFS metadata journaling provides the equivalent
+/// ordering.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be opened or synced.
+pub fn sync_dir<P: AsRef<Path>>(dir: P) -> Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir.as_ref())?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` and fsyncs the file before returning, so the
+/// contents are durable (the caller is responsible for [`sync_dir`] if the
+/// file is new and its directory entry must be durable too).
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created, written, or synced.
+pub fn write_durable<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::File::create(path.as_ref())?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    Ok(())
+}
 
 /// Returns the total size in bytes of all regular files under `dir`
 /// (recursively). Missing directories count as zero.
@@ -42,6 +81,20 @@ mod tests {
     #[test]
     fn missing_directory_is_zero() {
         assert_eq!(dir_size("/definitely/not/a/real/path").unwrap(), 0);
+    }
+
+    #[test]
+    fn write_durable_persists_contents() {
+        let dir = std::env::temp_dir().join(format!("cole-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        write_durable(&path, b"hello").unwrap();
+        sync_dir(&dir).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        // Overwriting replaces the previous contents entirely.
+        write_durable(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

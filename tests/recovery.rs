@@ -1,9 +1,13 @@
 //! Crash-recovery integration tests (§4.3 of the paper): COLE recovers to
 //! the last checkpoint (the most recent memtable flush) from its on-disk
 //! manifest, and replaying the transactions issued since that checkpoint
-//! reproduces the pre-crash state root digest.
+//! reproduces the pre-crash state root digest. With the write-ahead log
+//! enabled, no external replay is needed at all: the unflushed memtable is
+//! recovered from the WAL and the pre-crash state root is reproduced by the
+//! storage engine alone.
 
 use cole::prelude::*;
+use cole::ColeError;
 use cole_workloads::{execute_block, Block, Transaction};
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -106,6 +110,161 @@ fn replaying_unflushed_blocks_reproduces_the_state_root() {
         *digests.last().unwrap(),
         "replaying the lost suffix must reproduce the pre-crash Hstate"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_recovers_unflushed_memtable_without_external_replay() {
+    // The gap the external-replay test above papers over: without a WAL the
+    // blocks since the last flush only exist in the node's transaction log.
+    // With `wal_enabled`, the engine itself recovers them — the reopened
+    // store reproduces the exact pre-crash state root with no replay.
+    let dir = tmpdir("wal");
+    let config = config().with_wal_enabled(true);
+    let mut digests = Vec::new();
+    {
+        let mut store = Cole::open(&dir, config).unwrap();
+        for h in 1..=45u64 {
+            digests.push(execute_block(&mut store, &block(h, 25)).unwrap().hstate);
+        }
+        // Crash without flushing: the tail past the last checkpoint lives
+        // only in the memtable, which the WAL covers.
+    }
+    let mut recovered = Cole::open(&dir, config).unwrap();
+    assert_eq!(
+        recovered.state_root(),
+        *digests.last().unwrap(),
+        "the recovered store must reproduce the pre-crash Hstate by itself"
+    );
+    assert_eq!(recovered.current_block_height(), 45);
+    // Proofs over the recovered state (including the WAL-restored memtable)
+    // still verify.
+    let target = Address::from_low_u64(3);
+    let hstate = recovered.finalize_block().unwrap();
+    let result = recovered.prov_query(target, 1, 45).unwrap();
+    assert!(!result.values.is_empty());
+    assert!(recovered
+        .verify_prov(target, 1, 45, &result, hstate)
+        .unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovered_store_accepts_external_replay_of_the_lost_suffix() {
+    // Regression: recovery must resume `current_block` at the durably
+    // flushed height, not at the manifest's last recorded height (commit
+    // checkpoints record heights whose blocks still live in the lost
+    // memtables). Otherwise `begin_block`'s must-advance check rejects the
+    // very blocks §4.3 says the node replays — and for AsyncCole every
+    // automatic checkpoint used to create that gap.
+    let dir = tmpdir("async-replay");
+    {
+        let mut store = AsyncCole::open(&dir, config()).unwrap();
+        for h in 1..=45u64 {
+            execute_block(&mut store, &block(h, 25)).unwrap();
+        }
+        // Persists the manifest (recording block 45) without flushing the
+        // memtables, then crash.
+        store.flush().unwrap();
+    }
+    let mut recovered = AsyncCole::open(&dir, config()).unwrap();
+    let checkpoint = recovered.current_block_height();
+    assert!(
+        checkpoint < 45,
+        "without a WAL the store recovers to the last flush checkpoint, got {checkpoint}"
+    );
+    // The lost suffix replays without tripping the must-advance check.
+    for h in checkpoint + 1..=45 {
+        execute_block(&mut recovered, &block(h, 25)).unwrap();
+    }
+    assert_eq!(recovered.current_block_height(), 45);
+    for addr in 0..50u64 {
+        assert!(
+            recovered
+                .get(Address::from_low_u64(addr))
+                .unwrap()
+                .is_some(),
+            "address {addr} missing after replay"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_and_manifest_are_shared_between_engines() {
+    // The manifest format and the (segmented) WAL layout are engine-
+    // agnostic: a directory written by one engine recovers fully under the
+    // other, including the WAL-covered unflushed tail.
+    let dir = tmpdir("cross-engine");
+    let cfg = config().with_wal_enabled(true);
+    {
+        let mut store = Cole::open(&dir, cfg).unwrap();
+        for h in 1..=3u64 {
+            execute_block(&mut store, &block(h, 10)).unwrap();
+        }
+        // Crash: 30 writes stay below the capacity of 100 — everything
+        // lives in the memtable + WAL only.
+    }
+    // Block 1 wrote address 7 with value 1000 and nothing overwrote it.
+    let probe = Address::from_low_u64(7);
+    {
+        let reopened = AsyncCole::open(&dir, cfg).unwrap();
+        assert_eq!(
+            reopened.get(probe).unwrap(),
+            Some(StateValue::from_u64(1000)),
+            "WAL tail lost when reopening a Cole directory as AsyncCole"
+        );
+        assert_eq!(reopened.current_block_height(), 3);
+    }
+    let back = Cole::open(&dir, cfg).unwrap();
+    assert_eq!(
+        back.get(probe).unwrap(),
+        Some(StateValue::from_u64(1000)),
+        "WAL tail lost when reopening an AsyncCole directory as Cole"
+    );
+    assert_eq!(back.current_block_height(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_distinguishes_corrupt_manifest_from_missing_run() {
+    let dir = tmpdir("diagnose");
+    {
+        let mut store = Cole::open(&dir, config()).unwrap();
+        for h in 1..=20u64 {
+            execute_block(&mut store, &block(h, 25)).unwrap();
+        }
+        store.flush().unwrap();
+    }
+
+    // A referenced run file disappearing is reported as NotFound, naming
+    // the run and the file — not a bare I/O error.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".val"))
+        .expect("a flushed store has run files");
+    let name = victim.file_name().to_string_lossy().into_owned();
+    std::fs::remove_file(victim.path()).unwrap();
+    let err = Cole::open(&dir, config()).unwrap_err();
+    assert!(matches!(err, ColeError::NotFound(_)), "{err}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("manifest references run") && msg.contains(&name),
+        "error must name the missing run file: {msg}"
+    );
+
+    // A damaged manifest is reported as corrupt — recovery refuses to
+    // guess rather than silently recovering an older state.
+    let manifest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().starts_with("MANIFEST-"))
+        .expect("a committed store has a manifest");
+    std::fs::write(manifest.path(), b"\x00\xff not a manifest").unwrap();
+    let err = Cole::open(&dir, config()).unwrap_err();
+    assert!(matches!(err, ColeError::InvalidEncoding(_)), "{err}");
+    assert!(err.to_string().contains("corrupt manifest"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
