@@ -171,6 +171,44 @@ fn bench_page_reads(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_read_path(c: &mut Criterion) {
+    // Same fixtures (and the same per-entry baseline) as the
+    // `exp_ablation --studies read-path` study that emits
+    // BENCH_read_path.json — see cole_bench::{DescentFixture, ScanFixture}.
+    use cole_bench::{DescentFixture, ScanFixture};
+
+    let dir = std::env::temp_dir().join(format!("cole-bench-readpath-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let descent = DescentFixture::build(&dir, 20_000).unwrap();
+    let scan = ScanFixture::build(&dir, 20_000).unwrap();
+
+    let mut group = c.benchmark_group("read_path");
+    let mut i = 0u64;
+    group.bench_function("index_descent_cold", |b| {
+        b.iter(|| {
+            i += 7919;
+            descent.cold.find_bottom_model(&descent.probe(i)).unwrap()
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("index_descent_cached", |b| {
+        b.iter(|| {
+            j += 7919;
+            descent.cached.find_bottom_model(&descent.probe(j)).unwrap()
+        })
+    });
+    group.bench_function("scan_512_entries_per_entry", |b| {
+        b.iter(|| scan.scan_per_entry().unwrap())
+    });
+    group.bench_function("scan_512_entries_page_granular", |b| {
+        b.iter(|| scan.scan_page_granular().unwrap())
+    });
+    group.finish();
+    drop((descent, scan));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_entry_hash(c: &mut Criterion) {
     let key = CompoundKey::new(Address::from_low_u64(1), 2);
     let value = StateValue::from_u64(3);
@@ -184,6 +222,7 @@ criterion_group!(
     bench_merkle_file,
     bench_mbtree,
     bench_page_reads,
+    bench_read_path,
     bench_entry_hash
 );
 criterion_main!(benches);

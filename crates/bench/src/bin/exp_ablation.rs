@@ -6,10 +6,21 @@
 //! 2. **Bloom-filter effect** — point lookups of absent addresses with and
 //!    without the benefit of Bloom-filter skips (measured through the
 //!    engine's skip counters and the latency of negative lookups).
+//! 3. **Read-path cache sweep** (`--studies read-path`) — the universal page
+//!    cache across value, learned-index and Merkle pages: micro timings of
+//!    cold vs. cached index descent and per-entry vs. page-granular range
+//!    scan, plus an engine-level `page_cache_pages` sweep reporting per-get
+//!    latency, logical pages read per get, and per-file-kind cache hit
+//!    rates. Emits a machine-readable `BENCH_read_path.json` (schema
+//!    documented in ROADMAP.md) and, with `--assert-cached-hits true`,
+//!    fails if the cached configuration reports zero index- or Merkle-page
+//!    cache hits — the CI guard against silent cache detachment.
 
 use std::time::Instant;
 
-use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, Args, Table};
+use cole_bench::{
+    cole_config_from, fmt_f64, fresh_workdir, Args, DescentFixture, ScanFixture, Table,
+};
 use cole_core::{Cole, ColeConfig};
 use cole_primitives::{Address, AuthenticatedStorage};
 use cole_workloads::{execute_block, SmallBank};
@@ -100,25 +111,354 @@ fn run_bloom(args: &Args, table: &mut Table) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Mean wall-clock nanoseconds per call of `f` over `iters` calls (one
+/// untimed warm-up call).
+fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    f();
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Micro timings of the two read-path rewrites, on standalone files (no
+/// engine): cold vs. cached learned-index descent and per-entry vs.
+/// page-granular value scan.
+struct MicroNumbers {
+    entries: u64,
+    scan_entries: u64,
+    descent_cold_ns: f64,
+    descent_cached_ns: f64,
+    scan_per_entry_ns: f64,
+    scan_page_granular_ns: f64,
+}
+
+fn run_read_path_micro(args: &Args) -> MicroNumbers {
+    let entries = args.get_u64("micro-entries", 40_000);
+    let iters = args.get_u64("micro-iters", 2_000);
+    let dir = fresh_workdir(args, "ablation_read_path_micro").expect("workdir");
+    // Same fixtures as the criterion `read_path` group, so the committed
+    // JSON stays comparable to the bench numbers.
+    let descent = DescentFixture::build(&dir, entries).expect("descent fixture");
+    let scan = ScanFixture::build(&dir, entries).expect("scan fixture");
+
+    let mut i = 0u64;
+    let descent_cold_ns = time_ns(iters, || {
+        i += 7919;
+        descent
+            .cold
+            .find_bottom_model(&descent.probe(i))
+            .expect("descent");
+    });
+    let mut j = 0u64;
+    let descent_cached_ns = time_ns(iters, || {
+        j += 7919;
+        descent
+            .cached
+            .find_bottom_model(&descent.probe(j))
+            .expect("descent");
+    });
+    let scan_iters = iters.min(500);
+    let scan_per_entry_ns = time_ns(scan_iters, || {
+        std::hint::black_box(scan.scan_per_entry().expect("scan"));
+    });
+    let scan_page_granular_ns = time_ns(scan_iters, || {
+        std::hint::black_box(scan.scan_page_granular().expect("scan"));
+    });
+    let scan_entries = scan.scan_entries;
+    drop((descent, scan));
+    std::fs::remove_dir_all(&dir).ok();
+    MicroNumbers {
+        entries,
+        scan_entries,
+        descent_cold_ns,
+        descent_cached_ns,
+        scan_per_entry_ns,
+        scan_page_granular_ns,
+    }
+}
+
+/// The workload knobs of the read-path sweep, resolved from the command
+/// line exactly once so the sweep and the JSON report can never disagree
+/// about what was measured.
+struct SweepConfig {
+    blocks: u64,
+    txs_per_block: usize,
+    accounts: u64,
+    memtable: usize,
+    probes: u64,
+}
+
+impl SweepConfig {
+    fn from_args(args: &Args) -> Self {
+        SweepConfig {
+            blocks: args.get_u64("blocks", 400),
+            txs_per_block: args.get_usize("txs-per-block", 100),
+            accounts: args.get_u64("accounts", 5000),
+            memtable: args.get_usize("memtable", 4096),
+            probes: args.get_u64("probes", 2000),
+        }
+    }
+}
+
+/// One engine-level sweep point: COLE driven through the workload with a
+/// given `page_cache_pages`, then probed with gets and provenance queries.
+///
+/// All counter-derived fields are deltas over a measured phase (the warm-up
+/// pass is excluded): `get_us`, `pages_read_per_get`, `value_hit_rate` and
+/// `index_hit_rate`/`index_cache_hits` describe the **get phase**;
+/// `prov_us` and `merkle_hit_rate`/`merkle_cache_hits` describe the
+/// **provenance phase** (Merkle pages are only touched there).
+struct SweepPoint {
+    cache_pages: u64,
+    get_us: f64,
+    prov_us: f64,
+    pages_read_per_get: f64,
+    value_hit_rate: f64,
+    index_hit_rate: f64,
+    merkle_hit_rate: f64,
+    index_cache_hits: u64,
+    merkle_cache_hits: u64,
+}
+
+fn run_read_path_sweep(args: &Args, cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let probes = cfg.probes;
+    let mut points = Vec::new();
+    for cache_pages in args.get_u64_list("cache-pages", &[0, 256, 4096]) {
+        let config = cole_config_from(args).with_page_cache_pages(cache_pages as usize);
+        let dir =
+            fresh_workdir(args, &format!("ablation_read_path_{cache_pages}")).expect("workdir");
+        let mut engine = Cole::open(&dir, config).expect("open COLE");
+        let mut workload = SmallBank::new(cfg.accounts, 53);
+        for height in 1..=cfg.blocks {
+            let block = workload.next_block(height, cfg.txs_per_block);
+            execute_block(&mut engine, &block).expect("block");
+        }
+        engine.flush().expect("flush");
+        let target = |i: u64| Address::from_low_u64(0x5b00_0000_0000 + (i * 13) % cfg.accounts);
+        let prov_range = (cfg.blocks / 2, cfg.blocks / 2 + 8);
+        // Warm-up pass so the measured phases report steady-state hit rates.
+        for i in 0..probes {
+            engine.get(target(i)).expect("get");
+        }
+        engine
+            .prov_query(target(1), prov_range.0, prov_range.1)
+            .expect("prov");
+
+        // Get phase: value/index counters move here.
+        let m0 = engine.metrics();
+        let started = Instant::now();
+        for i in 0..probes {
+            engine.get(target(i)).expect("get");
+        }
+        let get_us = started.elapsed().as_secs_f64() * 1e6 / probes as f64;
+        let m_get = engine.metrics();
+        // Provenance phase: the only phase that touches Merkle pages.
+        let prov_probes = (probes / 10).max(1);
+        let started = Instant::now();
+        for i in 0..prov_probes {
+            engine
+                .prov_query(target(i), prov_range.0, prov_range.1)
+                .expect("prov");
+        }
+        let prov_us = started.elapsed().as_secs_f64() * 1e6 / prov_probes as f64;
+        let m1 = engine.metrics();
+
+        let rate = |hits: u64, misses: u64| {
+            if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            }
+        };
+        let point = SweepPoint {
+            cache_pages,
+            get_us,
+            prov_us,
+            pages_read_per_get: (m_get.pages_read - m0.pages_read) as f64 / probes as f64,
+            value_hit_rate: rate(
+                m_get.value_cache_hits - m0.value_cache_hits,
+                m_get.value_cache_misses - m0.value_cache_misses,
+            ),
+            index_hit_rate: rate(
+                m_get.index_cache_hits - m0.index_cache_hits,
+                m_get.index_cache_misses - m0.index_cache_misses,
+            ),
+            merkle_hit_rate: rate(
+                m1.merkle_cache_hits - m_get.merkle_cache_hits,
+                m1.merkle_cache_misses - m_get.merkle_cache_misses,
+            ),
+            index_cache_hits: m_get.index_cache_hits - m0.index_cache_hits,
+            merkle_cache_hits: m1.merkle_cache_hits - m_get.merkle_cache_hits,
+        };
+        println!(
+            "[ablation/read-path] cache={cache_pages:>5} pages: get {get_us:>7.1}us  \
+             prov {prov_us:>8.1}us  pages/get {:>5.2}  hit% value {:>5.1} index {:>5.1} \
+             merkle {:>5.1}",
+            point.pages_read_per_get,
+            point.value_hit_rate * 100.0,
+            point.index_hit_rate * 100.0,
+            point.merkle_hit_rate * 100.0,
+        );
+        points.push(point);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    points
+}
+
+/// Renders the read-path results as the `BENCH_read_path.json` document
+/// (schema in ROADMAP.md).
+fn read_path_json(cfg: &SweepConfig, micro: &MicroNumbers, sweep: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"read_path\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"blocks\": {}, \"txs_per_block\": {}, \"accounts\": {}, \
+         \"memtable\": {}, \"probes\": {}}},\n",
+        cfg.blocks, cfg.txs_per_block, cfg.accounts, cfg.memtable, cfg.probes,
+    ));
+    out.push_str(&format!(
+        "  \"micro\": {{\n    \"index_entries\": {},\n    \"scan_entries\": {},\n    \
+         \"index_descent_cold_ns\": {:.1},\n    \"index_descent_cached_ns\": {:.1},\n    \
+         \"index_descent_speedup\": {:.2},\n    \"scan_per_entry_ns\": {:.1},\n    \
+         \"scan_page_granular_ns\": {:.1},\n    \"scan_speedup\": {:.2}\n  }},\n",
+        micro.entries,
+        micro.scan_entries,
+        micro.descent_cold_ns,
+        micro.descent_cached_ns,
+        micro.descent_cold_ns / micro.descent_cached_ns.max(1.0),
+        micro.scan_per_entry_ns,
+        micro.scan_page_granular_ns,
+        micro.scan_per_entry_ns / micro.scan_page_granular_ns.max(1.0),
+    ));
+    out.push_str("  \"cache_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"cole\", \"cache_pages\": {}, \"get_us\": {:.2}, \
+             \"prov_us\": {:.2}, \"pages_read_per_get\": {:.3}, \"value_hit_rate\": {:.4}, \
+             \"index_hit_rate\": {:.4}, \"merkle_hit_rate\": {:.4}, \
+             \"index_cache_hits\": {}, \"merkle_cache_hits\": {}}}{}\n",
+            p.cache_pages,
+            p.get_us,
+            p.prov_us,
+            p.pages_read_per_get,
+            p.value_hit_rate,
+            p.index_hit_rate,
+            p.merkle_hit_rate,
+            p.index_cache_hits,
+            p.merkle_cache_hits,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_read_path(args: &Args, table: &mut Table) {
+    let cfg = SweepConfig::from_args(args);
+    let micro = run_read_path_micro(args);
+    println!(
+        "[ablation/read-path] micro: descent cold {:.0}ns vs cached {:.0}ns ({:.1}x), \
+         scan per-entry {:.0}ns vs page-granular {:.0}ns ({:.1}x)",
+        micro.descent_cold_ns,
+        micro.descent_cached_ns,
+        micro.descent_cold_ns / micro.descent_cached_ns.max(1.0),
+        micro.scan_per_entry_ns,
+        micro.scan_page_granular_ns,
+        micro.scan_per_entry_ns / micro.scan_page_granular_ns.max(1.0),
+    );
+    table.push_row(vec![
+        "read-path".into(),
+        "descent-cold-vs-cached-ns".into(),
+        fmt_f64(micro.descent_cold_ns),
+        fmt_f64(micro.descent_cached_ns),
+        fmt_f64(micro.descent_cold_ns / micro.descent_cached_ns.max(1.0)),
+        String::new(),
+    ]);
+    table.push_row(vec![
+        "read-path".into(),
+        "scan-per-entry-vs-page-ns".into(),
+        fmt_f64(micro.scan_per_entry_ns),
+        fmt_f64(micro.scan_page_granular_ns),
+        fmt_f64(micro.scan_per_entry_ns / micro.scan_page_granular_ns.max(1.0)),
+        String::new(),
+    ]);
+
+    let sweep = run_read_path_sweep(args, &cfg);
+    for p in &sweep {
+        table.push_row(vec![
+            "read-path".into(),
+            format!("cache-{}", p.cache_pages),
+            fmt_f64(p.get_us),
+            fmt_f64(p.pages_read_per_get),
+            fmt_f64(p.index_hit_rate * 100.0),
+            fmt_f64(p.merkle_hit_rate * 100.0),
+        ]);
+    }
+
+    let json = read_path_json(&cfg, &micro, &sweep);
+    let json_out = args.get_str("json-out", "BENCH_read_path.json");
+    if let Some(parent) = std::path::Path::new(&json_out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("json-out dir");
+        }
+    }
+    std::fs::write(&json_out, &json).expect("write JSON");
+    println!("wrote {json_out}");
+
+    if args.get_str("assert-cached-hits", "false") == "true" {
+        let best = sweep
+            .iter()
+            .filter(|p| p.cache_pages > 0)
+            .max_by_key(|p| p.cache_pages);
+        let ok = best.is_some_and(|p| p.index_cache_hits > 0 && p.merkle_cache_hits > 0);
+        if !ok {
+            eprintln!(
+                "[ablation/read-path] FAIL: cached configuration reports zero index- or \
+                 Merkle-page cache hits — the universal cache is detached from the read path"
+            );
+            std::process::exit(1);
+        }
+        println!("[ablation/read-path] cached index+merkle hit assertion passed");
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     if args.help_requested() {
         println!(
             "exp_ablation — design-choice ablations for COLE\n\
+             --studies epsilon,bloom,read-path   which studies to run\n\
              --epsilons 4,11,23,46  learned-model error bounds to sweep\n\
              --blocks 400 --txs-per-block 100 --accounts 5000\n\
+             --cache-pages 0,256,4096  page-cache sweep (read-path study)\n\
+             --probes 2000 --micro-entries 40000 --micro-iters 2000\n\
+             --assert-cached-hits true  fail on zero index/merkle cache hits\n\
+             --json-out BENCH_read_path.json  machine-readable read-path report\n\
              --workdir bench_work --out results/ablation.csv"
         );
         return;
     }
     let mut table = Table::new(
-        "Ablations: learned-index error bound and Bloom-filter effect",
+        "Ablations: learned-index error bound, Bloom-filter effect, read-path cache",
         &[
             "study", "setting", "metric_a", "metric_b", "metric_c", "metric_d",
         ],
     );
-    run_epsilon(&args, &mut table);
-    run_bloom(&args, &mut table);
+    let studies = args.get_str_list("studies", &["epsilon", "bloom", "read-path"]);
+    for study in &studies {
+        match study.as_str() {
+            "epsilon" => run_epsilon(&args, &mut table),
+            "bloom" => run_bloom(&args, &mut table),
+            "read-path" => run_read_path(&args, &mut table),
+            other => {
+                eprintln!("unknown study '{other}' (expected epsilon, bloom or read-path)");
+                std::process::exit(2);
+            }
+        }
+    }
     table.print();
     let out = args.get_str("out", "results/ablation.csv");
     table.write_csv(&out).expect("write CSV");

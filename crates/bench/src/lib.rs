@@ -16,7 +16,7 @@
 //! | `exp_fig14` | Fig. 14 — provenance query cost vs range |
 //! | `exp_fig15` | Fig. 15 — impact of COLE's MHT fanout `m` |
 //! | `exp_table1` | Table 1 — measured complexity counters |
-//! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect) |
+//! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect, read-path cache sweep → `BENCH_read_path.json`) |
 //! | `exp_concurrent` | concurrent point-lookup throughput & page-cache ablation |
 
 #![forbid(unsafe_code)]
@@ -25,6 +25,7 @@
 mod args;
 mod driver;
 mod engines;
+mod readpath;
 mod report;
 mod stats;
 
@@ -34,5 +35,6 @@ pub use driver::{
     run_workload_blocks, Measurement, ProvenanceMeasurement,
 };
 pub use engines::{build_engine, cole_config_from, fresh_workdir, EngineKind};
+pub use readpath::{DescentFixture, ScanFixture};
 pub use report::{fmt_f64, write_csv, Table};
 pub use stats::LatencyStats;

@@ -69,4 +69,6 @@ pub use manifest::{gc_orphan_runs, Manifest, ManifestState};
 pub use merge::{build_run_from_entries, merge_runs};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
-pub use run::{Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan};
+pub use run::{
+    PinnedPage, Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan,
+};

@@ -1,14 +1,18 @@
 //! Operation counters used by the complexity experiments (Table 1).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cole_storage::PageIoStats;
 
 /// Cumulative counters describing the work a COLE instance has performed.
 ///
-/// The counters are *logical*: a "page read" is one page-granular access to
-/// a run's **value file**, independent of OS or page-cache state, so it
-/// tracks the dominant IO term of Table 1's cost columns. Learned-index and
-/// Merkle-file accesses are not yet counted (nor cached) — see the ROADMAP
-/// open items.
+/// The page counters are *logical*: a "page read" is one page-granular
+/// access to a run file, independent of OS or page-cache state, so it tracks
+/// the IO terms of Table 1's cost columns. Reads are attributed to the file
+/// kind they touch — value, learned-index or Merkle pages — through the
+/// shared [`PageIoStats`] handles every run file of that kind reports into,
+/// each with its own cache hit/miss split.
 ///
 /// All counters are relaxed atomics so the query path can update them
 /// through `&self` — the whole read surface (`get`, `prov_query`) is shared
@@ -17,9 +21,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// plain-integer view.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Value-file pages read during queries (hit or miss — a cache hit is
-    /// still a logical page access).
-    pub pages_read: AtomicU64,
+    /// Value-file page IO (logical reads + cache hit/miss split).
+    pub value_io: Arc<PageIoStats>,
+    /// Learned-index-file page IO.
+    pub index_io: Arc<PageIoStats>,
+    /// Merkle-file page IO.
+    pub merkle_io: Arc<PageIoStats>,
     /// Pages written while building run files.
     pub pages_written: AtomicU64,
     /// Number of memtable flushes (level-0 → level-1 runs).
@@ -62,12 +69,26 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Returns a plain-integer copy of the counters. Cache hit/miss counts
-    /// are zero here; the engines fill them in from their page cache.
+    /// Returns a plain-integer copy of the counters. The `cache_hits` /
+    /// `cache_misses` totals are the sums of the per-kind splits; the
+    /// engines overwrite them with the shared page cache's own counters
+    /// (identical in engine context, where every cached file reports stats).
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let value_pages_read = self.value_io.logical_reads();
+        let index_pages_read = self.index_io.logical_reads();
+        let merkle_pages_read = self.merkle_io.logical_reads();
+        let value_cache_hits = self.value_io.hits();
+        let value_cache_misses = self.value_io.misses();
+        let index_cache_hits = self.index_io.hits();
+        let index_cache_misses = self.index_io.misses();
+        let merkle_cache_hits = self.merkle_io.hits();
+        let merkle_cache_misses = self.merkle_io.misses();
         MetricsSnapshot {
-            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_read: value_pages_read + index_pages_read + merkle_pages_read,
+            value_pages_read,
+            index_pages_read,
+            merkle_pages_read,
             pages_written: self.pages_written.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
@@ -78,8 +99,14 @@ impl Metrics {
             runs_searched: self.runs_searched.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             orphan_runs_deleted: self.orphan_runs_deleted.load(Ordering::Relaxed),
-            cache_hits: 0,
-            cache_misses: 0,
+            cache_hits: value_cache_hits + index_cache_hits + merkle_cache_hits,
+            cache_misses: value_cache_misses + index_cache_misses + merkle_cache_misses,
+            value_cache_hits,
+            value_cache_misses,
+            index_cache_hits,
+            index_cache_misses,
+            merkle_cache_hits,
+            merkle_cache_misses,
         }
     }
 }
@@ -88,11 +115,18 @@ impl Metrics {
 ///
 /// This is what [`Cole::metrics`](crate::Cole::metrics) and
 /// [`AsyncCole::metrics`](crate::AsyncCole::metrics) return; the engines
-/// additionally fill in the page-cache counters.
+/// overwrite the cache totals with the shared page cache's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
-    /// Value-file pages read during queries.
+    /// Run-file pages read during queries, all kinds (value + index +
+    /// Merkle). A cache hit is still a logical page access.
     pub pages_read: u64,
+    /// Value-file pages read during queries.
+    pub value_pages_read: u64,
+    /// Learned-index-file pages read during queries.
+    pub index_pages_read: u64,
+    /// Merkle-file pages read while building proofs.
+    pub merkle_pages_read: u64,
     /// Pages written while building run files.
     pub pages_written: u64,
     /// Number of memtable flushes (level-0 → level-1 runs).
@@ -113,10 +147,22 @@ pub struct MetricsSnapshot {
     pub wal_appends: u64,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: u64,
-    /// Page-cache hits across the engine's run files.
+    /// Page-cache hits across the engine's run files, all kinds.
     pub cache_hits: u64,
-    /// Page-cache misses across the engine's run files.
+    /// Page-cache misses across the engine's run files, all kinds.
     pub cache_misses: u64,
+    /// Page-cache hits on value-file pages.
+    pub value_cache_hits: u64,
+    /// Page-cache misses on value-file pages.
+    pub value_cache_misses: u64,
+    /// Page-cache hits on learned-index pages.
+    pub index_cache_hits: u64,
+    /// Page-cache misses on learned-index pages.
+    pub index_cache_misses: u64,
+    /// Page-cache hits on Merkle pages.
+    pub merkle_cache_hits: u64,
+    /// Page-cache misses on Merkle pages.
+    pub merkle_cache_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -134,11 +180,33 @@ impl MetricsSnapshot {
     /// Fraction of page-cache lookups that hit, or zero before any lookup.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        Self::hit_rate(self.cache_hits, self.cache_misses)
+    }
+
+    /// Value-page cache hit rate, or zero before any lookup.
+    #[must_use]
+    pub fn value_cache_hit_rate(&self) -> f64 {
+        Self::hit_rate(self.value_cache_hits, self.value_cache_misses)
+    }
+
+    /// Learned-index-page cache hit rate, or zero before any lookup.
+    #[must_use]
+    pub fn index_cache_hit_rate(&self) -> f64 {
+        Self::hit_rate(self.index_cache_hits, self.index_cache_misses)
+    }
+
+    /// Merkle-page cache hit rate, or zero before any lookup.
+    #[must_use]
+    pub fn merkle_cache_hit_rate(&self) -> f64 {
+        Self::hit_rate(self.merkle_cache_hits, self.merkle_cache_misses)
+    }
+
+    fn hit_rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
 }
@@ -158,10 +226,19 @@ mod tests {
     fn snapshot_reflects_increments() {
         let m = Metrics::new();
         Metrics::inc(&m.gets);
-        Metrics::add(&m.pages_read, 5);
+        for _ in 0..5 {
+            m.value_io.record_read(None);
+        }
+        m.index_io.record_read(Some(true));
+        m.merkle_io.record_read(Some(false));
         let s = m.snapshot();
         assert_eq!(s.gets, 1);
-        assert_eq!(s.pages_read, 5);
+        assert_eq!(s.value_pages_read, 5);
+        assert_eq!(s.index_pages_read, 1);
+        assert_eq!(s.merkle_pages_read, 1);
+        assert_eq!(s.pages_read, 7, "total is the sum over file kinds");
+        assert_eq!((s.index_cache_hits, s.merkle_cache_misses), (1, 1));
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
     }
 
     #[test]
@@ -173,11 +250,18 @@ mod tests {
     }
 
     #[test]
-    fn cache_hit_rate_handles_zero_lookups() {
+    fn cache_hit_rates_handle_zero_lookups() {
         let mut s = MetricsSnapshot::default();
         assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.index_cache_hit_rate(), 0.0);
         s.cache_hits = 3;
         s.cache_misses = 1;
+        s.index_cache_hits = 2;
+        s.index_cache_misses = 2;
+        s.merkle_cache_hits = 1;
+        s.merkle_cache_misses = 0;
         assert_eq!(s.cache_hit_rate(), 0.75);
+        assert_eq!(s.index_cache_hit_rate(), 0.5);
+        assert_eq!(s.merkle_cache_hit_rate(), 1.0);
     }
 }

@@ -1,6 +1,8 @@
 //! Provenance proofs over the whole COLE structure and the state root digest
 //! `Hstate` they verify against (§3.2, §6.2).
 
+use std::sync::Arc;
+
 use cole_bloom::BloomFilter;
 use cole_hash::{hash_entry, hash_pair, Sha256};
 use cole_mbtree::MbProof;
@@ -77,8 +79,9 @@ pub enum ComponentProof {
     /// the whole filter is disclosed so the verifier can check the exclusion
     /// (footnote 1 of the paper).
     RunBloomNegative {
-        /// Serialized Bloom filter.
-        bloom: Vec<u8>,
+        /// Serialized Bloom filter, shared with the run that produced it
+        /// (building the proof never copies the filter bytes).
+        bloom: Arc<[u8]>,
         /// Root digest of the run's Merkle file.
         merkle_root: Digest,
     },
@@ -326,7 +329,7 @@ impl ColeProof {
                 }
                 3 => {
                     let len = take_u32(bytes, &mut pos)? as usize;
-                    let bloom = take(bytes, &mut pos, len)?.to_vec();
+                    let bloom: Arc<[u8]> = take(bytes, &mut pos, len)?.into();
                     let merkle_root = take_digest(bytes, &mut pos)?;
                     ComponentProof::RunBloomNegative { bloom, merkle_root }
                 }
@@ -404,7 +407,7 @@ mod tests {
                     bloom: {
                         let mut f = BloomFilter::with_capacity(10, 0.01);
                         f.insert(&Address::from_low_u64(1));
-                        f.to_bytes()
+                        f.to_bytes().into()
                     },
                     merkle_root: Digest::new([3u8; 32]),
                 },

@@ -4,7 +4,7 @@
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cole_bloom::BloomFilter;
 use cole_hash::{hash_entry, hash_pair};
@@ -21,8 +21,9 @@ use crate::failpoint::KillPoints;
 use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Shared read-path plumbing of one engine instance, cloned into every run
-/// it builds or reopens: the page cache value-file reads go through, the
-/// [`Metrics`] instance those reads update, and the optional crash-injection
+/// it builds or reopens: the page cache every run file (value, learned
+/// index, Merkle) reads through, the [`Metrics`] instance those reads update
+/// (with per-file-kind attribution), and the optional crash-injection
 /// [`KillPoints`] hook the write path crosses.
 ///
 /// All members are `Arc`-shared and cheap to clone; the default (no cache,
@@ -79,8 +80,10 @@ impl RunContext {
         }
     }
 
-    /// A point-in-time copy of the shared counters, with the page cache's
-    /// hit/miss counts filled in.
+    /// A point-in-time copy of the shared counters. The per-kind cache
+    /// splits come from the [`Metrics`] IO stats; the totals are overwritten
+    /// with the shared page cache's own counters when one is attached (they
+    /// agree in engine context, where every cached file reports stats).
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.snapshot();
@@ -90,6 +93,26 @@ impl RunContext {
         }
         snapshot
     }
+}
+
+/// Wires a run's three page-structured files into the engine's shared page
+/// cache (if any) and per-file-kind IO counters, so *every* read-path page
+/// fetch — index descent, value page, Merkle sibling — is cache-served and
+/// attributed to its kind.
+fn attach_run_io(
+    ctx: &RunContext,
+    value_file: &mut PageFile,
+    index: &mut LearnedIndexFile,
+    merkle: &mut MerkleFile,
+) {
+    if let Some(cache) = &ctx.cache {
+        value_file.attach_cache(Arc::clone(cache));
+        index.attach_cache(Arc::clone(cache));
+        merkle.attach_cache(Arc::clone(cache));
+    }
+    value_file.attach_stats(Arc::clone(&ctx.metrics.value_io));
+    index.attach_stats(Arc::clone(&ctx.metrics.index_io));
+    merkle.attach_stats(Arc::clone(&ctx.metrics.merkle_io));
 }
 
 /// Number of compound key–value entries per value-file page.
@@ -256,13 +279,12 @@ impl RunBuilder {
             )));
         }
         let mut value_file = self.value_writer.finish()?;
-        if let Some(cache) = &self.ctx.cache {
-            value_file.attach_cache(Arc::clone(cache));
-        }
-        let index = self.index_builder.finish()?;
-        let merkle = self.merkle_builder.finish()?;
+        let mut index = self.index_builder.finish()?;
+        let mut merkle = self.merkle_builder.finish()?;
+        attach_run_io(&self.ctx, &mut value_file, &mut index, &mut merkle);
         self.ctx.kill("run:files_synced")?;
-        write_durable(bloom_path(&self.dir, self.id), &self.bloom.to_bytes())?;
+        let bloom_ser: Arc<[u8]> = self.bloom.to_bytes().into();
+        write_durable(bloom_path(&self.dir, self.id), &bloom_ser)?;
         self.ctx.kill("run:bloom_written")?;
 
         let meta = RunMeta {
@@ -279,7 +301,7 @@ impl RunBuilder {
         self.ctx.kill("run:dir_synced")?;
 
         Run::assemble(
-            self.dir, meta, value_file, index, merkle, self.bloom, self.ctx,
+            self.dir, meta, value_file, index, merkle, self.bloom, bloom_ser,
         )
     }
 }
@@ -375,6 +397,33 @@ pub struct RunRangeScan {
     pub entries: Vec<(CompoundKey, StateValue)>,
 }
 
+/// One decoded value-file page, shared without re-fetching or re-decoding.
+///
+/// Cloning is cheap (an `Arc` bump). [`Run::pinned_page`] hands these out
+/// and keeps the most recently decoded page pinned per run, so the common
+/// `position_le` → value-fetch sequence of a point lookup decodes the page
+/// once, and a range scan decodes each page once instead of once per entry.
+#[derive(Clone, Debug)]
+pub struct PinnedPage {
+    page_id: u64,
+    entries: Arc<[(CompoundKey, StateValue)]>,
+}
+
+impl PinnedPage {
+    /// The value-file page id this decode covers.
+    #[must_use]
+    pub fn page_id(&self) -> u64 {
+        self.page_id
+    }
+
+    /// The decoded entries of the page, in key order (only the slots that
+    /// hold real entries, which matters for the final page of a run).
+    #[must_use]
+    pub fn entries(&self) -> &[(CompoundKey, StateValue)] {
+        &self.entries
+    }
+}
+
 /// An immutable on-disk sorted run.
 #[derive(Debug)]
 pub struct Run {
@@ -384,8 +433,13 @@ pub struct Run {
     index: LearnedIndexFile,
     merkle: MerkleFile,
     bloom: BloomFilter,
+    /// Serialized Bloom filter, shared into proofs of absence without
+    /// re-serializing (it can be tens of KiB per run).
+    bloom_ser: Arc<[u8]>,
     commitment: Digest,
-    ctx: RunContext,
+    /// Most recently decoded value-file page (see [`Run::pinned_page`]).
+    /// Files are immutable, so a pinned decode can never go stale.
+    pinned: Mutex<Option<PinnedPage>>,
 }
 
 impl Run {
@@ -396,7 +450,7 @@ impl Run {
         index: LearnedIndexFile,
         merkle: MerkleFile,
         bloom: BloomFilter,
-        ctx: RunContext,
+        bloom_ser: Arc<[u8]>,
     ) -> Result<Self> {
         let commitment = hash_pair(&merkle.root(), &bloom.digest());
         Ok(Run {
@@ -406,8 +460,9 @@ impl Run {
             index,
             merkle,
             bloom,
+            bloom_ser,
             commitment,
-            ctx,
+            pinned: Mutex::new(None),
         })
     }
 
@@ -443,25 +498,27 @@ impl Run {
         let meta = RunMeta::read(&path).map_err(context("meta", &path))?;
         let path = value_path(dir, id);
         let mut value_file = PageFile::open(&path).map_err(context("value", &path))?;
-        if let Some(cache) = &ctx.cache {
-            value_file.attach_cache(Arc::clone(cache));
-        }
         let path = index_path(dir, id);
-        let index = LearnedIndexFile::open(&path, meta.index_layer_counts.clone(), meta.epsilon)
-            .map_err(context("index", &path))?;
+        let mut index =
+            LearnedIndexFile::open(&path, meta.index_layer_counts.clone(), meta.epsilon)
+                .map_err(context("index", &path))?;
         let path = merkle_path(dir, id);
-        let merkle = MerkleFile::open(&path, meta.num_entries, meta.mht_fanout)
+        let mut merkle = MerkleFile::open(&path, meta.num_entries, meta.mht_fanout)
             .map_err(context("merkle", &path))?;
+        attach_run_io(&ctx, &mut value_file, &mut index, &mut merkle);
         if merkle.root() != meta.merkle_root {
             return Err(ColeError::InvalidState(format!(
                 "merkle root mismatch while reopening run {id}"
             )));
         }
         let path = bloom_path(dir, id);
-        let bloom = std::fs::read(&path)
+        // Keep the serialized bytes: they are shared into proofs of absence,
+        // so the filter is never re-serialized after open.
+        let bloom_ser: Arc<[u8]> = std::fs::read(&path)
             .map_err(ColeError::from)
-            .and_then(|bytes| BloomFilter::from_bytes(&bytes))
-            .map_err(context("bloom", &path))?;
+            .map_err(context("bloom", &path))?
+            .into();
+        let bloom = BloomFilter::from_bytes(&bloom_ser).map_err(context("bloom", &path))?;
         Run::assemble(
             dir.to_path_buf(),
             meta,
@@ -469,7 +526,7 @@ impl Run {
             index,
             merkle,
             bloom,
-            ctx,
+            bloom_ser,
         )
     }
 
@@ -504,10 +561,12 @@ impl Run {
         self.bloom.digest()
     }
 
-    /// Serialized Bloom filter (used in proofs of absence).
+    /// Serialized Bloom filter (used in proofs of absence). The buffer is
+    /// shared — built once per run, handed out by `Arc` clone, so a
+    /// provenance query never re-serializes or copies the filter.
     #[must_use]
-    pub fn bloom_bytes(&self) -> Vec<u8> {
-        self.bloom.to_bytes()
+    pub fn bloom_bytes(&self) -> Arc<[u8]> {
+        Arc::clone(&self.bloom_ser)
     }
 
     /// Returns `true` if the Bloom filter admits that `addr` may be present.
@@ -528,7 +587,13 @@ impl Run {
         self.index.size_bytes() + self.merkle.size_bytes() + self.bloom.size_bytes()
     }
 
-    /// Reads the entry at `position`.
+    /// Reads the entry at `position`, fetching its page and decoding just
+    /// that entry.
+    ///
+    /// This is the per-entry primitive; the multi-entry paths
+    /// ([`position_le`](Run::position_le), [`get_latest`](Run::get_latest),
+    /// [`scan_range`](Run::scan_range)) go through [`Run::pinned_page`]
+    /// instead, which fetches and decodes each touched page once.
     ///
     /// # Errors
     ///
@@ -542,18 +607,57 @@ impl Run {
         }
         let page_id = position / ENTRIES_PER_PAGE as u64;
         let slot = (position % ENTRIES_PER_PAGE as u64) as usize;
-        Metrics::inc(&self.ctx.metrics.pages_read);
         let page = self.value_file.read_page(page_id)?;
         decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])
     }
 
-    /// Finds the position of the last entry whose key is `≤ key`, using the
-    /// learned index (Algorithm 7). Returns `None` if every entry is larger.
+    /// Locks the pinned-page slot, recovering from poisoning (the slot holds
+    /// plain data with no invariants a panicking thread could break).
+    fn pinned_slot(&self) -> std::sync::MutexGuard<'_, Option<PinnedPage>> {
+        self.pinned
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Fetches and decodes one value-file page, bypassing the pinned slot.
+    fn decode_page(&self, page_id: u64) -> Result<PinnedPage> {
+        let entries: Arc<[(CompoundKey, StateValue)]> = self.read_value_page(page_id)?.into();
+        Ok(PinnedPage { page_id, entries })
+    }
+
+    /// Returns the decoded entries of one value-file page, reusing the
+    /// run's most recent decode when the page matches.
+    ///
+    /// The slot remembers the answering page of the last lookup or scan, so
+    /// repeated queries landing on the same hot page skip the cache probe,
+    /// the fetch and the decode. Within one lookup the read paths carry the
+    /// decoded page locally instead — the slot is consulted or updated at
+    /// most twice per query, so concurrent readers of one run never
+    /// serialize on it per page access.
     ///
     /// # Errors
     ///
-    /// Returns an error if a file read fails.
-    pub fn position_le(&self, key: &CompoundKey) -> Result<Option<u64>> {
+    /// Returns an error if `page_id` is out of bounds or the read fails.
+    pub fn pinned_page(&self, page_id: u64) -> Result<PinnedPage> {
+        {
+            let pinned = self.pinned_slot();
+            if let Some(page) = pinned.as_ref() {
+                if page.page_id == page_id {
+                    return Ok(page.clone());
+                }
+            }
+        }
+        // Fetch and decode outside the lock; a racing thread at worst
+        // decodes the same page twice.
+        let page = self.decode_page(page_id)?;
+        *self.pinned_slot() = Some(page.clone());
+        Ok(page)
+    }
+
+    /// [`Run::position_le`] that also returns the decoded page containing
+    /// the answer, so callers read the entry without another fetch. Pins the
+    /// answering page for the next query.
+    fn position_le_carry(&self, key: &CompoundKey) -> Result<Option<(u64, PinnedPage)>> {
         let model = match self.index.find_bottom_model(key)? {
             Some(m) => m,
             None => return Ok(None),
@@ -567,11 +671,29 @@ impl Run {
             .max(1);
         let mut page_id = predicted / ENTRIES_PER_PAGE as u64;
         // The ε bound keeps the answer within one page of the prediction; the
-        // loop is a robustness backstop against floating-point slack.
+        // loop is a robustness backstop against floating-point slack. The
+        // first fetch consults the pinned slot (hot-page reuse across
+        // queries); the rare extra pages of the backstop are carried locally
+        // so the slot is not touched per page.
+        let mut carried: Vec<PinnedPage> = Vec::with_capacity(2);
+        let mut first_fetch = true;
         loop {
-            let page = self.read_value_page(page_id)?;
-            let first = &page[0].0;
-            let last = &page[page.len() - 1].0;
+            let page = match carried.iter().find(|p| p.page_id == page_id) {
+                Some(page) => page.clone(),
+                None => {
+                    let page = if first_fetch {
+                        self.pinned_page(page_id)?
+                    } else {
+                        self.decode_page(page_id)?
+                    };
+                    first_fetch = false;
+                    carried.push(page.clone());
+                    page
+                }
+            };
+            let entries = page.entries();
+            let first = &entries[0].0;
+            let last = &entries[entries.len() - 1].0;
             if key < first {
                 if page_id == 0 {
                     return Ok(None);
@@ -582,17 +704,42 @@ impl Run {
             if key >= last && page_id + 1 < total_pages {
                 // The answer might still be on this page if the next page
                 // starts beyond the key.
-                let next = self.read_value_page(page_id + 1)?;
-                if next[0].0 <= *key {
+                let next_id = page_id + 1;
+                let next = match carried.iter().find(|p| p.page_id == next_id) {
+                    Some(page) => page.clone(),
+                    None => {
+                        let page = self.decode_page(next_id)?;
+                        carried.push(page.clone());
+                        page
+                    }
+                };
+                if next.entries()[0].0 <= *key {
                     page_id += 1;
                     continue;
                 }
             }
-            // The answer is within this page.
-            let idx = page.partition_point(|(k, _)| k <= key);
+            // The answer is within this page (`first ≤ key` holds here, so
+            // the partition point is ≥ 1). Pin it for the next query.
+            let idx = entries.partition_point(|(k, _)| k <= key);
             let global = page_id * ENTRIES_PER_PAGE as u64 + idx as u64 - 1;
-            return Ok(Some(global));
+            {
+                let mut slot = self.pinned_slot();
+                if slot.as_ref().map_or(true, |p| p.page_id != page_id) {
+                    *slot = Some(page.clone());
+                }
+            }
+            return Ok(Some((global, page)));
         }
+    }
+
+    /// Finds the position of the last entry whose key is `≤ key`, using the
+    /// learned index (Algorithm 7). Returns `None` if every entry is larger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file read fails.
+    pub fn position_le(&self, key: &CompoundKey) -> Result<Option<u64>> {
+        Ok(self.position_le_carry(key)?.map(|(pos, _)| pos))
     }
 
     /// Returns the latest value of `addr` stored in this run, if any
@@ -603,10 +750,13 @@ impl Run {
     /// Returns an error if a file read fails.
     pub fn get_latest(&self, addr: &Address) -> Result<Option<(CompoundKey, StateValue)>> {
         let query = CompoundKey::latest(*addr);
-        let Some(pos) = self.position_le(&query)? else {
+        let Some((pos, page)) = self.position_le_carry(&query)? else {
             return Ok(None);
         };
-        let (key, value) = self.entry_at(pos)?;
+        // The descent returned the decoded page holding `pos`: the value
+        // fetch is a plain memory read, no second fetch or decode.
+        debug_assert_eq!(page.page_id(), pos / ENTRIES_PER_PAGE as u64);
+        let (key, value) = page.entries()[(pos % ENTRIES_PER_PAGE as u64) as usize];
         if key.address() == *addr {
             Ok(Some((key, value)))
         } else {
@@ -619,20 +769,35 @@ impl Run {
     /// beginning of the run) and stops at the first entry `> upper` (which is
     /// included as the right boundary witness).
     ///
+    /// The scan is *page-granular*: each covered value page is fetched and
+    /// decoded exactly once (the page `position_le` descended to is carried
+    /// straight into the scan), instead of one fetch and one decode per
+    /// entry as a naive [`Run::entry_at`] loop would pay.
+    ///
     /// # Errors
     ///
     /// Returns an error if a file read fails.
     pub fn scan_range(&self, lower: &CompoundKey, upper: &CompoundKey) -> Result<RunRangeScan> {
-        let first_pos = self.position_le(lower)?.unwrap_or(0);
+        let start = self.position_le_carry(lower)?;
+        let first_pos = start.as_ref().map_or(0, |(pos, _)| *pos);
+        let mut carried = start.map(|(_, page)| page);
         let mut entries = Vec::new();
         let mut last_pos = first_pos;
-        for pos in first_pos..self.meta.num_entries {
-            let entry = self.entry_at(pos)?;
-            let key = entry.0;
-            entries.push(entry);
-            last_pos = pos;
-            if key > *upper {
-                break;
+        let mut pos = first_pos;
+        'pages: while pos < self.meta.num_entries {
+            let page_id = pos / ENTRIES_PER_PAGE as u64;
+            let page = match carried.take().filter(|p| p.page_id == page_id) {
+                Some(page) => page,
+                None => self.decode_page(page_id)?,
+            };
+            let start_slot = (pos % ENTRIES_PER_PAGE as u64) as usize;
+            for (key, value) in &page.entries()[start_slot..] {
+                entries.push((*key, *value));
+                last_pos = pos;
+                pos += 1;
+                if *key > *upper {
+                    break 'pages;
+                }
             }
         }
         Ok(RunRangeScan {
@@ -669,10 +834,12 @@ impl Run {
     ///
     /// Returns an error if a file cannot be removed.
     pub fn delete_files(&self) -> Result<()> {
-        // Drop cached pages first so the shared cache can never serve pages
-        // of a deleted run (its file id is unique, but eager invalidation
-        // also frees the memory immediately).
+        // Drop cached pages first — for all three cached files — so the
+        // shared cache can never serve pages of a deleted run (file ids are
+        // unique, but eager invalidation also frees the memory immediately).
         self.value_file.invalidate_cached_pages();
+        self.index.invalidate_cached_pages();
+        self.merkle.invalidate_cached_pages();
         for path in [
             value_path(&self.dir, self.meta.id),
             index_path(&self.dir, self.meta.id),
@@ -690,7 +857,6 @@ impl Run {
     /// Reads one value-file page as decoded entries (only the slots that hold
     /// real entries, which matters for the final page).
     fn read_value_page(&self, page_id: u64) -> Result<Vec<(CompoundKey, StateValue)>> {
-        Metrics::inc(&self.ctx.metrics.pages_read);
         let page = self.value_file.read_page(page_id)?;
         let start = page_id * ENTRIES_PER_PAGE as u64;
         let in_page = (self.meta.num_entries - start).min(ENTRIES_PER_PAGE as u64) as usize;
@@ -977,10 +1143,29 @@ mod tests {
             }
         }
         assert!(cache.hits() > 0, "repeated lookups must hit the cache");
+        let m = ctx.metrics.snapshot();
         assert_eq!(
-            ctx.metrics.snapshot().pages_read,
+            m.pages_read,
             cache.hits() + cache.misses(),
-            "every logical value-page read goes through the cache"
+            "every logical page read (any kind) goes through the cache"
+        );
+        assert!(m.value_pages_read > 0, "lookups must read value pages");
+        assert!(m.index_pages_read > 0, "lookups must read index pages");
+        assert!(
+            m.index_cache_hits > 0,
+            "repeated descents must hit cached index pages"
+        );
+        // Proof construction reads (and caches) Merkle pages too.
+        let scan = run
+            .scan_range(&key(10, 0), &CompoundKey::new(Address::from_low_u64(12), 9))
+            .unwrap();
+        run.range_proof(scan.first_pos, scan.last_pos).unwrap();
+        run.range_proof(scan.first_pos, scan.last_pos).unwrap();
+        let m = ctx.metrics.snapshot();
+        assert!(m.merkle_pages_read > 0, "proofs must read merkle pages");
+        assert!(
+            m.merkle_cache_hits > 0,
+            "repeated proofs must hit cached merkle pages"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1002,13 +1187,23 @@ mod tests {
                 .unwrap();
         }
         let old = builder.finish().unwrap();
-        // Warm the cache with the old run's pages.
+        // Warm the cache with all three kinds of the old run's pages: value
+        // and index via lookups, Merkle via a proof.
         for addr in 0..50u64 {
             old.get_latest(&Address::from_low_u64(addr)).unwrap();
         }
+        old.range_proof(5, 10).unwrap();
+        let m = ctx.metrics.snapshot();
+        assert!(
+            m.value_pages_read > 0 && m.index_pages_read > 0 && m.merkle_pages_read > 0,
+            "warm-up must touch every file kind: {m:?}"
+        );
         assert!(!cache.is_empty());
         old.delete_files().unwrap();
-        assert!(cache.is_empty(), "deletion must invalidate cached pages");
+        assert!(
+            cache.is_empty(),
+            "deletion must invalidate cached value, index and merkle pages"
+        );
 
         // Same directory, same run id, different contents.
         let mut builder = RunBuilder::create(&dir, 1, 50, &config, ctx).unwrap();

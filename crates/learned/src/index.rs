@@ -1,11 +1,12 @@
 //! Index file construction and lookup (Algorithms 3 and 7).
 
 use std::path::Path;
+use std::sync::Arc;
 
 use cole_primitives::{
     models_per_page, ColeError, CompoundKey, KeyNum, Result, MODEL_LEN, PAGE_SIZE,
 };
-use cole_storage::{PageFile, PageWriter};
+use cole_storage::{PageCache, PageFile, PageIoStats, PageWriter};
 
 use crate::model::Model;
 use crate::plr::EpsilonTrainer;
@@ -167,6 +168,24 @@ impl LearnedIndexFile {
         })
     }
 
+    /// Routes this index file's page reads through `cache`, so repeated
+    /// descents are served from memory instead of the filesystem.
+    pub fn attach_cache(&mut self, cache: Arc<PageCache>) {
+        self.file.attach_cache(cache);
+    }
+
+    /// Reports this index file's page reads into `stats` (the engine's
+    /// `index_pages_read` / per-kind hit-miss counters).
+    pub fn attach_stats(&mut self, stats: Arc<PageIoStats>) {
+        self.file.attach_stats(stats);
+    }
+
+    /// Drops every cached page of this file from the attached cache, if
+    /// any. Call before deleting the file from disk.
+    pub fn invalidate_cached_pages(&self) {
+        self.file.invalidate_cached_pages();
+    }
+
     /// Number of models in each layer, bottom layer first.
     #[must_use]
     pub fn layer_counts(&self) -> &[u64] {
@@ -199,12 +218,8 @@ impl LearnedIndexFile {
             .sum()
     }
 
-    /// Reads the model at `index` within `layer`.
-    fn model_at(&self, layer: usize, index: u64) -> Result<Model> {
-        let mpp = models_per_page() as u64;
-        let page_id = self.layer_first_page(layer) + index / mpp;
-        let slot = (index % mpp) as usize;
-        let page = self.file.read_page(page_id)?;
+    /// Decodes the model at `slot` of an already-fetched page.
+    fn model_from_page(page: &[u8], slot: usize) -> Result<Model> {
         Model::from_bytes(&page[slot * MODEL_LEN..(slot + 1) * MODEL_LEN])
     }
 
@@ -212,11 +227,35 @@ impl LearnedIndexFile {
     /// search around `hint` (a predicted model index). Returns the model and
     /// its index. If every model's `kmin` exceeds `key`, the first model of
     /// the layer is returned.
+    ///
+    /// The search is *page-granular*: each page of the layer is fetched (one
+    /// logical page read, cache-served when a cache is attached) at most once
+    /// per call, even though the widening check and the binary search probe
+    /// several models on it — so the recorded page reads match the pages a
+    /// descent actually touches (Table 1's `O(2·depth)` bound).
     fn find_in_layer(&self, layer: usize, key: KeyNum, hint: u64) -> Result<(Model, u64)> {
         let count = self.layer_counts[layer];
         let mpp = models_per_page() as u64;
         let last_index = count - 1;
         let hint = hint.min(last_index);
+        let first_page = self.layer_first_page(layer);
+        // Pages of this layer fetched so far in this call, keyed by the page
+        // index *within* the layer. The ε bound keeps the window at 2–3
+        // pages, so a linear probe beats any map.
+        let mut fetched: Vec<(u64, Arc<[u8]>)> = Vec::with_capacity(4);
+        let file = &self.file;
+        let mut page_bytes = |rel: u64| -> Result<Arc<[u8]>> {
+            if let Some((_, page)) = fetched.iter().find(|(r, _)| *r == rel) {
+                return Ok(Arc::clone(page));
+            }
+            let page = file.read_page(first_page + rel)?;
+            fetched.push((rel, Arc::clone(&page)));
+            Ok(page)
+        };
+        let mut model_at = |index: u64| -> Result<Model> {
+            let page = page_bytes(index / mpp)?;
+            Self::model_from_page(&page, (index % mpp) as usize)
+        };
         let mut page_lo = hint / mpp;
         let mut page_hi = hint / mpp;
         let max_page = last_index / mpp;
@@ -225,9 +264,9 @@ impl LearnedIndexFile {
         // practice; the loop is a numeric-robustness backstop).
         loop {
             let first_idx = page_lo * mpp;
-            let first = self.model_at(layer, first_idx)?;
+            let first = model_at(first_idx)?;
             let last_idx = ((page_hi + 1) * mpp - 1).min(last_index);
-            let last = self.model_at(layer, last_idx)?;
+            let last = model_at(last_idx)?;
             let need_left = key < KeyNum::from(first.kmin()) && page_lo > 0;
             let need_right =
                 key >= KeyNum::from(last.kmin()) && last_idx < last_index && page_hi < max_page;
@@ -241,20 +280,21 @@ impl LearnedIndexFile {
                 page_hi += 1;
             }
         }
-        // Binary search across the bracketed index range.
+        // Binary search across the bracketed index range; every probe hits an
+        // already-fetched page.
         let mut lo = page_lo * mpp;
         let mut hi = ((page_hi + 1) * mpp).min(count);
         // Invariant: answer index is in [lo, hi).
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            let m = self.model_at(layer, mid)?;
+            let m = model_at(mid)?;
             if KeyNum::from(m.kmin()) <= key {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        let model = self.model_at(layer, lo)?;
+        let model = model_at(lo)?;
         Ok((model, lo))
     }
 
@@ -379,6 +419,46 @@ mod tests {
         assert_predictions_bounded(&reopened, &keys, 8);
         assert!(LearnedIndexFile::open(&path, vec![], 8).is_err());
         assert!(LearnedIndexFile::open(&path, vec![1_000_000_000], 8).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn descent_touches_each_page_once_and_is_cache_served() {
+        use cole_storage::{PageCache, PageIoStats};
+        use std::sync::Arc;
+        // Enough irregularity for a multi-layer index.
+        let mut keys: Vec<CompoundKey> = Vec::new();
+        let mut addr = 0u64;
+        for i in 0..30_000u64 {
+            addr += 1 + (i * i) % 89;
+            keys.push(key(addr, i % 3));
+        }
+        keys.sort();
+        keys.dedup();
+        let (index, path) = build_index(&keys, 4, "pagecount");
+        let counts = index.layer_counts().to_vec();
+        let mut index = LearnedIndexFile::open(&path, counts, 4).unwrap();
+        assert!(index.depth() >= 2);
+        let stats = Arc::new(PageIoStats::new());
+        let cache = Arc::new(PageCache::new(256));
+        index.attach_stats(Arc::clone(&stats));
+        index.attach_cache(Arc::clone(&cache));
+        let probe = keys[keys.len() / 2];
+        index.find_bottom_model(&probe).unwrap().unwrap();
+        let first_reads = stats.logical_reads();
+        assert!(first_reads > 0, "a descent must read index pages");
+        // Each touched page is fetched once per layer visit, even though the
+        // binary search probes many models on it; the widening backstop may
+        // add one page per layer beyond the 2-page ε bound.
+        assert!(
+            first_reads <= 3 * index.depth() as u64,
+            "descent read {first_reads} pages over {} layers",
+            index.depth()
+        );
+        // The same descent again is fully cache-served.
+        index.find_bottom_model(&probe).unwrap().unwrap();
+        assert_eq!(stats.logical_reads(), 2 * first_reads);
+        assert_eq!(stats.hits(), first_reads, "repeat descent must hit");
         std::fs::remove_file(&path).ok();
     }
 

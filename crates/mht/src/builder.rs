@@ -100,6 +100,9 @@ impl MerkleFileBuilder {
             // upper layers are handled by the loop itself because we visit
             // layers bottom-up and flush whatever is pending.
         }
+        // The offset-addressed writes above leave the final page short on
+        // disk; pad it so the file is page-structured for `read_page`.
+        self.file.pad_to_page_boundary()?;
         self.file.sync()?;
         MerkleFile::from_parts(self.file, self.layout)
     }

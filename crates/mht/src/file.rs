@@ -1,18 +1,26 @@
 //! Reading Merkle files and extracting range proofs.
 
 use std::path::Path;
+use std::sync::Arc;
 
-use cole_primitives::{ColeError, Digest, Result, DIGEST_LEN};
-use cole_storage::PageFile;
+use cole_primitives::{ColeError, Digest, Result, DIGEST_LEN, PAGE_SIZE};
+use cole_storage::{PageCache, PageFile, PageIoStats};
 
 use crate::layout::MhtLayout;
 use crate::proof::{LayerSiblings, RangeProof};
+
+/// Number of digests per Merkle-file page. [`PAGE_SIZE`] is a multiple of
+/// [`DIGEST_LEN`], so digests never straddle a page boundary.
+const DIGESTS_PER_PAGE: u64 = (PAGE_SIZE / DIGEST_LEN) as u64;
+const _: () = assert!(PAGE_SIZE % DIGEST_LEN == 0);
 
 /// A reader over a Merkle file produced by
 /// [`MerkleFileBuilder`](crate::MerkleFileBuilder).
 ///
 /// Nodes are addressed by global position (see [`MhtLayout`]); the root is
-/// cached on open.
+/// cached on open. All node reads are page-aligned [`PageFile::read_page`]
+/// reads, so an attached [`PageCache`] serves sibling fetches from memory
+/// and contiguous sibling runs cost one fetch per touched page.
 #[derive(Debug)]
 pub struct MerkleFile {
     file: PageFile,
@@ -33,7 +41,11 @@ impl MerkleFile {
         Self::from_parts(file, layout)
     }
 
-    pub(crate) fn from_parts(file: PageFile, layout: MhtLayout) -> Result<Self> {
+    pub(crate) fn from_parts(mut file: PageFile, layout: MhtLayout) -> Result<Self> {
+        // Merkle files written before the builder padded to a page boundary
+        // have a legitimately short final page; newer files never trigger
+        // this. Value/index files keep failing loudly on truncation.
+        file.tolerate_short_final_page();
         let needed = layout.total_nodes() * DIGEST_LEN as u64;
         if file.len_bytes() < needed {
             return Err(ColeError::InvalidState(format!(
@@ -41,14 +53,34 @@ impl MerkleFile {
                 file.len_bytes()
             )));
         }
-        let root_bytes = file.read_at(layout.root_position() * DIGEST_LEN as u64, DIGEST_LEN)?;
+        let root_position = layout.root_position();
+        let page = file.read_page(root_position / DIGESTS_PER_PAGE)?;
+        let slot = (root_position % DIGESTS_PER_PAGE) as usize * DIGEST_LEN;
         let mut root = [0u8; DIGEST_LEN];
-        root.copy_from_slice(&root_bytes);
+        root.copy_from_slice(&page[slot..slot + DIGEST_LEN]);
         Ok(MerkleFile {
             file,
             layout,
             root: Digest::new(root),
         })
+    }
+
+    /// Routes this Merkle file's page reads through `cache`, so proof
+    /// sibling fetches are served from memory instead of the filesystem.
+    pub fn attach_cache(&mut self, cache: Arc<PageCache>) {
+        self.file.attach_cache(cache);
+    }
+
+    /// Reports this Merkle file's page reads into `stats` (the engine's
+    /// `merkle_pages_read` / per-kind hit-miss counters).
+    pub fn attach_stats(&mut self, stats: Arc<PageIoStats>) {
+        self.file.attach_stats(stats);
+    }
+
+    /// Drops every cached page of this file from the attached cache, if
+    /// any. Call before deleting the file from disk.
+    pub fn invalidate_cached_pages(&self) {
+        self.file.invalidate_cached_pages();
     }
 
     /// The root digest of the tree.
@@ -70,7 +102,8 @@ impl MerkleFile {
         self.layout.total_nodes() * DIGEST_LEN as u64
     }
 
-    /// Reads the digest stored at a global node position.
+    /// Reads the digest stored at a global node position (one page-aligned
+    /// read, cache-served when a cache is attached).
     ///
     /// # Errors
     ///
@@ -82,12 +115,46 @@ impl MerkleFile {
                 self.layout.total_nodes()
             )));
         }
-        let bytes = self
-            .file
-            .read_at(position * DIGEST_LEN as u64, DIGEST_LEN)?;
+        let page = self.file.read_page(position / DIGESTS_PER_PAGE)?;
+        let slot = (position % DIGESTS_PER_PAGE) as usize * DIGEST_LEN;
         let mut out = [0u8; DIGEST_LEN];
-        out.copy_from_slice(&bytes);
+        out.copy_from_slice(&page[slot..slot + DIGEST_LEN]);
         Ok(Digest::new(out))
+    }
+
+    /// Reads the digests at the contiguous global positions
+    /// `first..first + count`, fetching each covered page exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is out of bounds or a read fails.
+    fn nodes_at(&self, first: u64, count: u64) -> Result<Vec<Digest>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if first + count > self.layout.total_nodes() {
+            return Err(ColeError::NotFound(format!(
+                "merkle nodes [{first}, {}) out of bounds ({})",
+                first + count,
+                self.layout.total_nodes()
+            )));
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        let mut pos = first;
+        let end = first + count;
+        while pos < end {
+            let page_id = pos / DIGESTS_PER_PAGE;
+            let page = self.file.read_page(page_id)?;
+            let page_end = ((page_id + 1) * DIGESTS_PER_PAGE).min(end);
+            while pos < page_end {
+                let slot = (pos % DIGESTS_PER_PAGE) as usize * DIGEST_LEN;
+                let mut digest = [0u8; DIGEST_LEN];
+                digest.copy_from_slice(&page[slot..slot + DIGEST_LEN]);
+                out.push(Digest::new(digest));
+                pos += 1;
+            }
+        }
+        Ok(out)
     }
 
     /// Builds a [`RangeProof`] authenticating the leaves in positions
@@ -117,14 +184,8 @@ impl MerkleFile {
             let group_lo = (lo / m) * m;
             let group_hi = (((hi / m) + 1) * m).min(layer_size);
             let offset = self.layout.layer_offset(layer);
-            let mut left = Vec::new();
-            for pos in group_lo..lo {
-                left.push(self.node_at(offset + pos)?);
-            }
-            let mut right = Vec::new();
-            for pos in (hi + 1)..group_hi {
-                right.push(self.node_at(offset + pos)?);
-            }
+            let left = self.nodes_at(offset + group_lo, lo - group_lo)?;
+            let right = self.nodes_at(offset + hi + 1, group_hi - (hi + 1))?;
             layers.push(LayerSiblings { left, right });
             lo /= m;
             hi /= m;
@@ -205,6 +266,38 @@ mod tests {
         leaves[3] = sha256(b"evil");
         let root = proof.compute_root(&leaves[2..=4]).unwrap();
         assert_ne!(root, merkle.root());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cached_range_proofs_are_served_from_memory() {
+        use cole_storage::{PageCache, PageIoStats};
+        let (leaves, _built, path) = build(500, 4, "cached");
+        let mut merkle = MerkleFile::open(&path, 500, 4).unwrap();
+        let stats = Arc::new(PageIoStats::new());
+        let cache = Arc::new(PageCache::new(64));
+        merkle.attach_stats(Arc::clone(&stats));
+        merkle.attach_cache(Arc::clone(&cache));
+        let proof = merkle.range_proof(17, 140).unwrap();
+        let reads = stats.logical_reads();
+        assert!(reads > 0, "a proof must read merkle pages");
+        // Contiguous sibling runs cost one fetch per touched page, so the
+        // whole proof touches far fewer pages than it reads digests.
+        assert!(reads <= 2 * merkle.layout().depth() as u64 + 2);
+        // The same proof again is fully cache-served, and still verifies.
+        let misses_after_first = stats.misses();
+        let again = merkle.range_proof(17, 140).unwrap();
+        assert_eq!(
+            stats.misses(),
+            misses_after_first,
+            "repeat proof must not miss the cache"
+        );
+        assert!(stats.hits() >= reads, "repeat proof must hit the cache");
+        let root = again
+            .compute_root(&leaves[17..=140])
+            .expect("proof over scanned leaves");
+        assert_eq!(root, merkle.root());
+        assert_eq!(proof.compute_root(&leaves[17..=140]).unwrap(), root);
         std::fs::remove_file(&path).ok();
     }
 

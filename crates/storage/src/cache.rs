@@ -38,6 +38,62 @@ use std::sync::{Arc, Mutex};
 /// Process-unique identifier of a cacheable file.
 pub type FileId = u64;
 
+/// Per-file-kind page-IO counters, shared (via `Arc`) by every file of one
+/// kind — value, learned-index or Merkle — of an engine instance.
+///
+/// A *logical read* is one page-granular access through
+/// [`PageFile::read_page`](crate::PageFile::read_page), whether it was
+/// served from the cache, the filesystem, or an uncached file; it is the
+/// unit the paper's IO cost model counts. Hits and misses are recorded only
+/// when a [`PageCache`] is attached, so `hits + misses == logical_reads`
+/// exactly when every read goes through a cache.
+///
+/// All counters are relaxed atomics: they are statistics updated from the
+/// lock-free `&self` read path, not synchronization.
+#[derive(Debug, Default)]
+pub struct PageIoStats {
+    logical_reads: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PageIoStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one logical page read; `cache_hit` is `None` for reads of
+    /// uncached files, `Some(true)`/`Some(false)` for cache-served reads.
+    pub fn record_read(&self, cache_hit: Option<bool>) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        match cache_hit {
+            Some(true) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.misses.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+    }
+
+    /// Logical page reads recorded so far.
+    #[must_use]
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits recorded so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// Global [`FileId`] source. Never reused within a process, which makes
 /// `(file id, page id)` cache keys immune to file-path or run-id reuse.
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
@@ -307,6 +363,18 @@ mod tests {
         let a = next_file_id();
         let b = next_file_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn io_stats_record_reads_by_outcome() {
+        let stats = PageIoStats::new();
+        stats.record_read(None);
+        stats.record_read(Some(true));
+        stats.record_read(Some(false));
+        stats.record_read(Some(true));
+        assert_eq!(stats.logical_reads(), 4);
+        assert_eq!(stats.hits(), 2);
+        assert_eq!(stats.misses(), 1);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod page;
 mod util;
 mod wal;
 
-pub use cache::{next_file_id, FileId, PageCache};
+pub use cache::{next_file_id, FileId, PageCache, PageIoStats};
 pub use kv::{FileKvStore, KvStore, MemKvStore};
 pub use page::{PageFile, PageWriter};
 pub use util::{dir_size, sync_dir, write_durable};
