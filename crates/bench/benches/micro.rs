@@ -215,6 +215,115 @@ fn bench_entry_hash(c: &mut Criterion) {
     c.bench_function("hash_entry", |b| b.iter(|| hash_entry(&key, &value)));
 }
 
+fn bench_write_path(c: &mut Criterion) {
+    // The three layers of the sharded write path, isolated: WAL append cost
+    // per sync policy (what group commit amortizes), batch insertion into 1
+    // vs. 4 memtable write heads, and inline vs. pipelined run builds. The
+    // same ingest loop drives `exp_ablation --studies write-path`, which
+    // emits the committed BENCH_write_path.json.
+    use cole_core::{ColeConfig, RunBuilder, RunContext, ShardedMemtable};
+    use cole_storage::{WalSyncPolicy, WriteAheadLog};
+
+    let dir = std::env::temp_dir().join(format!("cole-bench-writepath-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("write_path");
+    group.sample_size(20);
+
+    // One block's WAL record: 50 entries, appended under each sync policy.
+    let entries: Vec<(CompoundKey, StateValue)> = (0..50u64)
+        .map(|i| {
+            (
+                CompoundKey::new(Address::from_low_u64(i), 1),
+                StateValue::from_u64(i),
+            )
+        })
+        .collect();
+    for (name, policy) in [
+        ("wal_append_block_always", WalSyncPolicy::Always),
+        (
+            "wal_append_block_group8",
+            WalSyncPolicy::GroupCommit {
+                max_blocks: 8,
+                max_bytes: 64 << 20,
+            },
+        ),
+        ("wal_append_block_os_buffered", WalSyncPolicy::OsBuffered),
+    ] {
+        let (mut wal, _) = WriteAheadLog::open(dir.join(format!("{name}.log")), policy).unwrap();
+        let mut height = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                height += 1;
+                wal.append_block(height, &entries).unwrap();
+            })
+        });
+    }
+
+    // A 2000-write block batch-inserted into 1 vs. 4 write heads (plus the
+    // per-shard root recomputation `finalize_block` pays).
+    let block: Vec<(CompoundKey, StateValue)> = (0..2000u64)
+        .map(|i| {
+            (
+                CompoundKey::new(Address::from_low_u64(i % 911), i / 911 + 1),
+                StateValue::from_u64(i),
+            )
+        })
+        .collect();
+    for shards in [1usize, 4] {
+        group.bench_function(format!("memtable_block_insert_{shards}shard"), |b| {
+            b.iter(|| {
+                let mut mem = ShardedMemtable::new(shards, 32);
+                mem.insert_batch(&block);
+                mem.root_hashes()
+            })
+        });
+    }
+
+    // Building a 20k-entry run with the index/Merkle work inline vs. on
+    // worker threads (identical output files; only wall-clock differs).
+    let run_entries: Vec<(CompoundKey, StateValue)> = (0..20_000u64)
+        .map(|i| {
+            (
+                CompoundKey::new(Address::from_low_u64(i / 4), i % 4 + 1),
+                StateValue::from_u64(i),
+            )
+        })
+        .collect();
+    for (name, parallel) in [
+        ("run_build_20k_inline", false),
+        ("run_build_20k_piped", true),
+    ] {
+        let config = ColeConfig::default().with_parallel_run_builds(parallel);
+        let build_dir = dir.join(name);
+        std::fs::create_dir_all(&build_dir).unwrap();
+        let mut id = 0u64;
+        group.sample_size(10);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                id += 1;
+                let mut builder = RunBuilder::create(
+                    &build_dir,
+                    id,
+                    run_entries.len() as u64,
+                    &config,
+                    RunContext::default(),
+                )
+                .unwrap();
+                for (k, v) in &run_entries {
+                    builder.push(*k, *v).unwrap();
+                }
+                let run = builder.finish().unwrap();
+                run.delete_files().unwrap();
+                run
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -223,6 +332,7 @@ criterion_group!(
     bench_mbtree,
     bench_page_reads,
     bench_read_path,
-    bench_entry_hash
+    bench_entry_hash,
+    bench_write_path
 );
 criterion_main!(benches);

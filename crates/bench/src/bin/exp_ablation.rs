@@ -15,14 +15,25 @@
 //!    documented in ROADMAP.md) and, with `--assert-cached-hits true`,
 //!    fails if the cached configuration reports zero index- or Merkle-page
 //!    cache hits — the CI guard against silent cache detachment.
+//! 4. **Write-path sweep** (`--studies write-path`) — the sharded ingest
+//!    path: memtable write heads × WAL sync policies
+//!    (`Always` / `GroupCommit` / `OsBuffered`), each point driving the
+//!    same `put_batch` workload and reporting ingest throughput, per-block
+//!    latency and the `wal_appends` / `wal_fsyncs` split that makes group
+//!    commit observable. Emits `BENCH_write_path.json` (schema in
+//!    ROADMAP.md) and, with `--assert-grouped-fsyncs true`, fails if a
+//!    group-commit point fsyncs once per block — i.e. if batching is
+//!    silently disabled.
 
 use std::time::Instant;
 
 use cole_bench::{
-    cole_config_from, fmt_f64, fresh_workdir, Args, DescentFixture, ScanFixture, Table,
+    cole_config_from, fmt_f64, fresh_workdir, parse_sync_policy, run_ingest, wal_append_us, Args,
+    DescentFixture, IngestConfig, IngestResult, ScanFixture, Table,
 };
 use cole_core::{Cole, ColeConfig};
 use cole_primitives::{Address, AuthenticatedStorage};
+use cole_storage::WalSyncPolicy;
 use cole_workloads::{execute_block, SmallBank};
 
 fn run_epsilon(args: &Args, table: &mut Table) {
@@ -425,36 +436,261 @@ fn run_read_path(args: &Args, table: &mut Table) {
     }
 }
 
+/// The workload knobs of the write-path sweep, resolved once so the sweep
+/// and the JSON report agree on what was measured.
+struct WriteSweepConfig {
+    blocks: u64,
+    writes_per_block: u64,
+    accounts: u64,
+    memtable: usize,
+    group_blocks: u32,
+}
+
+impl WriteSweepConfig {
+    fn from_args(args: &Args) -> Self {
+        WriteSweepConfig {
+            blocks: args.get_u64("blocks", 400),
+            writes_per_block: args.get_u64("writes-per-block", 200),
+            accounts: args.get_u64("accounts", 5000),
+            memtable: args.get_usize("memtable", 4096),
+            group_blocks: args.get_u64("group-blocks", 8) as u32,
+        }
+    }
+}
+
+/// One measured point of the (shards × sync policy) grid.
+struct WritePoint {
+    shards: u64,
+    policy_name: String,
+    result: IngestResult,
+}
+
+/// Micro timings: the isolated per-block WAL append cost under each policy.
+struct WalMicro {
+    blocks: u64,
+    entries_per_block: usize,
+    always_us: f64,
+    group_us: f64,
+    os_us: f64,
+}
+
+fn run_write_path_micro(args: &Args, cfg: &WriteSweepConfig) -> WalMicro {
+    let blocks = args.get_u64("wal-micro-blocks", 500);
+    let entries_per_block = args.get_usize("wal-micro-entries", 50);
+    let dir = fresh_workdir(args, "ablation_write_path_micro").expect("workdir");
+    let group = WalSyncPolicy::GroupCommit {
+        max_blocks: cfg.group_blocks,
+        max_bytes: 64 << 20,
+    };
+    let micro = WalMicro {
+        blocks,
+        entries_per_block,
+        always_us: wal_append_us(&dir, WalSyncPolicy::Always, blocks, entries_per_block)
+            .expect("wal micro"),
+        group_us: wal_append_us(&dir, group, blocks, entries_per_block).expect("wal micro"),
+        os_us: wal_append_us(&dir, WalSyncPolicy::OsBuffered, blocks, entries_per_block)
+            .expect("wal micro"),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    micro
+}
+
+fn run_write_path_sweep(args: &Args, cfg: &WriteSweepConfig) -> Vec<WritePoint> {
+    let shards_list = args.get_u64_list("shards", &[1, 2, 4]);
+    let policy_names =
+        args.get_str_list("sync-policies", &["always", "group-commit", "os-buffered"]);
+    let mut points = Vec::new();
+    for &shards in &shards_list {
+        for name in &policy_names {
+            let policy = match parse_sync_policy(name, cfg.group_blocks) {
+                Ok(p) => p,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            };
+            let dir =
+                fresh_workdir(args, &format!("ablation_write_{shards}_{name}")).expect("workdir");
+            let result = run_ingest(
+                &dir,
+                &IngestConfig {
+                    blocks: cfg.blocks,
+                    writes_per_block: cfg.writes_per_block,
+                    accounts: cfg.accounts,
+                    memtable: cfg.memtable,
+                    shards: shards as usize,
+                    policy,
+                },
+            )
+            .expect("ingest");
+            println!(
+                "[ablation/write-path] shards={shards} sync={name:<11} \
+                 {:>9.0} ops/s  block {:>7.1}us  wal appends {:>4} fsyncs {:>4}  \
+                 flushes {:>3} merges {:>3}",
+                result.ops_per_s,
+                result.block_us,
+                result.wal_appends,
+                result.wal_fsyncs,
+                result.flushes,
+                result.merges,
+            );
+            points.push(WritePoint {
+                shards,
+                policy_name: name.clone(),
+                result,
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    points
+}
+
+/// Renders the write-path results as the `BENCH_write_path.json` document
+/// (schema in ROADMAP.md).
+fn write_path_json(cfg: &WriteSweepConfig, micro: &WalMicro, sweep: &[WritePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"write_path\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"blocks\": {}, \"writes_per_block\": {}, \"accounts\": {}, \
+         \"memtable\": {}, \"group_blocks\": {}}},\n",
+        cfg.blocks, cfg.writes_per_block, cfg.accounts, cfg.memtable, cfg.group_blocks,
+    ));
+    out.push_str(&format!(
+        "  \"micro\": {{\n    \"wal_blocks\": {},\n    \"wal_entries_per_block\": {},\n    \
+         \"wal_append_always_us\": {:.2},\n    \"wal_append_group_us\": {:.2},\n    \
+         \"wal_append_os_buffered_us\": {:.2},\n    \"group_commit_speedup\": {:.2}\n  }},\n",
+        micro.blocks,
+        micro.entries_per_block,
+        micro.always_us,
+        micro.group_us,
+        micro.os_us,
+        micro.always_us / micro.group_us.max(1e-9),
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"cole\", \"shards\": {}, \"sync_policy\": \"{}\", \
+             \"ops_per_s\": {:.0}, \"block_us\": {:.2}, \"wal_appends\": {}, \
+             \"wal_fsyncs\": {}, \"flushes\": {}, \"merges\": {}}}{}\n",
+            p.shards,
+            p.policy_name,
+            p.result.ops_per_s,
+            p.result.block_us,
+            p.result.wal_appends,
+            p.result.wal_fsyncs,
+            p.result.flushes,
+            p.result.merges,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_write_path(args: &Args, table: &mut Table) {
+    let cfg = WriteSweepConfig::from_args(args);
+    let micro = run_write_path_micro(args, &cfg);
+    println!(
+        "[ablation/write-path] micro: wal append always {:.1}us vs group-commit {:.1}us \
+         ({:.1}x) vs os-buffered {:.1}us",
+        micro.always_us,
+        micro.group_us,
+        micro.always_us / micro.group_us.max(1e-9),
+        micro.os_us,
+    );
+    table.push_row(vec![
+        "write-path".into(),
+        "wal-append-always-vs-group-us".into(),
+        fmt_f64(micro.always_us),
+        fmt_f64(micro.group_us),
+        fmt_f64(micro.always_us / micro.group_us.max(1e-9)),
+        fmt_f64(micro.os_us),
+    ]);
+
+    let sweep = run_write_path_sweep(args, &cfg);
+    for p in &sweep {
+        table.push_row(vec![
+            "write-path".into(),
+            format!("shards-{}-{}", p.shards, p.policy_name),
+            fmt_f64(p.result.ops_per_s),
+            fmt_f64(p.result.block_us),
+            p.result.wal_appends.to_string(),
+            p.result.wal_fsyncs.to_string(),
+        ]);
+    }
+
+    let json = write_path_json(&cfg, &micro, &sweep);
+    let json_out = args.get_str("write-json-out", "BENCH_write_path.json");
+    if let Some(parent) = std::path::Path::new(&json_out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("json-out dir");
+        }
+    }
+    std::fs::write(&json_out, &json).expect("write JSON");
+    println!("wrote {json_out}");
+
+    if args.get_str("assert-grouped-fsyncs", "false") == "true" {
+        let grouped: Vec<&WritePoint> = sweep
+            .iter()
+            .filter(|p| p.policy_name.starts_with("group"))
+            .collect();
+        let ok = !grouped.is_empty()
+            && grouped
+                .iter()
+                .all(|p| p.result.wal_fsyncs > 0 && p.result.wal_fsyncs < p.result.wal_appends);
+        if !ok {
+            eprintln!(
+                "[ablation/write-path] FAIL: a group-commit configuration reports \
+                 fsyncs == appended blocks (or none at all) — WAL batching is \
+                 silently disabled"
+            );
+            std::process::exit(1);
+        }
+        println!("[ablation/write-path] grouped-fsync assertion passed");
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     if args.help_requested() {
         println!(
             "exp_ablation — design-choice ablations for COLE\n\
-             --studies epsilon,bloom,read-path   which studies to run\n\
+             --studies epsilon,bloom,read-path,write-path   which studies to run\n\
              --epsilons 4,11,23,46  learned-model error bounds to sweep\n\
              --blocks 400 --txs-per-block 100 --accounts 5000\n\
              --cache-pages 0,256,4096  page-cache sweep (read-path study)\n\
              --probes 2000 --micro-entries 40000 --micro-iters 2000\n\
              --assert-cached-hits true  fail on zero index/merkle cache hits\n\
              --json-out BENCH_read_path.json  machine-readable read-path report\n\
+             --shards 1,2,4  memtable write heads (write-path study)\n\
+             --sync-policies always,group-commit,os-buffered  WAL fsync sweep\n\
+             --writes-per-block 200 --group-blocks 8  write-path workload\n\
+             --wal-micro-blocks 500 --wal-micro-entries 50  WAL append micro\n\
+             --assert-grouped-fsyncs true  fail if group commit stops batching\n\
+             --write-json-out BENCH_write_path.json  machine-readable report\n\
              --workdir bench_work --out results/ablation.csv"
         );
         return;
     }
     let mut table = Table::new(
-        "Ablations: learned-index error bound, Bloom-filter effect, read-path cache",
+        "Ablations: learned-index error bound, Bloom filter, read-path cache, write path",
         &[
             "study", "setting", "metric_a", "metric_b", "metric_c", "metric_d",
         ],
     );
-    let studies = args.get_str_list("studies", &["epsilon", "bloom", "read-path"]);
+    let studies = args.get_str_list("studies", &["epsilon", "bloom", "read-path", "write-path"]);
     for study in &studies {
         match study.as_str() {
             "epsilon" => run_epsilon(&args, &mut table),
             "bloom" => run_bloom(&args, &mut table),
             "read-path" => run_read_path(&args, &mut table),
+            "write-path" => run_write_path(&args, &mut table),
             other => {
-                eprintln!("unknown study '{other}' (expected epsilon, bloom or read-path)");
+                eprintln!(
+                    "unknown study '{other}' (expected epsilon, bloom, read-path or write-path)"
+                );
                 std::process::exit(2);
             }
         }

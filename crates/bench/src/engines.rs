@@ -88,13 +88,15 @@ pub fn build_engine(
 }
 
 /// Builds a [`ColeConfig`] from the common command-line options
-/// (`--size-ratio`, `--mht-fanout`, `--memtable`, `--epsilon`).
+/// (`--size-ratio`, `--mht-fanout`, `--memtable`, `--memtable-shards`,
+/// `--epsilon`).
 #[must_use]
 pub fn cole_config_from(args: &crate::Args) -> ColeConfig {
     ColeConfig::default()
         .with_size_ratio(args.get_usize("size-ratio", 4))
         .with_mht_fanout(args.get_u64("mht-fanout", 4))
         .with_memtable_capacity(args.get_usize("memtable", 4096))
+        .with_memtable_shards(args.get_usize("memtable-shards", 1))
         .with_epsilon(args.get_u64("epsilon", cole_primitives::index_epsilon()))
 }
 

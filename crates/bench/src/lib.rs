@@ -16,7 +16,7 @@
 //! | `exp_fig14` | Fig. 14 — provenance query cost vs range |
 //! | `exp_fig15` | Fig. 15 — impact of COLE's MHT fanout `m` |
 //! | `exp_table1` | Table 1 — measured complexity counters |
-//! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect, read-path cache sweep → `BENCH_read_path.json`) |
+//! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect, read-path cache sweep → `BENCH_read_path.json`, write-path shards × WAL-sync sweep → `BENCH_write_path.json`) |
 //! | `exp_concurrent` | concurrent point-lookup throughput & page-cache ablation |
 
 #![forbid(unsafe_code)]
@@ -28,6 +28,7 @@ mod engines;
 mod readpath;
 mod report;
 mod stats;
+mod writepath;
 
 pub use args::Args;
 pub use driver::{
@@ -38,3 +39,6 @@ pub use engines::{build_engine, cole_config_from, fresh_workdir, EngineKind};
 pub use readpath::{DescentFixture, ScanFixture};
 pub use report::{fmt_f64, write_csv, Table};
 pub use stats::LatencyStats;
+pub use writepath::{
+    ingest_address, parse_sync_policy, run_ingest, wal_append_us, IngestConfig, IngestResult,
+};

@@ -1,0 +1,168 @@
+//! Shared fixtures for the write-path benchmarks.
+//!
+//! Both the criterion `write_path` group (`benches/micro.rs`) and the
+//! `exp_ablation --studies write-path` study drive the same ingest loop —
+//! [`run_ingest`] — over a (shards × WAL-sync-policy) grid, so the workload
+//! shape and the counters behind the committed `BENCH_write_path.json`
+//! cannot drift from the criterion numbers.
+
+use std::path::Path;
+use std::time::Instant;
+
+use cole_core::{Cole, ColeConfig};
+use cole_primitives::{Address, AuthenticatedStorage, Result, StateValue};
+use cole_storage::{WalSyncPolicy, WriteAheadLog};
+
+/// The WAL sync policies the write-path sweep compares, by bench name.
+///
+/// `group_blocks` parameterizes the `group-commit` point (`max_bytes` is
+/// effectively unbounded — the block cap drives the grouping at bench
+/// scales).
+///
+/// # Errors
+///
+/// Returns an error message for an unknown policy name.
+pub fn parse_sync_policy(
+    name: &str,
+    group_blocks: u32,
+) -> std::result::Result<WalSyncPolicy, String> {
+    match name {
+        "always" => Ok(WalSyncPolicy::Always),
+        "group-commit" | "group" => Ok(WalSyncPolicy::GroupCommit {
+            max_blocks: group_blocks,
+            max_bytes: 64 << 20,
+        }),
+        "os-buffered" | "osbuffered" => Ok(WalSyncPolicy::OsBuffered),
+        other => Err(format!(
+            "unknown sync policy '{other}' (expected always, group-commit or os-buffered)"
+        )),
+    }
+}
+
+/// The workload shape of one write-path ingest run.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestConfig {
+    /// Blocks to finalize.
+    pub blocks: u64,
+    /// State writes per block (the `put_batch` size).
+    pub writes_per_block: u64,
+    /// Address space the writes are spread over.
+    pub accounts: u64,
+    /// Memtable capacity (total across shards).
+    pub memtable: usize,
+    /// Memtable write heads.
+    pub shards: usize,
+    /// WAL fsync policy (the WAL is always enabled for this bench — the
+    /// sweep is about amortizing its cost).
+    pub policy: WalSyncPolicy,
+}
+
+/// Counters and timings of one ingest run.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestResult {
+    /// Wall-clock seconds for the whole ingest loop.
+    pub elapsed_s: f64,
+    /// State writes performed (`blocks × writes_per_block`).
+    pub ops: u64,
+    /// Ingest throughput in writes per second.
+    pub ops_per_s: f64,
+    /// Mean microseconds per finalized block (put_batch + WAL append +
+    /// flush/merge amortized + Hstate).
+    pub block_us: f64,
+    /// Blocks appended to the WAL.
+    pub wal_appends: u64,
+    /// Append-path WAL fsyncs (the batching observable).
+    pub wal_fsyncs: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Level merges performed.
+    pub merges: u64,
+}
+
+/// The deterministic address of write `w` of block `h`: uniform over
+/// `accounts` with a multiplicative hash so consecutive writes scatter
+/// across shards (the workload every point of the sweep replays).
+#[must_use]
+pub fn ingest_address(h: u64, w: u64, accounts: u64) -> Address {
+    let i =
+        (h.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(w)).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    Address::from_low_u64(0x5b00_0000_0000 + i % accounts)
+}
+
+/// Drives a fresh [`Cole`] in `dir` through the ingest workload via
+/// [`Cole::put_batch`], timing the loop and collecting the write-path
+/// counters.
+///
+/// # Errors
+///
+/// Returns an error if the engine fails.
+pub fn run_ingest(dir: &Path, cfg: &IngestConfig) -> Result<IngestResult> {
+    let config = ColeConfig::default()
+        .with_memtable_capacity(cfg.memtable)
+        .with_memtable_shards(cfg.shards)
+        .with_wal_enabled(true)
+        .with_wal_sync_policy(cfg.policy);
+    let mut engine = Cole::open(dir, config)?;
+    let started = Instant::now();
+    let mut batch: Vec<(Address, StateValue)> = Vec::with_capacity(cfg.writes_per_block as usize);
+    for h in 1..=cfg.blocks {
+        engine.begin_block(h)?;
+        batch.clear();
+        for w in 0..cfg.writes_per_block {
+            batch.push((
+                ingest_address(h, w, cfg.accounts),
+                StateValue::from_u64(h * 1000 + w),
+            ));
+        }
+        engine.put_batch(&batch)?;
+        engine.finalize_block()?;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let m = engine.metrics();
+    let ops = cfg.blocks * cfg.writes_per_block;
+    Ok(IngestResult {
+        elapsed_s,
+        ops,
+        ops_per_s: ops as f64 / elapsed_s.max(1e-9),
+        block_us: elapsed_s * 1e6 / cfg.blocks as f64,
+        wal_appends: m.wal_appends,
+        wal_fsyncs: m.wal_fsyncs,
+        flushes: m.flushes,
+        merges: m.merges,
+    })
+}
+
+/// Mean microseconds per appended block for a standalone WAL under
+/// `policy` — the isolated cost the group commit amortizes (used by both
+/// the criterion group and the JSON `micro` section).
+///
+/// # Errors
+///
+/// Returns an error if a file operation fails.
+pub fn wal_append_us(
+    dir: &Path,
+    policy: WalSyncPolicy,
+    blocks: u64,
+    entries_per_block: usize,
+) -> Result<f64> {
+    let path = dir.join(format!("wal-micro-{policy:?}.log").replace([' ', '{', '}', ':'], ""));
+    std::fs::remove_file(&path).ok();
+    let (mut wal, _) = WriteAheadLog::open(&path, policy)?;
+    let entries: Vec<_> = (0..entries_per_block as u64)
+        .map(|i| {
+            (
+                cole_primitives::CompoundKey::new(Address::from_low_u64(i), 1),
+                StateValue::from_u64(i),
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    for h in 1..=blocks {
+        wal.append_block(h, &entries)?;
+    }
+    wal.sync_barrier()?;
+    let us = started.elapsed().as_secs_f64() * 1e6 / blocks as f64;
+    drop(wal);
+    std::fs::remove_file(&path).ok();
+    Ok(us)
+}

@@ -14,6 +14,7 @@ use cole_storage::{PageCache, WriteAheadLog};
 use crate::config::ColeConfig;
 use crate::failpoint::KillPoints;
 use crate::manifest::{self, Manifest, ManifestState};
+use crate::memtable::{merge_sorted_entry_lists, ShardedMemtable};
 use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
@@ -21,10 +22,12 @@ use crate::run::{Run, RunContext, RunId};
 
 /// A sealed in-memory group: the level-0 merging group. Its contents are
 /// immutable (the flush thread reads them) but remain visible to queries.
+/// One tree per memtable write head, with the per-shard root digests fixed
+/// at seal time.
 #[derive(Debug, Clone)]
 struct SealedMemGroup {
-    tree: Arc<MbTree>,
-    root: Digest,
+    trees: Arc<Vec<MbTree>>,
+    roots: Vec<Digest>,
 }
 
 /// One on-disk level of the asynchronous engine: a writing group that accepts
@@ -56,7 +59,9 @@ struct AsyncLevel {
 pub struct AsyncCole {
     dir: PathBuf,
     config: ColeConfig,
-    mem_writing: MbTree,
+    /// The level-0 writing group: [`ColeConfig::memtable_shards`] write
+    /// heads (one MB-tree at the default of 1).
+    mem_writing: ShardedMemtable,
     mem_merging: Option<SealedMemGroup>,
     mem_flush_thread: Option<JoinHandle<Result<Run>>>,
     /// `levels[0]` is on-disk level 1.
@@ -135,7 +140,7 @@ impl AsyncCole {
         let mut cole = AsyncCole {
             dir,
             config,
-            mem_writing: MbTree::with_fanout(config.mbtree_fanout),
+            mem_writing: ShardedMemtable::new(config.memtable_shards, config.mbtree_fanout),
             mem_merging: None,
             mem_flush_thread: None,
             levels: Vec::new(),
@@ -183,7 +188,7 @@ impl AsyncCole {
         manifest::gc_and_log(&self.dir, "cole*", &live, &self.ctx.metrics)?;
         if self.config.wal_enabled {
             let (mem, ingested) = (&mut self.mem_writing, &mut self.entries_ingested);
-            let (wal, next_seq) = manifest::recover_wal(
+            let (mut wal, next_seq) = manifest::recover_wal(
                 &self.dir,
                 self.config.wal_sync_policy,
                 self.flushed_block,
@@ -193,6 +198,7 @@ impl AsyncCole {
                     *ingested += 1;
                 },
             )?;
+            wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
             self.wal = Some(wal);
             self.wal_seq = next_seq;
         }
@@ -203,8 +209,9 @@ impl AsyncCole {
     fn create_wal_segment(&mut self) -> Result<WriteAheadLog> {
         let path = self.dir.join(format!("wal-{:06}.log", self.wal_seq));
         self.wal_seq += 1;
-        let (wal, replayed) = WriteAheadLog::open(path, self.config.wal_sync_policy)?;
+        let (mut wal, replayed) = WriteAheadLog::open(path, self.config.wal_sync_policy)?;
         debug_assert!(replayed.is_empty(), "fresh segments start empty");
+        wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
         Ok(wal)
     }
 
@@ -356,18 +363,23 @@ impl AsyncCole {
     /// segments covering the sealed tree are retired (deleted once the
     /// flush commits) and a fresh segment receives subsequent blocks.
     fn seal_and_start_flush(&mut self) -> Result<()> {
-        let mut sealed_tree = std::mem::replace(
-            &mut self.mem_writing,
-            MbTree::with_fanout(self.config.mbtree_fanout),
-        );
-        let root = sealed_tree.root_hash();
+        // Fix the per-shard digests before freezing the trees; the sealed
+        // group's proofs verify against exactly these roots.
+        let roots = self.mem_writing.root_hashes();
         let sealed = SealedMemGroup {
-            tree: Arc::new(sealed_tree),
-            root,
+            trees: Arc::new(self.mem_writing.take_shards()),
+            roots,
         };
         self.mem_merging = Some(sealed.clone());
         self.sealed_through = self.current_block;
-        if let Some(active) = self.wal.take() {
+        if let Some(mut active) = self.wal.take() {
+            // Group-commit barrier: the outgoing segment must be fully
+            // durable before appends continue in the next one — otherwise a
+            // power failure could lose this segment's unsynced tail while
+            // *later* blocks in the new segment survive, recovering a chain
+            // with a hole in it.
+            active.sync_barrier()?;
+            self.ctx.kill("async-seal:wal_barrier")?;
             self.wal_retired.push(active.path().to_path_buf());
             drop(active);
             self.wal = Some(self.create_wal_segment()?);
@@ -377,7 +389,16 @@ impl AsyncCole {
         let id = self.alloc_run_id();
         let ctx = self.ctx.clone();
         self.mem_flush_thread = Some(std::thread::spawn(move || {
-            let entries = sealed.tree.entries();
+            // Drain the sealed write heads into one sorted stream (the
+            // k-way shard merge) and build the run off the caller's thread;
+            // with parallel run builds the index/Merkle work fans out
+            // further inside `RunBuilder`. The per-shard kill points model
+            // a crash mid-drain — memory-only, disk untouched.
+            for _ in sealed.trees.iter() {
+                ctx.kill("async-flush:shard_drained")?;
+            }
+            let entries =
+                merge_sorted_entry_lists(sealed.trees.iter().map(MbTree::entries).collect());
             build_run_from_entries(&dir, id, &entries, &config, ctx)
         }));
         Ok(())
@@ -444,12 +465,19 @@ impl AsyncCole {
     // ------------------------------------------------------------------ root hashes
 
     /// The ordered `root_hash_list` of the asynchronous engine: both level-0
-    /// groups, then the writing and merging groups of every on-disk level,
-    /// young to old.
+    /// groups (one root per write head each), then the writing and merging
+    /// groups of every on-disk level, young to old.
     pub fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
-        let mut list = vec![(RootEntryKind::Memtable, self.mem_writing.root_hash())];
+        let mut list: Vec<(RootEntryKind, Digest)> = self
+            .mem_writing
+            .root_hashes()
+            .into_iter()
+            .map(|root| (RootEntryKind::Memtable, root))
+            .collect();
         if let Some(sealed) = &self.mem_merging {
-            list.push((RootEntryKind::Memtable, sealed.root));
+            for root in &sealed.roots {
+                list.push((RootEntryKind::Memtable, *root));
+            }
         }
         for level in &self.levels {
             for run in level.writing.iter().chain(level.merging.iter()) {
@@ -467,13 +495,16 @@ impl AsyncCole {
             return Ok(Some(value));
         }
         if let Some(sealed) = &self.mem_merging {
-            if let Some((_, value)) = sealed.tree.get_latest(addr) {
+            // The sealed group was partitioned by the same stable address
+            // hash, so only the owning shard can hold the address.
+            let shard = self.mem_writing.shard_of(&addr);
+            if let Some((_, value)) = sealed.trees[shard].get_latest(addr) {
                 return Ok(Some(value));
             }
         }
         for level in &self.levels {
             for run in level.writing.iter().chain(level.merging.iter()) {
-                if !run.may_contain(&addr) {
+                if !run.may_contain(&addr)? {
                     Metrics::inc(&self.ctx.metrics.bloom_skips);
                     continue;
                 }
@@ -500,24 +531,29 @@ impl AsyncCole {
         let mut collected: Vec<(CompoundKey, StateValue)> = Vec::new();
         let mut early_stop = false;
 
-        // Level 0, writing group.
-        let (results, proof) = self.mem_writing.range_with_proof(lower, upper);
-        for (k, _) in &results {
-            if k.address() == addr && k.block_height() < blk_lower {
-                early_stop = true;
+        // Level 0, writing group: every write head, in `root_hash_list`
+        // order (the address lives in exactly one shard; the rest prove
+        // absence).
+        for (results, proof) in self.mem_writing.range_with_proofs(lower, upper) {
+            for (k, _) in &results {
+                if k.address() == addr && k.block_height() < blk_lower {
+                    early_stop = true;
+                }
             }
+            collected.extend(results);
+            components.push(ComponentProof::MemSearched { proof });
         }
-        collected.extend(results);
-        components.push(ComponentProof::MemSearched { proof });
 
-        // Level 0, merging group (still committed data). The sealed tree's
-        // digests were fixed by `root_hash` at seal time, so the `&self`
-        // proof construction sees clean hashes.
+        // Level 0, merging group (still committed data). The sealed trees'
+        // digests were fixed at seal time, so the `&self` proof
+        // construction sees clean hashes.
         if let Some(sealed) = &self.mem_merging {
-            if early_stop {
-                components.push(ComponentProof::MemUnsearched { root: sealed.root });
-            } else {
-                let (results, proof) = sealed.tree.range_with_proof(lower, upper);
+            for (tree, root) in sealed.trees.iter().zip(&sealed.roots) {
+                if early_stop {
+                    components.push(ComponentProof::MemUnsearched { root: *root });
+                    continue;
+                }
+                let (results, proof) = tree.range_with_proof(lower, upper);
                 for (k, _) in &results {
                     if k.address() == addr && k.block_height() < blk_lower {
                         early_stop = true;
@@ -537,10 +573,10 @@ impl AsyncCole {
                     });
                     continue;
                 }
-                if !run.may_contain(&addr) {
+                if !run.may_contain(&addr)? {
                     Metrics::inc(&self.ctx.metrics.bloom_skips);
                     components.push(ComponentProof::RunBloomNegative {
-                        bloom: run.bloom_bytes(),
+                        bloom: run.bloom_bytes()?,
                         merkle_root: run.merkle_root(),
                     });
                     continue;
@@ -603,6 +639,31 @@ impl Drop for AsyncCole {
                 let _ = handle.join();
             }
         }
+    }
+}
+
+impl AsyncCole {
+    /// Inserts a whole batch of updates for the current block, partitioning
+    /// them across the memtable write heads and inserting each shard's
+    /// share on its own thread (see [`Cole::put_batch`](crate::Cole::put_batch);
+    /// semantics are identical to per-entry [`put`](AuthenticatedStorage::put)
+    /// calls in slice order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    pub fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<()> {
+        let block = self.current_block;
+        let keyed: Vec<(CompoundKey, StateValue)> = entries
+            .iter()
+            .map(|(addr, value)| (CompoundKey::new(*addr, block), *value))
+            .collect();
+        if self.wal.is_some() {
+            self.wal_block_buf.extend_from_slice(&keyed);
+        }
+        self.mem_writing.insert_batch(&keyed);
+        self.entries_ingested += keyed.len() as u64;
+        Ok(())
     }
 }
 
@@ -688,7 +749,7 @@ impl AuthenticatedStorage for AsyncCole {
                 + self
                     .mem_merging
                     .as_ref()
-                    .map_or(0, |s| s.tree.memory_bytes()),
+                    .map_or(0, |s| s.trees.iter().map(MbTree::memory_bytes).sum()),
             ..StorageStats::default()
         };
         for level in &self.levels {
@@ -953,6 +1014,99 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_async_engine_reads_merges_and_recovers() {
+        let dir = tmpdir("sharded");
+        let config = small_config()
+            .with_memtable_shards(4)
+            .with_wal_enabled(true)
+            .with_wal_sync_policy(cole_storage::WalSyncPolicy::GroupCommit {
+                max_blocks: 3,
+                max_bytes: 1 << 20,
+            });
+        let mut expected = Vec::new();
+        {
+            let mut cole = AsyncCole::open(&dir, config).unwrap();
+            drive(&mut cole, 40, 6);
+            cole.wait_for_merges().unwrap();
+            assert!(cole.metrics().flushes > 0);
+            assert!(
+                cole.metrics().wal_fsyncs < cole.metrics().wal_appends,
+                "group commit must batch fsyncs: {} fsyncs for {} appends",
+                cole.metrics().wal_fsyncs,
+                cole.metrics().wal_appends
+            );
+            // A few unflushed tail blocks live only in the WAL.
+            for blk in 41..=43u64 {
+                cole.begin_block(blk).unwrap();
+                cole.put(addr(blk), StateValue::from_u64(blk * 7)).unwrap();
+                cole.finalize_block().unwrap();
+            }
+            for a in 0..97u64 {
+                expected.push(cole.get(addr(a)).unwrap());
+            }
+            // Crash: dropped without flush.
+        }
+        let mut recovered = AsyncCole::open(&dir, config).unwrap();
+        for a in 0..97u64 {
+            assert_eq!(
+                recovered.get(addr(a)).unwrap(),
+                expected[a as usize],
+                "address {a} after sharded group-commit recovery"
+            );
+        }
+        for blk in 41..=43u64 {
+            assert_eq!(
+                recovered.get(addr(blk)).unwrap(),
+                Some(StateValue::from_u64(blk * 7))
+            );
+        }
+        // The recovered sharded store keeps serving verifiable proofs.
+        let hstate = recovered.finalize_block().unwrap();
+        let result = recovered.prov_query(addr(5), 1, 40).unwrap();
+        assert!(recovered
+            .verify_prov(addr(5), 1, 40, &result, hstate)
+            .unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_hstate_is_deterministic_across_replays() {
+        let dir1 = tmpdir("sdet1");
+        let dir2 = tmpdir("sdet2");
+        let config = small_config().with_memtable_shards(3);
+        let mut a = AsyncCole::open(&dir1, config).unwrap();
+        let mut b = AsyncCole::open(&dir2, config).unwrap();
+        assert_eq!(drive(&mut a, 40, 6), drive(&mut b, 40, 6));
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn async_put_batch_matches_per_entry_puts() {
+        let dir_a = tmpdir("batcha");
+        let dir_b = tmpdir("batchb");
+        let config = small_config().with_memtable_shards(4);
+        let mut per_entry = AsyncCole::open(&dir_a, config).unwrap();
+        let mut batched = AsyncCole::open(&dir_b, config).unwrap();
+        for blk in 1..=30u64 {
+            let entries: Vec<(Address, StateValue)> = (0..6u64)
+                .map(|w| (addr((blk * 6 + w) % 97), StateValue::from_u64(blk)))
+                .collect();
+            per_entry.begin_block(blk).unwrap();
+            for (a, v) in &entries {
+                per_entry.put(*a, *v).unwrap();
+            }
+            let d1 = per_entry.finalize_block().unwrap();
+            batched.begin_block(blk).unwrap();
+            batched.put_batch(&entries).unwrap();
+            let d2 = batched.finalize_block().unwrap();
+            assert_eq!(d1, d2, "block {blk} digest diverged");
+        }
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

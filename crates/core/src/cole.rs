@@ -3,7 +3,6 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use cole_mbtree::MbTree;
 use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
@@ -13,6 +12,7 @@ use cole_storage::{PageCache, WriteAheadLog};
 use crate::config::ColeConfig;
 use crate::failpoint::KillPoints;
 use crate::manifest::{self, Manifest, ManifestState};
+use crate::memtable::ShardedMemtable;
 use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
@@ -42,7 +42,9 @@ pub(crate) const IDLE_WAL_RESET_BYTES: u64 = 64 * 1024;
 pub struct Cole {
     dir: PathBuf,
     config: ColeConfig,
-    mem: MbTree,
+    /// The in-memory level: [`ColeConfig::memtable_shards`] write heads
+    /// (one MB-tree at the default of 1 — identical to the paper's level 0).
+    mem: ShardedMemtable,
     /// `levels[0]` is on-disk level 1; runs are ordered newest first.
     levels: Vec<Vec<Arc<Run>>>,
     current_block: u64,
@@ -109,7 +111,7 @@ impl Cole {
         let mut cole = Cole {
             dir,
             config,
-            mem: MbTree::with_fanout(config.mbtree_fanout),
+            mem: ShardedMemtable::new(config.memtable_shards, config.mbtree_fanout),
             levels: Vec::new(),
             current_block: 0,
             flushed_block: 0,
@@ -144,7 +146,7 @@ impl Cole {
         manifest::gc_and_log(&self.dir, "cole", &live, &self.ctx.metrics)?;
         if self.config.wal_enabled {
             let (mem, ingested) = (&mut self.mem, &mut self.entries_ingested);
-            let (wal, _) = manifest::recover_wal(
+            let (mut wal, _) = manifest::recover_wal(
                 &self.dir,
                 self.config.wal_sync_policy,
                 self.flushed_block,
@@ -154,6 +156,7 @@ impl Cole {
                     *ingested += 1;
                 },
             )?;
+            wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
             self.wal = Some(wal);
         }
         Ok(())
@@ -224,8 +227,17 @@ impl Cole {
     /// treat the error as fatal, drop the engine, and reopen the directory;
     /// the on-disk state is unharmed by the ordering above.
     fn flush_and_merge(&mut self) -> Result<()> {
-        // Flush the memtable to level 1 as a sorted run (Algorithm 1 line 5).
-        let entries = self.mem.entries();
+        // Flush the memtable to level 1 as a sorted run (Algorithm 1 line
+        // 5). With sharded write heads this is a k-way merge over the
+        // already-sorted shards — the run (and everything downstream of it)
+        // is byte-for-byte what a single memtable would produce. The
+        // per-shard kill points model a crash while draining: memory-only
+        // work, so disk state is untouched at every one of them.
+        for shard in 0..self.mem.num_shards() {
+            let _ = shard;
+            self.ctx.kill("flush:shard_drained")?;
+        }
+        let entries = self.mem.sorted_entries();
         if entries.is_empty() {
             return Ok(());
         }
@@ -267,6 +279,17 @@ impl Cole {
             i += 1;
         }
 
+        // Group-commit barrier: any WAL appends still buffered in the OS
+        // page cache are forced to stable storage before the manifest can
+        // reference this flush. Without it, a power failure after the
+        // manifest commit could lose a *middle* group of the log while the
+        // manifest claims the height durable — with it, only the tail past
+        // the last barrier/group fsync is ever at risk.
+        if let Some(wal) = &mut self.wal {
+            wal.sync_barrier()?;
+        }
+        self.ctx.kill("flush:wal_barrier")?;
+
         // Commit point: the manifest that references the new runs and drops
         // the superseded ones becomes durable. The whole memtable — every
         // finalized block — is in the flushed run, so the manifest also
@@ -300,10 +323,17 @@ impl Cole {
 
     // ------------------------------------------------------------------ root hashes
 
-    /// The ordered `root_hash_list`: the in-memory MB-tree root followed by
-    /// every run's commitment, young to old (§3.2).
+    /// The ordered `root_hash_list`: one root per in-memory write head
+    /// (computed in parallel when sharded; exactly the single MB-tree root
+    /// at `memtable_shards = 1`) followed by every run's commitment, young
+    /// to old (§3.2).
     pub fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
-        let mut list = vec![(RootEntryKind::Memtable, self.mem.root_hash())];
+        let mut list: Vec<(RootEntryKind, Digest)> = self
+            .mem
+            .root_hashes()
+            .into_iter()
+            .map(|root| (RootEntryKind::Memtable, root))
+            .collect();
         for level in &self.levels {
             for run in level {
                 list.push((RootEntryKind::Run, run.commitment()));
@@ -337,7 +367,7 @@ impl Cole {
         }
         for level in &self.levels {
             for run in level {
-                if !run.may_contain(&addr) {
+                if !run.may_contain(&addr)? {
                     Metrics::inc(&self.ctx.metrics.bloom_skips);
                     continue;
                 }
@@ -364,15 +394,19 @@ impl Cole {
         let mut collected: Vec<(CompoundKey, StateValue)> = Vec::new();
         let mut early_stop = false;
 
-        // Level 0: the in-memory MB-tree.
-        let (mem_results, mem_proof) = self.mem.range_with_proof(lower, upper);
-        for (k, _) in &mem_results {
-            if k.address() == addr && k.block_height() < blk_lower {
-                early_stop = true;
+        // Level 0: every in-memory write head, in `root_hash_list` order.
+        // The queried address lives in exactly one shard; the others
+        // contribute cheap proofs of absence so the verifier can
+        // reconstruct `Hstate` component by component.
+        for (mem_results, mem_proof) in self.mem.range_with_proofs(lower, upper) {
+            for (k, _) in &mem_results {
+                if k.address() == addr && k.block_height() < blk_lower {
+                    early_stop = true;
+                }
             }
+            collected.extend(mem_results);
+            components.push(ComponentProof::MemSearched { proof: mem_proof });
         }
-        collected.extend(mem_results);
-        components.push(ComponentProof::MemSearched { proof: mem_proof });
 
         // On-disk levels, young to old.
         for level in &self.levels {
@@ -383,10 +417,10 @@ impl Cole {
                     });
                     continue;
                 }
-                if !run.may_contain(&addr) {
+                if !run.may_contain(&addr)? {
                     Metrics::inc(&self.ctx.metrics.bloom_skips);
                     components.push(ComponentProof::RunBloomNegative {
-                        bloom: run.bloom_bytes(),
+                        bloom: run.bloom_bytes()?,
                         merkle_root: run.merkle_root(),
                     });
                     continue;
@@ -425,6 +459,36 @@ impl Cole {
             values,
             proof: proof.to_bytes(),
         })
+    }
+}
+
+impl Cole {
+    /// Inserts a whole batch of updates for the current block, partitioning
+    /// them across the memtable write heads and inserting each shard's
+    /// share on its own thread (with [`ColeConfig::memtable_shards`]` > 1`;
+    /// a single-shard engine inserts inline).
+    ///
+    /// Semantically identical to calling
+    /// [`put`](AuthenticatedStorage::put) once per entry in slice order —
+    /// same memtable contents, same WAL record, same `Hstate` — but the
+    /// insertion work scales with cores. Blockchain blocks arrive as
+    /// batches of transaction writes, so this is the natural ingest shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    pub fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<()> {
+        let block = self.current_block;
+        let keyed: Vec<(CompoundKey, StateValue)> = entries
+            .iter()
+            .map(|(addr, value)| (CompoundKey::new(*addr, block), *value))
+            .collect();
+        if self.wal.is_some() {
+            self.wal_block_buf.extend_from_slice(&keyed);
+        }
+        self.mem.insert_batch(&keyed);
+        self.entries_ingested += keyed.len() as u64;
+        Ok(())
     }
 }
 
@@ -538,6 +602,7 @@ impl AuthenticatedStorage for Cole {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cole_storage::WalSyncPolicy;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir =
@@ -860,6 +925,172 @@ mod tests {
         assert!(m.pages_read > 0);
         assert_eq!(m.cache_hits, 0);
         assert_eq!(m.cache_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Drives `cole` through `blocks` blocks of 5 writes each.
+    fn drive_blocks(cole: &mut Cole, blocks: u64) {
+        for blk in 1..=blocks {
+            cole.begin_block(blk).unwrap();
+            for a in 0..5u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk * 100 + a))
+                    .unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_engine_serves_reads_and_verified_provenance() {
+        let dir = tmpdir("sharded");
+        let mut cole = Cole::open(&dir, small_config().with_memtable_shards(4)).unwrap();
+        let target = addr(7);
+        for blk in 1..=50u64 {
+            cole.begin_block(blk).unwrap();
+            cole.put(target, StateValue::from_u64(blk)).unwrap();
+            for a in 0..4u64 {
+                cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            cole.finalize_block().unwrap();
+        }
+        assert!(cole.metrics().flushes > 0, "workload must reach disk");
+        for blk in 1..=50u64 {
+            assert_eq!(
+                cole.get(addr(blk * 10)).unwrap(),
+                Some(StateValue::from_u64(blk))
+            );
+        }
+        let hstate = cole.finalize_block().unwrap();
+        let result = cole.prov_query(target, 10, 30).unwrap();
+        let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+        assert_eq!(got, (10..=30u64).rev().collect::<Vec<_>>());
+        assert!(cole.verify_prov(target, 10, 30, &result, hstate).unwrap());
+        // Tampering is still detected with per-shard memtable components.
+        let mut tampered = result.clone();
+        tampered.values[0].value = StateValue::from_u64(999);
+        assert!(!cole.verify_prov(target, 10, 30, &tampered, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_flush_produces_identical_run_files() {
+        // The k-way shard drain must be invisible on disk: same workload,
+        // 1 vs 4 shards, byte-identical run files (Hstate differs — it
+        // covers one root per write head — but the durable state doesn't).
+        let dir1 = tmpdir("drain1");
+        let dir4 = tmpdir("drain4");
+        let mut one = Cole::open(&dir1, small_config()).unwrap();
+        let mut four = Cole::open(&dir4, small_config().with_memtable_shards(4)).unwrap();
+        drive_blocks(&mut one, 40);
+        drive_blocks(&mut four, 40);
+        let mut run_files: Vec<String> = std::fs::read_dir(&dir1)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| n.starts_with("run_"))
+            .collect();
+        run_files.sort();
+        assert!(!run_files.is_empty());
+        for name in &run_files {
+            let a = std::fs::read(dir1.join(name)).unwrap();
+            let b = std::fs::read(dir4.join(name)).unwrap();
+            assert_eq!(a, b, "sharded drain diverged in {name}");
+        }
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&dir4).ok();
+    }
+
+    #[test]
+    fn put_batch_is_equivalent_to_per_entry_puts() {
+        let dir_a = tmpdir("batcha");
+        let dir_b = tmpdir("batchb");
+        let config = small_config()
+            .with_memtable_shards(4)
+            .with_wal_enabled(true);
+        let mut per_entry = Cole::open(&dir_a, config).unwrap();
+        let mut batched = Cole::open(&dir_b, config).unwrap();
+        for blk in 1..=20u64 {
+            let entries: Vec<(Address, StateValue)> = (0..6u64)
+                .map(|a| (addr((blk + a * 7) % 31), StateValue::from_u64(blk * 10 + a)))
+                .collect();
+            per_entry.begin_block(blk).unwrap();
+            for (a, v) in &entries {
+                per_entry.put(*a, *v).unwrap();
+            }
+            let d1 = per_entry.finalize_block().unwrap();
+            batched.begin_block(blk).unwrap();
+            batched.put_batch(&entries).unwrap();
+            let d2 = batched.finalize_block().unwrap();
+            assert_eq!(d1, d2, "block {blk} digest diverged");
+        }
+        for a in 0..31u64 {
+            assert_eq!(
+                per_entry.get(addr(a)).unwrap(),
+                batched.get(addr(a)).unwrap()
+            );
+        }
+        // The WAL records match too: a crash recovers the same state.
+        drop(per_entry);
+        drop(batched);
+        let ra = Cole::open(&dir_a, config).unwrap();
+        let rb = Cole::open(&dir_b, config).unwrap();
+        assert_eq!(ra.memtable_len(), rb.memtable_len());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_wal_fsyncs_and_recovers() {
+        let dir = tmpdir("groupcommit");
+        let config = ColeConfig::default()
+            .with_memtable_capacity(1024) // no flush: blocks live in the WAL
+            .with_wal_enabled(true)
+            .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+                max_blocks: 4,
+                max_bytes: 1 << 20,
+            });
+        let pre_root;
+        {
+            let mut cole = Cole::open(&dir, config).unwrap();
+            for blk in 1..=10u64 {
+                cole.begin_block(blk).unwrap();
+                cole.put(addr(blk), StateValue::from_u64(blk * 3)).unwrap();
+                cole.finalize_block().unwrap();
+            }
+            let m = cole.metrics();
+            assert_eq!(m.wal_appends, 10);
+            assert_eq!(m.wal_fsyncs, 2, "10 appends → two groups of 4, 2 pending");
+            pre_root = cole.state_root();
+            // Process crash: dropped without flush.
+        }
+        let mut recovered = Cole::open(&dir, config).unwrap();
+        assert_eq!(recovered.current_block_height(), 10);
+        assert_eq!(recovered.state_root(), pre_root);
+        for blk in 1..=10u64 {
+            assert_eq!(
+                recovered.get(addr(blk)).unwrap(),
+                Some(StateValue::from_u64(blk * 3)),
+                "block {blk} lost under group commit (process crash loses nothing)"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn always_policy_fsyncs_every_block() {
+        let dir = tmpdir("alwaysfsync");
+        let config = ColeConfig::default()
+            .with_memtable_capacity(1024)
+            .with_wal_enabled(true);
+        let mut cole = Cole::open(&dir, config).unwrap();
+        for blk in 1..=6u64 {
+            cole.begin_block(blk).unwrap();
+            cole.put(addr(blk), StateValue::from_u64(blk)).unwrap();
+            cole.finalize_block().unwrap();
+        }
+        let m = cole.metrics();
+        assert_eq!(m.wal_appends, 6);
+        assert_eq!(m.wal_fsyncs, 6, "Always = one fsync per finalized block");
         std::fs::remove_dir_all(&dir).ok();
     }
 

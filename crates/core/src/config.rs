@@ -40,6 +40,32 @@ pub struct ColeConfig {
     /// Default: 4096 pages (16 MiB), small next to the paper's 64 MB memory
     /// budget.
     pub page_cache_pages: usize,
+    /// Number of address-hash-partitioned write heads the in-memory level is
+    /// split into (at least 1, at most 64).
+    ///
+    /// Default: `1`, which is byte-for-byte today's single-memtable engine —
+    /// same state root, same on-disk files. With `N > 1` shards, `put`
+    /// touches only the (smaller) shard owning its address,
+    /// [`Cole::put_batch`](https://docs.rs/cole-core) partitions a block's
+    /// writes across shards and inserts them on `N` threads, and
+    /// `finalize_block` computes the per-shard root digests in parallel — so
+    /// ingest scales with cores. A flush drains all shards through a k-way
+    /// merge into **one** sorted run, so the on-disk format, manifest and
+    /// recovery are untouched.
+    ///
+    /// Sharding helps write-heavy multi-core deployments (big blocks, large
+    /// memtables); it is wasted overhead on 1-core boxes or tiny blocks
+    /// (thread spawn outweighs the parallel work). Note that the block
+    /// digest `Hstate` covers one root per shard, so — like `size_ratio` or
+    /// `mht_fanout` — every node of a chain must agree on the shard count.
+    pub memtable_shards: usize,
+    /// Whether flushes and merges build each run's Merkle file and learned
+    /// index on worker threads fed from the sorted entry stream (the value
+    /// file, written by the caller, stays the ordering authority). The
+    /// produced files are byte-identical to a serial build; only wall-clock
+    /// time changes. Runs smaller than a few pages are always built inline.
+    /// Default: `true`.
+    pub parallel_run_builds: bool,
     /// Whether the engine keeps a block-boundary write-ahead log so the
     /// unflushed memtable survives a crash without external log replay.
     ///
@@ -50,9 +76,22 @@ pub struct ColeConfig {
     pub wal_enabled: bool,
     /// When the write-ahead log fsyncs (only meaningful with
     /// [`wal_enabled`](Self::wal_enabled)):
-    /// [`WalSyncPolicy::Always`] fsyncs every finalized block (survives
-    /// power failure), [`WalSyncPolicy::OsBuffered`] leaves appends in the
-    /// OS page cache (survives process crashes only). Default: `Always`.
+    ///
+    /// * [`WalSyncPolicy::Always`] fsyncs every finalized block — full
+    ///   power-failure durability, one fsync per block. Right when blocks
+    ///   are rare or losing even one finalized block is unacceptable.
+    /// * [`WalSyncPolicy::GroupCommit`] fsyncs once per group of up to
+    ///   `max_blocks` blocks / `max_bytes` bytes — the dominant per-block
+    ///   durability cost is amortized over the group, so a write-heavy
+    ///   chain ingests at near-`OsBuffered` speed while a power failure
+    ///   loses at most the last unsynced group (never a block a committed
+    ///   manifest covers: flushes and segment rotations force a barrier
+    ///   fsync first). Right for high-throughput chains that can re-replay
+    ///   a bounded tail from the network.
+    /// * [`WalSyncPolicy::OsBuffered`] leaves appends in the OS page cache —
+    ///   survives process crashes only.
+    ///
+    /// Default: `Always`.
     pub wal_sync_policy: WalSyncPolicy,
 }
 
@@ -66,6 +105,8 @@ impl Default for ColeConfig {
             bloom_fpr: 0.01,
             mbtree_fanout: 32,
             page_cache_pages: 4096,
+            memtable_shards: 1,
+            parallel_run_builds: true,
             wal_enabled: false,
             wal_sync_policy: WalSyncPolicy::Always,
         }
@@ -112,6 +153,22 @@ impl ColeConfig {
     #[must_use]
     pub fn with_page_cache_pages(mut self, pages: usize) -> Self {
         self.page_cache_pages = pages;
+        self
+    }
+
+    /// Sets the number of memtable write heads (see
+    /// [`memtable_shards`](Self::memtable_shards)).
+    #[must_use]
+    pub fn with_memtable_shards(mut self, shards: usize) -> Self {
+        self.memtable_shards = shards;
+        self
+    }
+
+    /// Enables or disables worker-thread run builds (see
+    /// [`parallel_run_builds`](Self::parallel_run_builds)).
+    #[must_use]
+    pub fn with_parallel_run_builds(mut self, parallel: bool) -> Self {
+        self.parallel_run_builds = parallel;
         self
     }
 
@@ -162,6 +219,22 @@ impl ColeConfig {
             return Err(ColeError::InvalidConfig(
                 "MB-tree fanout must be at least 4".into(),
             ));
+        }
+        if self.memtable_shards == 0 || self.memtable_shards > 64 {
+            return Err(ColeError::InvalidConfig(
+                "memtable shard count must be in 1..=64".into(),
+            ));
+        }
+        if let WalSyncPolicy::GroupCommit {
+            max_blocks,
+            max_bytes,
+        } = self.wal_sync_policy
+        {
+            if max_blocks == 0 || max_bytes == 0 {
+                return Err(ColeError::InvalidConfig(
+                    "group-commit WAL bounds must be positive".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -227,6 +300,46 @@ mod tests {
             .with_bloom_fpr(0.0)
             .validate()
             .is_err());
+        assert!(ColeConfig::default()
+            .with_memtable_shards(0)
+            .validate()
+            .is_err());
+        assert!(ColeConfig::default()
+            .with_memtable_shards(65)
+            .validate()
+            .is_err());
+        assert!(ColeConfig::default()
+            .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+                max_blocks: 0,
+                max_bytes: 1,
+            })
+            .validate()
+            .is_err());
+        assert!(ColeConfig::default()
+            .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+                max_blocks: 1,
+                max_bytes: 0,
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn sharding_and_group_commit_knobs_compose() {
+        let c = ColeConfig::default()
+            .with_memtable_shards(4)
+            .with_parallel_run_builds(false)
+            .with_wal_enabled(true)
+            .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+                max_blocks: 8,
+                max_bytes: 1 << 20,
+            });
+        assert_eq!(c.memtable_shards, 4);
+        assert!(!c.parallel_run_builds);
+        assert!(c.validate().is_ok());
+        let d = ColeConfig::default();
+        assert_eq!(d.memtable_shards, 1, "sharding is opt-in");
+        assert!(d.parallel_run_builds, "pipelined builds are the default");
     }
 
     #[test]

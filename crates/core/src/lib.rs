@@ -56,6 +56,7 @@ mod cole;
 mod config;
 mod failpoint;
 mod manifest;
+mod memtable;
 mod merge;
 mod metrics;
 mod proof;
@@ -66,6 +67,7 @@ pub use cole::Cole;
 pub use config::ColeConfig;
 pub use failpoint::KillPoints;
 pub use manifest::{gc_orphan_runs, Manifest, ManifestState};
+pub use memtable::{merge_sorted_entry_lists, ShardedMemtable};
 pub use merge::{build_run_from_entries, merge_runs};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};

@@ -45,6 +45,12 @@ pub struct Metrics {
     pub runs_searched: AtomicU64,
     /// Blocks appended to the write-ahead log.
     pub wal_appends: AtomicU64,
+    /// Append-path fsyncs issued by the write-ahead log. Shared with the
+    /// [`WriteAheadLog`](cole_storage::WriteAheadLog) (hence the `Arc`),
+    /// surviving segment rotations. Under `WalSyncPolicy::Always` this
+    /// equals `wal_appends`; under group commit it is the number of groups —
+    /// the observable proof that batching is active.
+    pub wal_fsyncs: Arc<AtomicU64>,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: AtomicU64,
 }
@@ -98,6 +104,7 @@ impl Metrics {
             bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
             runs_searched: self.runs_searched.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             orphan_runs_deleted: self.orphan_runs_deleted.load(Ordering::Relaxed),
             cache_hits: value_cache_hits + index_cache_hits + merkle_cache_hits,
             cache_misses: value_cache_misses + index_cache_misses + merkle_cache_misses,
@@ -145,6 +152,10 @@ pub struct MetricsSnapshot {
     pub runs_searched: u64,
     /// Blocks appended to the write-ahead log.
     pub wal_appends: u64,
+    /// Append-path fsyncs issued by the write-ahead log (`== wal_appends`
+    /// under `WalSyncPolicy::Always`, one per group under group commit,
+    /// `0` under `OsBuffered`).
+    pub wal_fsyncs: u64,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: u64,
     /// Page-cache hits across the engine's run files, all kinds.

@@ -4,10 +4,12 @@
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 use cole_bloom::BloomFilter;
-use cole_hash::{hash_entry, hash_pair};
+use cole_hash::{hash_entry, hash_pair, sha256};
 use cole_learned::{IndexFileBuilder, LearnedIndexFile};
 use cole_mht::{MerkleFile, MerkleFileBuilder, RangeProof};
 use cole_primitives::{
@@ -156,9 +158,111 @@ fn decode_entry(bytes: &[u8]) -> Result<(CompoundKey, StateValue)> {
     Ok((key, StateValue::new(value)))
 }
 
+/// Entries per batch handed to the pipelined builder's worker threads —
+/// large enough that channel traffic is negligible next to the hashing the
+/// workers do per batch.
+const BUILD_BATCH_ENTRIES: usize = 512;
+
+/// Bounded depth of each worker's batch queue: backpressure keeps a fast
+/// producer from buffering an unbounded slice of the run in memory.
+const BUILD_QUEUE_BATCHES: usize = 8;
+
+/// Runs smaller than this are always built inline — two thread spawns cost
+/// more than parallelizing a few pages of hashing saves.
+const PARALLEL_BUILD_MIN_ENTRIES: u64 = 1024;
+
+/// A batch of entries in run order, shared by the index and Merkle workers.
+type BuildBatch = Arc<Vec<(CompoundKey, StateValue)>>;
+
+/// Where a builder's learned-index and Merkle work happens.
+///
+/// `Inline` is the classic serial build. `Pipelined` feeds the two builders
+/// from worker threads so the caller's loop only writes the value file (the
+/// ordering authority) and the Bloom filter, while the per-entry SHA-256 of
+/// the Merkle leaves and the ε-model training run concurrently. Both modes
+/// produce byte-identical files.
+#[derive(Debug)]
+enum SideBuilders {
+    Inline {
+        // Boxed to keep the enum small next to the channel-based variant.
+        index: Box<IndexFileBuilder>,
+        merkle: Box<MerkleFileBuilder>,
+    },
+    Pipelined(Pipeline),
+}
+
+/// The channel state of a pipelined build. The senders and join handles are
+/// `Option` because they leave in two different orders: a clean
+/// [`finish`](SideBuilders::finish) drops the senders first (ending the
+/// recv loops) then joins, while a failed dispatch [`abort`](Pipeline::abort)s
+/// from `&mut self` — taking both out to surface the dead worker's root
+/// cause immediately.
+#[derive(Debug)]
+struct Pipeline {
+    batch: Vec<(CompoundKey, StateValue)>,
+    index_tx: Option<SyncSender<BuildBatch>>,
+    merkle_tx: Option<SyncSender<BuildBatch>>,
+    index_thread: Option<JoinHandle<Result<LearnedIndexFile>>>,
+    merkle_thread: Option<JoinHandle<Result<MerkleFile>>>,
+}
+
+impl Pipeline {
+    /// Ships the pending batch to both workers. A send fails only when a
+    /// worker already died on an error, in which case both workers are
+    /// joined and the root cause returned.
+    fn dispatch(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let shipped: BuildBatch = Arc::new(std::mem::replace(
+            &mut self.batch,
+            Vec::with_capacity(BUILD_BATCH_ENTRIES),
+        ));
+        let index_ok = match &self.index_tx {
+            Some(tx) => tx.send(Arc::clone(&shipped)).is_ok(),
+            None => false,
+        };
+        let merkle_ok = match &self.merkle_tx {
+            Some(tx) => tx.send(shipped).is_ok(),
+            None => false,
+        };
+        if index_ok && merkle_ok {
+            Ok(())
+        } else {
+            Err(self.abort())
+        }
+    }
+
+    /// Closes both queues and joins both workers, returning the first
+    /// worker error — the root cause behind a failed send (e.g. the actual
+    /// I/O error of a full disk), not a generic "worker exited".
+    fn abort(&mut self) -> ColeError {
+        self.index_tx = None;
+        self.merkle_tx = None;
+        let index_err = self.index_thread.take().and_then(|h| join_worker(h).err());
+        let merkle_err = self.merkle_thread.take().and_then(|h| join_worker(h).err());
+        index_err.or(merkle_err).unwrap_or_else(|| {
+            ColeError::InvalidState("run-build worker exited before the stream ended".into())
+        })
+    }
+}
+
+/// Joins a builder worker, converting a panic into an error.
+fn join_worker<T>(handle: JoinHandle<Result<T>>) -> Result<T> {
+    handle
+        .join()
+        .map_err(|_| ColeError::InvalidState("run-build worker thread panicked".into()))?
+}
+
 /// Streaming builder of a run: the caller pushes key–value pairs in key
 /// order; the value, index and Merkle files and the Bloom filter are built
 /// concurrently (Algorithm 1 lines 5–6, Algorithms 3 and 4).
+///
+/// With [`ColeConfig::parallel_run_builds`] (the default) and a run of at
+/// least a thousand entries, the learned index and the Merkle file are built
+/// on two worker threads fed batches of the sorted entry stream, overlapping
+/// their hashing and model training with the caller's value-file writes and
+/// — during a flush or merge — with the k-way merge producing the stream.
 #[derive(Debug)]
 pub struct RunBuilder {
     dir: PathBuf,
@@ -166,8 +270,7 @@ pub struct RunBuilder {
     expected_entries: u64,
     mht_fanout: u64,
     value_writer: PageWriter,
-    index_builder: IndexFileBuilder,
-    merkle_builder: MerkleFileBuilder,
+    side: SideBuilders,
     bloom: BloomFilter,
     count: u64,
     last_key: Option<CompoundKey>,
@@ -195,18 +298,24 @@ impl RunBuilder {
             ));
         }
         std::fs::create_dir_all(dir)?;
+        let index = IndexFileBuilder::create(index_path(dir, id), config.epsilon)?;
+        let merkle =
+            MerkleFileBuilder::create(merkle_path(dir, id), expected_entries, config.mht_fanout)?;
+        let side = if config.parallel_run_builds && expected_entries >= PARALLEL_BUILD_MIN_ENTRIES {
+            SideBuilders::pipelined(index, merkle)
+        } else {
+            SideBuilders::Inline {
+                index: Box::new(index),
+                merkle: Box::new(merkle),
+            }
+        };
         Ok(RunBuilder {
             dir: dir.to_path_buf(),
             id,
             expected_entries,
             mht_fanout: config.mht_fanout,
             value_writer: PageWriter::create(value_path(dir, id), ENTRY_LEN)?,
-            index_builder: IndexFileBuilder::create(index_path(dir, id), config.epsilon)?,
-            merkle_builder: MerkleFileBuilder::create(
-                merkle_path(dir, id),
-                expected_entries,
-                config.mht_fanout,
-            )?,
+            side,
             bloom: BloomFilter::with_capacity(expected_entries as usize, config.bloom_fpr),
             count: 0,
             last_key: None,
@@ -236,8 +345,22 @@ impl RunBuilder {
         }
         let position = self.count;
         self.value_writer.push(&encode_entry(&key, &value))?;
-        self.index_builder.push(key, position)?;
-        self.merkle_builder.push_leaf(hash_entry(&key, &value))?;
+        let batch_full = match &mut self.side {
+            SideBuilders::Inline { index, merkle } => {
+                index.push(key, position)?;
+                merkle.push_leaf(hash_entry(&key, &value))?;
+                false
+            }
+            SideBuilders::Pipelined(pipeline) => {
+                pipeline.batch.push((key, value));
+                pipeline.batch.len() >= BUILD_BATCH_ENTRIES
+            }
+        };
+        if batch_full {
+            if let SideBuilders::Pipelined(pipeline) = &mut self.side {
+                pipeline.dispatch()?;
+            }
+        }
         self.bloom.insert(&key.address());
         self.last_key = Some(key);
         self.count += 1;
@@ -265,7 +388,8 @@ impl RunBuilder {
     /// Durability contract: once `finish` returns, every byte of the run is
     /// on stable storage — a manifest committed afterwards may reference it
     /// unconditionally. Until a manifest does, the files are orphans that
-    /// recovery garbage-collects.
+    /// recovery garbage-collects. (Pipelined workers finish — and fsync —
+    /// their files before this method proceeds past the join.)
     ///
     /// # Errors
     ///
@@ -273,20 +397,23 @@ impl RunBuilder {
     /// write fails.
     pub fn finish(self) -> Result<Run> {
         if self.count != self.expected_entries {
+            // Drain the pipeline before reporting, so worker threads never
+            // outlive the builder.
+            let _ = self.side.finish();
             return Err(ColeError::InvalidState(format!(
                 "run {} received {} of {} declared entries",
                 self.id, self.count, self.expected_entries
             )));
         }
         let mut value_file = self.value_writer.finish()?;
-        let mut index = self.index_builder.finish()?;
-        let mut merkle = self.merkle_builder.finish()?;
+        let (mut index, mut merkle) = self.side.finish()?;
         attach_run_io(&self.ctx, &mut value_file, &mut index, &mut merkle);
         self.ctx.kill("run:files_synced")?;
         let bloom_ser: Arc<[u8]> = self.bloom.to_bytes().into();
         write_durable(bloom_path(&self.dir, self.id), &bloom_ser)?;
         self.ctx.kill("run:bloom_written")?;
 
+        let bloom = RunBloom::loaded(bloom_path(&self.dir, self.id), self.bloom, bloom_ser);
         let meta = RunMeta {
             id: self.id,
             num_entries: self.count,
@@ -294,15 +421,79 @@ impl RunBuilder {
             epsilon: index.epsilon(),
             index_layer_counts: index.layer_counts().to_vec(),
             merkle_root: merkle.root(),
+            bloom_digest: Some(bloom.digest),
         };
         meta.write(&meta_path(&self.dir, self.id))?;
         self.ctx.kill("run:meta_written")?;
         sync_dir(&self.dir)?;
         self.ctx.kill("run:dir_synced")?;
 
-        Run::assemble(
-            self.dir, meta, value_file, index, merkle, self.bloom, bloom_ser,
-        )
+        Run::assemble(self.dir, meta, value_file, index, merkle, bloom)
+    }
+}
+
+impl SideBuilders {
+    /// Spawns the two worker threads and wires their bounded batch queues.
+    fn pipelined(index: IndexFileBuilder, merkle: MerkleFileBuilder) -> Self {
+        let (index_tx, index_rx): (SyncSender<BuildBatch>, Receiver<BuildBatch>) =
+            sync_channel(BUILD_QUEUE_BATCHES);
+        let (merkle_tx, merkle_rx): (SyncSender<BuildBatch>, Receiver<BuildBatch>) =
+            sync_channel(BUILD_QUEUE_BATCHES);
+        let index_thread = std::thread::spawn(move || -> Result<LearnedIndexFile> {
+            let mut index = index;
+            let mut position = 0u64;
+            while let Ok(batch) = index_rx.recv() {
+                for (key, _) in batch.iter() {
+                    index.push(*key, position)?;
+                    position += 1;
+                }
+            }
+            index.finish()
+        });
+        let merkle_thread = std::thread::spawn(move || -> Result<MerkleFile> {
+            let mut merkle = merkle;
+            while let Ok(batch) = merkle_rx.recv() {
+                for (key, value) in batch.iter() {
+                    merkle.push_leaf(hash_entry(key, value))?;
+                }
+            }
+            merkle.finish()
+        });
+        SideBuilders::Pipelined(Pipeline {
+            batch: Vec::with_capacity(BUILD_BATCH_ENTRIES),
+            index_tx: Some(index_tx),
+            merkle_tx: Some(merkle_tx),
+            index_thread: Some(index_thread),
+            merkle_thread: Some(merkle_thread),
+        })
+    }
+
+    /// Completes both side files: the tail batch is shipped, the queues are
+    /// closed and the workers joined (inline builders just finish in place).
+    fn finish(self) -> Result<(LearnedIndexFile, MerkleFile)> {
+        match self {
+            SideBuilders::Inline { index, merkle } => Ok((index.finish()?, merkle.finish()?)),
+            SideBuilders::Pipelined(mut pipeline) => {
+                // A failed tail dispatch already joined the workers and
+                // carries the root cause.
+                pipeline.dispatch()?;
+                // Closing the channels ends the workers' recv loops.
+                pipeline.index_tx = None;
+                pipeline.merkle_tx = None;
+                let join = |err: &str| ColeError::InvalidState(err.into());
+                let index = pipeline
+                    .index_thread
+                    .take()
+                    .ok_or_else(|| join("index worker already joined"))
+                    .and_then(join_worker);
+                let merkle = pipeline
+                    .merkle_thread
+                    .take()
+                    .ok_or_else(|| join("merkle worker already joined"))
+                    .and_then(join_worker);
+                Ok((index?, merkle?))
+            }
+        }
     }
 }
 
@@ -322,13 +513,20 @@ pub struct RunMeta {
     pub index_layer_counts: Vec<u64>,
     /// Root digest of the Merkle file.
     pub merkle_root: Digest,
+    /// Digest of the serialized Bloom filter (format v2). Having it in the
+    /// metadata lets [`Run::open`] compute the run commitment without
+    /// reading or decoding the filter file — the filter loads lazily on the
+    /// first query that needs it. `None` for v1 metadata written by earlier
+    /// releases, which fall back to the eager load.
+    pub bloom_digest: Option<Digest>,
 }
 
 impl RunMeta {
     fn write(&self, path: &Path) -> Result<()> {
         let mut out = Vec::new();
         out.extend_from_slice(b"CRUN");
-        out.extend_from_slice(&1u32.to_le_bytes());
+        let version: u32 = if self.bloom_digest.is_some() { 2 } else { 1 };
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.id.to_le_bytes());
         out.extend_from_slice(&self.num_entries.to_le_bytes());
         out.extend_from_slice(&self.mht_fanout.to_le_bytes());
@@ -338,6 +536,9 @@ impl RunMeta {
             out.extend_from_slice(&c.to_le_bytes());
         }
         out.extend_from_slice(self.merkle_root.as_bytes());
+        if let Some(digest) = &self.bloom_digest {
+            out.extend_from_slice(digest.as_bytes());
+        }
         write_durable(path, &out)?;
         Ok(())
     }
@@ -350,7 +551,14 @@ impl RunMeta {
                 path.display()
             )));
         }
-        let mut pos = 8; // skip magic + version
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced 4 bytes"));
+        if !(1..=2).contains(&version) {
+            return Err(ColeError::InvalidEncoding(format!(
+                "unsupported run metadata version {version} at {}",
+                path.display()
+            )));
+        }
+        let mut pos = 8; // past magic + version
         let u64_field = |pos: &mut usize| {
             let mut buf = [0u8; 8];
             buf.copy_from_slice(&bytes[*pos..*pos + 8]);
@@ -365,23 +573,102 @@ impl RunMeta {
         count_buf.copy_from_slice(&bytes[pos..pos + 4]);
         pos += 4;
         let layer_count = u32::from_le_bytes(count_buf) as usize;
-        if bytes.len() < pos + layer_count * 8 + DIGEST_LEN {
+        let digests = if version >= 2 { 2 } else { 1 };
+        if bytes.len() < pos + layer_count * 8 + digests * DIGEST_LEN {
             return Err(ColeError::InvalidEncoding("truncated run metadata".into()));
         }
         let mut index_layer_counts = Vec::with_capacity(layer_count);
         for _ in 0..layer_count {
             index_layer_counts.push(u64_field(&mut pos));
         }
-        let mut root = [0u8; DIGEST_LEN];
-        root.copy_from_slice(&bytes[pos..pos + DIGEST_LEN]);
+        let take_digest = |pos: &mut usize| {
+            let mut buf = [0u8; DIGEST_LEN];
+            buf.copy_from_slice(&bytes[*pos..*pos + DIGEST_LEN]);
+            *pos += DIGEST_LEN;
+            Digest::new(buf)
+        };
+        let merkle_root = take_digest(&mut pos);
+        let bloom_digest = (version >= 2).then(|| take_digest(&mut pos));
         Ok(RunMeta {
             id,
             num_entries,
             mht_fanout,
             epsilon,
             index_layer_counts,
-            merkle_root: Digest::new(root),
+            merkle_root,
+            bloom_digest,
         })
+    }
+}
+
+/// A run's Bloom filter, decoded lazily on reopened runs.
+///
+/// The digest (which feeds the run commitment) comes from the v2 metadata,
+/// so [`Run::open`] only *stats* the filter file; the first query that needs
+/// the bits — a [`may_contain`](Run::may_contain) membership probe or a
+/// proof of absence — reads and decodes it once, verifying the bytes against
+/// the trusted digest. Built runs start fully loaded.
+#[derive(Debug)]
+struct RunBloom {
+    path: PathBuf,
+    /// Digest of the canonical serialization (= SHA-256 of the file bytes).
+    digest: Digest,
+    /// Size of the filter's bit array (file length minus the 24-byte
+    /// header), known without loading.
+    size_bytes: u64,
+    /// The decoded filter and its serialized bytes, populated at build time
+    /// or on first use.
+    cell: OnceLock<(BloomFilter, Arc<[u8]>)>,
+}
+
+impl RunBloom {
+    /// A filter already in memory (freshly built, or eagerly loaded for v1
+    /// metadata).
+    fn loaded(path: PathBuf, filter: BloomFilter, ser: Arc<[u8]>) -> Self {
+        let digest = sha256(&ser);
+        let size_bytes = (ser.len() as u64).saturating_sub(24);
+        let cell = OnceLock::new();
+        cell.set((filter, ser)).expect("fresh cell");
+        RunBloom {
+            path,
+            digest,
+            size_bytes,
+            cell,
+        }
+    }
+
+    /// A filter left on disk until first use (`file_len` from a stat).
+    fn lazy(path: PathBuf, digest: Digest, file_len: u64) -> Self {
+        RunBloom {
+            path,
+            digest,
+            size_bytes: file_len.saturating_sub(24),
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The decoded filter and serialized bytes, loading them on first use.
+    /// Concurrent first uses may both read the file; exactly one decode
+    /// wins the cell.
+    fn get(&self) -> Result<&(BloomFilter, Arc<[u8]>)> {
+        if let Some(loaded) = self.cell.get() {
+            return Ok(loaded);
+        }
+        let bytes = std::fs::read(&self.path).map_err(|e| {
+            ColeError::Io(std::io::Error::new(
+                e.kind(),
+                format!("cannot load bloom filter at {}: {e}", self.path.display()),
+            ))
+        })?;
+        if sha256(&bytes) != self.digest {
+            return Err(ColeError::InvalidEncoding(format!(
+                "bloom filter at {} does not match the digest committed in the run metadata",
+                self.path.display()
+            )));
+        }
+        let filter = BloomFilter::from_bytes(&bytes)?;
+        let _ = self.cell.set((filter, bytes.into()));
+        Ok(self.cell.get().expect("just set"))
     }
 }
 
@@ -432,10 +719,9 @@ pub struct Run {
     value_file: PageFile,
     index: LearnedIndexFile,
     merkle: MerkleFile,
-    bloom: BloomFilter,
-    /// Serialized Bloom filter, shared into proofs of absence without
-    /// re-serializing (it can be tens of KiB per run).
-    bloom_ser: Arc<[u8]>,
+    /// The run's Bloom filter; reopened runs defer the file read and decode
+    /// to the first query that needs the bits.
+    bloom: RunBloom,
     commitment: Digest,
     /// Most recently decoded value-file page (see [`Run::pinned_page`]).
     /// Files are immutable, so a pinned decode can never go stale.
@@ -449,10 +735,9 @@ impl Run {
         value_file: PageFile,
         index: LearnedIndexFile,
         merkle: MerkleFile,
-        bloom: BloomFilter,
-        bloom_ser: Arc<[u8]>,
+        bloom: RunBloom,
     ) -> Result<Self> {
-        let commitment = hash_pair(&merkle.root(), &bloom.digest());
+        let commitment = hash_pair(&merkle.root(), &bloom.digest);
         Ok(Run {
             dir,
             meta,
@@ -460,7 +745,6 @@ impl Run {
             index,
             merkle,
             bloom,
-            bloom_ser,
             commitment,
             pinned: Mutex::new(None),
         })
@@ -468,6 +752,13 @@ impl Run {
 
     /// Reopens a run from its on-disk files and metadata, wiring its reads
     /// into `ctx`'s cache and metrics.
+    ///
+    /// The Bloom filter is *not* decoded here: v2 metadata carries its
+    /// digest, so the commitment is computed immediately and the filter
+    /// bits load lazily on the first query that consults them — reopening a
+    /// store with hundreds of runs stats each filter file instead of
+    /// reading and hashing them all up front. (v1 metadata from earlier
+    /// releases falls back to the eager load.)
     ///
     /// # Errors
     ///
@@ -512,22 +803,27 @@ impl Run {
             )));
         }
         let path = bloom_path(dir, id);
-        // Keep the serialized bytes: they are shared into proofs of absence,
-        // so the filter is never re-serialized after open.
-        let bloom_ser: Arc<[u8]> = std::fs::read(&path)
-            .map_err(ColeError::from)
-            .map_err(context("bloom", &path))?
-            .into();
-        let bloom = BloomFilter::from_bytes(&bloom_ser).map_err(context("bloom", &path))?;
-        Run::assemble(
-            dir.to_path_buf(),
-            meta,
-            value_file,
-            index,
-            merkle,
-            bloom,
-            bloom_ser,
-        )
+        let bloom = match meta.bloom_digest {
+            Some(digest) => {
+                // Stat only: a missing filter file still fails the open
+                // loudly, but the read + decode waits for the first use.
+                let file_len = std::fs::metadata(&path)
+                    .map_err(ColeError::from)
+                    .map_err(context("bloom", &path))?
+                    .len();
+                RunBloom::lazy(path, digest, file_len)
+            }
+            None => {
+                // v1 metadata: no trusted digest, load eagerly as before.
+                let ser: Arc<[u8]> = std::fs::read(&path)
+                    .map_err(ColeError::from)
+                    .map_err(context("bloom", &path))?
+                    .into();
+                let filter = BloomFilter::from_bytes(&ser).map_err(context("bloom", &path))?;
+                RunBloom::loaded(path, filter, ser)
+            }
+        };
+        Run::assemble(dir.to_path_buf(), meta, value_file, index, merkle, bloom)
     }
 
     /// The run identifier.
@@ -555,24 +851,40 @@ impl Run {
         self.merkle.root()
     }
 
-    /// Digest of the run's Bloom filter.
+    /// Digest of the run's Bloom filter (known without decoding it).
     #[must_use]
     pub fn bloom_digest(&self) -> Digest {
-        self.bloom.digest()
+        self.bloom.digest
     }
 
     /// Serialized Bloom filter (used in proofs of absence). The buffer is
-    /// shared — built once per run, handed out by `Arc` clone, so a
+    /// shared — loaded once per run, handed out by `Arc` clone, so a
     /// provenance query never re-serializes or copies the filter.
-    #[must_use]
-    pub fn bloom_bytes(&self) -> Arc<[u8]> {
-        Arc::clone(&self.bloom_ser)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a lazily-deferred filter cannot be loaded or
+    /// fails its digest check.
+    pub fn bloom_bytes(&self) -> Result<Arc<[u8]>> {
+        Ok(Arc::clone(&self.bloom.get()?.1))
     }
 
-    /// Returns `true` if the Bloom filter admits that `addr` may be present.
+    /// Returns `true` if the Bloom filter admits that `addr` may be
+    /// present, loading the filter on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a lazily-deferred filter cannot be loaded or
+    /// fails its digest check.
+    pub fn may_contain(&self, addr: &Address) -> Result<bool> {
+        Ok(self.bloom.get()?.0.contains(addr))
+    }
+
+    /// Returns `true` if the Bloom filter has been decoded (at build time,
+    /// or by a query since open).
     #[must_use]
-    pub fn may_contain(&self, addr: &Address) -> bool {
-        self.bloom.contains(addr)
+    pub fn bloom_loaded(&self) -> bool {
+        self.bloom.cell.get().is_some()
     }
 
     /// Bytes of state data (value file).
@@ -584,7 +896,7 @@ impl Run {
     /// Bytes of index overhead (index file + Merkle file + Bloom filter).
     #[must_use]
     pub fn index_bytes(&self) -> u64 {
-        self.index.size_bytes() + self.merkle.size_bytes() + self.bloom.size_bytes()
+        self.index.size_bytes() + self.merkle.size_bytes() + self.bloom.size_bytes
     }
 
     /// Reads the entry at `position`, fetching its page and decoding just
@@ -1037,15 +1349,141 @@ mod tests {
         let dir = tmpdir("bloom");
         let run = build_run(&dir, 40, 2);
         for addr in 0..40u64 {
-            assert!(run.may_contain(&Address::from_low_u64(addr)));
+            assert!(run.may_contain(&Address::from_low_u64(addr)).unwrap());
         }
         let misses = (1000..2000u64)
-            .filter(|&a| run.may_contain(&Address::from_low_u64(a)))
+            .filter(|&a| run.may_contain(&Address::from_low_u64(a)).unwrap())
             .count();
         assert!(
             misses < 100,
             "bloom filter should reject most absent addresses"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_runs_defer_the_bloom_decode_until_first_use() {
+        let dir = tmpdir("lazybloom");
+        let run = build_run(&dir, 30, 2);
+        assert!(run.bloom_loaded(), "a built run starts loaded");
+        let commitment = run.commitment();
+        drop(run);
+        let reopened = Run::open(&dir, 1, RunContext::default()).unwrap();
+        assert!(
+            !reopened.bloom_loaded(),
+            "open must not decode the filter (v2 meta carries its digest)"
+        );
+        // The commitment is available without the filter bits.
+        assert_eq!(reopened.commitment(), commitment);
+        // First membership probe loads and verifies the filter.
+        assert!(reopened.may_contain(&Address::from_low_u64(3)).unwrap());
+        assert!(reopened.bloom_loaded());
+        assert_eq!(
+            sha256(&reopened.bloom_bytes().unwrap()),
+            reopened.bloom_digest()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_bloom_file_fails_the_lazy_digest_check() {
+        let dir = tmpdir("tamperbloom");
+        let run = build_run(&dir, 20, 2);
+        drop(run);
+        let path = dir.join("run_00000001.blm");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // Open succeeds (the filter is deferred)…
+        let reopened = Run::open(&dir, 1, RunContext::default()).unwrap();
+        // …but the first use detects the corruption instead of silently
+        // serving wrong membership answers.
+        let err = reopened.may_contain(&Address::from_low_u64(1)).unwrap_err();
+        assert!(err.to_string().contains("digest"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_bloom_file_still_fails_open() {
+        let dir = tmpdir("noblm");
+        let run = build_run(&dir, 10, 2);
+        drop(run);
+        std::fs::remove_file(dir.join("run_00000001.blm")).unwrap();
+        let err = Run::open(&dir, 1, RunContext::default()).unwrap_err();
+        assert!(matches!(err, ColeError::NotFound(_)), "{err}");
+        assert!(err.to_string().contains(".blm"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_metadata_without_bloom_digest_loads_eagerly() {
+        let dir = tmpdir("metav1");
+        let run = build_run(&dir, 15, 2);
+        let commitment = run.commitment();
+        // Rewrite the metadata as version 1 (no bloom digest), as earlier
+        // releases produced.
+        let meta = RunMeta {
+            bloom_digest: None,
+            ..run.meta.clone()
+        };
+        drop(run);
+        meta.write(&dir.join("run_00000001.meta")).unwrap();
+        let reopened = Run::open(&dir, 1, RunContext::default()).unwrap();
+        assert!(reopened.bloom_loaded(), "v1 falls back to the eager load");
+        assert_eq!(
+            reopened.commitment(),
+            commitment,
+            "commitment must not depend on the metadata version"
+        );
+        assert!(reopened.may_contain(&Address::from_low_u64(1)).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_and_inline_builds_produce_identical_files() {
+        let dir_inline = tmpdir("inlinebuild");
+        let dir_parallel = tmpdir("parbuild");
+        // Enough entries to clear PARALLEL_BUILD_MIN_ENTRIES and span many
+        // batches, with a non-multiple of the batch size as the tail.
+        let n = (PARALLEL_BUILD_MIN_ENTRIES as usize) * 2 + 137;
+        let entries: Vec<(CompoundKey, StateValue)> = (0..n as u64)
+            .map(|i| (key(i / 3, i % 3 + 1), StateValue::from_u64(i * 7)))
+            .collect();
+        let serial_config = ColeConfig::default().with_parallel_run_builds(false);
+        let parallel_config = ColeConfig::default();
+        let build = |dir: &Path, config: &ColeConfig| {
+            let mut builder =
+                RunBuilder::create(dir, 1, n as u64, config, RunContext::default()).unwrap();
+            for (k, v) in &entries {
+                builder.push(*k, *v).unwrap();
+            }
+            builder.finish().unwrap()
+        };
+        let inline = build(&dir_inline, &serial_config);
+        let parallel = build(&dir_parallel, &parallel_config);
+        assert_eq!(inline.commitment(), parallel.commitment());
+        for ext in ["val", "idx", "mrk", "blm", "meta"] {
+            let a = std::fs::read(dir_inline.join(format!("run_00000001.{ext}"))).unwrap();
+            let b = std::fs::read(dir_parallel.join(format!("run_00000001.{ext}"))).unwrap();
+            assert_eq!(a, b, "pipelined build diverged in .{ext}");
+        }
+        std::fs::remove_dir_all(&dir_inline).ok();
+        std::fs::remove_dir_all(&dir_parallel).ok();
+    }
+
+    #[test]
+    fn pipelined_build_reports_underfill_errors() {
+        let dir = tmpdir("parunderfill");
+        let config = ColeConfig::default();
+        let n = PARALLEL_BUILD_MIN_ENTRIES + 50;
+        let mut builder = RunBuilder::create(&dir, 7, n, &config, RunContext::default()).unwrap();
+        for i in 0..PARALLEL_BUILD_MIN_ENTRIES {
+            builder.push(key(i, 1), StateValue::from_u64(i)).unwrap();
+        }
+        // Fewer entries than declared: finish must fail cleanly (and join
+        // its workers) instead of hanging or leaking threads.
+        assert!(builder.finish().is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

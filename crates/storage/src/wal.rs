@@ -12,8 +12,11 @@
 //! # Durability contract
 //!
 //! * A record is *recoverable* once [`WriteAheadLog::append_block`] returns:
-//!   against process crashes always, against power failure only under
-//!   [`WalSyncPolicy::Always`].
+//!   against process crashes always, against power failure only once it has
+//!   been fsynced — immediately under [`WalSyncPolicy::Always`], at the next
+//!   group boundary or [`WriteAheadLog::sync_barrier`] under
+//!   [`WalSyncPolicy::GroupCommit`], and never by the log itself under
+//!   [`WalSyncPolicy::OsBuffered`].
 //! * A torn tail (the last record cut short by a crash, or trailing garbage)
 //!   is detected by the per-record checksum and length framing, truncated
 //!   away on open, and never surfaces as data. Records *before* the torn
@@ -24,6 +27,8 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cole_primitives::{
     ColeError, CompoundKey, Result, StateValue, COMPOUND_KEY_LEN, ENTRY_LEN, VALUE_LEN,
@@ -38,6 +43,23 @@ pub enum WalSyncPolicy {
     /// process crash and a power failure. This is the default.
     #[default]
     Always,
+    /// Group commit: appends are buffered in the OS page cache and a single
+    /// fsync is issued once `max_blocks` blocks or `max_bytes` bytes have
+    /// accumulated since the last sync (whichever comes first), amortizing
+    /// the dominant durability cost of a write-heavy chain over many blocks.
+    /// A power failure loses at most the blocks appended since the last
+    /// group fsync — never a block covered by an earlier group or by a
+    /// committed manifest (the engines force a
+    /// [`sync_barrier`](WriteAheadLog::sync_barrier) before any manifest
+    /// commit or segment rotation). Process crashes lose nothing, as for
+    /// [`OsBuffered`](WalSyncPolicy::OsBuffered).
+    GroupCommit {
+        /// Blocks per fsync group (at least 1; `1` behaves like `Always`).
+        max_blocks: u32,
+        /// Byte cap per fsync group, so huge blocks don't stretch the
+        /// power-loss window arbitrarily (at least 1).
+        max_bytes: u64,
+    },
     /// Leave appends in the OS page cache: a finalized block survives a
     /// process crash but may be lost on power failure (the torn-tail repair
     /// still guarantees the log recovers to a consistent prefix).
@@ -81,6 +103,19 @@ pub struct WriteAheadLog {
     path: PathBuf,
     policy: WalSyncPolicy,
     len: u64,
+    /// Byte length covered by the last fsync: everything below survives a
+    /// power failure, the tail `synced_len..len` only a process crash.
+    synced_len: u64,
+    /// Blocks appended since the last fsync (drives the group-commit
+    /// boundary).
+    pending_blocks: u64,
+    /// Frame encode buffer, reused across appends so the steady-state write
+    /// path allocates nothing per block.
+    encode_buf: Vec<u8>,
+    /// Fsyncs issued on the append path (per-block, group boundaries and
+    /// barriers — not truncations). Shared with the owning engine's metrics
+    /// so WAL batching is observable.
+    fsyncs: Arc<AtomicU64>,
 }
 
 impl WriteAheadLog {
@@ -126,6 +161,13 @@ impl WriteAheadLog {
                 path,
                 policy,
                 len: good_end,
+                // The replayed prefix was read back from the file itself, so
+                // it is treated as synced (a pre-crash unsynced tail that
+                // survived into this open is durable from here on anyway).
+                synced_len: good_end,
+                pending_blocks: 0,
+                encode_buf: Vec::new(),
+                fsyncs: Arc::new(AtomicU64::new(0)),
             },
             blocks,
         ))
@@ -143,8 +185,38 @@ impl WriteAheadLog {
         self.len
     }
 
+    /// Bytes of the log covered by the last fsync: the prefix guaranteed to
+    /// survive a power failure. Equals [`len_bytes`](Self::len_bytes) under
+    /// [`WalSyncPolicy::Always`]; under group commit the tail past it is the
+    /// "last unsynced group" of the durability contract.
+    #[must_use]
+    pub fn synced_len_bytes(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Shares the append-path fsync counter with the caller (the engines
+    /// wire it into their [`MetricsSnapshot`]'s `wal_fsyncs`), preserving
+    /// the count accumulated so far.
+    ///
+    /// [`MetricsSnapshot`]: https://docs.rs/cole-core
+    pub fn attach_fsync_counter(&mut self, counter: Arc<AtomicU64>) {
+        counter.fetch_add(self.fsyncs.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.fsyncs = counter;
+    }
+
+    /// Fsyncs on the append path, incrementing the shared counter.
+    fn sync_appends(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.synced_len = self.len;
+        self.pending_blocks = 0;
+        Ok(())
+    }
+
     /// Appends one block's entries as a single framed record. Under
-    /// [`WalSyncPolicy::Always`] the record is fsynced before returning.
+    /// [`WalSyncPolicy::Always`] the record is fsynced before returning;
+    /// under [`WalSyncPolicy::GroupCommit`] the fsync is deferred until the
+    /// group fills (or a [`sync_barrier`](Self::sync_barrier)).
     ///
     /// # Errors
     ///
@@ -155,8 +227,20 @@ impl WriteAheadLog {
         entries: &[(CompoundKey, StateValue)],
     ) -> Result<()> {
         self.write_frame(height, entries)?;
-        if self.policy == WalSyncPolicy::Always {
-            self.file.sync_data()?;
+        self.pending_blocks += 1;
+        match self.policy {
+            WalSyncPolicy::Always => self.sync_appends()?,
+            WalSyncPolicy::GroupCommit {
+                max_blocks,
+                max_bytes,
+            } => {
+                if self.pending_blocks >= u64::from(max_blocks.max(1))
+                    || self.len - self.synced_len >= max_bytes.max(1)
+                {
+                    self.sync_appends()?;
+                }
+            }
+            WalSyncPolicy::OsBuffered => {}
         }
         Ok(())
     }
@@ -172,28 +256,51 @@ impl WriteAheadLog {
         for block in blocks {
             self.write_frame(block.height, &block.entries)?;
         }
-        if self.policy == WalSyncPolicy::Always && !blocks.is_empty() {
-            self.file.sync_data()?;
+        if self.policy != WalSyncPolicy::OsBuffered && !blocks.is_empty() {
+            self.sync_appends()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any buffered appends to stable storage (a no-op when nothing
+    /// is pending). The engines call this *before* committing a manifest and
+    /// *before* rotating a segment away, so a group-commit log can never
+    /// lose a block out of order: only the tail group of the newest segment
+    /// is ever at risk, and never one a manifest covers.
+    ///
+    /// Under [`WalSyncPolicy::OsBuffered`] this is always a no-op: that
+    /// policy makes no power-failure promise for the barrier to preserve,
+    /// so it keeps its zero-fsync append path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sync fails.
+    pub fn sync_barrier(&mut self) -> Result<()> {
+        if self.policy != WalSyncPolicy::OsBuffered && self.synced_len < self.len {
+            self.sync_appends()?;
         }
         Ok(())
     }
 
     fn write_frame(&mut self, height: u64, entries: &[(CompoundKey, StateValue)]) -> Result<()> {
-        let mut payload = Vec::with_capacity(entries.len() * ENTRY_LEN);
-        for (key, value) in entries {
-            payload.extend_from_slice(&key.to_bytes());
-            payload.extend_from_slice(value.as_bytes());
-        }
+        // One reused buffer: frame the header placeholder, stream the
+        // entries, then patch the checksum — no per-block allocations once
+        // the buffer has grown to the block size.
         let height_bytes = height.to_le_bytes();
         let count_bytes = (entries.len() as u32).to_le_bytes();
-        let checksum = fnv1a64(&[&height_bytes, &count_bytes, &payload]);
-        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        let frame = &mut self.encode_buf;
+        frame.clear();
         frame.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         frame.extend_from_slice(&height_bytes);
         frame.extend_from_slice(&count_bytes);
-        frame.extend_from_slice(&checksum.to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        frame.extend_from_slice(&[0u8; 8]); // checksum patched below
+        for (key, value) in entries {
+            frame.extend_from_slice(&key.to_bytes());
+            frame.extend_from_slice(value.as_bytes());
+        }
+        let checksum = fnv1a64(&[&height_bytes, &count_bytes, &frame[HEADER_LEN..]]);
+        frame[16..24].copy_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(frame)?;
         self.len += frame.len() as u64;
         Ok(())
     }
@@ -210,6 +317,8 @@ impl WriteAheadLog {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.len = 0;
+        self.synced_len = 0;
+        self.pending_blocks = 0;
         Ok(())
     }
 }
@@ -373,5 +482,122 @@ mod tests {
     #[test]
     fn missing_file_replays_empty() {
         assert!(replay_wal("/definitely/not/a/wal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let path = tmp("group");
+        std::fs::remove_file(&path).ok();
+        let policy = WalSyncPolicy::GroupCommit {
+            max_blocks: 4,
+            max_bytes: 1 << 20,
+        };
+        let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        for blk in 1..=10u64 {
+            wal.append_block(blk, &[entry(blk, blk)]).unwrap();
+        }
+        // Blocks 1–4 and 5–8 each closed a group; 9–10 are pending.
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 2, "one fsync per group");
+        assert!(wal.synced_len_bytes() < wal.len_bytes());
+        let synced = wal.synced_len_bytes();
+        assert_eq!(replay_truncated(&path, synced).len(), 8);
+        // The barrier drains the pending tail with one more fsync.
+        wal.sync_barrier().unwrap();
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 3);
+        assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
+        wal.sync_barrier().unwrap();
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 3, "empty barrier is free");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Replays `path` as if a power failure discarded everything past
+    /// `keep` bytes (the unsynced page-cache tail).
+    fn replay_truncated(path: &Path, keep: u64) -> Vec<WalBlock> {
+        let bytes = std::fs::read(path).unwrap();
+        let cut = path.with_extension("cut");
+        std::fs::write(&cut, &bytes[..keep as usize]).unwrap();
+        let blocks = replay_wal(&cut).unwrap();
+        std::fs::remove_file(&cut).ok();
+        blocks
+    }
+
+    #[test]
+    fn group_commit_byte_cap_closes_a_group_early() {
+        let path = tmp("groupbytes");
+        std::fs::remove_file(&path).ok();
+        let policy = WalSyncPolicy::GroupCommit {
+            max_blocks: 1000,
+            max_bytes: 64,
+        };
+        let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        // Each record is HEADER_LEN + ENTRY_LEN > 64 bytes, so every append
+        // crosses the byte cap and syncs despite the huge block cap.
+        wal.append_block(1, &[entry(1, 1)]).unwrap();
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 1);
+        assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn always_policy_counts_one_fsync_per_block() {
+        let path = tmp("alwayscount");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path, WalSyncPolicy::Always).unwrap();
+        for blk in 1..=5u64 {
+            wal.append_block(blk, &[entry(blk, blk)]).unwrap();
+            assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
+        }
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        // Attaching late preserves the accumulated count.
+        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn os_buffered_never_fsyncs_even_at_barriers() {
+        let path = tmp("osbarrier");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path, WalSyncPolicy::OsBuffered).unwrap();
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        for blk in 1..=3u64 {
+            wal.append_block(blk, &[entry(blk, blk)]).unwrap();
+        }
+        wal.sync_barrier().unwrap();
+        assert_eq!(
+            fsyncs.load(Ordering::Relaxed),
+            0,
+            "OsBuffered opts out of power-loss durability entirely"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_resets_the_pending_group() {
+        let path = tmp("groupreset");
+        std::fs::remove_file(&path).ok();
+        let policy = WalSyncPolicy::GroupCommit {
+            max_blocks: 3,
+            max_bytes: 1 << 20,
+        };
+        let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        wal.append_block(1, &[entry(1, 1)]).unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.synced_len_bytes(), 0);
+        // A fresh group starts after the truncation: two more appends stay
+        // pending, the third closes the group.
+        wal.append_block(2, &[entry(2, 2)]).unwrap();
+        wal.append_block(3, &[entry(3, 3)]).unwrap();
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 0);
+        wal.append_block(4, &[entry(4, 4)]).unwrap();
+        assert_eq!(fsyncs.load(Ordering::Relaxed), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

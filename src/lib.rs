@@ -46,7 +46,7 @@ pub use cole_primitives;
 pub use cole_storage;
 pub use cole_workloads;
 
-pub use cole_core::{AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot};
+pub use cole_core::{AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable};
 pub use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
@@ -55,7 +55,9 @@ pub use cole_storage::{PageCache, WalSyncPolicy};
 
 /// Convenient glob import for examples and applications.
 pub mod prelude {
-    pub use cole_core::{AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot};
+    pub use cole_core::{
+        AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable,
+    };
     pub use cole_primitives::{
         Address, AuthenticatedStorage, CompoundKey, Digest, ProvenanceResult, StateValue,
         StorageStats, VersionedValue,

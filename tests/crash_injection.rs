@@ -147,6 +147,34 @@ fn async_cole_recovers_from_a_crash_at_every_kill_point() {
     });
 }
 
+/// The sharded write path under group commit: 4 write heads and a batched
+/// WAL fsync. The sweep crosses the new kill points too — the per-shard
+/// flush drain (`flush:shard_drained`) and the group-commit barriers before
+/// the manifest commit (`flush:wal_barrier`) and the segment rotation
+/// (`async-seal:wal_barrier`).
+fn sharded_config() -> ColeConfig {
+    config()
+        .with_memtable_shards(4)
+        .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+            max_blocks: 3,
+            max_bytes: 64 * 1024,
+        })
+}
+
+#[test]
+fn sharded_cole_with_group_commit_recovers_at_every_kill_point() {
+    sweep_all_kill_points("sync-sharded", |dir, kp| {
+        Box::new(Cole::open_with_kill_points(dir, sharded_config(), kp).unwrap())
+    });
+}
+
+#[test]
+fn sharded_async_cole_with_group_commit_recovers_at_every_kill_point() {
+    sweep_all_kill_points("async-sharded", |dir, kp| {
+        Box::new(AsyncCole::open_with_kill_points(dir, sharded_config(), kp).unwrap())
+    });
+}
+
 /// Focused regression for the old delete-before-manifest crash window
 /// (`flush_and_merge` deleted superseded runs before writing the manifest):
 /// crash right after a cascade merge built its output run, before the
@@ -196,6 +224,128 @@ fn superseded_runs_survive_a_crash_before_the_manifest_commit() {
 fn last_flush_boundary(failed_at: u64) -> u64 {
     assert_eq!(failed_at % 4, 0, "crashes happen at flush blocks");
     failed_at - 4
+}
+
+/// The WAL segment files of a store directory, oldest first.
+fn wal_segments(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut segments: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().into_string().ok()?;
+            (name.starts_with("wal-") && name.ends_with(".log")).then(|| e.path())
+        })
+        .collect();
+    segments.sort();
+    segments
+}
+
+/// Truncates `path` to `keep` bytes — the power-loss simulation: everything
+/// the OS page cache held past the last fsync is gone.
+fn simulate_power_loss(path: &std::path::Path, keep: u64) {
+    let bytes = std::fs::read(path).unwrap();
+    std::fs::write(path, &bytes[..keep as usize]).unwrap();
+}
+
+/// Power failure under group commit: appends past the last group fsync live
+/// only in the OS page cache and die with the machine. The contract — "at
+/// most the last unsynced group is lost" — is verified by discarding the
+/// unsynced tail of the WAL file and reopening: every block up to the last
+/// group boundary survives, the pending tail (and only the tail) is gone.
+#[test]
+fn group_commit_power_loss_loses_at_most_the_last_unsynced_group() {
+    let dir = tmpdir("power-loss");
+    let cfg = ColeConfig::default()
+        .with_memtable_capacity(4096) // no flush: every block lives in the WAL
+        .with_wal_enabled(true)
+        .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+            max_blocks: 4,
+            max_bytes: 1 << 20,
+        });
+    let synced_boundary;
+    {
+        let mut store = Cole::open(&dir, cfg).unwrap();
+        for h in 1..=8u64 {
+            store.begin_block(h).unwrap();
+            store.put(addr_of(h, 0), value_of(h, 0)).unwrap();
+            store.finalize_block().unwrap();
+        }
+        // Blocks 1–8 filled two groups of 4: the file is synced exactly to
+        // its current length.
+        assert_eq!(store.metrics().wal_fsyncs, 2);
+        synced_boundary = std::fs::metadata(&wal_segments(&dir)[0]).unwrap().len();
+        // Two more blocks stay in the pending (unsynced) group.
+        for h in 9..=10u64 {
+            store.begin_block(h).unwrap();
+            store.put(addr_of(h, 0), value_of(h, 0)).unwrap();
+            store.finalize_block().unwrap();
+        }
+    }
+    let segments = wal_segments(&dir);
+    assert_eq!(segments.len(), 1);
+    assert!(
+        std::fs::metadata(&segments[0]).unwrap().len() > synced_boundary,
+        "the pending group must extend past the synced boundary"
+    );
+    simulate_power_loss(&segments[0], synced_boundary);
+
+    let store = Cole::open(&dir, cfg).unwrap();
+    assert_eq!(
+        store.current_block_height(),
+        8,
+        "recovery resumes at the last group boundary"
+    );
+    for h in 1..=8u64 {
+        assert_eq!(
+            store.get(addr_of(h, 0)).unwrap(),
+            Some(value_of(h, 0)),
+            "block {h} was in a synced group and must survive power loss"
+        );
+    }
+    for h in 9..=10u64 {
+        assert_eq!(
+            store.get(addr_of(h, 0)).unwrap(),
+            None,
+            "block {h} was in the unsynced tail group — legitimately lost"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The other half of the contract: a block covered by a committed manifest
+/// is durable in fsynced run files — destroying the *entire* WAL (a power
+/// loss at the worst imaginable moment) can never touch it.
+#[test]
+fn manifest_covered_blocks_survive_total_wal_loss_under_group_commit() {
+    let dir = tmpdir("wal-wipe");
+    let cfg = ColeConfig::default()
+        .with_memtable_capacity(16) // 5 writes/block → a flush every 4 blocks
+        .with_size_ratio(2)
+        .with_memtable_shards(2)
+        .with_wal_enabled(true)
+        .with_wal_sync_policy(WalSyncPolicy::GroupCommit {
+            max_blocks: 8,
+            max_bytes: 1 << 20,
+        });
+    {
+        let mut store = Cole::open(&dir, cfg).unwrap();
+        drive(&mut store, 1, 10).expect("clean run must not fail");
+    }
+    // Blocks 1..=8 were flushed (manifest-covered); 9–10 live in the WAL.
+    for segment in wal_segments(&dir) {
+        simulate_power_loss(&segment, 0);
+    }
+    let store = Cole::open(&dir, cfg).unwrap();
+    for h in 1..=8u64 {
+        for w in 0..WRITES_PER_BLOCK {
+            assert_eq!(
+                store.get(addr_of(h, w)).unwrap(),
+                Some(value_of(h, w)),
+                "manifest-covered block {h} lost with the WAL"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Crash *after* the manifest commit but before the superseded runs are
