@@ -1,0 +1,281 @@
+//! Served-engine benchmark: closed-loop clients against a `cole_server`
+//! instance, sweeping connections × pipelining depth.
+//!
+//! Starts the chosen engine behind [`cole_server::serve`], preloads it over
+//! the wire, then for every `(connections, depth)` combination runs a
+//! closed-loop workload of point lookups with a provenance query (verified
+//! client-side) every `--prov-every`-th request. Reports throughput and the
+//! p50/p99/p999 request latencies per combination, writes a CSV under
+//! `results/`, and emits the machine-readable `BENCH_server.json` (schema in
+//! ROADMAP.md).
+//!
+//! The default transport is the in-process duplex pipe, so the benchmark —
+//! and the CI smoke run — needs no network capability; `--transport tcp`
+//! exercises real loopback sockets where the environment permits them.
+//!
+//! With `--assert-served-ops true` the run fails unless the server's
+//! `requests_served` counter accounts for exactly the requests the clients
+//! issued — the CI gate that the serve loop neither drops nor double-counts
+//! requests under concurrency.
+
+use std::sync::Arc;
+
+use cole_bench::{
+    fmt_f64, preload_over_wire, run_closed_loop, Args, ServerLoadConfig, ServerLoadResult, Table,
+};
+use cole_core::{AsyncCole, Cole, ColeConfig, Metrics};
+use cole_primitives::Result;
+use cole_protocol::{pipe_transport, Client, Connection, TcpListenerTransport};
+use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
+
+/// One sweep point of the report.
+struct Point {
+    connections: usize,
+    depth: usize,
+    result: ServerLoadResult,
+    served_delta: u64,
+}
+
+/// A started server plus the means to connect to it.
+struct Served {
+    handle: ServerHandle,
+    metrics: Arc<Metrics>,
+    connect: Box<dyn Fn() -> Result<Box<dyn Connection>> + Send + Sync>,
+}
+
+fn start_server(
+    engine: &str,
+    transport: &str,
+    dir: &std::path::Path,
+    config: ColeConfig,
+) -> Served {
+    macro_rules! with_engine {
+        ($open:expr) => {{
+            let shared = Arc::new(SharedEngine::new($open.expect("open engine")));
+            let metrics = Arc::clone(shared.metrics());
+            match transport {
+                "tcp" => {
+                    let listener =
+                        TcpListenerTransport::bind("127.0.0.1:0").expect("bind loopback listener");
+                    let addr = listener.local_addr().expect("listener address");
+                    let handle = serve(shared, Box::new(listener), ServerConfig::default());
+                    let connect: Box<dyn Fn() -> Result<Box<dyn Connection>> + Send + Sync> =
+                        Box::new(move || {
+                            let stream = TcpListenerTransport::connect(addr)?;
+                            Ok(Box::new(stream) as Box<dyn Connection>)
+                        });
+                    Served {
+                        handle,
+                        metrics,
+                        connect,
+                    }
+                }
+                "pipe" => {
+                    let (listener, connector) = pipe_transport();
+                    let handle = serve(shared, Box::new(listener), ServerConfig::default());
+                    let connect: Box<dyn Fn() -> Result<Box<dyn Connection>> + Send + Sync> =
+                        Box::new(move || Ok(Box::new(connector.connect()?) as Box<dyn Connection>));
+                    Served {
+                        handle,
+                        metrics,
+                        connect,
+                    }
+                }
+                other => panic!("unknown --transport {other} (pipe|tcp)"),
+            }
+        }};
+    }
+    match engine {
+        "cole" => with_engine!(Cole::open(dir, config)),
+        "cole*" | "cole-async" | "async" => with_engine!(AsyncCole::open(dir, config)),
+        other => panic!("unknown --engine {other} (cole|cole*)"),
+    }
+}
+
+/// The fixed (non-swept) parameters of one benchmark run, as they appear in
+/// the report header.
+struct RunMeta {
+    engine: String,
+    transport: String,
+    preload_blocks: u64,
+    writes_per_block: u64,
+    accounts: u64,
+    prov_every: u64,
+    prov_span: u64,
+}
+
+/// Renders the results as the `BENCH_server.json` document (schema in
+/// ROADMAP.md).
+fn server_json(meta: &RunMeta, points: &[Point]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"server\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"engine\": \"{}\",\n  \"transport\": \"{}\",\n",
+        meta.engine, meta.transport
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"preload_blocks\": {}, \"writes_per_block\": {}, \
+         \"accounts\": {}, \"prov_every\": {}, \"prov_span\": {}}},\n",
+        meta.preload_blocks, meta.writes_per_block, meta.accounts, meta.prov_every, meta.prov_span
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.result;
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"depth\": {}, \"total_ops\": {}, \"gets\": {}, \
+             \"provs\": {}, \"verified_proofs\": {}, \"ops_per_s\": {:.0}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"max_us\": {:.2}, \
+             \"requests_served_delta\": {}}}{}\n",
+            p.connections,
+            p.depth,
+            r.total_ops,
+            r.gets,
+            r.provs,
+            r.verified_proofs,
+            r.ops_per_s(),
+            r.latency.p50_us,
+            r.latency.p99_us,
+            r.latency.p999_us,
+            r.latency.max_us,
+            p.served_delta,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_server — closed-loop load against the served engine\n\
+             --engine cole            cole | cole* (the async variant)\n\
+             --transport pipe         pipe (in-process, no sockets) | tcp (loopback)\n\
+             --connections 1,2,4      client connection counts to sweep\n\
+             --depths 1,4,8           pipelining depths to sweep\n\
+             --ops 4000               requests per sweep point (split across connections)\n\
+             --preload-blocks 30      blocks written over the wire before the sweep\n\
+             --writes-per-block 64    writes per preload block\n\
+             --accounts 512           distinct addresses\n\
+             --prov-every 10          every Nth request is a verified provenance query\n\
+             --prov-span 16           block span of each provenance query\n\
+             --memtable 1024          engine memtable capacity\n\
+             --assert-served-ops true fail unless requests_served matches the client count\n\
+             --json-out BENCH_server.json  machine-readable report\n\
+             --workdir bench_work --out results/server.csv"
+        );
+        return;
+    }
+    let engine = args.get_str("engine", "cole");
+    let transport = args.get_str("transport", "pipe");
+    let connections = args.get_u64_list("connections", &[1, 2, 4]);
+    let depths = args.get_u64_list("depths", &[1, 4, 8]);
+    let ops = args.get_u64("ops", 4_000);
+    let preload_blocks = args.get_u64("preload-blocks", 30);
+    let writes_per_block = args.get_u64("writes-per-block", 64);
+    let accounts = args.get_u64("accounts", 512);
+    let prov_every = args.get_u64("prov-every", 10);
+    let prov_span = args.get_u64("prov-span", 16);
+    let config = ColeConfig::default().with_memtable_capacity(args.get_usize("memtable", 1024));
+
+    let dir = cole_bench::fresh_workdir(&args, "server").expect("create working directory");
+    let served = start_server(&engine, &transport, &dir, config);
+
+    let mut writer = Client::from_boxed((served.connect)().expect("connect writer"));
+    let head = preload_over_wire(&mut writer, preload_blocks, writes_per_block, accounts)
+        .expect("preload over the wire");
+    drop(writer);
+    println!(
+        "served {engine} over {transport}: preloaded {preload_blocks} blocks \
+         ({writes_per_block} writes each, {accounts} accounts), head at {head}"
+    );
+
+    let mut table = Table::new(
+        &format!("exp_server — {engine} over {transport}"),
+        &[
+            "conns", "depth", "ops", "provs", "ops/s", "p50 µs", "p99 µs", "p999 µs",
+        ],
+    );
+    let mut points = Vec::new();
+    for &conns in &connections {
+        for &depth in &depths {
+            let conns = conns as usize;
+            let cfg = ServerLoadConfig {
+                connections: conns,
+                depth: depth as usize,
+                ops_per_connection: ops.div_ceil(conns as u64),
+                accounts,
+                prov_every,
+                prov_span,
+            };
+            let before = served.metrics.snapshot().requests_served;
+            let result = run_closed_loop(&served.connect, &cfg).expect("closed-loop run");
+            let served_delta = served.metrics.snapshot().requests_served - before;
+            assert_eq!(
+                result.verified_proofs, result.provs,
+                "every provenance proof must verify client-side"
+            );
+            table.push_row(vec![
+                conns.to_string(),
+                depth.to_string(),
+                result.total_ops.to_string(),
+                result.provs.to_string(),
+                fmt_f64(result.ops_per_s()),
+                fmt_f64(result.latency.p50_us),
+                fmt_f64(result.latency.p99_us),
+                fmt_f64(result.latency.p999_us),
+            ]);
+            points.push(Point {
+                connections: conns,
+                depth: depth as usize,
+                result,
+                served_delta,
+            });
+        }
+    }
+    table.print();
+    let out = args.get_str("out", "results/server.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+
+    let meta = RunMeta {
+        engine,
+        transport,
+        preload_blocks,
+        writes_per_block,
+        accounts,
+        prov_every,
+        prov_span,
+    };
+    let json = server_json(&meta, &points);
+    let json_out = args.get_str("json-out", "BENCH_server.json");
+    if let Some(parent) = std::path::Path::new(&json_out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("json-out dir");
+        }
+    }
+    std::fs::write(&json_out, &json).expect("write JSON");
+    println!("wrote {json_out}");
+
+    if args.get_str("assert-served-ops", "false") == "true" {
+        for p in &points {
+            // Each connection issues one extra Info request to learn the
+            // chain head before its measured ops.
+            let expected = p.result.total_ops + p.connections as u64;
+            assert_eq!(
+                p.served_delta, expected,
+                "server accounted {} requests for the {}x{} point, clients issued {expected}",
+                p.served_delta, p.connections, p.depth
+            );
+        }
+        println!(
+            "assert-served-ops: request accounting matches across {} sweep points",
+            points.len()
+        );
+    }
+
+    served.handle.shutdown();
+}

@@ -18,6 +18,8 @@
 //! | `exp_table1` | Table 1 — measured complexity counters |
 //! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect, read-path cache sweep → `BENCH_read_path.json`, write-path shards × WAL-sync sweep → `BENCH_write_path.json`) |
 //! | `exp_concurrent` | concurrent point-lookup throughput & page-cache ablation |
+//! | `exp_server` | served-engine throughput & latency: connections × pipelining depth over `cole_server` → `BENCH_server.json` |
+//! | `validate_bench` | CI gate: every committed `BENCH_*.json` parses with a known `schema_version` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +27,10 @@
 mod args;
 mod driver;
 mod engines;
+mod json;
 mod readpath;
 mod report;
+mod serverbench;
 mod stats;
 mod writepath;
 
@@ -36,8 +40,10 @@ pub use driver::{
     run_workload_blocks, Measurement, ProvenanceMeasurement,
 };
 pub use engines::{build_engine, cole_config_from, fresh_workdir, EngineKind};
+pub use json::Json;
 pub use readpath::{DescentFixture, ScanFixture};
 pub use report::{fmt_f64, write_csv, Table};
+pub use serverbench::{preload_over_wire, run_closed_loop, ServerLoadConfig, ServerLoadResult};
 pub use stats::LatencyStats;
 pub use writepath::{
     ingest_address, parse_sync_policy, run_ingest, wal_append_us, IngestConfig, IngestResult,

@@ -241,6 +241,15 @@ impl AsyncCole {
         self.ctx.metrics_snapshot()
     }
 
+    /// The live counters behind [`AsyncCole::metrics`], shared with every
+    /// run of this engine (including background merge threads). A serving
+    /// front-end holds this handle to account wire requests into the same
+    /// snapshot that reports the IO they cause.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
     /// The page cache shared by this engine's runs, if caching is enabled.
     #[must_use]
     pub fn page_cache(&self) -> Option<&Arc<PageCache>> {

@@ -175,6 +175,15 @@ impl Cole {
         self.ctx.metrics_snapshot()
     }
 
+    /// The live counters behind [`Cole::metrics`], shared with every run of
+    /// this engine. A serving front-end holds this handle to account wire
+    /// requests (`requests_served` and the per-op counters) into the same
+    /// snapshot that reports the IO they cause.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
     /// The page cache shared by this engine's runs, if caching is enabled.
     #[must_use]
     pub fn page_cache(&self) -> Option<&Arc<PageCache>> {

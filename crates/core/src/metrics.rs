@@ -53,6 +53,20 @@ pub struct Metrics {
     pub wal_fsyncs: Arc<AtomicU64>,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: AtomicU64,
+    /// Wire requests served by a [`cole_server`]-style front-end, all
+    /// operations (the per-op splits below sum to at most this — error
+    /// responses count here but in no per-op counter). Zero for an embedded
+    /// engine; a server increments these through
+    /// [`Cole::metrics_handle`](crate::Cole::metrics_handle) /
+    /// [`AsyncCole::metrics_handle`](crate::AsyncCole::metrics_handle) so
+    /// served throughput is observable next to the IO counters it causes.
+    pub requests_served: AtomicU64,
+    /// `get` requests served over the wire.
+    pub get_requests: AtomicU64,
+    /// `put_batch` requests served over the wire.
+    pub put_batch_requests: AtomicU64,
+    /// `prov_query` requests served over the wire.
+    pub prov_requests: AtomicU64,
 }
 
 impl Metrics {
@@ -106,6 +120,10 @@ impl Metrics {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             orphan_runs_deleted: self.orphan_runs_deleted.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            get_requests: self.get_requests.load(Ordering::Relaxed),
+            put_batch_requests: self.put_batch_requests.load(Ordering::Relaxed),
+            prov_requests: self.prov_requests.load(Ordering::Relaxed),
             cache_hits: value_cache_hits + index_cache_hits + merkle_cache_hits,
             cache_misses: value_cache_misses + index_cache_misses + merkle_cache_misses,
             value_cache_hits,
@@ -158,6 +176,14 @@ pub struct MetricsSnapshot {
     pub wal_fsyncs: u64,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: u64,
+    /// Wire requests served (all operations, including error responses).
+    pub requests_served: u64,
+    /// `get` requests served over the wire.
+    pub get_requests: u64,
+    /// `put_batch` requests served over the wire.
+    pub put_batch_requests: u64,
+    /// `prov_query` requests served over the wire.
+    pub prov_requests: u64,
     /// Page-cache hits across the engine's run files, all kinds.
     pub cache_hits: u64,
     /// Page-cache misses across the engine's run files, all kinds.
@@ -250,6 +276,20 @@ mod tests {
         assert_eq!(s.pages_read, 7, "total is the sum over file kinds");
         assert_eq!((s.index_cache_hits, s.merkle_cache_misses), (1, 1));
         assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn request_counters_are_snapshotted() {
+        let m = Metrics::new();
+        Metrics::add(&m.requests_served, 10);
+        Metrics::add(&m.get_requests, 6);
+        Metrics::add(&m.put_batch_requests, 1);
+        Metrics::add(&m.prov_requests, 2);
+        let s = m.snapshot();
+        assert_eq!(s.requests_served, 10);
+        assert_eq!(s.get_requests, 6);
+        assert_eq!(s.put_batch_requests, 1);
+        assert_eq!(s.prov_requests, 2);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Synchronous protocol client with pipelining support and client-side
+//! proof verification.
+
+use cole_core::ColeProof;
+use cole_primitives::{Address, ColeError, Digest, Result, StateValue, VersionedValue};
+
+use crate::frame::{read_frame, write_frame, Frame, Message};
+use crate::transport::Connection;
+
+/// A provenance answer as served over the wire: the values, the proof π,
+/// and the chain head `(height, hstate)` the proof verifies against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvResponse {
+    /// Height of the last finalized block at serve time.
+    pub height: u64,
+    /// State root digest the proof verifies against.
+    pub hstate: Digest,
+    /// The historical values, newest first.
+    pub values: Vec<VersionedValue>,
+    /// The serialized integrity proof π.
+    pub proof: Vec<u8>,
+}
+
+impl ProvResponse {
+    /// Re-runs the paper's `VerifyProv` locally: decodes π and checks it
+    /// authenticates `values` for the query `(addr, [blk_lower, blk_upper])`
+    /// against [`hstate`](ProvResponse::hstate). This is the whole point of
+    /// an *authenticated* server — a client need not trust the payload, only
+    /// the state root digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the proof is malformed; `Ok(false)` if it is
+    /// well-formed but does not authenticate the values (e.g. forged).
+    pub fn verify(&self, addr: Address, blk_lower: u64, blk_upper: u64) -> Result<bool> {
+        let proof = ColeProof::from_bytes(&self.proof)?;
+        proof.verify(addr, blk_lower, blk_upper, &self.values, self.hstate)
+    }
+}
+
+/// A synchronous client over any [`Connection`].
+///
+/// The simple methods ([`get`](Client::get), [`put_batch`](Client::put_batch),
+/// [`prov_query`](Client::prov_query), [`info`](Client::info)) are one
+/// request / one response. For pipelined load, use the split primitives
+/// [`send`](Client::send) and [`recv`](Client::recv): issue up to a window
+/// of requests, then consume responses — the server answers in request
+/// order and every response echoes its request id.
+pub struct Client {
+    conn: Box<dyn Connection>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Wraps an established connection.
+    pub fn new<C: Connection + 'static>(conn: C) -> Self {
+        Client {
+            conn: Box::new(conn),
+            next_id: 0,
+        }
+    }
+
+    /// Wraps an already-boxed connection.
+    #[must_use]
+    pub fn from_boxed(conn: Box<dyn Connection>) -> Self {
+        Client { conn, next_id: 0 }
+    }
+
+    /// Sends one request without waiting for its response; returns the
+    /// request id the matching response will echo.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the message is not a request or the send fails.
+    pub fn send(&mut self, msg: Message) -> Result<u64> {
+        if !msg.is_request() {
+            return Err(ColeError::InvalidState(format!(
+                "{} is a response, not a request",
+                msg.op_name()
+            )));
+        }
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.conn, &Frame { request_id, msg })?;
+        Ok(request_id)
+    }
+
+    /// Receives the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on stream failure or if the server closed the
+    /// connection with responses still outstanding.
+    pub fn recv(&mut self) -> Result<Frame> {
+        read_frame(&mut self.conn)?.ok_or_else(|| {
+            ColeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })
+    }
+
+    /// One request, one response; checks the echoed id and unwraps
+    /// [`Message::Error`] into [`ColeError`].
+    fn roundtrip(&mut self, msg: Message) -> Result<Message> {
+        let sent = self.send(msg)?;
+        let frame = self.recv()?;
+        if frame.request_id != sent {
+            return Err(ColeError::InvalidState(format!(
+                "response id {} does not match request id {sent} (pipelining misuse?)",
+                frame.request_id
+            )));
+        }
+        match frame.msg {
+            Message::Error { code, message } => Err(ColeError::InvalidState(format!(
+                "server error ({code:?}): {message}"
+            ))),
+            msg => Ok(msg),
+        }
+    }
+
+    /// `Get(addr)` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a server-side error.
+    pub fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        match self.roundtrip(Message::Get { addr })? {
+            Message::GetOk { value } => Ok(value),
+            other => Err(unexpected("get_ok", &other)),
+        }
+    }
+
+    /// Applies one block of writes; returns the finalized `(height, Hstate)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a server-side error.
+    pub fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<(u64, Digest)> {
+        let msg = Message::PutBatch {
+            entries: entries.to_vec(),
+        };
+        match self.roundtrip(msg)? {
+            Message::PutBatchOk { height, hstate } => Ok((height, hstate)),
+            other => Err(unexpected("put_batch_ok", &other)),
+        }
+    }
+
+    /// `ProvQuery(addr, [blk_lower, blk_upper])` over the wire, *without*
+    /// verifying the proof — see [`prov_query_verified`]
+    /// (Client::prov_query_verified) for the checked variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a server-side error.
+    pub fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvResponse> {
+        let msg = Message::ProvQuery {
+            addr,
+            blk_lower,
+            blk_upper,
+        };
+        match self.roundtrip(msg)? {
+            Message::ProvOk {
+                height,
+                hstate,
+                values,
+                proof,
+            } => Ok(ProvResponse {
+                height,
+                hstate,
+                values,
+                proof,
+            }),
+            other => Err(unexpected("prov_ok", &other)),
+        }
+    }
+
+    /// [`prov_query`](Client::prov_query), then verifies the proof locally
+    /// and fails if it does not authenticate the returned values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::VerificationFailed`] on a forged or mismatched
+    /// proof, plus any transport or server error.
+    pub fn prov_query_verified(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvResponse> {
+        let response = self.prov_query(addr, blk_lower, blk_upper)?;
+        if !response.verify(addr, blk_lower, blk_upper)? {
+            return Err(ColeError::VerificationFailed(format!(
+                "provenance proof for {addr:?} [{blk_lower}, {blk_upper}] does not \
+                 authenticate the served values"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Server introspection: `(protocol, height, hstate, engine)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a server-side error.
+    pub fn info(&mut self) -> Result<(u32, u64, Digest, String)> {
+        match self.roundtrip(Message::Info)? {
+            Message::InfoOk {
+                protocol,
+                height,
+                hstate,
+                engine,
+            } => Ok((protocol, height, hstate, engine)),
+            other => Err(unexpected("info_ok", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message) -> ColeError {
+    ColeError::InvalidState(format!("expected {wanted} response, got {}", got.op_name()))
+}

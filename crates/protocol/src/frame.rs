@@ -1,0 +1,678 @@
+//! Length-prefixed binary frames: encoding, decoding, and stream IO.
+//!
+//! Every frame is `len:u32 | request_id:u64 | kind:u8 | body`, little-endian,
+//! where `len` counts the payload after the prefix. Decoding is strict: a
+//! frame whose declared length exceeds [`MAX_FRAME_LEN`], whose body is
+//! shorter than its fixed layout requires, or whose body carries trailing
+//! bytes is rejected as [`ColeError::InvalidEncoding`] — a desynchronized or
+//! malicious peer can never make the decoder allocate unbounded memory or
+//! misinterpret a torn frame as a shorter valid one.
+
+use std::io::{ErrorKind, Read, Write};
+
+use cole_primitives::{
+    Address, ColeError, Digest, Result, StateValue, VersionedValue, ADDRESS_LEN, DIGEST_LEN,
+    VALUE_LEN,
+};
+
+/// Version tag reported by `InfoOk`; bump on breaking frame-layout changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (16 MiB). Large enough for any realistic
+/// `put_batch` or proof; small enough that a corrupt length prefix cannot
+/// drive an allocation to OOM.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Payload bytes before the body: request id (8) + kind tag (1).
+const HEADER_LEN: usize = 9;
+/// One `put_batch` entry on the wire: address + value.
+const PUT_ENTRY_LEN: usize = ADDRESS_LEN + VALUE_LEN;
+/// One versioned value on the wire: block height + value.
+const VERSIONED_LEN: usize = 8 + VALUE_LEN;
+
+const KIND_GET: u8 = 0x01;
+const KIND_PUT_BATCH: u8 = 0x02;
+const KIND_PROV_QUERY: u8 = 0x03;
+const KIND_INFO: u8 = 0x04;
+const KIND_GET_OK: u8 = 0x81;
+const KIND_PUT_BATCH_OK: u8 = 0x82;
+const KIND_PROV_OK: u8 = 0x83;
+const KIND_INFO_OK: u8 = 0x84;
+const KIND_ERROR: u8 = 0x7f;
+
+/// Machine-readable class of a server [`Message::Error`] response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame decoded but was semantically invalid (e.g. an
+    /// empty `put_batch`), or the frame kind is not a request.
+    Malformed,
+    /// The engine failed to execute the request.
+    Engine,
+    /// The server understood the request but does not support it.
+    Unsupported,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Engine => 2,
+            ErrorCode::Unsupported => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::Engine),
+            3 => Ok(ErrorCode::Unsupported),
+            other => Err(ColeError::InvalidEncoding(format!(
+                "unknown error code {other}"
+            ))),
+        }
+    }
+}
+
+/// The operations and responses of the protocol. Request kinds are
+/// `0x01..=0x04`; response kinds have the high bit set (plus `0x7f` for
+/// errors), so a stream position can never confuse the two directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// `Get(addr)` — latest value of `addr`.
+    Get {
+        /// Queried address.
+        addr: Address,
+    },
+    /// `PutBatch(entries)` — apply one block of writes: the server begins
+    /// the next block, applies every entry, finalizes, and answers with the
+    /// new height and state root digest.
+    PutBatch {
+        /// The block's writes, in order.
+        entries: Vec<(Address, StateValue)>,
+    },
+    /// `ProvQuery(addr, [blk_lower, blk_upper])` — historical values plus
+    /// integrity proof.
+    ProvQuery {
+        /// Queried address.
+        addr: Address,
+        /// Lower bound of the queried block range (inclusive).
+        blk_lower: u64,
+        /// Upper bound of the queried block range (inclusive).
+        blk_upper: u64,
+    },
+    /// Server/state introspection (protocol version, engine, chain head).
+    Info,
+    /// Response to [`Message::Get`].
+    GetOk {
+        /// The latest value, or `None` if the address was never written.
+        value: Option<StateValue>,
+    },
+    /// Response to [`Message::PutBatch`].
+    PutBatchOk {
+        /// Height of the block the batch finalized.
+        height: u64,
+        /// State root digest `Hstate` of that block.
+        hstate: Digest,
+    },
+    /// Response to [`Message::ProvQuery`].
+    ProvOk {
+        /// Height of the last finalized block at serve time.
+        height: u64,
+        /// State root digest the proof verifies against.
+        hstate: Digest,
+        /// The historical values, newest first.
+        values: Vec<VersionedValue>,
+        /// The serialized integrity proof π.
+        proof: Vec<u8>,
+    },
+    /// Response to [`Message::Info`].
+    InfoOk {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        protocol: u32,
+        /// Height of the last finalized block.
+        height: u64,
+        /// State root digest of that block.
+        hstate: Digest,
+        /// Engine name ("COLE", "COLE*").
+        engine: String,
+    },
+    /// Error response to any request.
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Get { .. } => KIND_GET,
+            Message::PutBatch { .. } => KIND_PUT_BATCH,
+            Message::ProvQuery { .. } => KIND_PROV_QUERY,
+            Message::Info => KIND_INFO,
+            Message::GetOk { .. } => KIND_GET_OK,
+            Message::PutBatchOk { .. } => KIND_PUT_BATCH_OK,
+            Message::ProvOk { .. } => KIND_PROV_OK,
+            Message::InfoOk { .. } => KIND_INFO_OK,
+            Message::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    /// Short operation name for logs and error messages.
+    #[must_use]
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Message::Get { .. } => "get",
+            Message::PutBatch { .. } => "put_batch",
+            Message::ProvQuery { .. } => "prov_query",
+            Message::Info => "info",
+            Message::GetOk { .. } => "get_ok",
+            Message::PutBatchOk { .. } => "put_batch_ok",
+            Message::ProvOk { .. } => "prov_ok",
+            Message::InfoOk { .. } => "info_ok",
+            Message::Error { .. } => "error",
+        }
+    }
+
+    /// Returns `true` for request messages (client → server).
+    #[must_use]
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Message::Get { .. }
+                | Message::PutBatch { .. }
+                | Message::ProvQuery { .. }
+                | Message::Info
+        )
+    }
+}
+
+/// One protocol frame: a [`Message`] tagged with the request id it belongs
+/// to. Responses echo the id of the request they answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen id correlating pipelined requests with responses.
+    pub request_id: u64,
+    /// The message.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Serializes the frame, including the length prefix.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match &self.msg {
+            Message::Get { addr } => body.extend_from_slice(addr.as_slice()),
+            Message::PutBatch { entries } => {
+                body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (addr, value) in entries {
+                    body.extend_from_slice(addr.as_slice());
+                    body.extend_from_slice(value.as_bytes());
+                }
+            }
+            Message::ProvQuery {
+                addr,
+                blk_lower,
+                blk_upper,
+            } => {
+                body.extend_from_slice(addr.as_slice());
+                body.extend_from_slice(&blk_lower.to_le_bytes());
+                body.extend_from_slice(&blk_upper.to_le_bytes());
+            }
+            Message::Info => {}
+            Message::GetOk { value } => match value {
+                Some(v) => {
+                    body.push(1);
+                    body.extend_from_slice(v.as_bytes());
+                }
+                None => body.push(0),
+            },
+            Message::PutBatchOk { height, hstate } => {
+                body.extend_from_slice(&height.to_le_bytes());
+                body.extend_from_slice(hstate.as_bytes());
+            }
+            Message::ProvOk {
+                height,
+                hstate,
+                values,
+                proof,
+            } => {
+                body.extend_from_slice(&height.to_le_bytes());
+                body.extend_from_slice(hstate.as_bytes());
+                body.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    body.extend_from_slice(&v.block_height.to_le_bytes());
+                    body.extend_from_slice(v.value.as_bytes());
+                }
+                body.extend_from_slice(&(proof.len() as u32).to_le_bytes());
+                body.extend_from_slice(proof);
+            }
+            Message::InfoOk {
+                protocol,
+                height,
+                hstate,
+                engine,
+            } => {
+                body.extend_from_slice(&protocol.to_le_bytes());
+                body.extend_from_slice(&height.to_le_bytes());
+                body.extend_from_slice(hstate.as_bytes());
+                body.extend_from_slice(&(engine.len() as u32).to_le_bytes());
+                body.extend_from_slice(engine.as_bytes());
+            }
+            Message::Error { code, message } => {
+                body.push(code.tag());
+                body.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                body.extend_from_slice(message.as_bytes());
+            }
+        }
+        let payload_len = HEADER_LEN + body.len();
+        let mut out = Vec::with_capacity(4 + payload_len);
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(self.msg.kind());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a payload (the frame after its length prefix). The payload
+    /// must contain exactly one message: trailing bytes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::InvalidEncoding`] on any malformed input.
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
+        let mut cur = Cursor::new(payload);
+        let request_id = cur.u64()?;
+        let kind = cur.u8()?;
+        let msg = match kind {
+            KIND_GET => Message::Get { addr: cur.addr()? },
+            KIND_PUT_BATCH => {
+                let count = cur.counted(PUT_ENTRY_LEN)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push((cur.addr()?, cur.value()?));
+                }
+                Message::PutBatch { entries }
+            }
+            KIND_PROV_QUERY => Message::ProvQuery {
+                addr: cur.addr()?,
+                blk_lower: cur.u64()?,
+                blk_upper: cur.u64()?,
+            },
+            KIND_INFO => Message::Info,
+            KIND_GET_OK => {
+                let value = match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.value()?),
+                    other => {
+                        return Err(ColeError::InvalidEncoding(format!(
+                            "get_ok presence flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Message::GetOk { value }
+            }
+            KIND_PUT_BATCH_OK => Message::PutBatchOk {
+                height: cur.u64()?,
+                hstate: cur.digest()?,
+            },
+            KIND_PROV_OK => {
+                let height = cur.u64()?;
+                let hstate = cur.digest()?;
+                let count = cur.counted(VERSIONED_LEN)?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(VersionedValue::new(cur.u64()?, cur.value()?));
+                }
+                let proof_len = cur.counted(1)?;
+                let proof = cur.take(proof_len)?.to_vec();
+                Message::ProvOk {
+                    height,
+                    hstate,
+                    values,
+                    proof,
+                }
+            }
+            KIND_INFO_OK => {
+                let protocol = cur.u32()?;
+                let height = cur.u64()?;
+                let hstate = cur.digest()?;
+                let len = cur.counted(1)?;
+                let engine = cur.string(len)?;
+                Message::InfoOk {
+                    protocol,
+                    height,
+                    hstate,
+                    engine,
+                }
+            }
+            KIND_ERROR => {
+                let code = ErrorCode::from_tag(cur.u8()?)?;
+                let len = cur.counted(1)?;
+                let message = cur.string(len)?;
+                Message::Error { code, message }
+            }
+            other => {
+                return Err(ColeError::InvalidEncoding(format!(
+                    "unknown frame kind 0x{other:02x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok(Frame { request_id, msg })
+    }
+}
+
+/// Strict little-endian reader over a frame payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(ColeError::InvalidEncoding(format!(
+                "frame truncated: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.bytes.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn addr(&mut self) -> Result<Address> {
+        let bytes: [u8; ADDRESS_LEN] = self.take(ADDRESS_LEN)?.try_into().expect("addr len");
+        Ok(Address::new(bytes))
+    }
+
+    fn value(&mut self) -> Result<StateValue> {
+        let bytes: [u8; VALUE_LEN] = self.take(VALUE_LEN)?.try_into().expect("value len");
+        Ok(StateValue::new(bytes))
+    }
+
+    fn digest(&mut self) -> Result<Digest> {
+        let bytes: [u8; DIGEST_LEN] = self.take(DIGEST_LEN)?.try_into().expect("digest len");
+        Ok(Digest::new(bytes))
+    }
+
+    /// Reads a `u32` element count and checks the remaining payload can hold
+    /// `count × element_len` bytes *before* any allocation, so a forged
+    /// count cannot drive an OOM-sized `Vec::with_capacity`.
+    fn counted(&mut self, element_len: usize) -> Result<usize> {
+        let count = self.u32()? as usize;
+        let need = count.saturating_mul(element_len);
+        if need > self.bytes.len() - self.pos {
+            return Err(ColeError::InvalidEncoding(format!(
+                "declared count {count} needs {need} bytes but only {} remain",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(count)
+    }
+
+    fn string(&mut self, len: usize) -> Result<String> {
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ColeError::InvalidEncoding("string field is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(ColeError::InvalidEncoding(format!(
+                "{} trailing bytes after message body",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Writes one frame to the stream and flushes it.
+///
+/// # Errors
+///
+/// Returns an error if the underlying write fails.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from the stream. Returns `Ok(None)` on a clean
+/// end-of-stream (the peer closed between frames); EOF *inside* a frame is
+/// an error, as is a declared length outside `(0, MAX_FRAME_LEN]`.
+///
+/// # Errors
+///
+/// Returns [`ColeError::Io`] on stream failure or mid-frame EOF, and
+/// [`ColeError::InvalidEncoding`] on a malformed frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no next frame" from "torn frame": EOF before the first
+    // byte of the prefix is a clean close.
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ColeError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len < HEADER_LEN {
+        return Err(ColeError::InvalidEncoding(format!(
+            "frame length {len} is shorter than the {HEADER_LEN}-byte header"
+        )));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ColeError::InvalidEncoding(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            ColeError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "stream ended inside a frame payload",
+            ))
+        } else {
+            e.into()
+        }
+    })?;
+    Frame::decode_payload(&payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = Frame {
+            request_id: 0xDEAD_BEEF,
+            msg,
+        };
+        let wire = frame.encode();
+        let back = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_message_kind_roundtrips() {
+        roundtrip(Message::Get {
+            addr: Address::from_low_u64(7),
+        });
+        roundtrip(Message::PutBatch {
+            entries: vec![
+                (Address::from_low_u64(1), StateValue::from_u64(10)),
+                (Address::from_low_u64(2), StateValue::from_u64(20)),
+            ],
+        });
+        roundtrip(Message::PutBatch { entries: vec![] });
+        roundtrip(Message::ProvQuery {
+            addr: Address::from_low_u64(9),
+            blk_lower: 3,
+            blk_upper: 17,
+        });
+        roundtrip(Message::Info);
+        roundtrip(Message::GetOk { value: None });
+        roundtrip(Message::GetOk {
+            value: Some(StateValue::from_u64(55)),
+        });
+        roundtrip(Message::PutBatchOk {
+            height: 12,
+            hstate: Digest::new([3u8; DIGEST_LEN]),
+        });
+        roundtrip(Message::ProvOk {
+            height: 9,
+            hstate: Digest::new([5u8; DIGEST_LEN]),
+            values: vec![VersionedValue::new(4, StateValue::from_u64(44))],
+            proof: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Message::InfoOk {
+            protocol: PROTOCOL_VERSION,
+            height: 88,
+            hstate: Digest::ZERO,
+            engine: "COLE".into(),
+        });
+        roundtrip(Message::Error {
+            code: ErrorCode::Engine,
+            message: "merge failed".into(),
+        });
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let mut wire = Vec::new();
+        for id in 0..5u64 {
+            write_frame(
+                &mut wire,
+                &Frame {
+                    request_id: id,
+                    msg: Message::Info,
+                },
+            )
+            .unwrap();
+        }
+        let mut r = wire.as_slice();
+        for id in 0..5u64 {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap().request_id, id);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let wire = Frame {
+            request_id: 1,
+            msg: Message::Get {
+                addr: Address::from_low_u64(1),
+            },
+        }
+        .encode();
+        // Cut inside the length prefix and inside the payload.
+        for cut in [1, 3, 5, wire.len() - 1] {
+            let err = read_frame(&mut &wire[..cut]).unwrap_err();
+            assert!(matches!(err, ColeError::Io(_)), "cut at {cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_rejected() {
+        let mut wire = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+        let wire = 4u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn forged_count_cannot_overallocate() {
+        // A put_batch claiming u32::MAX entries in a tiny body must fail
+        // before allocating.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(0x02);
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_payload(&payload).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut wire = Frame {
+            request_id: 2,
+            msg: Message::Info,
+        }
+        .encode();
+        // Lie about the length: extend the payload by one byte.
+        wire.extend_from_slice(&[0]);
+        let len = (wire.len() - 4) as u32;
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(0x42);
+        assert!(matches!(
+            Frame::decode_payload(&payload).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn request_classification() {
+        assert!(Message::Info.is_request());
+        assert!(!Message::GetOk { value: None }.is_request());
+        assert_eq!(Message::Info.op_name(), "info");
+    }
+}

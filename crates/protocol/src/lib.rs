@@ -1,0 +1,57 @@
+//! Wire protocol of the COLE authenticated KV server.
+//!
+//! The protocol is a symmetric stream of length-prefixed binary frames
+//! ([`Frame`]), little-endian throughout:
+//!
+//! ```text
+//! frame   := len:u32 | payload                 (len = payload length)
+//! payload := request_id:u64 | kind:u8 | body
+//! ```
+//!
+//! Requests are `get` / `put_batch` / `prov_query` / `info`; every response
+//! echoes the request id, so a client may pipeline many requests on one
+//! connection and match responses by id (the server answers in request
+//! order). Provenance responses carry the serialized integrity proof π and
+//! the state root digest it verifies against — the client re-runs the
+//! paper's `VerifyProv` locally ([`ProvResponse::verify`]), so integrity
+//! does not depend on trusting the server.
+//!
+//! Transport is pluggable: the framing only needs `Read + Write`
+//! ([`Connection`]), and servers accept from any [`Listener`]. Two
+//! transports ship in-tree — real TCP ([`TcpListenerTransport`]) and an
+//! in-process duplex pipe ([`pipe_transport`]) for sandboxes where sockets
+//! are unavailable (CI smoke runs use the pipe).
+//!
+//! # Example
+//!
+//! ```
+//! use cole_protocol::{read_frame, write_frame, Frame, Message};
+//! use cole_primitives::Address;
+//!
+//! let frame = Frame {
+//!     request_id: 7,
+//!     msg: Message::Get { addr: Address::from_low_u64(42) },
+//! };
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, &frame).unwrap();
+//! let back = read_frame(&mut wire.as_slice()).unwrap().expect("one frame");
+//! assert_eq!(back, frame);
+//! // A clean end-of-stream at a frame boundary is `None`, not an error.
+//! assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod frame;
+mod transport;
+
+pub use client::{Client, ProvResponse};
+pub use frame::{
+    read_frame, write_frame, ErrorCode, Frame, Message, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use transport::{
+    pipe_pair, pipe_transport, Connection, Listener, PipeConn, PipeConnector, PipeListener,
+    TcpListenerTransport,
+};

@@ -1,0 +1,122 @@
+//! Property tests of the wire framing: arbitrary messages round-trip
+//! through encode → decode byte-for-byte, every torn prefix of a valid
+//! frame is rejected as an error (never misread as a shorter frame), and
+//! corrupt or oversized inputs fail loudly without panicking.
+
+use cole_primitives::{Address, ColeError, Digest, StateValue, VersionedValue};
+use cole_protocol::{read_frame, Frame, Message, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Address> {
+    prop::array::uniform20(any::<u8>()).prop_map(Address::new)
+}
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&a.to_le_bytes());
+        bytes[8..16].copy_from_slice(&b.to_le_bytes());
+        bytes[16..24].copy_from_slice(&c.to_le_bytes());
+        bytes[24..].copy_from_slice(&d.to_le_bytes());
+        Digest::new(bytes)
+    })
+}
+
+fn roundtrips(frame: &Frame) -> Result<(), ColeError> {
+    let wire = frame.encode();
+    let back = read_frame(&mut wire.as_slice())?.expect("one full frame");
+    assert_eq!(&back, frame);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request frames round-trip byte-for-byte.
+    #[test]
+    fn requests_roundtrip(
+        id in any::<u64>(),
+        addr in arb_addr(),
+        (lo, hi) in (any::<u64>(), any::<u64>()),
+        entries in prop::collection::vec((arb_addr(), any::<u64>()), 0..40),
+    ) {
+        let entries: Vec<(Address, StateValue)> = entries
+            .into_iter()
+            .map(|(a, v)| (a, StateValue::from_u64(v)))
+            .collect();
+        roundtrips(&Frame { request_id: id, msg: Message::Get { addr } }).unwrap();
+        roundtrips(&Frame { request_id: id, msg: Message::Info }).unwrap();
+        roundtrips(&Frame {
+            request_id: id,
+            msg: Message::ProvQuery { addr, blk_lower: lo, blk_upper: hi },
+        }).unwrap();
+        roundtrips(&Frame { request_id: id, msg: Message::PutBatch { entries } }).unwrap();
+    }
+
+    /// Response frames round-trip byte-for-byte, including empty and
+    /// non-trivial proofs and value lists.
+    #[test]
+    fn responses_roundtrip(
+        (id, height) in (any::<u64>(), any::<u64>()),
+        hstate in arb_digest(),
+        versions in prop::collection::vec((any::<u64>(), any::<u64>()), 0..30),
+        proof in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let values: Vec<VersionedValue> = versions
+            .into_iter()
+            .map(|(h, v)| VersionedValue::new(h, StateValue::from_u64(v)))
+            .collect();
+        roundtrips(&Frame {
+            request_id: id,
+            msg: Message::GetOk { value: Some(StateValue::from_u64(height)) },
+        }).unwrap();
+        roundtrips(&Frame { request_id: id, msg: Message::PutBatchOk { height, hstate } }).unwrap();
+        roundtrips(&Frame {
+            request_id: id,
+            msg: Message::ProvOk { height, hstate, values, proof },
+        }).unwrap();
+    }
+
+    /// Every strict prefix of a valid frame is a torn frame: an `Io` error,
+    /// never `Ok(None)` (clean close) and never a shorter valid frame.
+    #[test]
+    fn torn_frames_are_rejected(
+        id in any::<u64>(),
+        addr in arb_addr(),
+        entries in prop::collection::vec((arb_addr(), any::<u64>()), 1..20),
+        cut_seed in any::<u64>(),
+    ) {
+        let entries: Vec<(Address, StateValue)> = entries
+            .into_iter()
+            .map(|(a, v)| (a, StateValue::from_u64(v)))
+            .collect();
+        let wire = Frame { request_id: id, msg: Message::PutBatch { entries } }.encode();
+        let _ = Frame { request_id: id, msg: Message::Get { addr } };
+        let cut = 1 + (cut_seed as usize) % (wire.len() - 1);
+        match read_frame(&mut &wire[..cut]) {
+            Err(ColeError::Io(_)) => {}
+            other => panic!("cut at {cut}/{} gave {other:?}", wire.len()),
+        }
+    }
+
+    /// A length prefix beyond the cap is rejected before any allocation,
+    /// and arbitrary garbage never panics the decoder.
+    #[test]
+    fn oversized_and_garbage_inputs_fail_loudly(
+        over in any::<u32>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let len = (MAX_FRAME_LEN as u32).saturating_add(1).saturating_add(over % 1000);
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 32]);
+        prop_assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ColeError::InvalidEncoding(_))
+        ));
+        // Garbage must decode to Ok or Err, never panic; a clean EOF is
+        // only allowed for an empty stream.
+        if let Ok(None) = read_frame(&mut garbage.as_slice()) {
+            prop_assert!(garbage.is_empty());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Network front-end for the COLE engine: an authenticated KV server.
+//!
+//! [`SharedEngine`] turns an embedded [`Cole`](cole_core::Cole) or
+//! [`AsyncCole`](cole_core::AsyncCole) into a concurrently servable handle:
+//! `get` / `prov_query` run under a read lock (the engines' whole query
+//! surface is `&self`, so reader connections proceed in parallel), while
+//! `put_batch` takes the write lock, applies one block, and publishes the
+//! new chain head `(height, Hstate)` atomically with it.
+//!
+//! [`serve`] runs the accept loop: one handler thread per connection, each
+//! speaking length-prefixed [`cole_protocol`] frames, polling its stream
+//! with a timeout so a [`ServerHandle::shutdown`] is always observed —
+//! a hung client can never wedge the server. Every provenance response
+//! carries the proof π and the digest it verifies against, so clients
+//! re-run `VerifyProv` locally and never need to trust the server.
+//!
+//! Request counts land in the engine's own
+//! [`Metrics`](cole_core::Metrics) (`requests_served` and per-op counters),
+//! next to the IO counters the requests cause.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod serve;
+mod shared;
+
+pub use serve::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use shared::{ServableEngine, SharedEngine};

@@ -1,0 +1,244 @@
+//! The accept loop, per-connection handlers, and graceful shutdown.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cole_core::Metrics;
+use cole_primitives::ColeError;
+use cole_protocol::{
+    read_frame, write_frame, Connection, ErrorCode, Frame, Listener, Message, PROTOCOL_VERSION,
+};
+
+use crate::shared::{ServableEngine, SharedEngine};
+
+/// Knobs of the serve loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// How long one accept wait blocks before re-checking shutdown.
+    pub accept_poll: Duration,
+    /// How long a connection handler waits for request bytes before
+    /// re-checking shutdown.
+    pub read_poll: Duration,
+    /// Connections beyond this are closed immediately on accept.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            accept_poll: Duration::from_millis(25),
+            read_poll: Duration::from_millis(100),
+            max_connections: 1024,
+        }
+    }
+}
+
+/// Connection-level counters of a running server (request-level counters
+/// live in the engine's [`Metrics`]).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and handed to a handler thread.
+    pub connections_accepted: AtomicU64,
+    /// Connections dropped because `max_connections` was reached.
+    pub connections_rejected: AtomicU64,
+    /// Handler threads currently alive.
+    pub active_connections: AtomicUsize,
+}
+
+/// A running server; dropping it (or calling [`shutdown`]
+/// (ServerHandle::shutdown)) stops the accept loop and joins every
+/// connection handler. Handlers observe the flag at their next poll tick,
+/// so shutdown is bounded by `read_poll` even with clients still connected.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+impl ServerHandle {
+    /// Signals shutdown and joins the accept loop and all handlers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Connection counters of this server.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            accept.join().ok();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts serving `shared` over `listener`: an accept thread spawns one
+/// handler thread per connection, each decoding request frames and writing
+/// responses in request order (which is what lets clients pipeline).
+pub fn serve<E: ServableEngine>(
+    shared: Arc<SharedEngine<E>>,
+    mut listener: Box<dyn Listener>,
+    config: ServerConfig,
+) -> ServerHandle {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_stats = Arc::clone(&stats);
+    let accept = std::thread::spawn(move || {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            handlers.retain(|h| !h.is_finished());
+            match listener.accept_timeout(config.accept_poll) {
+                Ok(Some(conn)) => {
+                    if accept_stats.active_connections.load(Ordering::SeqCst)
+                        >= config.max_connections
+                    {
+                        accept_stats
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(conn);
+                        continue;
+                    }
+                    accept_stats
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    accept_stats
+                        .active_connections
+                        .fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&shared);
+                    let shutdown = Arc::clone(&accept_shutdown);
+                    let stats = Arc::clone(&accept_stats);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(&shared, conn, &shutdown, config.read_poll);
+                        stats.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("[cole_server] accept failed on {}: {e}", listener.label());
+                    break;
+                }
+            }
+        }
+        for h in handlers {
+            h.join().ok();
+        }
+    });
+    ServerHandle {
+        shutdown,
+        accept: Some(accept),
+        stats,
+    }
+}
+
+/// Serves one connection until the client disconnects, the stream breaks,
+/// a frame fails to decode (the stream is then desynchronized — closing is
+/// the only safe answer), or shutdown is signalled between requests.
+fn handle_connection<E: ServableEngine>(
+    shared: &SharedEngine<E>,
+    mut conn: Box<dyn Connection>,
+    shutdown: &AtomicBool,
+    read_poll: Duration,
+) {
+    let peer = conn.peer();
+    loop {
+        match conn.wait_readable(read_poll) {
+            Ok(true) => match read_frame(&mut conn) {
+                Ok(Some(frame)) => {
+                    let response = Frame {
+                        request_id: frame.request_id,
+                        msg: dispatch(shared, frame.msg),
+                    };
+                    if let Err(e) = write_frame(&mut conn, &response) {
+                        eprintln!("[cole_server] write to {peer} failed: {e}");
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    eprintln!("[cole_server] bad frame from {peer}: {e}");
+                    return;
+                }
+            },
+            Ok(false) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) => {
+                eprintln!("[cole_server] poll of {peer} failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Executes one request against the shared engine; every path increments
+/// `requests_served`, successful per-op paths their own counter.
+fn dispatch<E: ServableEngine>(shared: &SharedEngine<E>, msg: Message) -> Message {
+    let metrics = shared.metrics();
+    Metrics::inc(&metrics.requests_served);
+    match msg {
+        Message::Get { addr } => {
+            Metrics::inc(&metrics.get_requests);
+            match shared.get(addr) {
+                Ok(value) => Message::GetOk { value },
+                Err(e) => engine_error(&e),
+            }
+        }
+        Message::PutBatch { entries } => {
+            Metrics::inc(&metrics.put_batch_requests);
+            match shared.apply_block(&entries) {
+                Ok((height, hstate)) => Message::PutBatchOk { height, hstate },
+                Err(e) => engine_error(&e),
+            }
+        }
+        Message::ProvQuery {
+            addr,
+            blk_lower,
+            blk_upper,
+        } => {
+            Metrics::inc(&metrics.prov_requests);
+            match shared.prov_query(addr, blk_lower, blk_upper) {
+                Ok((height, hstate, result)) => Message::ProvOk {
+                    height,
+                    hstate,
+                    values: result.values,
+                    proof: result.proof,
+                },
+                Err(e) => engine_error(&e),
+            }
+        }
+        Message::Info => {
+            let (height, hstate) = shared.head();
+            Message::InfoOk {
+                protocol: PROTOCOL_VERSION,
+                height,
+                hstate,
+                engine: shared.engine_name().to_string(),
+            }
+        }
+        other => Message::Error {
+            code: ErrorCode::Malformed,
+            message: format!("{} is not a request", other.op_name()),
+        },
+    }
+}
+
+fn engine_error(e: &ColeError) -> Message {
+    Message::Error {
+        code: ErrorCode::Engine,
+        message: e.to_string(),
+    }
+}

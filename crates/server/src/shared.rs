@@ -1,0 +1,268 @@
+//! A concurrently servable handle over one storage engine.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use cole_core::{compute_hstate, AsyncCole, Cole, Metrics, RootEntryKind};
+use cole_primitives::{
+    Address, AuthenticatedStorage, Digest, ProvenanceResult, Result, StateValue,
+};
+
+/// The engine surface a server needs: the [`AuthenticatedStorage`] contract
+/// plus batched writes, the state root, and the shared metrics handle.
+/// Implemented by [`Cole`] and [`AsyncCole`].
+pub trait ServableEngine: AuthenticatedStorage + Send + Sync + 'static {
+    /// Applies one block's writes in a single call (partitioned across the
+    /// memtable shards by the engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<()>;
+
+    /// The current `root_hash_list`, from which `Hstate` is computed.
+    fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)>;
+
+    /// The live counters this engine reports into.
+    fn metrics_handle(&self) -> Arc<Metrics>;
+}
+
+impl ServableEngine for Cole {
+    fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<()> {
+        Cole::put_batch(self, entries)
+    }
+
+    fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
+        Cole::root_hash_list(self)
+    }
+
+    fn metrics_handle(&self) -> Arc<Metrics> {
+        Cole::metrics_handle(self)
+    }
+}
+
+impl ServableEngine for AsyncCole {
+    fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<()> {
+        AsyncCole::put_batch(self, entries)
+    }
+
+    fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
+        AsyncCole::root_hash_list(self)
+    }
+
+    fn metrics_handle(&self) -> Arc<Metrics> {
+        AsyncCole::metrics_handle(self)
+    }
+}
+
+/// The published chain head: the last finalized height and its `Hstate`.
+#[derive(Clone, Copy, Debug)]
+struct Head {
+    height: u64,
+    hstate: Digest,
+}
+
+struct Inner<E> {
+    engine: E,
+    head: Head,
+}
+
+/// One engine shared by many server connections.
+///
+/// Reads (`get`, `prov_query`) take the read lock — concurrent across
+/// connections, since the engines' query surface is `&self`. Writes take
+/// the write lock, apply exactly one block, and update the cached head
+/// before releasing, so every read observes a `(height, Hstate)` pair
+/// consistent with the state it queried — which is what makes the served
+/// provenance proofs verifiable client-side.
+pub struct SharedEngine<E> {
+    inner: RwLock<Inner<E>>,
+    metrics: Arc<Metrics>,
+    name: &'static str,
+}
+
+impl<E: ServableEngine> SharedEngine<E> {
+    /// Wraps an opened engine; the initial head is the engine's recovered
+    /// block height and current state root.
+    pub fn new(mut engine: E) -> Self {
+        let hstate = compute_hstate(&engine.root_hash_list());
+        let head = Head {
+            height: engine.current_block_height(),
+            hstate,
+        };
+        let metrics = engine.metrics_handle();
+        let name = engine.name();
+        SharedEngine {
+            inner: RwLock::new(Inner { engine, head }),
+            metrics,
+            name,
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Inner<E>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner<E>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Latest value of `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine fails.
+    pub fn get(&self, addr: Address) -> Result<Option<StateValue>> {
+        self.read().engine.get(addr)
+    }
+
+    /// Provenance query plus the head it is consistent with — the proof in
+    /// the result verifies against exactly the returned `Hstate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine fails.
+    pub fn prov_query(
+        &self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<(u64, Digest, ProvenanceResult)> {
+        let guard = self.read();
+        let result = guard.engine.prov_query(addr, blk_lower, blk_upper)?;
+        Ok((guard.head.height, guard.head.hstate, result))
+    }
+
+    /// The last finalized `(height, Hstate)`.
+    #[must_use]
+    pub fn head(&self) -> (u64, Digest) {
+        let head = self.read().head;
+        (head.height, head.hstate)
+    }
+
+    /// Applies `entries` as the next block: begins `height + 1`, inserts
+    /// the batch, finalizes, and publishes the new head. An empty batch
+    /// finalizes an empty block (a heartbeat), which still advances the
+    /// chain and re-publishes `Hstate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine fails.
+    pub fn apply_block(&self, entries: &[(Address, StateValue)]) -> Result<(u64, Digest)> {
+        let mut guard = self.write();
+        let height = guard.head.height + 1;
+        guard.engine.begin_block(height)?;
+        guard.engine.put_batch(entries)?;
+        let hstate = guard.engine.finalize_block()?;
+        guard.head = Head { height, hstate };
+        Ok((height, hstate))
+    }
+
+    /// Engine name ("COLE", "COLE*").
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The engine's live counters (shared with the serve loop, which
+    /// accounts wire requests here).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Flushes buffered state and waits for background work; used before a
+    /// clean process exit so a reopen recovers everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine fails.
+    pub fn flush(&self) -> Result<()> {
+        self.write().engine.flush()
+    }
+
+    /// Unwraps the engine (tests and single-owner shutdown paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if other references still hold the lock — callers own the
+    /// sole remaining handle by construction.
+    #[must_use]
+    pub fn into_engine(self) -> E {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cole_core::ColeConfig;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cole-shared-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn apply_block_publishes_consistent_head() {
+        let dir = tmpdir("head");
+        let engine = Cole::open(&dir, ColeConfig::default().with_memtable_capacity(64)).unwrap();
+        let shared = SharedEngine::new(engine);
+        assert_eq!(shared.head().0, 0);
+
+        let addr = Address::from_low_u64(5);
+        let mut last = (0, Digest::ZERO);
+        for blk in 1..=20u64 {
+            last = shared
+                .apply_block(&[(addr, StateValue::from_u64(blk * 7))])
+                .unwrap();
+            assert_eq!(last.0, blk);
+        }
+        assert_eq!(shared.head(), last);
+        assert_eq!(shared.get(addr).unwrap(), Some(StateValue::from_u64(140)));
+
+        // The proof served with a query verifies against the head served
+        // with it.
+        let (height, hstate, result) = shared.prov_query(addr, 3, 9).unwrap();
+        assert_eq!(height, 20);
+        let engine = shared.into_engine();
+        assert!(engine.verify_prov(addr, 3, 9, &result, hstate).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_engine() {
+        let dir = tmpdir("readers");
+        let engine = Cole::open(&dir, ColeConfig::default().with_memtable_capacity(64)).unwrap();
+        let shared = Arc::new(SharedEngine::new(engine));
+        for blk in 1..=30u64 {
+            let writes: Vec<_> = (0..8)
+                .map(|i| {
+                    (
+                        Address::from_low_u64(i),
+                        StateValue::from_u64(blk * 100 + i),
+                    )
+                })
+                .collect();
+            shared.apply_block(&writes).unwrap();
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let got = shared.get(Address::from_low_u64(i)).unwrap();
+                        assert_eq!(got, Some(StateValue::from_u64(3000 + i)), "thread {t}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

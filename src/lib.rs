@@ -7,6 +7,8 @@
 //! * [`cole_mpt`], [`cole_lipp`], [`cole_cmi`] — the baselines evaluated in
 //!   the paper,
 //! * [`cole_workloads`] — SmallBank / KVStore (YCSB) workload generators,
+//! * [`cole_protocol`], [`cole_server`] — the framed wire protocol and the
+//!   authenticated KV server built on it,
 //! * the substrate crates ([`cole_mbtree`], [`cole_mht`], [`cole_learned`],
 //!   [`cole_bloom`], [`cole_storage`], [`cole_hash`], [`cole_primitives`]).
 //!
@@ -43,6 +45,8 @@ pub use cole_mbtree;
 pub use cole_mht;
 pub use cole_mpt;
 pub use cole_primitives;
+pub use cole_protocol;
+pub use cole_server;
 pub use cole_storage;
 pub use cole_workloads;
 
@@ -51,6 +55,8 @@ pub use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
+pub use cole_protocol::{Client, ProvResponse};
+pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
 pub use cole_storage::{PageCache, WalSyncPolicy};
 
 /// Convenient glob import for examples and applications.
@@ -62,5 +68,7 @@ pub mod prelude {
         Address, AuthenticatedStorage, CompoundKey, Digest, ProvenanceResult, StateValue,
         StorageStats, VersionedValue,
     };
+    pub use cole_protocol::{Client, ProvResponse};
+    pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
     pub use cole_storage::{PageCache, WalSyncPolicy};
 }

@@ -1,0 +1,70 @@
+//! Facade-level test of the served engine: a downstream user should be able
+//! to stand up a server, talk to it with the bundled client, and verify
+//! every provenance proof locally — using only `cole::prelude`.
+
+use std::sync::Arc;
+
+use cole::cole_protocol::pipe_transport;
+use cole::prelude::*;
+
+#[test]
+fn facade_serves_and_verifies_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("cole-facade-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let engine = Cole::open(&dir, ColeConfig::default().with_memtable_capacity(128)).unwrap();
+    let shared = Arc::new(SharedEngine::new(engine));
+    let (listener, connector) = pipe_transport();
+    let handle = serve(
+        Arc::clone(&shared),
+        Box::new(listener),
+        ServerConfig::default(),
+    );
+
+    let mut client = Client::new(connector.connect().unwrap());
+    let addr = Address::from_low_u64(7);
+    let mut head = (0, Digest::ZERO);
+    for blk in 1..=50u64 {
+        head = client
+            .put_batch(&[
+                (addr, StateValue::from_u64(blk * 3)),
+                (Address::from_low_u64(blk % 11), StateValue::from_u64(blk)),
+            ])
+            .unwrap();
+    }
+    assert_eq!(head.0, 50);
+
+    assert_eq!(
+        client.get(addr).unwrap(),
+        Some(StateValue::from_u64(150)),
+        "last written value is served"
+    );
+
+    // The proof travels the wire and is checked here, not by the server.
+    let resp: ProvResponse = client.prov_query_verified(addr, 10, 25).unwrap();
+    assert_eq!(resp.height, 50);
+    assert_eq!(resp.values.len(), 16);
+    assert!(resp.verify(addr, 10, 25).unwrap());
+    // The same response does NOT authenticate a different query — proofs
+    // are bound to (addr, range), not transferable.
+    assert!(!resp
+        .verify(Address::from_low_u64(8), 10, 25)
+        .unwrap_or(false));
+
+    // Wire requests are visible in the engine's metrics snapshot.
+    let snapshot: MetricsSnapshot = shared.metrics().snapshot();
+    assert_eq!(snapshot.put_batch_requests, 50);
+    assert_eq!(snapshot.get_requests, 1);
+    assert_eq!(snapshot.prov_requests, 1);
+    assert_eq!(snapshot.requests_served, 52);
+
+    handle.shutdown();
+
+    // The server owned no engine of its own: with the handlers gone the
+    // engine unwraps back out of the shared handle for embedded use.
+    let engine = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("server still holds engine references"))
+        .into_engine();
+    assert_eq!(engine.current_block_height(), 50);
+    std::fs::remove_dir_all(&dir).ok();
+}
