@@ -25,6 +25,8 @@
 //!    group-commit point fsyncs once per block — i.e. if batching is
 //!    silently disabled.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cole_bench::{

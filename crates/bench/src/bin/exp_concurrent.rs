@@ -12,6 +12,8 @@
 //! 1 → N threads (impossible before the `&mut self` read path was fixed) and
 //! the hit-rate / throughput response to cache capacity.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -4,6 +4,8 @@
 //! a loading phase writes the base records, then a read/write running phase
 //! fills the chain up to the target block height.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table};
 use cole_workloads::Mix;
 

@@ -4,6 +4,8 @@
 //! on MPT, COLE and COLE* and reports the throughput. LIPP and CMI are
 //! omitted, as in the paper, because they cannot scale to these heights.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{cole_config_from, fmt_f64, fresh_workdir, run_kvstore, Args, EngineKind, Table};
 use cole_workloads::Mix;
 

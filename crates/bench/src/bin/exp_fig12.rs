@@ -6,6 +6,8 @@
 //! COLE* cuts the tail latency of COLE by orders of magnitude because merges
 //! run asynchronously.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{
     cole_config_from, fmt_f64, fresh_workdir, run_kvstore, run_smallbank, Args, EngineKind, Table,
 };

@@ -5,6 +5,8 @@
 //! observes stable throughput, a U-shaped tail latency and a median latency
 //! that grows with `T`).
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{
     cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table,
 };

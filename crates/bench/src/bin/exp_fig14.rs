@@ -6,6 +6,8 @@
 //! MPT's CPU time and proof size grow linearly with `q`, while COLE and
 //! COLE* grow sublinearly thanks to the contiguous column layout.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{
     cole_config_from, fmt_f64, fresh_workdir, prepare_provenance_engine, run_provenance_phase,
     Args, EngineKind, Table,

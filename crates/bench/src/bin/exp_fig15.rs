@@ -5,6 +5,8 @@
 //! paper observes a U shape: a larger fanout shortens the tree but widens the
 //! per-layer sibling sets included in every proof.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{
     cole_config_from, fmt_f64, fresh_workdir, prepare_provenance_engine, run_provenance_phase,
     Args, EngineKind, Table,

@@ -6,6 +6,8 @@
 //! block heights they could reach in the paper (they are the systems marked
 //! with ✖ beyond 10²–10⁴ blocks); pass `--no-caps true` to run them anyway.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{
     cole_config_from, fmt_f64, fresh_workdir, run_smallbank, Args, EngineKind, Table,
 };

@@ -18,6 +18,8 @@
 //! issued — the CI gate that the serve loop neither drops nor double-counts
 //! requests under concurrency.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use cole_bench::{

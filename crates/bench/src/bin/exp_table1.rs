@@ -6,6 +6,8 @@
 //! provenance query latency and proof size, so the asymptotic claims can be
 //! checked empirically (who is constant, who grows, who is logarithmic).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cole_bench::{

@@ -5,6 +5,8 @@
 //! Exit status is non-zero if any report fails; each file's verdict is
 //! printed either way.
 
+#![forbid(unsafe_code)]
+
 use cole_bench::{Args, Json};
 
 /// Schema versions this validator understands. Bump alongside the writers.

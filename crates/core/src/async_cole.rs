@@ -198,7 +198,7 @@ impl AsyncCole {
                     *ingested += 1;
                 },
             )?;
-            wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
+            wal.attach_io_counters(Arc::clone(&self.ctx.metrics.wal_io));
             self.wal = Some(wal);
             self.wal_seq = next_seq;
         }
@@ -211,7 +211,7 @@ impl AsyncCole {
         self.wal_seq += 1;
         let (mut wal, replayed) = WriteAheadLog::open(path, self.config.wal_sync_policy)?;
         debug_assert!(replayed.is_empty(), "fresh segments start empty");
-        wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
+        wal.attach_io_counters(Arc::clone(&self.ctx.metrics.wal_io));
         Ok(wal)
     }
 

@@ -156,7 +156,7 @@ impl Cole {
                     *ingested += 1;
                 },
             )?;
-            wal.attach_fsync_counter(Arc::clone(&self.ctx.metrics.wal_fsyncs));
+            wal.attach_io_counters(Arc::clone(&self.ctx.metrics.wal_io));
             self.wal = Some(wal);
         }
         Ok(())

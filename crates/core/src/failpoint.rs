@@ -16,10 +16,10 @@
 //!
 //! [`RunContext`]: crate::RunContext
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
 use cole_primitives::{ColeError, Result};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock_recover, Mutex};
 
 /// Value of the trigger index meaning "never fire".
 const DISARMED: u64 = u64::MAX;
@@ -32,6 +32,11 @@ const DISARMED: u64 = u64::MAX;
 /// of one named point. Counting continues either way, so a first
 /// instrumented pass with a disarmed instance discovers how many points a
 /// workload crosses.
+// All counter orderings are `Relaxed`: arming always happens from a
+// quiescent state (the harness arms, *then* starts the workload, and the
+// spawn/join edges publish the stores), and within the workload each
+// counter is only raced by its own `fetch_add`, whose per-object
+// modification order already makes crossings unique. See `ORDERINGS.md`.
 #[derive(Debug, Default)]
 pub struct KillPoints {
     crossed: AtomicU64,
@@ -54,30 +59,30 @@ impl KillPoints {
     /// now on (0-based), resets the crossing counter, and clears any
     /// pending named arm.
     pub fn arm(&self, index: u64) {
-        self.crossed.store(0, Ordering::SeqCst);
-        self.kill_at.store(index, Ordering::SeqCst);
-        *self.named.lock().expect("killpoint lock poisoned") = None;
+        self.crossed.store(0, Ordering::Relaxed);
+        self.kill_at.store(index, Ordering::Relaxed);
+        *lock_recover(&self.named) = None;
     }
 
     /// Arms the instance to fail at the `occurrence`-th crossing (0-based)
     /// of the kill point called `name`, and resets the crossing counter.
     pub fn arm_at(&self, name: &str, occurrence: u64) {
-        self.crossed.store(0, Ordering::SeqCst);
-        self.kill_at.store(DISARMED, Ordering::SeqCst);
-        *self.named.lock().expect("killpoint lock poisoned") = Some((name.to_string(), occurrence));
+        self.crossed.store(0, Ordering::Relaxed);
+        self.kill_at.store(DISARMED, Ordering::Relaxed);
+        *lock_recover(&self.named) = Some((name.to_string(), occurrence));
     }
 
     /// Disarms without resetting the crossing counter.
     pub fn disarm(&self) {
-        self.kill_at.store(DISARMED, Ordering::SeqCst);
-        *self.named.lock().expect("killpoint lock poisoned") = None;
+        self.kill_at.store(DISARMED, Ordering::Relaxed);
+        *lock_recover(&self.named) = None;
     }
 
     /// Number of kill points crossed since the last [`arm`](Self::arm) /
     /// [`arm_at`](Self::arm_at) (or construction).
     #[must_use]
     pub fn crossed(&self) -> u64 {
-        self.crossed.load(Ordering::SeqCst)
+        self.crossed.load(Ordering::Relaxed)
     }
 
     /// Crosses the kill point `name`: returns an I/O error if the instance
@@ -87,10 +92,10 @@ impl KillPoints {
     ///
     /// Returns [`ColeError::Io`] exactly when armed for this crossing.
     pub fn hit(&self, name: &str) -> Result<()> {
-        let index = self.crossed.fetch_add(1, Ordering::SeqCst);
-        let mut fire = index == self.kill_at.load(Ordering::SeqCst);
+        let index = self.crossed.fetch_add(1, Ordering::Relaxed);
+        let mut fire = index == self.kill_at.load(Ordering::Relaxed);
         if !fire {
-            let mut named = self.named.lock().expect("killpoint lock poisoned");
+            let mut named = lock_recover(&self.named);
             if let Some((armed_name, occurrence)) = named.as_mut() {
                 if armed_name == name {
                     if *occurrence == 0 {

@@ -61,6 +61,7 @@ mod merge;
 mod metrics;
 mod proof;
 mod run;
+pub mod sync;
 
 pub use async_cole::AsyncCole;
 pub use cole::Cole;
@@ -72,5 +73,5 @@ pub use merge::{build_run_from_entries, merge_runs};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
 pub use run::{
-    PinnedPage, Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan,
+    PinnedPage, PinnedSlot, Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan,
 };

@@ -296,7 +296,9 @@ impl Manifest {
             let text = std::fs::read_to_string(dir.join(&name))?;
             let state = ManifestState::decode(&text)?;
             write_durable(dir.join("CURRENT.tmp"), format!("{name}\n").as_bytes())?;
+            manifest.kill("manifest:repair_current_written")?;
             std::fs::rename(dir.join("CURRENT.tmp"), &current_path)?;
+            manifest.kill("manifest:repair_current_renamed")?;
             sync_dir(dir)?;
             eprintln!("cole manifest: CURRENT was missing; repaired to point at {name}");
             manifest.next_seq = seq + 1;
@@ -309,6 +311,7 @@ impl Manifest {
             // Migrate: commit under the versioned protocol, then drop the
             // legacy file so future opens take the checksummed path.
             manifest.commit(&state)?;
+            manifest.kill("manifest:legacy_migrated")?;
             std::fs::remove_file(dir.join(LEGACY))?;
             sync_dir(dir)?;
             Some(state)

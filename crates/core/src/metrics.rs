@@ -1,9 +1,10 @@
 //! Operation counters used by the complexity experiments (Table 1).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cole_storage::PageIoStats;
+use cole_storage::{PageIoStats, WalIoCounters};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative counters describing the work a COLE instance has performed.
 ///
@@ -45,12 +46,13 @@ pub struct Metrics {
     pub runs_searched: AtomicU64,
     /// Blocks appended to the write-ahead log.
     pub wal_appends: AtomicU64,
-    /// Append-path fsyncs issued by the write-ahead log. Shared with the
+    /// Append-path durability counters of the write-ahead log (fsync count
+    /// and synced byte length). Shared with the
     /// [`WriteAheadLog`](cole_storage::WriteAheadLog) (hence the `Arc`),
-    /// surviving segment rotations. Under `WalSyncPolicy::Always` this
-    /// equals `wal_appends`; under group commit it is the number of groups —
-    /// the observable proof that batching is active.
-    pub wal_fsyncs: Arc<AtomicU64>,
+    /// surviving segment rotations. Under `WalSyncPolicy::Always` the fsync
+    /// count equals `wal_appends`; under group commit it is the number of
+    /// groups — the observable proof that batching is active.
+    pub wal_io: Arc<WalIoCounters>,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: AtomicU64,
     /// Wire requests served by a [`cole_server`]-style front-end, all
@@ -118,7 +120,8 @@ impl Metrics {
             bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
             runs_searched: self.runs_searched.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
-            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_io.fsyncs(),
+            wal_synced_bytes: self.wal_io.synced_bytes(),
             orphan_runs_deleted: self.orphan_runs_deleted.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
             get_requests: self.get_requests.load(Ordering::Relaxed),
@@ -174,6 +177,10 @@ pub struct MetricsSnapshot {
     /// under `WalSyncPolicy::Always`, one per group under group commit,
     /// `0` under `OsBuffered`).
     pub wal_fsyncs: u64,
+    /// Bytes of the current WAL segment covered by its last append-path
+    /// fsync — the power-failure durability frontier of the unflushed
+    /// memtable.
+    pub wal_synced_bytes: u64,
     /// Orphan runs (unreferenced by the committed manifest) deleted on open.
     pub orphan_runs_deleted: u64,
     /// Wire requests served (all operations, including error responses).

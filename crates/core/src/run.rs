@@ -5,7 +5,10 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, OnceLock};
+// `OnceLock` stays `std` even under `--cfg loom`: the Bloom cell is
+// initialize-once, idempotent, and carries its own internal synchronization
+// (see `ORDERINGS.md`). The pinned-page slot routes through `crate::sync`.
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use cole_bloom::BloomFilter;
@@ -17,6 +20,8 @@ use cole_primitives::{
     DIGEST_LEN, ENTRY_LEN, PAGE_SIZE, VALUE_LEN,
 };
 use cole_storage::{sync_dir, write_durable, PageCache, PageFile, PageWriter};
+
+use crate::sync::{lock_recover, Mutex};
 
 use crate::config::ColeConfig;
 use crate::failpoint::KillPoints;
@@ -697,6 +702,19 @@ pub struct PinnedPage {
 }
 
 impl PinnedPage {
+    /// Builds a pinned page directly from decoded entries. The engine's
+    /// read paths construct these by decoding value-file pages; this
+    /// constructor exists so harnesses (notably the `loom` model tests in
+    /// `tests/loom_pinned.rs`) can exercise [`PinnedSlot`] without a run
+    /// directory on disk.
+    #[must_use]
+    pub fn from_entries(page_id: u64, entries: Vec<(CompoundKey, StateValue)>) -> Self {
+        PinnedPage {
+            page_id,
+            entries: entries.into(),
+        }
+    }
+
     /// The value-file page id this decode covers.
     #[must_use]
     pub fn page_id(&self) -> u64 {
@@ -708,6 +726,54 @@ impl PinnedPage {
     #[must_use]
     pub fn entries(&self) -> &[(CompoundKey, StateValue)] {
         &self.entries
+    }
+}
+
+/// The per-run hot-page slot: remembers the most recently decoded
+/// value-file page so the next query landing on the same page skips the
+/// cache probe, the fetch and the decode.
+///
+/// Concurrency contract (model-checked in `tests/loom_pinned.rs`): the
+/// slot is an opportunistic cache over *immutable* file pages, so a
+/// lookup may race a re-pin arbitrarily — the worst outcome is a
+/// duplicate decode, never a stale entry, because a [`PinnedPage`] for a
+/// given `page_id` has exactly one possible value. The mutex is held only
+/// for the id compare and the `Arc` clone; I/O happens outside it.
+#[derive(Debug, Default)]
+pub struct PinnedSlot {
+    slot: Mutex<Option<PinnedPage>>,
+}
+
+impl PinnedSlot {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the pinned decode of `page_id`, if that is the page
+    /// currently held.
+    #[must_use]
+    pub fn lookup(&self, page_id: u64) -> Option<PinnedPage> {
+        let slot = lock_recover(&self.slot);
+        slot.as_ref()
+            .filter(|page| page.page_id == page_id)
+            .cloned()
+    }
+
+    /// Pins `page`, replacing whatever was held.
+    pub fn pin(&self, page: &PinnedPage) {
+        *lock_recover(&self.slot) = Some(page.clone());
+    }
+
+    /// Pins `page` unless the held page already covers the same id (keeps
+    /// the referenced decode alive instead of replacing it with an equal
+    /// one).
+    pub fn pin_if_different(&self, page: &PinnedPage) {
+        let mut slot = lock_recover(&self.slot);
+        if slot.as_ref().map_or(true, |p| p.page_id != page.page_id) {
+            *slot = Some(page.clone());
+        }
     }
 }
 
@@ -725,7 +791,7 @@ pub struct Run {
     commitment: Digest,
     /// Most recently decoded value-file page (see [`Run::pinned_page`]).
     /// Files are immutable, so a pinned decode can never go stale.
-    pinned: Mutex<Option<PinnedPage>>,
+    pinned: PinnedSlot,
 }
 
 impl Run {
@@ -746,7 +812,7 @@ impl Run {
             merkle,
             bloom,
             commitment,
-            pinned: Mutex::new(None),
+            pinned: PinnedSlot::new(),
         })
     }
 
@@ -923,14 +989,6 @@ impl Run {
         decode_entry(&page[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN])
     }
 
-    /// Locks the pinned-page slot, recovering from poisoning (the slot holds
-    /// plain data with no invariants a panicking thread could break).
-    fn pinned_slot(&self) -> std::sync::MutexGuard<'_, Option<PinnedPage>> {
-        self.pinned
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     /// Fetches and decodes one value-file page, bypassing the pinned slot.
     fn decode_page(&self, page_id: u64) -> Result<PinnedPage> {
         let entries: Arc<[(CompoundKey, StateValue)]> = self.read_value_page(page_id)?.into();
@@ -951,18 +1009,13 @@ impl Run {
     ///
     /// Returns an error if `page_id` is out of bounds or the read fails.
     pub fn pinned_page(&self, page_id: u64) -> Result<PinnedPage> {
-        {
-            let pinned = self.pinned_slot();
-            if let Some(page) = pinned.as_ref() {
-                if page.page_id == page_id {
-                    return Ok(page.clone());
-                }
-            }
+        if let Some(page) = self.pinned.lookup(page_id) {
+            return Ok(page);
         }
         // Fetch and decode outside the lock; a racing thread at worst
         // decodes the same page twice.
         let page = self.decode_page(page_id)?;
-        *self.pinned_slot() = Some(page.clone());
+        self.pinned.pin(&page);
         Ok(page)
     }
 
@@ -1034,12 +1087,7 @@ impl Run {
             // the partition point is ≥ 1). Pin it for the next query.
             let idx = entries.partition_point(|(k, _)| k <= key);
             let global = page_id * ENTRIES_PER_PAGE as u64 + idx as u64 - 1;
-            {
-                let mut slot = self.pinned_slot();
-                if slot.as_ref().map_or(true, |p| p.page_id != page_id) {
-                    *slot = Some(page.clone());
-                }
-            }
+            self.pinned.pin_if_different(&page);
             return Ok(Some((global, page)));
         }
     }

@@ -1,0 +1,21 @@
+//! Synchronization primitives for the engine crate, routed through the
+//! `loom` model checker under `--cfg loom`.
+//!
+//! Same contract as [`cole_storage::sync`] (which this module re-exports
+//! the lock-recovery helpers from): a normal build aliases `std::sync`, a
+//! model-checking build (`RUSTFLAGS="--cfg loom"`) aliases the `loom` shim
+//! so the pinned-page slot, kill points and metrics counters can be
+//! explored under every bounded interleaving. See `ROADMAP.md`
+//! § "Concurrency analysis & lint gate".
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(loom)]
+pub use loom::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+pub use cole_storage::{lock_recover, read_recover, write_recover};

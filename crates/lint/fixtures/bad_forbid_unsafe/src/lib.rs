@@ -1,0 +1,5 @@
+//! Fixture: crate root without `#![forbid(unsafe_code)]`.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}

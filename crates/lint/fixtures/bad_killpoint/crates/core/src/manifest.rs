@@ -1,0 +1,14 @@
+//! Fixture: a durability edge in a write-path module with no kill point.
+
+use std::fs;
+use std::path::Path;
+
+pub fn commit(tmp: &Path, current: &Path) -> std::io::Result<()> {
+    let payload = b"MANIFEST-000001";
+    fs::write(tmp, payload)?;
+
+    fs::File::open(tmp)?.sync_all()?;
+
+    fs::rename(tmp, current)?;
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Fixture: bare lock().unwrap() in library code.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+pub fn take(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

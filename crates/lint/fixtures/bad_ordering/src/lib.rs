@@ -1,0 +1,10 @@
+//! Fixture: an atomic-ordering site with no ORDERINGS.md entry.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}

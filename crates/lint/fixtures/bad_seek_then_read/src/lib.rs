@@ -1,0 +1,12 @@
+//! Fixture: seek-then-read on a shared file handle.
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+pub fn read_at(file: &mut File, offset: u64) -> std::io::Result<Vec<u8>> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; 16];
+    file.read_exact(&mut buf)?;
+    Ok(buf)
+}

@@ -1,0 +1,69 @@
+//! `cole_lint` CLI: lint the workspace and exit non-zero on findings.
+//!
+//! ```text
+//! cole_lint --dir <path>        # lint the tree rooted at <path> (default .)
+//! cole_lint --dir <path> --dump-orderings
+//!                               # print the observed ORDERINGS.md rows
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut dump = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("cole_lint: --dir requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dump-orderings" => dump = true,
+            "--help" | "-h" => {
+                println!("usage: cole_lint [--dir <path>] [--dump-orderings]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cole_lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if dump {
+        return match cole_lint::dump_orderings(&root) {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("cole_lint: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match cole_lint::lint_dir(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cole_lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("cole_lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("cole_lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

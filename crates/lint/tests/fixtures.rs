@@ -1,0 +1,101 @@
+//! Fixture-driven checks: each deliberately-bad tree under `fixtures/`
+//! trips exactly its rule, the waived tree is clean, and — the gate that
+//! matters — the real repo root is clean.
+
+use std::path::{Path, PathBuf};
+
+use cole_lint::{dump_orderings, lint_dir, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    lint_dir(&fixture(name)).unwrap()
+}
+
+#[test]
+fn bad_seek_then_read_is_caught() {
+    let findings = lint_fixture("bad_seek_then_read");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "seek-then-read");
+    assert_eq!(findings[0].path, Path::new("src/lib.rs"));
+    assert_eq!(findings[0].line, 8);
+}
+
+#[test]
+fn bad_killpoint_adjacency_is_caught() {
+    let findings = lint_fixture("bad_killpoint");
+    // Both the fsync and the rename lack a kill point.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "killpoint-adjacency"));
+    assert!(findings
+        .iter()
+        .all(|f| f.path == Path::new("crates/core/src/manifest.rs")));
+}
+
+#[test]
+fn missing_forbid_unsafe_is_caught() {
+    let findings = lint_fixture("bad_forbid_unsafe");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "forbid-unsafe");
+}
+
+#[test]
+fn unaudited_ordering_is_caught() {
+    let findings = lint_fixture("bad_ordering");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "ordering-audit");
+    assert!(
+        findings[0].message.contains("SeqCst"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn bare_lock_unwrap_is_caught() {
+    let findings = lint_fixture("bad_lock_unwrap");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "lock-unwrap");
+}
+
+#[test]
+fn waived_and_test_code_sites_are_clean() {
+    let findings = lint_fixture("good_waived");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn repo_tree_is_clean() {
+    let findings = lint_dir(&repo_root()).unwrap();
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn repo_ordering_dump_matches_the_audit() {
+    // Every file the dump observes must appear in ORDERINGS.md — the
+    // clean `repo_tree_is_clean` run implies it, but this pins the audit
+    // file itself to the tree so a deleted table row fails loudly here.
+    let table = dump_orderings(&repo_root()).unwrap();
+    let audit = std::fs::read_to_string(repo_root().join("ORDERINGS.md")).unwrap();
+    for line in table.lines().filter(|l| l.contains(".rs")) {
+        let path = line
+            .split('`')
+            .nth(1)
+            .expect("dump row has a backticked path");
+        assert!(
+            audit.contains(&format!("`{path}`")),
+            "ORDERINGS.md is missing an entry for {path}"
+        );
+    }
+}

@@ -45,6 +45,7 @@
 
 mod client;
 mod frame;
+pub mod sync;
 mod transport;
 
 pub use client::{Client, ProvResponse};

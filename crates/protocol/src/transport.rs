@@ -11,9 +11,16 @@
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+// The listener's handoff channel stays `std::sync::mpsc` even under
+// `--cfg loom`: it is a complete, internally synchronized queue the model
+// tests drive from a single accept thread (see `ORDERINGS.md`). The pipe
+// halves below route through `crate::sync` so the queue/condvar handoff
+// itself is model-checked.
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{lock_recover, Condvar, Mutex, MutexGuard};
 
 /// A bidirectional byte stream a protocol endpoint speaks over.
 ///
@@ -167,7 +174,7 @@ impl Half {
     /// Locks the half, recovering from a peer that panicked mid-write (the
     /// byte queue is always in a consistent state between pushes).
     fn lock(&self) -> MutexGuard<'_, HalfState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        lock_recover(&self.state)
     }
 
     fn close(&self) {
@@ -255,6 +262,7 @@ impl Connection for PipeConn {
         format!("pipe:{}", self.peer)
     }
 
+    #[cfg(not(loom))]
     fn wait_readable(&mut self, timeout: Duration) -> io::Result<bool> {
         let deadline = Instant::now() + timeout;
         let mut st = self.read.lock();
@@ -273,6 +281,24 @@ impl Connection for PipeConn {
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
+    }
+
+    // Under the model checker wall-clock time does not exist: a single
+    // `wait_timeout` stands in for the deadline loop, and the explorer
+    // branches over "woken by a write/close" vs "timed out" (time advances
+    // only when every thread is blocked).
+    #[cfg(loom)]
+    fn wait_readable(&mut self, timeout: Duration) -> io::Result<bool> {
+        let st = self.read.lock();
+        if !st.buf.is_empty() || st.closed {
+            return Ok(true);
+        }
+        let (st, _timed_out) = self
+            .read
+            .readable
+            .wait_timeout(st, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        Ok(!st.buf.is_empty() || st.closed)
     }
 }
 

@@ -23,6 +23,7 @@
 
 mod serve;
 mod shared;
+pub mod sync;
 
 pub use serve::{serve, ServerConfig, ServerHandle, ServerStats};
 pub use shared::{ServableEngine, SharedEngine};

@@ -1,6 +1,5 @@
 //! The accept loop, per-connection handlers, and graceful shutdown.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -12,6 +11,7 @@ use cole_protocol::{
 };
 
 use crate::shared::{ServableEngine, SharedEngine};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Knobs of the serve loop.
 #[derive(Clone, Copy, Debug)]
@@ -70,7 +70,11 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // `Release` pairs with the `Acquire` polls in the accept loop and the
+        // handlers: whoever sees the flag also sees everything the shutdown
+        // caller wrote before raising it. Model-checked in
+        // `tests/loom_shutdown.rs`; see `ORDERINGS.md`.
+        self.shutdown.store(true, Ordering::Release);
         if let Some(accept) = self.accept.take() {
             accept.join().ok();
         }
@@ -97,11 +101,15 @@ pub fn serve<E: ServableEngine>(
     let accept_stats = Arc::clone(&stats);
     let accept = std::thread::spawn(move || {
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        while !accept_shutdown.load(Ordering::SeqCst) {
+        while !accept_shutdown.load(Ordering::Acquire) {
             handlers.retain(|h| !h.is_finished());
             match listener.accept_timeout(config.accept_poll) {
                 Ok(Some(conn)) => {
-                    if accept_stats.active_connections.load(Ordering::SeqCst)
+                    // The cap is advisory: only this accept thread admits, so
+                    // a `Relaxed` load can at worst race one handler's exit
+                    // decrement and reject a connection that would just have
+                    // fit. See `ORDERINGS.md`.
+                    if accept_stats.active_connections.load(Ordering::Relaxed)
                         >= config.max_connections
                     {
                         accept_stats
@@ -115,13 +123,13 @@ pub fn serve<E: ServableEngine>(
                         .fetch_add(1, Ordering::Relaxed);
                     accept_stats
                         .active_connections
-                        .fetch_add(1, Ordering::SeqCst);
+                        .fetch_add(1, Ordering::Relaxed);
                     let shared = Arc::clone(&shared);
                     let shutdown = Arc::clone(&accept_shutdown);
                     let stats = Arc::clone(&accept_stats);
                     handlers.push(std::thread::spawn(move || {
                         handle_connection(&shared, conn, &shutdown, config.read_poll);
-                        stats.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
                 Ok(None) => {}
@@ -172,7 +180,7 @@ fn handle_connection<E: ServableEngine>(
                 }
             },
             Ok(false) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shutdown.load(Ordering::Acquire) {
                     return;
                 }
             }

@@ -1,11 +1,13 @@
 //! A concurrently servable handle over one storage engine.
 
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 use cole_core::{compute_hstate, AsyncCole, Cole, Metrics, RootEntryKind};
 use cole_primitives::{
     Address, AuthenticatedStorage, Digest, ProvenanceResult, Result, StateValue,
 };
+
+use crate::sync::{read_recover, write_recover, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The engine surface a server needs: the [`AuthenticatedStorage`] contract
 /// plus batched writes, the state root, and the shared metrics handle.
@@ -99,11 +101,11 @@ impl<E: ServableEngine> SharedEngine<E> {
     }
 
     fn read(&self) -> RwLockReadGuard<'_, Inner<E>> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        read_recover(&self.inner)
     }
 
     fn write(&self) -> RwLockWriteGuard<'_, Inner<E>> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        write_recover(&self.inner)
     }
 
     /// Latest value of `addr`.

@@ -1,0 +1,22 @@
+//! Synchronization primitives for the server crate, routed through the
+//! `loom` model checker under `--cfg loom`.
+//!
+//! Same contract as [`cole_storage::sync`] (re-exported here through
+//! `cole_core`): a normal build aliases `std::sync`, a model-checking
+//! build (`RUSTFLAGS="--cfg loom"`) aliases the `loom` shim so the head
+//! publication protocol of [`SharedEngine`](crate::SharedEngine) and the
+//! shutdown handshake of the serve loop can be explored under every
+//! bounded interleaving. See `ROADMAP.md` § "Concurrency analysis & lint
+//! gate".
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(loom)]
+pub use loom::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+pub use cole_core::sync::{lock_recover, read_recover, write_recover};

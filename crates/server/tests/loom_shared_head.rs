@@ -1,0 +1,189 @@
+//! Model check (c): head publication in `SharedEngine` racing `prov_query`.
+//!
+//! Compile and run with `RUSTFLAGS="--cfg loom" cargo test -p cole_server
+//! --test loom_shared_head`.
+//!
+//! `SharedEngine::apply_block` finalizes a block and publishes the new
+//! `(height, Hstate)` inside the write critical section;
+//! `SharedEngine::prov_query` returns the proof and the head it verifies
+//! against from one read critical section. The served invariant — "the
+//! proof in a response verifies against exactly the `Hstate` returned with
+//! it" — is checked here under every bounded interleaving via a mock
+//! engine whose proofs encode the state they were derived from. A second
+//! test proves the model would catch the broken alternative (publishing
+//! the head as two racing atomics instead of inside the lock).
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use cole_core::{Metrics, MetricsSnapshot, RootEntryKind};
+use cole_primitives::{
+    Address, AuthenticatedStorage, Digest, ProvenanceResult, Result, StateValue, StorageStats,
+    VersionedValue,
+};
+use cole_server::{ServableEngine, SharedEngine};
+
+/// The digest the mock publishes for a finalized height.
+fn digest_for(height: u64) -> Digest {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&height.to_le_bytes());
+    Digest::new(bytes)
+}
+
+/// An engine whose proofs encode the height of the state they were built
+/// from, so a reader can detect a head/proof mismatch exactly.
+struct MockEngine {
+    height: u64,
+    in_flight: u64,
+    metrics: Arc<Metrics>,
+}
+
+impl MockEngine {
+    fn new() -> Self {
+        MockEngine {
+            height: 0,
+            in_flight: 0,
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+}
+
+impl AuthenticatedStorage for MockEngine {
+    fn put(&mut self, _addr: Address, _value: StateValue) -> Result<()> {
+        Ok(())
+    }
+
+    fn get(&self, _addr: Address) -> Result<Option<StateValue>> {
+        Ok(Some(StateValue::from_u64(self.height)))
+    }
+
+    fn prov_query(
+        &self,
+        _addr: Address,
+        _blk_lower: u64,
+        _blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        Ok(ProvenanceResult {
+            values: vec![VersionedValue::new(
+                self.height,
+                StateValue::from_u64(self.height),
+            )],
+            proof: self.height.to_le_bytes().to_vec(),
+        })
+    }
+
+    fn verify_prov(
+        &self,
+        _addr: Address,
+        _blk_lower: u64,
+        _blk_upper: u64,
+        result: &ProvenanceResult,
+        hstate: Digest,
+    ) -> Result<bool> {
+        let proof_height = u64::from_le_bytes(result.proof.as_slice().try_into().unwrap());
+        Ok(proof_height == 0 || hstate == digest_for(proof_height))
+    }
+
+    fn begin_block(&mut self, height: u64) -> Result<()> {
+        self.in_flight = height;
+        Ok(())
+    }
+
+    fn finalize_block(&mut self) -> Result<Digest> {
+        self.height = self.in_flight;
+        Ok(digest_for(self.height))
+    }
+
+    fn current_block_height(&self) -> u64 {
+        self.height
+    }
+
+    fn storage_stats(&self) -> Result<StorageStats> {
+        Ok(StorageStats::default())
+    }
+
+    fn name(&self) -> &'static str {
+        "mock"
+    }
+}
+
+impl ServableEngine for MockEngine {
+    fn put_batch(&mut self, _entries: &[(Address, StateValue)]) -> Result<()> {
+        Ok(())
+    }
+
+    fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
+        Vec::new()
+    }
+
+    fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+}
+
+/// A writer applies blocks while a reader issues provenance queries: in
+/// every interleaving the returned head must be the exact state the proof
+/// was derived from — never a head from a block the proof predates (or
+/// vice versa).
+#[test]
+fn prov_query_head_always_matches_its_proof() {
+    let mut builder = loom::model::Builder::new();
+    builder.preemption_bound = Some(3);
+    builder.check(|| {
+        let shared = Arc::new(SharedEngine::new(MockEngine::new()));
+        let writer = Arc::clone(&shared);
+        let t = loom::thread::spawn(move || {
+            for _ in 0..2 {
+                writer
+                    .apply_block(&[(Address::from_low_u64(1), StateValue::from_u64(9))])
+                    .unwrap();
+            }
+        });
+
+        let (height, hstate, result) = shared.prov_query(Address::from_low_u64(1), 0, 10).unwrap();
+        let proof_height = u64::from_le_bytes(result.proof.as_slice().try_into().unwrap());
+        assert_eq!(
+            proof_height, height,
+            "served head {height} does not match the state the proof saw"
+        );
+        if height > 0 {
+            assert_eq!(hstate, digest_for(height), "served Hstate is torn");
+        }
+        t.join().unwrap();
+        assert_eq!(shared.head(), (2, digest_for(2)));
+        // Metrics stay snapshot-clean across the race.
+        let _snapshot: MetricsSnapshot = shared.metrics().snapshot();
+    });
+}
+
+/// Teeth: the rejected design — publishing `(height, hstate-tag)` as two
+/// independent atomics instead of inside the write critical section — is
+/// demonstrably broken, and the model finds the torn read. This is the
+/// regression test that keeps check (c) meaningful.
+#[test]
+fn publishing_the_head_outside_the_lock_is_proven_wrong() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        loom::model(|| {
+            let height = Arc::new(AtomicU64::new(0));
+            let tag = Arc::new(AtomicU64::new(0));
+            let (h2, t2) = (Arc::clone(&height), Arc::clone(&tag));
+            let t = loom::thread::spawn(move || {
+                // The broken publication: two stores a reader can split.
+                h2.store(1, Ordering::Relaxed);
+                t2.store(1, Ordering::Relaxed);
+            });
+            let seen_height = height.load(Ordering::Relaxed);
+            let seen_tag = tag.load(Ordering::Relaxed);
+            assert_eq!(seen_height, seen_tag, "torn head publication");
+            t.join().unwrap();
+        });
+    }));
+    let payload = result.expect_err("the model must catch the torn publication");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("torn head publication"), "unexpected: {msg}");
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the subset of the `loom` model checker used by this
+//! workspace: [`model`], [`model::Builder`], [`thread::spawn`]/[`thread::yield_now`],
+//! `sync::{Arc, Mutex, RwLock, Condvar}` and `sync::atomic::*` with
+//! ordering-sensitive load semantics.
+//!
+//! [`model`] runs a closure repeatedly, exploring every distinct thread
+//! interleaving (bounded by [`model::Builder`] knobs) via depth-first search
+//! over scheduling decisions. Threads are real OS threads, but a cooperative
+//! "baton" scheduler lets exactly one run at a time, so every context switch
+//! is a recorded, replayable decision. Atomics keep the full per-location
+//! store history with vector clocks: a `Relaxed` load may observe *any*
+//! coherence-permitted stale value, not just the latest one, so code that
+//! under-orders its atomics actually fails under the model instead of
+//! passing by scheduling luck.
+//!
+//! Differences from upstream `loom` (all on the conservative side or
+//! irrelevant to this workspace — see `ROADMAP.md` for the full contract):
+//!
+//! - `SeqCst` loads always observe the newest store (stronger than C++11,
+//!   so it never produces a false failure for `SeqCst` code).
+//! - Release sequences are not modeled: an `Acquire` load synchronizes only
+//!   when the store it reads was itself `Release` or stronger.
+//! - `RwLock` joins reader clocks on read-lock as well as write-lock
+//!   (stronger than real guarantees; readers do not mutate, so no bug is
+//!   hidden).
+//! - `Condvar::wait_timeout` ignores the duration; a timed wait is only
+//!   forced awake when *no* thread is runnable, which both bounds poll
+//!   loops and keeps deadlock detection sound ("time advances only when
+//!   the system is idle").
+//! - State mutated inside the model closure through objects *created
+//!   outside it* does not leak between explored executions; create all
+//!   shared state inside the closure.
+//!
+//! Like the other shims this implements exactly the API subset the
+//! workspace consumes; swapping the real crates.io `loom` back in requires
+//! no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+/// Hints analogous to [`std::hint`], routed through the scheduler.
+pub mod hint {
+    /// A spin-loop hint; under the model this is a scheduling point so a
+    /// spin can make progress visible to other threads.
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}

@@ -1,0 +1,79 @@
+//! The exploration driver: [`model()`] and [`Builder`].
+
+use crate::rt;
+
+/// Configures an exploration run. Fields mirror the upstream `loom`
+/// builder; unset bounds mean "explore everything".
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum context switches away from a runnable thread per execution
+    /// (CHESS-style preemption bounding). Forced switches — blocking,
+    /// finishing — are free. `None` explores unboundedly.
+    pub preemption_bound: Option<usize>,
+    /// Per-execution budget of visible operations; exceeding it fails the
+    /// model (it almost always means a loop that never yields progress).
+    pub max_branches: usize,
+    /// Cap on the number of executions explored; hitting it stops with a
+    /// warning instead of failing, trading exhaustiveness for bounded
+    /// runtime (CI sets this via `LOOM_MAX_PERMUTATIONS`).
+    pub max_permutations: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_branches: 5_000,
+            max_permutations: None,
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+impl Builder {
+    /// A builder seeded from the `LOOM_MAX_PREEMPTIONS`,
+    /// `LOOM_MAX_BRANCHES` and `LOOM_MAX_PERMUTATIONS` environment
+    /// variables where set.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut b = Builder::default();
+        if let Some(p) = env_usize("LOOM_MAX_PREEMPTIONS") {
+            b.preemption_bound = Some(p);
+        }
+        if let Some(p) = env_usize("LOOM_MAX_BRANCHES") {
+            b.max_branches = p;
+        }
+        if let Some(p) = env_usize("LOOM_MAX_PERMUTATIONS") {
+            b.max_permutations = Some(p);
+        }
+        b
+    }
+
+    /// Explores every schedule of `f` within this builder's bounds,
+    /// panicking with the failing execution's diagnosis if any schedule
+    /// fails.
+    pub fn check<F: Fn()>(&self, f: F) {
+        self.check_count(f);
+    }
+
+    /// Like [`Builder::check`], additionally returning how many executions
+    /// were explored (a shim extension used by the shim's own tests).
+    pub fn check_count<F: Fn()>(&self, f: F) -> usize {
+        rt::explore(
+            &f,
+            self.preemption_bound,
+            self.max_branches,
+            self.max_permutations,
+        )
+    }
+}
+
+/// Explores every schedule of `f` with the environment-seeded default
+/// bounds; panics if any schedule fails an assertion, deadlocks, panics,
+/// or exceeds the op budget.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f);
+}

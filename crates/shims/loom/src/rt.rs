@@ -1,0 +1,1018 @@
+//! The execution runtime behind [`crate::model`]: a cooperative baton
+//! scheduler over real OS threads, a depth-first search over recorded
+//! scheduling/visibility decisions, and a C11-style store history with
+//! vector clocks for the atomics.
+//!
+//! Exactly one model thread runs at a time; every visible operation
+//! (atomic access, lock acquire/release, condvar wait/notify, spawn, join)
+//! starts with a *scheduling point* where the explorer may hand the baton
+//! to any other runnable thread. Each decision is a [`Branch`] in the
+//! current [`Path`]; after an execution finishes, the last non-exhausted
+//! branch is advanced and the prefix replayed, enumerating every schedule
+//! within the configured bounds.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on model threads per execution (root + spawned). Vector clocks
+/// are fixed-width arrays of this length.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Sentinel for "no thread holds the baton" (completion or abort).
+const NONE: usize = usize::MAX;
+
+/// Panic payload used to unwind threads out of an aborted execution.
+pub(crate) const ABORT_MSG: &str = "loom: execution aborted";
+
+/// A fixed-width vector clock over model threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// `self` happened-before-or-equal `other`.
+    fn le(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] <= other.0[i])
+    }
+}
+
+/// One recorded nondeterministic decision: which of `total` alternatives
+/// was taken at this point in the execution.
+#[derive(Clone, Debug)]
+struct Branch {
+    chosen: usize,
+    total: usize,
+}
+
+/// The decision tape: replayed from the front, extended at the tail, and
+/// advanced depth-first between executions.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Path {
+    branches: Vec<Branch>,
+    pos: usize,
+}
+
+impl Path {
+    /// Takes (replaying) or records the next decision among `total`
+    /// alternatives. Unary decisions are not recorded.
+    fn choice(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        if self.pos < self.branches.len() {
+            let b = &self.branches[self.pos];
+            assert_eq!(
+                b.total, total,
+                "loom: non-deterministic execution (branch arity changed on replay)"
+            );
+            self.pos += 1;
+            b.chosen
+        } else {
+            self.branches.push(Branch { chosen: 0, total });
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Moves to the next unexplored schedule; `false` when the space is
+    /// exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        self.branches.truncate(self.pos);
+        while let Some(b) = self.branches.last_mut() {
+            if b.chosen + 1 < b.total {
+                b.chosen += 1;
+                self.pos = 0;
+                return true;
+            }
+            self.branches.pop();
+        }
+        false
+    }
+}
+
+/// One store event in an atomic's modification order.
+#[derive(Clone, Debug)]
+struct StoreEv {
+    val: u64,
+    /// The storing thread's clock at the store (its happens-before set).
+    clock: VClock,
+    /// Whether an `Acquire` load reading this store synchronizes with it.
+    release: bool,
+}
+
+/// Why a thread cannot currently run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocked {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Cond {
+        cond: usize,
+        can_timeout: bool,
+        notified: bool,
+        timed_out: bool,
+    },
+    Join(usize),
+}
+
+#[derive(Debug)]
+enum Obj {
+    Atomic {
+        stores: Vec<StoreEv>,
+        /// Per-thread index of the newest store each thread has observed
+        /// (coherence floor for its next load).
+        last_seen: [usize; MAX_THREADS],
+    },
+    Mutex {
+        locked: bool,
+        /// Release clock of the last unlock; joined on acquire.
+        clock: VClock,
+    },
+    Rw {
+        writer: bool,
+        readers: usize,
+        clock: VClock,
+    },
+    Condvar,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    finished: bool,
+    blocked: Option<Blocked>,
+    clock: VClock,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        ThreadSt {
+            finished: false,
+            blocked: None,
+            clock,
+        }
+    }
+}
+
+pub(crate) struct ExecSt {
+    threads: Vec<ThreadSt>,
+    objs: Vec<Obj>,
+    active: usize,
+    path: Path,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    ops: usize,
+    max_ops: usize,
+    failure: Option<String>,
+}
+
+fn runnable(st: &ExecSt, tid: usize) -> bool {
+    let t = &st.threads[tid];
+    if t.finished {
+        return false;
+    }
+    match t.blocked {
+        None => true,
+        Some(Blocked::Mutex(o)) => matches!(st.objs[o], Obj::Mutex { locked: false, .. }),
+        Some(Blocked::RwRead(o)) => matches!(st.objs[o], Obj::Rw { writer: false, .. }),
+        Some(Blocked::RwWrite(o)) => {
+            matches!(
+                st.objs[o],
+                Obj::Rw {
+                    writer: false,
+                    readers: 0,
+                    ..
+                }
+            )
+        }
+        Some(Blocked::Cond {
+            notified,
+            timed_out,
+            ..
+        }) => notified || timed_out,
+        Some(Blocked::Join(t)) => st.threads[t].finished,
+    }
+}
+
+fn describe_blocked(st: &ExecSt) -> String {
+    let parts: Vec<String> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.finished)
+        .map(|(i, t)| format!("thread {i} blocked on {:?}", t.blocked))
+        .collect();
+    parts.join("; ")
+}
+
+/// One in-flight exploration execution: the shared scheduler state plus the
+/// condvar every parked OS thread waits on.
+pub(crate) struct Execution {
+    st: Mutex<ExecSt>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Distinguishes this execution's object registrations from earlier
+    /// iterations' (see [`ObjRef`]).
+    pub(crate) generation: u64,
+}
+
+static GLOBAL_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The active execution and model-thread id of the calling OS thread, if a
+/// model is running here.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Execution>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Lazy binding of a shim primitive to its per-execution model object.
+///
+/// Primitives can be created outside any model (they fall back to their
+/// real `std` state); the first operation inside an execution registers a
+/// fresh model object seeded from that state, keyed by the execution's
+/// generation so stale bindings from earlier iterations are ignored.
+#[derive(Debug, Default)]
+pub(crate) struct ObjRef(Mutex<Option<(u64, usize)>>);
+
+impl ObjRef {
+    pub(crate) const fn new() -> Self {
+        ObjRef(Mutex::new(None))
+    }
+
+    fn resolve(&self, ex: &Execution, make: impl FnOnce() -> Obj) -> usize {
+        let mut slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        match *slot {
+            Some((gen, idx)) if gen == ex.generation => idx,
+            _ => {
+                let obj = make();
+                let mut st = ex.lock_st();
+                let idx = st.objs.len();
+                st.objs.push(obj);
+                *slot = Some((ex.generation, idx));
+                idx
+            }
+        }
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Execution {
+    fn new(path: Path, preemption_bound: Option<usize>, max_ops: usize) -> Self {
+        let mut root_clock = VClock::default();
+        root_clock.tick(0);
+        Execution {
+            st: Mutex::new(ExecSt {
+                threads: vec![ThreadSt::new(root_clock)],
+                objs: Vec::new(),
+                active: 0,
+                path,
+                preemptions: 0,
+                preemption_bound,
+                ops: 0,
+                max_ops,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+            generation: GLOBAL_GEN.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn lock_st(&self) -> MutexGuard<'_, ExecSt> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fail_locked(&self, st: &mut ExecSt, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.active = NONE;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. `me_runnable` is false when the
+    /// caller just blocked or finished (a forced switch, which is free
+    /// under the preemption bound).
+    fn reschedule(&self, st: &mut ExecSt, me: usize, me_runnable: bool) {
+        let mut cands: Vec<usize> = Vec::new();
+        if me_runnable {
+            cands.push(me);
+        }
+        for t in 0..st.threads.len() {
+            if t != me && runnable(st, t) {
+                cands.push(t);
+            }
+        }
+        if cands.is_empty() {
+            self.resolve_idle(st);
+            return;
+        }
+        let limited = me_runnable
+            && st
+                .preemption_bound
+                .is_some_and(|bound| st.preemptions >= bound);
+        let pick = if limited {
+            0
+        } else {
+            st.path.choice(cands.len())
+        };
+        let next = cands[pick];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    /// No thread is runnable: completion, a forced timeout wake ("time
+    /// only advances when the system is idle"), or a deadlock.
+    fn resolve_idle(&self, st: &mut ExecSt) {
+        if st.threads.iter().all(|t| t.finished) {
+            st.active = NONE;
+            self.cv.notify_all();
+            return;
+        }
+        let timed: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| {
+                !st.threads[i].finished
+                    && matches!(
+                        st.threads[i].blocked,
+                        Some(Blocked::Cond {
+                            can_timeout: true,
+                            notified: false,
+                            timed_out: false,
+                            ..
+                        })
+                    )
+            })
+            .collect();
+        if timed.is_empty() {
+            let msg = format!("deadlock: no runnable threads ({})", describe_blocked(st));
+            self.fail_locked(st, msg);
+            return;
+        }
+        let pick = st.path.choice(timed.len());
+        let tid = timed[pick];
+        if let Some(Blocked::Cond {
+            ref mut timed_out, ..
+        }) = st.threads[tid].blocked
+        {
+            *timed_out = true;
+        }
+        st.active = tid;
+        self.cv.notify_all();
+    }
+
+    /// Parks until the baton comes back (or the execution aborts).
+    fn wait_for_turn(&self, mut st: MutexGuard<'_, ExecSt>, tid: usize) {
+        while st.failure.is_none() && st.active != tid {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.failure.is_some() {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+    }
+
+    /// The scheduling point before every visible operation: counts the op,
+    /// ticks the caller's clock, and offers the baton to every runnable
+    /// thread.
+    pub(crate) fn sched_point(&self, tid: usize) {
+        let mut st = self.lock_st();
+        if st.failure.is_some() {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            let msg = format!(
+                "op budget of {} exceeded — likely an unbounded loop under the model",
+                st.max_ops
+            );
+            self.fail_locked(&mut st, msg);
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st.threads[tid].clock.tick(tid);
+        self.reschedule(&mut st, tid, true);
+        self.wait_for_turn(st, tid);
+    }
+
+    // --- atomics ---------------------------------------------------------
+
+    fn resolve_atomic(&self, r: &ObjRef, seed: u64) -> usize {
+        r.resolve(self, || Obj::Atomic {
+            stores: vec![StoreEv {
+                val: seed,
+                clock: VClock::default(),
+                release: false,
+            }],
+            last_seen: [0; MAX_THREADS],
+        })
+    }
+
+    /// A load may observe any store not yet superseded for this thread:
+    /// everything from the newest store that happened-before the loader
+    /// (or that it already observed) up to the newest store overall. The
+    /// pick is a recorded decision, so every permitted stale value is
+    /// eventually explored. `SeqCst` loads conservatively read the newest
+    /// store.
+    pub(crate) fn atomic_load(&self, tid: usize, r: &ObjRef, seed: u64, order: Ordering) -> u64 {
+        self.sched_point(tid);
+        let idx = self.resolve_atomic(r, seed);
+        let mut st = self.lock_st();
+        let tclock = st.threads[tid].clock;
+        let st = &mut *st;
+        let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
+            unreachable!("object {idx} is not an atomic");
+        };
+        let mut floor = last_seen[tid];
+        for (i, s) in stores.iter().enumerate() {
+            if s.clock.le(&tclock) {
+                floor = floor.max(i);
+            }
+        }
+        let pick = if order == Ordering::SeqCst {
+            stores.len() - 1
+        } else {
+            floor + st.path.choice(stores.len() - floor)
+        };
+        last_seen[tid] = pick;
+        let ev = stores[pick].clone();
+        if is_acquire(order) && ev.release {
+            st.threads[tid].clock.join(&ev.clock);
+        }
+        ev.val
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        r: &ObjRef,
+        seed: u64,
+        val: u64,
+        order: Ordering,
+    ) {
+        self.sched_point(tid);
+        let idx = self.resolve_atomic(r, seed);
+        let mut st = self.lock_st();
+        let clock = st.threads[tid].clock;
+        let release = is_release(order);
+        let st = &mut *st;
+        let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
+            unreachable!("object {idx} is not an atomic");
+        };
+        stores.push(StoreEv {
+            val,
+            clock,
+            release,
+        });
+        last_seen[tid] = stores.len() - 1;
+    }
+
+    /// Read-modify-write: always reads the newest store (C11 guarantees
+    /// RMWs read the last value in modification order).
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        r: &ObjRef,
+        seed: u64,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        self.sched_point(tid);
+        let idx = self.resolve_atomic(r, seed);
+        let mut st = self.lock_st();
+        let st = &mut *st;
+        let Obj::Atomic {
+            stores,
+            last_seen: _,
+        } = &mut st.objs[idx]
+        else {
+            unreachable!("object {idx} is not an atomic");
+        };
+        let prev = stores.last().expect("atomic store history is never empty");
+        let (old, was_release) = (prev.val, prev.release);
+        if is_acquire(order) && was_release {
+            let clock = prev.clock;
+            st.threads[tid].clock.join(&clock);
+        }
+        let clock = st.threads[tid].clock;
+        let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
+            unreachable!();
+        };
+        stores.push(StoreEv {
+            val: f(old),
+            clock,
+            release: is_release(order),
+        });
+        last_seen[tid] = stores.len() - 1;
+        old
+    }
+
+    // Mirrors `compare_exchange`'s five-parameter surface plus the
+    // object/seed plumbing every atomic op needs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        r: &ObjRef,
+        seed: u64,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.sched_point(tid);
+        let idx = self.resolve_atomic(r, seed);
+        let mut st = self.lock_st();
+        let st = &mut *st;
+        let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
+            unreachable!("object {idx} is not an atomic");
+        };
+        let prev = stores.last().expect("atomic store history is never empty");
+        let (old, was_release, prev_clock) = (prev.val, prev.release, prev.clock);
+        last_seen[tid] = stores.len() - 1;
+        if old == current {
+            if is_acquire(success) && was_release {
+                st.threads[tid].clock.join(&prev_clock);
+            }
+            let clock = st.threads[tid].clock;
+            let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
+                unreachable!();
+            };
+            stores.push(StoreEv {
+                val: new,
+                clock,
+                release: is_release(success),
+            });
+            last_seen[tid] = stores.len() - 1;
+            Ok(old)
+        } else {
+            if is_acquire(failure) && was_release {
+                st.threads[tid].clock.join(&prev_clock);
+            }
+            Err(old)
+        }
+    }
+
+    // --- mutexes ---------------------------------------------------------
+
+    fn resolve_mutex(&self, r: &ObjRef) -> usize {
+        r.resolve(self, || Obj::Mutex {
+            locked: false,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, r: &ObjRef) {
+        self.sched_point(tid);
+        let idx = self.resolve_mutex(r);
+        self.mutex_lock_at(tid, idx);
+    }
+
+    fn mutex_lock_at(&self, tid: usize, idx: usize) {
+        loop {
+            let mut st = self.lock_st();
+            let free = matches!(st.objs[idx], Obj::Mutex { locked: false, .. });
+            if free {
+                let Obj::Mutex { locked, clock } = &mut st.objs[idx] else {
+                    unreachable!();
+                };
+                *locked = true;
+                let clock = *clock;
+                st.threads[tid].clock.join(&clock);
+                st.threads[tid].blocked = None;
+                return;
+            }
+            st.threads[tid].blocked = Some(Blocked::Mutex(idx));
+            self.reschedule(&mut st, tid, false);
+            self.wait_for_turn(st, tid);
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&self, tid: usize, r: &ObjRef) -> bool {
+        self.sched_point(tid);
+        let idx = self.resolve_mutex(r);
+        let mut st = self.lock_st();
+        let free = matches!(st.objs[idx], Obj::Mutex { locked: false, .. });
+        if free {
+            let Obj::Mutex { locked, clock } = &mut st.objs[idx] else {
+                unreachable!();
+            };
+            *locked = true;
+            let clock = *clock;
+            st.threads[tid].clock.join(&clock);
+        }
+        free
+    }
+
+    /// `quiet` skips the scheduling point and never panics — used from
+    /// guard `Drop` impls while unwinding, where a panic would abort the
+    /// process.
+    pub(crate) fn mutex_unlock(&self, tid: usize, r: &ObjRef, quiet: bool) {
+        if quiet {
+            if self.lock_st().failure.is_some() {
+                return;
+            }
+        } else {
+            self.sched_point(tid);
+        }
+        let idx = self.resolve_mutex(r);
+        let mut st = self.lock_st();
+        let tclock = st.threads[tid].clock;
+        let Obj::Mutex { locked, clock } = &mut st.objs[idx] else {
+            unreachable!("object {idx} is not a mutex");
+        };
+        *locked = false;
+        clock.join(&tclock);
+        self.cv.notify_all();
+    }
+
+    // --- rwlocks ---------------------------------------------------------
+
+    fn resolve_rw(&self, r: &ObjRef) -> usize {
+        r.resolve(self, || Obj::Rw {
+            writer: false,
+            readers: 0,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn rw_lock(&self, tid: usize, r: &ObjRef, write: bool) {
+        self.sched_point(tid);
+        let idx = self.resolve_rw(r);
+        loop {
+            let mut st = self.lock_st();
+            let free = match st.objs[idx] {
+                Obj::Rw {
+                    writer, readers, ..
+                } => !writer && (!write || readers == 0),
+                _ => unreachable!("object {idx} is not an rwlock"),
+            };
+            if free {
+                let Obj::Rw {
+                    writer,
+                    readers,
+                    clock,
+                } = &mut st.objs[idx]
+                else {
+                    unreachable!();
+                };
+                if write {
+                    *writer = true;
+                } else {
+                    *readers += 1;
+                }
+                let clock = *clock;
+                st.threads[tid].clock.join(&clock);
+                st.threads[tid].blocked = None;
+                return;
+            }
+            st.threads[tid].blocked = Some(if write {
+                Blocked::RwWrite(idx)
+            } else {
+                Blocked::RwRead(idx)
+            });
+            self.reschedule(&mut st, tid, false);
+            self.wait_for_turn(st, tid);
+        }
+    }
+
+    pub(crate) fn rw_unlock(&self, tid: usize, r: &ObjRef, write: bool, quiet: bool) {
+        if quiet {
+            if self.lock_st().failure.is_some() {
+                return;
+            }
+        } else {
+            self.sched_point(tid);
+        }
+        let idx = self.resolve_rw(r);
+        let mut st = self.lock_st();
+        let tclock = st.threads[tid].clock;
+        let Obj::Rw {
+            writer,
+            readers,
+            clock,
+        } = &mut st.objs[idx]
+        else {
+            unreachable!("object {idx} is not an rwlock");
+        };
+        if write {
+            *writer = false;
+        } else {
+            *readers = readers.saturating_sub(1);
+        }
+        clock.join(&tclock);
+        self.cv.notify_all();
+    }
+
+    // --- condvars --------------------------------------------------------
+
+    fn resolve_cond(&self, r: &ObjRef) -> usize {
+        r.resolve(self, || Obj::Condvar)
+    }
+
+    /// Atomically releases `mutex`, parks on `cond`, and re-acquires the
+    /// mutex once woken. Returns whether the wake was a (forced) timeout.
+    pub(crate) fn cond_wait(
+        &self,
+        tid: usize,
+        cond: &ObjRef,
+        mutex: &ObjRef,
+        can_timeout: bool,
+    ) -> bool {
+        self.sched_point(tid);
+        let cidx = self.resolve_cond(cond);
+        let midx = self.resolve_mutex(mutex);
+        {
+            let mut st = self.lock_st();
+            let tclock = st.threads[tid].clock;
+            let Obj::Mutex { locked, clock } = &mut st.objs[midx] else {
+                unreachable!("object {midx} is not a mutex");
+            };
+            *locked = false;
+            clock.join(&tclock);
+            st.threads[tid].blocked = Some(Blocked::Cond {
+                cond: cidx,
+                can_timeout,
+                notified: false,
+                timed_out: false,
+            });
+            self.reschedule(&mut st, tid, false);
+            self.wait_for_turn(st, tid);
+        }
+        let timed_out = {
+            let mut st = self.lock_st();
+            let flag = match st.threads[tid].blocked {
+                Some(Blocked::Cond {
+                    notified,
+                    timed_out,
+                    ..
+                }) => timed_out && !notified,
+                _ => false,
+            };
+            st.threads[tid].blocked = None;
+            flag
+        };
+        self.mutex_lock_at(tid, midx);
+        timed_out
+    }
+
+    /// Wakes one (a recorded decision among the waiters) or all waiters.
+    pub(crate) fn cond_notify(&self, tid: usize, cond: &ObjRef, all: bool) {
+        self.sched_point(tid);
+        let cidx = self.resolve_cond(cond);
+        let mut st = self.lock_st();
+        let waiters: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| {
+                matches!(
+                    st.threads[i].blocked,
+                    Some(Blocked::Cond {
+                        cond,
+                        notified: false,
+                        timed_out: false,
+                        ..
+                    }) if cond == cidx
+                )
+            })
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let chosen: Vec<usize> = if all {
+            waiters
+        } else {
+            let pick = st.path.choice(waiters.len());
+            vec![waiters[pick]]
+        };
+        for w in chosen {
+            if let Some(Blocked::Cond {
+                ref mut notified, ..
+            }) = st.threads[w].blocked
+            {
+                *notified = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // --- threads ---------------------------------------------------------
+
+    /// Registers a child thread; its clock inherits the parent's (the
+    /// spawn edge) plus its own first tick.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock_st();
+        let tid = st.threads.len();
+        if tid >= MAX_THREADS {
+            self.fail_locked(&mut st, format!("thread limit of {MAX_THREADS} exceeded"));
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        let mut clock = st.threads[parent].clock;
+        clock.tick(tid);
+        st.threads.push(ThreadSt::new(clock));
+        tid
+    }
+
+    pub(crate) fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// First park of a freshly spawned thread. Returns `false` if the
+    /// execution aborted before it ever ran.
+    pub(crate) fn wait_first_turn(&self, tid: usize) -> bool {
+        let mut st = self.lock_st();
+        while st.failure.is_none() && st.active != tid {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.failure.is_none()
+    }
+
+    /// Marks `tid` finished (recording a failure if it panicked), wakes
+    /// joiners, and hands the baton on.
+    pub(crate) fn finish_thread(&self, tid: usize, err: Option<String>) {
+        let mut st = self.lock_st();
+        if let Some(msg) = err {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+                st.active = NONE;
+            }
+        }
+        st.threads[tid].finished = true;
+        st.threads[tid].blocked = None;
+        if st.failure.is_none() {
+            st.threads[tid].clock.tick(tid);
+            self.reschedule(&mut st, tid, false);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.sched_point(tid);
+        loop {
+            let mut st = self.lock_st();
+            if st.threads[target].finished {
+                let tc = st.threads[target].clock;
+                st.threads[tid].clock.join(&tc);
+                st.threads[tid].blocked = None;
+                return;
+            }
+            st.threads[tid].blocked = Some(Blocked::Join(target));
+            self.reschedule(&mut st, tid, false);
+            self.wait_for_turn(st, tid);
+        }
+    }
+
+    /// Snapshot of the newest store's value without a scheduling point;
+    /// used by `Debug` impls only.
+    pub(crate) fn atomic_peek(&self, r: &ObjRef, seed: u64) -> u64 {
+        let idx = self.resolve_atomic(r, seed);
+        let st = self.lock_st();
+        match &st.objs[idx] {
+            Obj::Atomic { stores, .. } => stores.last().map_or(seed, |s| s.val),
+            _ => seed,
+        }
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Body of a spawned model thread: parks until first scheduled, runs the
+/// closure under `catch_unwind`, deposits the result, and hands the baton
+/// on. Generic glue lives in [`crate::thread`].
+pub(crate) fn run_spawned<T: Send + 'static>(
+    ex: Arc<Execution>,
+    tid: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+    slot: Arc<Mutex<Option<T>>>,
+) {
+    set_ctx(Some((Arc::clone(&ex), tid)));
+    let started = ex.wait_first_turn(tid);
+    let err = if started {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                None
+            }
+            Err(p) => {
+                let msg = panic_message(p);
+                if msg == ABORT_MSG {
+                    None
+                } else {
+                    Some(msg)
+                }
+            }
+        }
+    } else {
+        None
+    };
+    ex.finish_thread(tid, err);
+    set_ctx(None);
+}
+
+/// Runs `f` once per schedule until the decision space (or a bound) is
+/// exhausted. Returns the number of executions explored. Panics with the
+/// recorded failure if any execution fails.
+pub(crate) fn explore(
+    f: &dyn Fn(),
+    preemption_bound: Option<usize>,
+    max_ops: usize,
+    max_permutations: Option<usize>,
+) -> usize {
+    assert!(
+        current().is_none(),
+        "loom: nested model execution is not supported"
+    );
+    let mut path = Path::default();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let ex = Arc::new(Execution::new(path, preemption_bound, max_ops));
+        set_ctx(Some((Arc::clone(&ex), 0)));
+        let root = catch_unwind(AssertUnwindSafe(f));
+        let err = match root {
+            Ok(()) => None,
+            Err(p) => {
+                let msg = panic_message(p);
+                if msg == ABORT_MSG {
+                    None
+                } else {
+                    Some(msg)
+                }
+            }
+        };
+        ex.finish_thread(0, err);
+        // Let every spawned thread run to completion (or unwind out of an
+        // aborted execution), then reap the OS threads.
+        {
+            let mut st = ex.lock_st();
+            while !st.threads.iter().all(|t| t.finished) {
+                st = ex.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        for h in ex
+            .os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        set_ctx(None);
+        let mut st = ex.lock_st();
+        if let Some(fail) = st.failure.take() {
+            panic!("loom: model failed (execution {iterations}): {fail}");
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+        if !path.advance() {
+            return iterations;
+        }
+        if let Some(cap) = max_permutations {
+            if iterations >= cap {
+                eprintln!(
+                    "loom: exploration capped at {iterations} executions (raise \
+                     max_permutations / LOOM_MAX_PERMUTATIONS for full coverage)"
+                );
+                return iterations;
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Model-aware replacements for the [`std::sync`] primitives the
+//! workspace uses: [`Mutex`], [`RwLock`], [`Condvar`] (plus [`Arc`] and
+//! the lock result aliases re-exported from `std`).
+//!
+//! Outside a [`crate::model`] execution every primitive degrades to its
+//! `std` counterpart. Inside one, acquisition order, contention and
+//! condvar wakeups become recorded scheduler decisions, and lock
+//! release/acquire edges carry vector-clock synchronization.
+
+pub use std::sync::{Arc, LockResult, TryLockError, TryLockResult};
+
+pub mod atomic;
+
+use crate::rt;
+
+/// A mutual-exclusion lock; the model explores every acquisition order.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    obj: rt::ObjRef,
+    data: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releasing is a visible model operation.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(data: T) -> Self {
+        Mutex {
+            obj: rt::ObjRef::new(),
+            data: std::sync::Mutex::new(data),
+        }
+    }
+
+    fn std_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        // Never contended inside a model (the scheduler serializes model
+        // threads); poisoning is recovered because an aborted execution
+        // already records the original panic.
+        self.data.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the mutex, blocking (under the scheduler) until available.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered (the model records the
+    /// original panic as the execution failure).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((ex, tid)) => {
+                ex.mutex_lock(tid, &self.obj);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.std_guard()),
+                    modeled: true,
+                })
+            }
+            None => Ok(MutexGuard {
+                lock: self,
+                inner: Some(self.std_guard()),
+                modeled: false,
+            }),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryLockError::WouldBlock`] if the lock is held.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((ex, tid)) => {
+                if ex.mutex_try_lock(tid, &self.obj) {
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(self.std_guard()),
+                        modeled: true,
+                    })
+                } else {
+                    Err(TryLockError::WouldBlock)
+                }
+            }
+            None => match self.data.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(e)) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(e.into_inner()),
+                    modeled: false,
+                }),
+            },
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn std(&self) -> &std::sync::MutexGuard<'a, T> {
+        self.inner.as_ref().expect("guard already released")
+    }
+
+    /// Drops the underlying `std` guard without the modeled unlock; used
+    /// by [`Condvar::wait`], which releases the model mutex itself.
+    fn release_for_wait(mut self) -> &'a Mutex<T> {
+        self.inner = None;
+        self.lock
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && self.modeled {
+            if let Some((ex, tid)) = rt::current() {
+                ex.mutex_unlock(tid, &self.lock.obj, std::thread::panicking());
+            }
+        }
+    }
+}
+
+/// A reader-writer lock; the model explores reader/writer admission order.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    obj: rt::ObjRef,
+    data: std::sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    modeled: bool,
+}
+
+/// Exclusive-write RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(data: T) -> Self {
+        RwLock {
+            obj: rt::ObjRef::new(),
+            data: std::sync::RwLock::new(data),
+        }
+    }
+
+    /// Acquires shared read access.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match rt::current() {
+            Some((ex, tid)) => {
+                ex.rw_lock(tid, &self.obj, false);
+                Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(self.data.read().unwrap_or_else(|e| e.into_inner())),
+                    modeled: true,
+                })
+            }
+            None => Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(self.data.read().unwrap_or_else(|e| e.into_inner())),
+                modeled: false,
+            }),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match rt::current() {
+            Some((ex, tid)) => {
+                ex.rw_lock(tid, &self.obj, true);
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(self.data.write().unwrap_or_else(|e| e.into_inner())),
+                    modeled: true,
+                })
+            }
+            None => Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.data.write().unwrap_or_else(|e| e.into_inner())),
+                modeled: false,
+            }),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && self.modeled {
+            if let Some((ex, tid)) = rt::current() {
+                ex.rw_unlock(tid, &self.lock.obj, false, std::thread::panicking());
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && self.modeled {
+            if let Some((ex, tid)) = rt::current() {
+                ex.rw_unlock(tid, &self.lock.obj, true, std::thread::panicking());
+            }
+        }
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because time ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait timed out rather than being notified.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable; which waiter a `notify_one` wakes is a recorded
+/// model decision, and timeouts only fire when no thread is runnable.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    obj: rt::ObjRef,
+    fallback: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar {
+            obj: rt::ObjRef::new(),
+            fallback: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks on this condvar until notified, releasing `guard` while
+    /// parked.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::current() {
+            Some((ex, tid)) if guard.modeled => {
+                let lock = guard.release_for_wait();
+                ex.cond_wait(tid, &self.obj, &lock.obj, false);
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(lock.std_guard()),
+                    modeled: true,
+                })
+            }
+            _ => {
+                let lock = guard.lock;
+                let inner = guard.release_for_wait_std();
+                let inner = self.fallback.wait(inner).unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    modeled: false,
+                })
+            }
+        }
+    }
+
+    /// Like [`Condvar::wait`] with a timeout. Under the model the duration
+    /// is abstract: the timeout fires only when no other thread can run.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: poisoning is recovered.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match rt::current() {
+            Some((ex, tid)) if guard.modeled => {
+                let lock = guard.release_for_wait();
+                let timed_out = ex.cond_wait(tid, &self.obj, &lock.obj, true);
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(lock.std_guard()),
+                        modeled: true,
+                    },
+                    WaitTimeoutResult(timed_out),
+                ))
+            }
+            _ => {
+                let lock = guard.lock;
+                let inner = guard.release_for_wait_std();
+                let (inner, res) = self
+                    .fallback
+                    .wait_timeout(inner, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        modeled: false,
+                    },
+                    WaitTimeoutResult(res.timed_out()),
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter (a recorded decision among current waiters).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((ex, tid)) => ex.cond_notify(tid, &self.obj, false),
+            None => self.fallback.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((ex, tid)) => ex.cond_notify(tid, &self.obj, true),
+            None => self.fallback.notify_all(),
+        }
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn release_for_wait_std(mut self) -> std::sync::MutexGuard<'a, T> {
+        self.inner.take().expect("guard already released")
+    }
+}

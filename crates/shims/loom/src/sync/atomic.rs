@@ -1,0 +1,314 @@
+//! Model-aware atomics with ordering-sensitive semantics.
+//!
+//! Each atomic keeps its full store history inside a model execution. A
+//! `Relaxed` or `Acquire` load may observe any store not ruled out by
+//! coherence and happens-before — in particular a *stale* value another
+//! thread already overwrote — and the choice is a recorded exploration
+//! decision. An `Acquire` load synchronizes (joins vector clocks) only
+//! when the store it reads was `Release` or stronger, so missing release
+//! edges manifest as real model failures. `SeqCst` loads conservatively
+//! read the newest store. Outside a model every operation falls through
+//! to the underlying [`std::sync::atomic`] type.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            obj: rt::ObjRef,
+            fallback: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            #[must_use]
+            pub const fn new(v: $prim) -> Self {
+                $name {
+                    obj: rt::ObjRef::new(),
+                    fallback: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            fn seed(&self) -> u64 {
+                self.fallback.load(Ordering::Relaxed) as u64
+            }
+
+            /// Loads a value; under the model, any coherence-permitted
+            /// store may be observed depending on `order`.
+            pub fn load(&self, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => {
+                        ex.atomic_load(tid, &self.obj, self.seed(), order) as $prim
+                    }
+                    None => self.fallback.load(order),
+                }
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $prim, order: Ordering) {
+                match rt::current() {
+                    Some((ex, tid)) => {
+                        ex.atomic_store(tid, &self.obj, self.seed(), val as u64, order);
+                    }
+                    None => self.fallback.store(val, order),
+                }
+            }
+
+            /// Swaps in `val`, returning the previous value.
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => {
+                        ex.atomic_rmw(tid, &self.obj, self.seed(), order, |_| val as u64)
+                            as $prim
+                    }
+                    None => self.fallback.swap(val, order),
+                }
+            }
+
+            /// Adds `val`, returning the previous value (wrapping).
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => ex.atomic_rmw(tid, &self.obj, self.seed(), order, |old| {
+                        (old as $prim).wrapping_add(val) as u64
+                    }) as $prim,
+                    None => self.fallback.fetch_add(val, order),
+                }
+            }
+
+            /// Subtracts `val`, returning the previous value (wrapping).
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => ex.atomic_rmw(tid, &self.obj, self.seed(), order, |old| {
+                        (old as $prim).wrapping_sub(val) as u64
+                    }) as $prim,
+                    None => self.fallback.fetch_sub(val, order),
+                }
+            }
+
+            /// Bitwise-ORs `val`, returning the previous value.
+            pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => ex.atomic_rmw(tid, &self.obj, self.seed(), order, |old| {
+                        ((old as $prim) | val) as u64
+                    }) as $prim,
+                    None => self.fallback.fetch_or(val, order),
+                }
+            }
+
+            /// Bitwise-ANDs `val`, returning the previous value.
+            pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    Some((ex, tid)) => ex.atomic_rmw(tid, &self.obj, self.seed(), order, |old| {
+                        ((old as $prim) & val) as u64
+                    }) as $prim,
+                    None => self.fallback.fetch_and(val, order),
+                }
+            }
+
+            /// Stores `new` if the current value is `current`.
+            ///
+            /// # Errors
+            ///
+            /// Returns the actual value if it was not `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match rt::current() {
+                    Some((ex, tid)) => ex
+                        .atomic_cas(
+                            tid,
+                            &self.obj,
+                            self.seed(),
+                            current as u64,
+                            new as u64,
+                            success,
+                            failure,
+                        )
+                        .map(|v| v as $prim)
+                        .map_err(|v| v as $prim),
+                    None => self.fallback.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// [`Self::compare_exchange`] that is additionally allowed to
+            /// fail spuriously (the model never does).
+            ///
+            /// # Errors
+            ///
+            /// Returns the actual value if it was not `current`.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without atomics (requires exclusive
+            /// ownership).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.fallback.get_mut()
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            #[must_use]
+            pub fn into_inner(self) -> $prim {
+                self.fallback.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                let v = match rt::current() {
+                    Some((ex, _)) => ex.atomic_peek(&self.obj, self.seed()) as $prim,
+                    None => self.fallback.load(Ordering::Relaxed),
+                };
+                write!(f, "{v:?}")
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Model-aware [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+int_atomic!(
+    /// Model-aware [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Model-aware [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+/// Model-aware [`std::sync::atomic::AtomicBool`].
+#[derive(Default)]
+pub struct AtomicBool {
+    obj: rt::ObjRef,
+    fallback: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            obj: rt::ObjRef::new(),
+            fallback: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        u64::from(self.fallback.load(Ordering::Relaxed))
+    }
+
+    /// Loads the flag; under the model, a `Relaxed` load may observe a
+    /// stale value.
+    pub fn load(&self, order: Ordering) -> bool {
+        match rt::current() {
+            Some((ex, tid)) => ex.atomic_load(tid, &self.obj, self.seed(), order) != 0,
+            None => self.fallback.load(order),
+        }
+    }
+
+    /// Stores the flag.
+    pub fn store(&self, val: bool, order: Ordering) {
+        match rt::current() {
+            Some((ex, tid)) => {
+                ex.atomic_store(tid, &self.obj, self.seed(), u64::from(val), order);
+            }
+            None => self.fallback.store(val, order),
+        }
+    }
+
+    /// Swaps in `val`, returning the previous value.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        match rt::current() {
+            Some((ex, tid)) => {
+                ex.atomic_rmw(tid, &self.obj, self.seed(), order, |_| u64::from(val)) != 0
+            }
+            None => self.fallback.swap(val, order),
+        }
+    }
+
+    /// Stores `new` if the current value is `current`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the actual value if it was not `current`.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match rt::current() {
+            Some((ex, tid)) => ex
+                .atomic_cas(
+                    tid,
+                    &self.obj,
+                    self.seed(),
+                    u64::from(current),
+                    u64::from(new),
+                    success,
+                    failure,
+                )
+                .map(|v| v != 0)
+                .map_err(|v| v != 0),
+            None => self
+                .fallback
+                .compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = match rt::current() {
+            Some((ex, _)) => ex.atomic_peek(&self.obj, self.seed()) != 0,
+            None => self.fallback.load(Ordering::Relaxed),
+        };
+        write!(f, "{v:?}")
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+/// An atomic fence. Under the model this is only a scheduling point — the
+/// workspace does not use standalone fences, so fence-induced edges are
+/// not modeled (conservative: missing edges can only cause false
+/// failures, never hide a bug in fence-free code).
+pub fn fence(order: Ordering) {
+    match rt::current() {
+        Some((ex, tid)) => ex.sched_point(tid),
+        None => std::sync::atomic::fence(order),
+    }
+}

@@ -1,0 +1,76 @@
+//! Model-aware replacement for [`std::thread`]: [`spawn`], [`JoinHandle`]
+//! and [`yield_now`].
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread; joining blocks (under the scheduler)
+/// until the thread finishes and returns its result.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` under the model: a panicking model thread
+    /// aborts the whole execution (which `loom::model` reports), so there
+    /// is no panicked-thread result to hand back.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (ex, tid) = rt::current().expect("loom: JoinHandle::join outside loom::model");
+        ex.join_thread(tid, self.tid);
+        let v = self
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom: joined thread finished without a result");
+        Ok(v)
+    }
+}
+
+/// Spawns a new model thread. Must be called inside [`crate::model`].
+///
+/// # Panics
+///
+/// Panics when called outside a model execution, or when the model's
+/// thread limit is exceeded.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (ex, tid) = rt::current().expect("loom: thread::spawn outside loom::model");
+    ex.sched_point(tid);
+    let child = ex.register_thread(tid);
+    let slot = Arc::new(Mutex::new(None));
+    let body_slot = Arc::clone(&slot);
+    let body_ex = Arc::clone(&ex);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{child}"))
+        .spawn(move || rt::run_spawned(body_ex, child, f, body_slot))
+        .expect("loom: failed to spawn OS thread");
+    ex.add_os_handle(os);
+    JoinHandle { tid: child, slot }
+}
+
+/// A scheduling point: offers the baton to every other runnable thread.
+/// Outside a model this is [`std::thread::yield_now`].
+pub fn yield_now() {
+    match rt::current() {
+        Some((ex, tid)) => ex.sched_point(tid),
+        None => std::thread::yield_now(),
+    }
+}

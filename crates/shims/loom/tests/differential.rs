@@ -1,0 +1,111 @@
+//! Differential test: the same protocol run under the model and under
+//! real OS threads. Every outcome real hardware produces must be inside
+//! the model's explored outcome set — if the real runs ever exhibit an
+//! outcome the model missed, the model is unsound for that protocol.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex as StdMutex;
+
+/// Outcomes of the store-buffer litmus protocol under the model.
+fn model_outcomes() -> BTreeSet<(u64, u64)> {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::Arc;
+
+    let outcomes: &'static StdMutex<BTreeSet<(u64, u64)>> =
+        Box::leak(Box::new(StdMutex::new(BTreeSet::new())));
+    loom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t.join().unwrap();
+        outcomes.lock().unwrap().insert((r1, r2));
+    });
+    let got = outcomes.lock().unwrap().clone();
+    got
+}
+
+/// Outcomes of the identical protocol under real `std` threads and
+/// hardware atomics, over many trials.
+fn real_outcomes(trials: usize) -> BTreeSet<(u64, u64)> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let mut got = BTreeSet::new();
+    for _ in 0..trials {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = std::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t.join().unwrap();
+        got.insert((r1, r2));
+    }
+    got
+}
+
+#[test]
+fn real_executions_are_a_subset_of_the_model() {
+    let model = model_outcomes();
+    let real = real_outcomes(200);
+    assert!(
+        real.is_subset(&model),
+        "real threads produced {real:?}, model only explored {model:?}"
+    );
+    // And the model must cover strictly more than a lucky real sample:
+    // all four litmus outcomes, including the store-buffer one that real
+    // schedulers rarely (or on x86, never via scheduling alone) hit.
+    assert_eq!(model.len(), 4, "model outcome set: {model:?}");
+}
+
+/// The WAL sync-counter publication protocol (the shape model-tested in
+/// `cole_storage`), differentially: a writer bumps a fsync counter then
+/// publishes the synced length with `Release`; a reader that `Acquire`-
+/// loads the length must observe at least the fsyncs that produced it.
+/// Holds under the model and under real threads.
+#[test]
+fn publication_protocol_agrees_with_real_threads() {
+    // Model side.
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU64, Ordering};
+        use loom::sync::Arc;
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        let synced = Arc::new(AtomicU64::new(0));
+        let (f2, s2) = (Arc::clone(&fsyncs), Arc::clone(&synced));
+        let t = loom::thread::spawn(move || {
+            f2.fetch_add(1, Ordering::Relaxed);
+            s2.store(128, Ordering::Release);
+        });
+        let seen = synced.load(Ordering::Acquire);
+        if seen == 128 {
+            assert!(fsyncs.load(Ordering::Relaxed) >= 1);
+        }
+        t.join().unwrap();
+    });
+    // Real side.
+    for _ in 0..200 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        let synced = Arc::new(AtomicU64::new(0));
+        let (f2, s2) = (Arc::clone(&fsyncs), Arc::clone(&synced));
+        let t = std::thread::spawn(move || {
+            f2.fetch_add(1, Ordering::Relaxed);
+            s2.store(128, Ordering::Release);
+        });
+        let seen = synced.load(Ordering::Acquire);
+        if seen == 128 {
+            assert!(fsyncs.load(Ordering::Relaxed) >= 1);
+        }
+        t.join().unwrap();
+    }
+}

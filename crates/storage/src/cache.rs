@@ -32,8 +32,10 @@
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock_recover, Mutex};
 
 /// Process-unique identifier of a cacheable file.
 pub type FileId = u64;
@@ -96,18 +98,27 @@ impl PageIoStats {
 
 /// Global [`FileId`] source. Never reused within a process, which makes
 /// `(file id, page id)` cache keys immune to file-path or run-id reuse.
-static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+///
+/// Deliberately a `std` atomic even under `--cfg loom`: a `static` outlives
+/// any single model execution, and a process-unique counter carries no
+/// happens-before obligations (see `ORDERINGS.md`).
+static NEXT_FILE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// Draws the next process-unique [`FileId`].
 #[must_use]
 pub fn next_file_id() -> FileId {
-    NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+    NEXT_FILE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Number of independently locked shards. A small power of two: enough to
 /// make lock contention negligible for tens of reader threads while keeping
-/// per-shard bookkeeping dense.
+/// per-shard bookkeeping dense. Under the `loom` model checker the shard
+/// count shrinks to 2 so cross-shard interleavings (e.g. `invalidate_file`
+/// racing a reader) stay within the explorer's bounds.
+#[cfg(not(loom))]
 const NUM_SHARDS: usize = 16;
+#[cfg(loom)]
+const NUM_SHARDS: usize = 2;
 
 /// One cached page.
 #[derive(Debug)]
@@ -275,11 +286,7 @@ impl PageCache {
     /// Looks up a page, counting a hit or a miss.
     #[must_use]
     pub fn get(&self, file: FileId, page_id: u64) -> Option<Arc<[u8]>> {
-        let found = self
-            .shard((file, page_id))
-            .lock()
-            .expect("page-cache shard lock poisoned")
-            .get((file, page_id));
+        let found = lock_recover(self.shard((file, page_id))).get((file, page_id));
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -290,29 +297,24 @@ impl PageCache {
     /// Inserts (or refreshes) a page, evicting a cold page if the shard is
     /// full.
     pub fn insert(&self, file: FileId, page_id: u64, page: Arc<[u8]>) {
-        self.shard((file, page_id))
-            .lock()
-            .expect("page-cache shard lock poisoned")
-            .insert((file, page_id), page, self.shard_capacity);
+        lock_recover(self.shard((file, page_id))).insert(
+            (file, page_id),
+            page,
+            self.shard_capacity,
+        );
     }
 
     /// Drops one cached page, if present. Called by positioned writes that
     /// overwrite an already-cached page.
     pub fn invalidate_page(&self, file: FileId, page_id: u64) {
-        self.shard((file, page_id))
-            .lock()
-            .expect("page-cache shard lock poisoned")
-            .invalidate_page((file, page_id));
+        lock_recover(self.shard((file, page_id))).invalidate_page((file, page_id));
     }
 
     /// Drops every cached page of `file`. Called when a run's files are
     /// deleted after a merge so the cache never serves pages of dead files.
     pub fn invalidate_file(&self, file: FileId) {
         for shard in &self.shards {
-            shard
-                .lock()
-                .expect("page-cache shard lock poisoned")
-                .invalidate_file(file);
+            lock_recover(shard).invalidate_file(file);
         }
     }
 
@@ -331,10 +333,7 @@ impl PageCache {
     /// Number of pages currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("page-cache shard lock poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
     }
 
     /// Returns `true` if no pages are cached.

@@ -46,11 +46,13 @@
 mod cache;
 mod kv;
 mod page;
+pub mod sync;
 mod util;
 mod wal;
 
 pub use cache::{next_file_id, FileId, PageCache, PageIoStats};
 pub use kv::{FileKvStore, KvStore, MemKvStore};
 pub use page::{PageFile, PageWriter};
+pub use sync::{lock_recover, read_recover, write_recover};
 pub use util::{dir_size, sync_dir, write_durable};
-pub use wal::{replay_wal, WalBlock, WalSyncPolicy, WriteAheadLog};
+pub use wal::{replay_wal, WalBlock, WalIoCounters, WalSyncPolicy, WriteAheadLog};

@@ -1,0 +1,49 @@
+//! Synchronization primitives, routed through the `loom` model checker
+//! under `--cfg loom`.
+//!
+//! Every concurrency-critical module in the workspace imports its lock and
+//! atomic types from a `sync` module like this one instead of `std::sync`
+//! directly. A normal build re-exports `std`; a model-checking build
+//! (`RUSTFLAGS="--cfg loom"`) re-exports the `loom` shim, whose scheduler
+//! explores thread interleavings and whose atomics admit every
+//! coherence-permitted stale read. See `ROADMAP.md` § "Concurrency
+//! analysis & lint gate".
+//!
+//! The module also hosts the workspace-wide lock-poisoning policy: the
+//! [`lock_recover`] / [`read_recover`] / [`write_recover`] helpers. A
+//! panicking thread poisons a `std` lock; for every lock in this workspace
+//! the protected state is either rebuilt from disk on reopen (cache,
+//! pinned pages) or guarded by its own checksums (WAL), so recovering the
+//! poisoned guard is always sound — and a panicked reader must never wedge
+//! the server's remaining connections. The `cole_lint` rule
+//! `lock-unwrap` rejects bare `.lock().unwrap()` in library code in favor
+//! of these helpers.
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(loom)]
+pub use loom::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+use std::sync::PoisonError;
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `rwlock` for reading, recovering the guard if a previous
+/// holder panicked.
+pub fn read_recover<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rwlock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `rwlock` for writing, recovering the guard if a previous
+/// holder panicked.
+pub fn write_recover<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rwlock.write().unwrap_or_else(PoisonError::into_inner)
+}

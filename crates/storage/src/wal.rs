@@ -25,15 +25,15 @@
 //!   the exact pre-crash memtable (including intra-block overwrites).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cole_primitives::{
     ColeError, CompoundKey, Result, StateValue, COMPOUND_KEY_LEN, ENTRY_LEN, VALUE_LEN,
 };
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::util::sync_dir;
 
 /// When the write-ahead log fsyncs its appends.
@@ -78,6 +78,65 @@ pub struct WalBlock {
 const RECORD_MAGIC: u32 = 0x574C_4B31; // "WLK1"
 const HEADER_LEN: usize = 4 + 8 + 4 + 8; // magic + height + count + checksum
 
+/// Shared, thread-visible counters for the WAL's append-path durability
+/// progress: how many fsyncs have been issued and how many bytes of the
+/// log the latest one covers.
+///
+/// The log itself is single-writer, but these counters are read from
+/// other threads (metrics scrapes, the engines' observability surface),
+/// so their orderings carry a real protocol: [`record_sync`] bumps the
+/// fsync count *then* publishes the covered length with `Release`, and
+/// [`synced_bytes`] observes with `Acquire` — any observer that sees a
+/// synced length therefore also sees at least the fsync that produced it.
+/// The pairing is model-checked in `tests/loom_wal_counters.rs` (and the
+/// all-`Relaxed` variant is proven wrong there).
+///
+/// [`record_sync`]: WalIoCounters::record_sync
+/// [`synced_bytes`]: WalIoCounters::synced_bytes
+#[derive(Debug, Default)]
+pub struct WalIoCounters {
+    fsyncs: AtomicU64,
+    synced_bytes: AtomicU64,
+}
+
+impl WalIoCounters {
+    /// Fresh counters (zero fsyncs, zero synced bytes).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one append-path fsync covering the log up to
+    /// `synced_len` bytes. The length store is the `Release` publication
+    /// point for the whole sync.
+    pub fn record_sync(&self, synced_len: u64) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.synced_bytes.store(synced_len, Ordering::Release);
+    }
+
+    /// Folds previously accumulated counters in (used when an engine
+    /// attaches its metrics counters to an already-running log).
+    pub fn absorb(&self, fsyncs: u64, synced_len: u64) {
+        self.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        if synced_len > 0 {
+            self.synced_bytes.store(synced_len, Ordering::Release);
+        }
+    }
+
+    /// Append-path fsyncs issued so far.
+    #[must_use]
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of the log covered by the last recorded fsync (`Acquire`:
+    /// pairs with [`record_sync`](Self::record_sync)'s `Release` store).
+    #[must_use]
+    pub fn synced_bytes(&self) -> u64 {
+        self.synced_bytes.load(Ordering::Acquire)
+    }
+}
+
 /// FNV-1a 64-bit — cheap, dependency-free corruption check for WAL frames
 /// (guards against torn writes, not adversaries; proofs are authenticated
 /// separately by the Merkle structures).
@@ -112,10 +171,10 @@ pub struct WriteAheadLog {
     /// Frame encode buffer, reused across appends so the steady-state write
     /// path allocates nothing per block.
     encode_buf: Vec<u8>,
-    /// Fsyncs issued on the append path (per-block, group boundaries and
-    /// barriers — not truncations). Shared with the owning engine's metrics
-    /// so WAL batching is observable.
-    fsyncs: Arc<AtomicU64>,
+    /// Append-path durability counters (per-block fsyncs, group boundaries
+    /// and barriers — not truncations). Shared with the owning engine's
+    /// metrics so WAL batching is observable from other threads.
+    io: Arc<WalIoCounters>,
 }
 
 impl WriteAheadLog {
@@ -138,7 +197,10 @@ impl WriteAheadLog {
             .create(true)
             .truncate(false)
             .open(&path)?;
-        let (blocks, good_end) = replay_records(&mut file)?;
+        // Replay from a one-shot whole-file read rather than seek+read on
+        // the shared handle — the handle's cursor is only ever used for
+        // appends (positioned IO rule, `cole_lint` rule `seek-then-read`).
+        let (blocks, good_end) = replay_records(&std::fs::read(&path)?)?;
         let file_len = file.metadata()?.len();
         if good_end < file_len {
             // Torn tail from a crash mid-append: drop it so future appends
@@ -167,7 +229,7 @@ impl WriteAheadLog {
                 synced_len: good_end,
                 pending_blocks: 0,
                 encode_buf: Vec::new(),
-                fsyncs: Arc::new(AtomicU64::new(0)),
+                io: Arc::new(WalIoCounters::new()),
             },
             blocks,
         ))
@@ -194,22 +256,30 @@ impl WriteAheadLog {
         self.synced_len
     }
 
-    /// Shares the append-path fsync counter with the caller (the engines
-    /// wire it into their [`MetricsSnapshot`]'s `wal_fsyncs`), preserving
-    /// the count accumulated so far.
+    /// Shares the append-path durability counters with the caller (the
+    /// engines wire them into their [`MetricsSnapshot`]'s `wal_fsyncs` /
+    /// `wal_synced_bytes`), preserving the counts accumulated so far.
     ///
     /// [`MetricsSnapshot`]: https://docs.rs/cole-core
-    pub fn attach_fsync_counter(&mut self, counter: Arc<AtomicU64>) {
-        counter.fetch_add(self.fsyncs.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.fsyncs = counter;
+    pub fn attach_io_counters(&mut self, io: Arc<WalIoCounters>) {
+        io.absorb(self.io.fsyncs(), self.io.synced_bytes());
+        self.io = io;
     }
 
-    /// Fsyncs on the append path, incrementing the shared counter.
+    /// The shared durability counters (fsyncs + synced length) for this
+    /// log.
+    #[must_use]
+    pub fn io_counters(&self) -> Arc<WalIoCounters> {
+        Arc::clone(&self.io)
+    }
+
+    /// Fsyncs on the append path, then publishes the covered length
+    /// through the shared counters.
     fn sync_appends(&mut self) -> Result<()> {
         self.file.sync_data()?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.synced_len = self.len;
         self.pending_blocks = 0;
+        self.io.record_sync(self.synced_len);
         Ok(())
     }
 
@@ -323,12 +393,9 @@ impl WriteAheadLog {
     }
 }
 
-/// Reads records from the current position to the last intact frame,
-/// returning the decoded blocks and the byte offset just past them.
-fn replay_records(file: &mut File) -> Result<(Vec<WalBlock>, u64)> {
-    file.seek(SeekFrom::Start(0))?;
-    let mut bytes = Vec::new();
-    file.read_to_end(&mut bytes)?;
+/// Decodes records up to the last intact frame, returning the decoded
+/// blocks and the byte offset just past them.
+fn replay_records(bytes: &[u8]) -> Result<(Vec<WalBlock>, u64)> {
     let mut blocks = Vec::new();
     let mut pos = 0usize;
     // A record cut short by a crash (header or payload), trailing garbage,
@@ -373,8 +440,7 @@ pub fn replay_wal<P: AsRef<Path>>(path: P) -> Result<Vec<WalBlock>> {
     if !path.exists() {
         return Ok(Vec::new());
     }
-    let mut file = File::open(path)?;
-    Ok(replay_records(&mut file)?.0)
+    Ok(replay_records(&std::fs::read(path)?)?.0)
 }
 
 #[cfg(test)]
@@ -493,22 +559,23 @@ mod tests {
             max_bytes: 1 << 20,
         };
         let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        let io = Arc::new(WalIoCounters::new());
+        wal.attach_io_counters(Arc::clone(&io));
         for blk in 1..=10u64 {
             wal.append_block(blk, &[entry(blk, blk)]).unwrap();
         }
         // Blocks 1–4 and 5–8 each closed a group; 9–10 are pending.
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 2, "one fsync per group");
+        assert_eq!(io.fsyncs(), 2, "one fsync per group");
+        assert_eq!(io.synced_bytes(), wal.synced_len_bytes());
         assert!(wal.synced_len_bytes() < wal.len_bytes());
         let synced = wal.synced_len_bytes();
         assert_eq!(replay_truncated(&path, synced).len(), 8);
         // The barrier drains the pending tail with one more fsync.
         wal.sync_barrier().unwrap();
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 3);
+        assert_eq!(io.fsyncs(), 3);
         assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
         wal.sync_barrier().unwrap();
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 3, "empty barrier is free");
+        assert_eq!(io.fsyncs(), 3, "empty barrier is free");
         std::fs::remove_file(&path).ok();
     }
 
@@ -532,12 +599,12 @@ mod tests {
             max_bytes: 64,
         };
         let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        let io = Arc::new(WalIoCounters::new());
+        wal.attach_io_counters(Arc::clone(&io));
         // Each record is HEADER_LEN + ENTRY_LEN > 64 bytes, so every append
         // crosses the byte cap and syncs despite the huge block cap.
         wal.append_block(1, &[entry(1, 1)]).unwrap();
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 1);
+        assert_eq!(io.fsyncs(), 1);
         assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
         std::fs::remove_file(&path).ok();
     }
@@ -551,10 +618,11 @@ mod tests {
             wal.append_block(blk, &[entry(blk, blk)]).unwrap();
             assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
         }
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        // Attaching late preserves the accumulated count.
-        wal.attach_fsync_counter(Arc::clone(&fsyncs));
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 5);
+        let io = Arc::new(WalIoCounters::new());
+        // Attaching late preserves the accumulated counts.
+        wal.attach_io_counters(Arc::clone(&io));
+        assert_eq!(io.fsyncs(), 5);
+        assert_eq!(io.synced_bytes(), wal.synced_len_bytes());
         std::fs::remove_file(&path).ok();
     }
 
@@ -563,14 +631,14 @@ mod tests {
         let path = tmp("osbarrier");
         std::fs::remove_file(&path).ok();
         let (mut wal, _) = WriteAheadLog::open(&path, WalSyncPolicy::OsBuffered).unwrap();
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        let io = Arc::new(WalIoCounters::new());
+        wal.attach_io_counters(Arc::clone(&io));
         for blk in 1..=3u64 {
             wal.append_block(blk, &[entry(blk, blk)]).unwrap();
         }
         wal.sync_barrier().unwrap();
         assert_eq!(
-            fsyncs.load(Ordering::Relaxed),
+            io.fsyncs(),
             0,
             "OsBuffered opts out of power-loss durability entirely"
         );
@@ -586,8 +654,8 @@ mod tests {
             max_bytes: 1 << 20,
         };
         let (mut wal, _) = WriteAheadLog::open(&path, policy).unwrap();
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        wal.attach_fsync_counter(Arc::clone(&fsyncs));
+        let io = Arc::new(WalIoCounters::new());
+        wal.attach_io_counters(Arc::clone(&io));
         wal.append_block(1, &[entry(1, 1)]).unwrap();
         wal.truncate().unwrap();
         assert_eq!(wal.synced_len_bytes(), 0);
@@ -595,9 +663,9 @@ mod tests {
         // pending, the third closes the group.
         wal.append_block(2, &[entry(2, 2)]).unwrap();
         wal.append_block(3, &[entry(3, 3)]).unwrap();
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 0);
+        assert_eq!(io.fsyncs(), 0);
         wal.append_block(4, &[entry(4, 4)]).unwrap();
-        assert_eq!(fsyncs.load(Ordering::Relaxed), 1);
+        assert_eq!(io.fsyncs(), 1);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,87 @@
+//! Model check (d): the WAL durability-counter publication protocol.
+//!
+//! Compile and run with `RUSTFLAGS="--cfg loom" cargo test -p cole_storage
+//! --test loom_wal_counters`.
+//!
+//! [`WalIoCounters::record_sync`] bumps the fsync count (`Relaxed`) and
+//! then publishes the covered byte length with a `Release` store;
+//! [`WalIoCounters::synced_bytes`] reads with `Acquire`. The contract: an
+//! observer that sees a synced length also sees at least the fsyncs that
+//! produced it. The first test checks the contract under every explored
+//! interleaving and stale-read combination; the second demonstrates the
+//! model has teeth by proving the all-`Relaxed` variant of the same
+//! protocol WRONG (the shim finds the reordering, so the `Release` /
+//! `Acquire` pair in `record_sync` is load-bearing, not cargo cult).
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use cole_storage::WalIoCounters;
+
+/// Runs `f` under the model and returns the failure message, if any.
+fn model_failure(f: impl Fn() + Send + Sync + 'static) -> Option<String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loom::model(f)));
+    result.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string())
+    })
+}
+
+#[test]
+fn synced_bytes_observer_sees_the_fsyncs_that_produced_them() {
+    loom::model(|| {
+        let io = Arc::new(WalIoCounters::new());
+        let writer = Arc::clone(&io);
+        let t = loom::thread::spawn(move || {
+            writer.record_sync(128);
+            writer.record_sync(256);
+        });
+        let seen = io.synced_bytes();
+        let fsyncs = io.fsyncs();
+        match seen {
+            0 => {}
+            128 => assert!(fsyncs >= 1, "saw 128 synced bytes but {fsyncs} fsyncs"),
+            256 => assert!(fsyncs >= 2, "saw 256 synced bytes but {fsyncs} fsyncs"),
+            other => panic!("impossible synced length {other}"),
+        }
+        t.join().unwrap();
+        assert_eq!(io.fsyncs(), 2);
+        assert_eq!(io.synced_bytes(), 256);
+    });
+}
+
+/// The same protocol with the `Release`/`Acquire` pair demoted to
+/// `Relaxed` on both sides: the model must find the interleaving where the
+/// reader sees the published length but a stale fsync count. If this test
+/// fails, the shim lost the stale-read semantics that make check (d)
+/// meaningful.
+#[test]
+fn all_relaxed_variant_is_proven_wrong() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+
+    let failure = model_failure(|| {
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        let synced = Arc::new(AtomicU64::new(0));
+        let (f2, s2) = (Arc::clone(&fsyncs), Arc::clone(&synced));
+        let t = loom::thread::spawn(move || {
+            f2.fetch_add(1, Ordering::Relaxed);
+            s2.store(128, Ordering::Relaxed); // bug under test: not Release
+        });
+        if synced.load(Ordering::Relaxed) == 128 {
+            // bug under test: not Acquire
+            assert!(
+                fsyncs.load(Ordering::Relaxed) >= 1,
+                "synced length visible before its fsync"
+            );
+        }
+        t.join().unwrap();
+    });
+    let msg = failure.expect("the model must catch the Relaxed publication");
+    assert!(
+        msg.contains("synced length visible before its fsync"),
+        "unexpected failure: {msg}"
+    );
+}
