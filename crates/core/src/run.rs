@@ -739,9 +739,20 @@ impl PinnedPage {
 /// duplicate decode, never a stale entry, because a [`PinnedPage`] for a
 /// given `page_id` has exactly one possible value. The mutex is held only
 /// for the id compare and the `Arc` clone; I/O happens outside it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PinnedSlot {
     slot: Mutex<Option<PinnedPage>>,
+}
+
+// Manual so the `Mutex::new` call site is a stable source line: under
+// `--cfg lock_order` that line is the lock's class (`pinned-page-slot`
+// in LOCKS.md), which a derived `Default` would blur.
+impl Default for PinnedSlot {
+    fn default() -> Self {
+        PinnedSlot {
+            slot: Mutex::new(None),
+        }
+    }
 }
 
 impl PinnedSlot {

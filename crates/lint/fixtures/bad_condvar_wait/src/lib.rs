@@ -1,0 +1,31 @@
+//! Fixture: a condvar wait outside any loop frame (flagged) next to the
+//! correct predicate-loop form (clean).
+#![forbid(unsafe_code)]
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub fn wait_once(&self) {
+        let Ok(guard) = self.lock.lock() else {
+            return;
+        };
+        let _ = self.cv.wait(guard);
+    }
+
+    pub fn wait_open(&self) {
+        let Ok(mut guard) = self.lock.lock() else {
+            return;
+        };
+        while !*guard {
+            guard = match self.cv.wait(guard) {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+        }
+    }
+}

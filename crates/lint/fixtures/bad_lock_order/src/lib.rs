@@ -1,0 +1,30 @@
+//! Fixture: one rank inversion, one same-class nesting, and a stale
+//! `LOCKS.md` entry (`ghost`).
+#![forbid(unsafe_code)]
+
+use crate::sync::{lock_recover, Mutex};
+
+pub struct Pair {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ordered(&self) -> u32 {
+        let a = lock_recover(&self.outer);
+        let b = lock_recover(&self.inner);
+        *a + *b
+    }
+
+    pub fn inverted(&self) -> u32 {
+        let b = lock_recover(&self.inner);
+        let a = lock_recover(&self.outer);
+        *a + *b
+    }
+
+    pub fn doubled(&self, other: &Pair) -> u32 {
+        let mine = lock_recover(&self.outer);
+        let theirs = lock_recover(&other.outer);
+        *mine + *theirs
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: panic sites reachable from `decode_frame` — one of each
+//! category in `body`, a waived site in `first_byte`, and an encode-path
+//! index that must stay unflagged.
+
+pub fn decode_frame(bytes: &[u8]) -> u32 {
+    let len = header(bytes);
+    body(bytes, len)
+}
+
+/// Reachable but waived: the caller pre-checks non-emptiness.
+fn first_byte(bytes: &[u8]) -> u8 {
+    bytes[0] // cole_lint: allow(panic-path)
+}
+
+fn header(bytes: &[u8]) -> usize {
+    usize::from(first_byte(bytes))
+}
+
+fn body(bytes: &[u8], len: usize) -> u32 {
+    let tail = bytes.len() - len;
+    let last = bytes[tail];
+    u32::try_from(last).expect("u8 fits in u32")
+}
+
+/// The encode path may index freely: not reachable from `decode_*`.
+pub fn encode_frame(out: &mut [u8], val: u8) {
+    out[0] = val;
+}

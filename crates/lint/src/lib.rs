@@ -34,6 +34,28 @@
 //!   `lock_recover` / `read_recover` / `write_recover` helpers, which
 //!   carry the workspace's poisoning policy.
 //!
+//! * **`lock-order`** — every `lock_recover`/`read_recover`/
+//!   `write_recover` site must belong to a lock class declared in the
+//!   checked-in `LOCKS.md`, and nesting observed in source (a guard still
+//!   live when another class is acquired) must respect the declared
+//!   partial order: strictly increasing rank, never the same class twice.
+//!   Stale classes that match no site fail like stale ORDERINGS.md rows.
+//!   This is the *static* leg of the deadlock triple check — the
+//!   `--cfg lock_order` runtime tracker and the loom explorer are the
+//!   other two.
+//!
+//! * **`condvar-wait-loop`** — every `Condvar` `.wait(`/`.wait_timeout(`
+//!   in library code must sit inside a `while`/`loop`/`for` frame:
+//!   condition variables wake spuriously, so a wait whose predicate is
+//!   not re-checked in a loop is a latent lost-wakeup bug.
+//!
+//! * **`panic-path`** — in `cole_protocol`'s decode modules, no
+//!   `.unwrap()`, `.expect(`, direct indexing, or unchecked arithmetic
+//!   may be reachable (intra-file) from a `decode*` function: those
+//!   functions parse bytes off the wire, and a panic there lets a
+//!   malformed frame kill a connection handler instead of surfacing
+//!   `InvalidEncoding`.
+//!
 //! A site can be waived with a same-line or preceding-line comment
 //! `cole_lint: allow(<rule>)`, which is intentionally greppable.
 //!
@@ -337,6 +359,50 @@ fn parse_orderings_md(text: &str) -> BTreeMap<PathBuf, BTreeSet<&'static str>> {
     map
 }
 
+/// One lock class declared in `LOCKS.md`.
+#[derive(Debug, Clone)]
+struct LockClass {
+    name: String,
+    rank: u32,
+    /// Repo-relative path suffix whose recover sites belong to this class.
+    file: String,
+    /// Optional extra substring the site line must contain (for files
+    /// hosting more than one class); `None` matches any line.
+    pattern: Option<String>,
+}
+
+/// Parses `LOCKS.md` table rows into lock classes. Rows look like
+/// `` | `shared-engine` | 10 | `crates/server/src/shared.rs` | - | why | ``.
+fn parse_locks_md(text: &str) -> Vec<LockClass> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let name = cells[0].trim().trim_matches('`');
+        let Ok(rank) = cells[1].trim().parse::<u32>() else {
+            continue; // header or separator row
+        };
+        let file = cells[2].trim().trim_matches('`');
+        if !file.ends_with(".rs") {
+            continue;
+        }
+        let pattern = cells[3].trim().trim_matches('`');
+        out.push(LockClass {
+            name: name.to_string(),
+            rank,
+            file: file.to_string(),
+            pattern: (pattern != "-" && !pattern.is_empty()).then(|| pattern.to_string()),
+        });
+    }
+    out
+}
+
 /// Lints the workspace rooted at `root`, returning every finding.
 ///
 /// # Errors
@@ -350,9 +416,13 @@ pub fn lint_dir(root: &Path) -> Result<Vec<Finding>, String> {
         .collect();
     let orderings_md = std::fs::read_to_string(root.join("ORDERINGS.md")).unwrap_or_default();
     let allowlist = parse_orderings_md(&orderings_md);
+    let locks_md = std::fs::read_to_string(root.join("LOCKS.md")).ok();
+    let classes = parse_locks_md(locks_md.as_deref().unwrap_or_default());
 
     let mut findings = Vec::new();
     let mut audited: BTreeSet<PathBuf> = BTreeSet::new();
+    let mut used_classes: BTreeSet<String> = BTreeSet::new();
+    let mut any_lock_sites = false;
 
     for file in &files {
         check_forbid_unsafe(file, &mut findings);
@@ -363,6 +433,15 @@ pub fn lint_dir(root: &Path) -> Result<Vec<Finding>, String> {
         check_killpoint_adjacency(file, &mut findings);
         check_lock_unwrap(file, &mut findings);
         check_ordering_audit(file, &allowlist, &mut audited, &mut findings);
+        check_lock_order(
+            file,
+            &classes,
+            &mut used_classes,
+            &mut any_lock_sites,
+            &mut findings,
+        );
+        check_condvar_wait(file, &mut findings);
+        check_panic_path(file, &mut findings);
     }
 
     // Staleness: audit entries for files that are gone or ordering-free.
@@ -377,6 +456,34 @@ pub fn lint_dir(root: &Path) -> Result<Vec<Finding>, String> {
                     .to_string(),
             });
         }
+    }
+
+    // Staleness: declared lock classes that match no site, and lock sites
+    // with no declaration file at all (deleting LOCKS.md must not
+    // silently disable the rule).
+    for class in &classes {
+        if !used_classes.contains(&class.name) {
+            findings.push(Finding {
+                rule: "lock-order",
+                path: PathBuf::from("LOCKS.md"),
+                line: 0,
+                message: format!(
+                    "LOCKS.md declares class `{}` but no lock site in `{}` matches it; \
+                     remove the stale entry",
+                    class.name, class.file
+                ),
+            });
+        }
+    }
+    if any_lock_sites && locks_md.is_none() {
+        findings.push(Finding {
+            rule: "lock-order",
+            path: PathBuf::from("LOCKS.md"),
+            line: 0,
+            message: "the tree has lock_recover/read_recover/write_recover sites but no \
+                      LOCKS.md declaring their classes and order"
+                .to_string(),
+        });
     }
 
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
@@ -522,6 +629,423 @@ fn check_ordering_audit(
     }
 }
 
+/// The lock-acquisition helpers every library lock site goes through
+/// (enforced by `lock-unwrap`), which is what makes the static
+/// `lock-order` scan tractable.
+const RECOVER_CALLS: [&str; 3] = ["lock_recover(", "read_recover(", "write_recover("];
+
+/// Byte offset of the `(` matching the one at `open`, if balanced on the
+/// line.
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A recover-helper call site on one line: column, and the binding name
+/// when the statement is `let <name> = <recover_call>;` (a guard held to
+/// end of scope, vs. a temporary dropped at end of statement).
+fn recover_sites_on_line(code: &str) -> Vec<(usize, Option<String>)> {
+    let mut sites = Vec::new();
+    for pat in RECOVER_CALLS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(pat) {
+            let pos = from + rel;
+            from = pos + pat.len();
+            // Skip the helper definitions themselves (`pub fn lock_recover`).
+            if code[..pos].trim_end().ends_with("fn") {
+                continue;
+            }
+            let open = pos + pat.len() - 1;
+            let bound = matching_paren(code, open).and_then(|close| {
+                let after = code[close + 1..].trim_start();
+                let terminal = after.is_empty() || after.starts_with(';');
+                if !terminal {
+                    return None; // chained (`lock_recover(x).get(..)`): temporary
+                }
+                let before = &code[..pos];
+                let eq = before.rfind('=')?;
+                if !before[eq + 1..].trim().is_empty() {
+                    return None;
+                }
+                let decl = before[..eq].trim_end();
+                let decl = decl.strip_suffix(':').map_or(decl, |d| {
+                    d.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_' || c == ' ')
+                });
+                let name = decl
+                    .rsplit(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .next()?;
+                decl.contains("let ").then(|| name.to_string())
+            });
+            sites.push((pos, bound));
+        }
+    }
+    sites.sort_by_key(|s| s.0);
+    sites
+}
+
+/// The declared classes matching a site in `rel` whose line is `code`.
+fn classify_site<'a>(classes: &'a [LockClass], rel: &str, code: &str) -> Vec<&'a LockClass> {
+    classes
+        .iter()
+        .filter(|c| {
+            rel.ends_with(&c.file)
+                && c.pattern
+                    .as_ref()
+                    .map_or(true, |p| code.contains(p.as_str()))
+        })
+        .collect()
+}
+
+fn check_lock_order(
+    file: &SourceFile,
+    classes: &[LockClass],
+    used_classes: &mut BTreeSet<String>,
+    any_lock_sites: &mut bool,
+    findings: &mut Vec<Finding>,
+) {
+    struct Live<'a> {
+        class: &'a LockClass,
+        depth: i64,
+        name: Option<String>,
+        line: usize,
+    }
+    let rel = file.rel.to_string_lossy().replace('\\', "/");
+    let mut live: Vec<Live<'_>> = Vec::new();
+    let mut depth = 0i64;
+    for idx in 0..file.lines.len() {
+        let line = &file.lines[idx];
+        let depth_end =
+            depth + line.code.matches('{').count() as i64 - line.code.matches('}').count() as i64;
+        if !line.in_test {
+            // Explicit early releases: `drop(guard_name)`.
+            if line.code.contains("drop(") {
+                live.retain(|g| {
+                    g.name
+                        .as_ref()
+                        .map_or(true, |n| !line.code.contains(&format!("drop({n})")))
+                });
+            }
+            let sites = recover_sites_on_line(&line.code);
+            let mut this_line: Vec<Live<'_>> = Vec::new();
+            for (_, bound) in sites {
+                *any_lock_sites = true;
+                let matched = classify_site(classes, &rel, &line.code);
+                let class = match matched.as_slice() {
+                    [] => {
+                        if !waived(file, idx, "lock-order") {
+                            findings.push(Finding {
+                                rule: "lock-order",
+                                path: file.rel.clone(),
+                                line: idx + 1,
+                                message: "lock site matches no class declared in LOCKS.md; \
+                                          declare its class and rank"
+                                    .to_string(),
+                            });
+                        }
+                        continue;
+                    }
+                    [one] => *one,
+                    more => {
+                        if !waived(file, idx, "lock-order") {
+                            findings.push(Finding {
+                                rule: "lock-order",
+                                path: file.rel.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "lock site matches {} LOCKS.md classes; tighten the \
+                                     patterns so exactly one applies",
+                                    more.len()
+                                ),
+                            });
+                        }
+                        more[0]
+                    }
+                };
+                used_classes.insert(class.name.clone());
+                for held in live.iter().chain(this_line.iter()) {
+                    let verdict = if held.class.name == class.name {
+                        Some("same-class nesting")
+                    } else if held.class.rank >= class.rank {
+                        Some("rank inversion")
+                    } else {
+                        None
+                    };
+                    if let Some(kind) = verdict {
+                        if !waived(file, idx, "lock-order") {
+                            findings.push(Finding {
+                                rule: "lock-order",
+                                path: file.rel.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "{kind}: acquiring `{}` (rank {}) while `{}` (rank {}, \
+                                     acquired line {}) is still held — LOCKS.md requires \
+                                     strictly increasing rank",
+                                    class.name,
+                                    class.rank,
+                                    held.class.name,
+                                    held.class.rank,
+                                    held.line
+                                ),
+                            });
+                        }
+                    }
+                }
+                this_line.push(Live {
+                    class,
+                    depth: depth_end,
+                    name: bound.clone(),
+                    line: idx + 1,
+                });
+            }
+            // Bound guards outlive the line; temporaries die with it.
+            live.extend(this_line.into_iter().filter(|g| g.name.is_some()));
+        }
+        depth = depth_end;
+        live.retain(|g| g.depth <= depth);
+    }
+}
+
+fn check_condvar_wait(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // Cheap gate: the rule is about condition variables; `.wait(` on
+    // other types (e.g. `Child::wait()`) lives in condvar-free files.
+    if !file.lines.iter().any(|l| l.code.contains("Condvar")) {
+        return;
+    }
+    let mut depth = 0i64;
+    let mut loops: Vec<i64> = Vec::new();
+    for idx in 0..file.lines.len() {
+        let line = &file.lines[idx];
+        let code = &line.code;
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let depth_end = depth + opens - closes;
+        // `impl Trait for Type {` also contains `for ` — only a real
+        // `for`-loop header (no `impl` on the line) opens a loop frame.
+        let is_loop_header = code.contains("while ")
+            || code.contains("loop {")
+            || (code.contains("for ") && !code.contains("impl "));
+        if is_loop_header && opens > closes {
+            loops.push(depth_end);
+        }
+        if !line.in_test
+            && (code.contains(".wait(") || code.contains(".wait_timeout("))
+            && loops.is_empty()
+            && !waived(file, idx, "condvar-wait-loop")
+        {
+            findings.push(Finding {
+                rule: "condvar-wait-loop",
+                path: file.rel.clone(),
+                line: idx + 1,
+                message: "condvar wait outside a `while`/`loop` frame: waits wake \
+                          spuriously, so the predicate must be re-checked in a loop"
+                    .to_string(),
+            });
+        }
+        depth = depth_end;
+        while loops.last().is_some_and(|d| depth < *d) {
+            loops.pop();
+        }
+    }
+}
+
+/// Function bodies of `file` as `(name, decl_line, body_range)`.
+fn function_bodies(file: &SourceFile) -> Vec<(String, usize, std::ops::Range<usize>)> {
+    let mut decls: Vec<(String, usize, i64)> = Vec::new();
+    let mut depth = 0i64;
+    let mut depths = Vec::with_capacity(file.lines.len());
+    for line in &file.lines {
+        depths.push(depth);
+        depth += line.code.matches('{').count() as i64 - line.code.matches('}').count() as i64;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(pos) = line.code.find("fn ") else {
+            continue;
+        };
+        if pos > 0 && line.code[..pos].ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let name: String = line.code[pos + 3..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            decls.push((name, idx, depths[idx]));
+        }
+    }
+    let mut out = Vec::new();
+    for (name, idx, decl_depth) in decls {
+        let mut d = decl_depth;
+        let mut opened = false;
+        for j in idx..file.lines.len() {
+            let line = &file.lines[j];
+            d += line.code.matches('{').count() as i64 - line.code.matches('}').count() as i64;
+            if d > decl_depth {
+                opened = true;
+            }
+            if !opened && line.code.contains(';') {
+                break; // bodyless signature (trait method)
+            }
+            if opened && d <= decl_depth {
+                out.push((name, idx, idx..j + 1));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Columns of direct-indexing brackets on a code line (a `[` preceded by
+/// an identifier, `)`, or `]` — i.e. `expr[...]`, not array literals,
+/// attributes, or slice patterns).
+fn index_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, b) in bytes.iter().enumerate() {
+        if *b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn check_panic_path(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rel = file.rel.to_string_lossy().replace('\\', "/");
+    if !rel.contains("crates/protocol/src") {
+        return;
+    }
+    let bodies = function_bodies(file);
+    // Intra-file reachability from `decode*` roots: conservative — a
+    // token `name(` anywhere in a reachable body marks local fn `name`
+    // reachable too. Cross-file callees are out of scope (the type
+    // system already forces them to return `Result` into these parsers).
+    let mut reachable: BTreeSet<&str> = bodies
+        .iter()
+        .filter(|(name, _, _)| name.starts_with("decode"))
+        .map(|(name, _, _)| name.as_str())
+        .collect();
+    loop {
+        let mut grew = false;
+        for (name, _, _range) in &bodies {
+            if reachable.contains(name.as_str()) {
+                continue;
+            }
+            let called = bodies.iter().any(|(caller, _, caller_range)| {
+                reachable.contains(caller.as_str())
+                    && file.lines[caller_range.clone()].iter().any(|l| {
+                        !l.in_test
+                            && l.code.match_indices(&format!("{name}(")).any(|(p, _)| {
+                                p == 0
+                                    || !l.code[..p]
+                                        .ends_with(|c: char| c.is_alphanumeric() || c == '_')
+                            })
+                    })
+            });
+            if called {
+                reachable.insert(name);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for (name, _, range) in &bodies {
+        if !reachable.contains(name.as_str()) {
+            continue;
+        }
+        for idx in range.clone() {
+            let line = &file.lines[idx];
+            if line.in_test || flagged.contains(&idx) {
+                continue;
+            }
+            let mut problems: Vec<&str> = Vec::new();
+            if line.code.contains(".unwrap()") {
+                problems.push("`.unwrap()`");
+            }
+            if line.code.contains(".expect(") {
+                problems.push("`.expect(`");
+            }
+            if !index_sites(&line.code).is_empty() {
+                problems.push("direct indexing");
+            }
+            if [" + ", " - ", " * ", " / ", " % "]
+                .iter()
+                .any(|op| line.code.contains(*op))
+            {
+                problems.push("unchecked arithmetic");
+            }
+            if problems.is_empty() || waived(file, idx, "panic-path") {
+                continue;
+            }
+            flagged.insert(idx);
+            findings.push(Finding {
+                rule: "panic-path",
+                path: file.rel.clone(),
+                line: idx + 1,
+                message: format!(
+                    "{} reachable from `decode*` (via `{name}`): wire bytes are untrusted, \
+                     so parsers must return `InvalidEncoding`, never panic",
+                    problems.join(" and ")
+                ),
+            });
+        }
+    }
+}
+
+/// Renders findings as a JSON array — the `--json` machine-readable
+/// output consumed by CI annotation tooling.
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":\"");
+        esc(f.rule, &mut out);
+        out.push_str("\",\"path\":\"");
+        esc(&f.path.to_string_lossy().replace('\\', "/"), &mut out);
+        out.push_str(&format!("\",\"line\":{},\"message\":\"", f.line));
+        esc(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
 /// Scans `root` and renders the observed per-file ordering usage in
 /// `ORDERINGS.md` row format — the starting point for (re)writing the
 /// audit after a refactor.
@@ -618,5 +1142,52 @@ mod tests {
         check_lock_unwrap(&file, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn locks_md_rows_parse() {
+        let md = "# locks\n\n| Class | Rank | File | Site pattern | Rationale |\n\
+                  |---|---|---|---|---|\n\
+                  | `outer` | 10 | `crates/a/src/b.rs` | - | why |\n\
+                  | `inner` | 20 | `crates/a/src/b.rs` | `.inner` | why |\n";
+        let classes = parse_locks_md(md);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].name, "outer");
+        assert_eq!(classes[0].rank, 10);
+        assert_eq!(classes[0].file, "crates/a/src/b.rs");
+        assert_eq!(classes[0].pattern, None);
+        assert_eq!(classes[1].pattern.as_deref(), Some(".inner"));
+    }
+
+    #[test]
+    fn recover_site_binding_detection() {
+        let sites = recover_sites_on_line("let guard = lock_recover(&self.outer);");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].1.as_deref(), Some("guard"));
+        // A chained call is a statement temporary, not a held guard.
+        let sites = recover_sites_on_line("let n = lock_recover(&self.m).len();");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].1, None);
+        // A bare statement holds nothing past the line either.
+        let sites = recover_sites_on_line("*lock_recover(&self.m) = None;");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].1, None);
+    }
+
+    #[test]
+    fn findings_render_as_json() {
+        let findings = vec![Finding {
+            rule: "lock-order",
+            path: PathBuf::from("crates/a/src/b.rs"),
+            line: 7,
+            message: "quote \" and backslash \\".to_string(),
+        }];
+        let json = to_json(&findings);
+        assert_eq!(
+            json,
+            "[\n  {\"rule\":\"lock-order\",\"path\":\"crates/a/src/b.rs\",\"line\":7,\
+             \"message\":\"quote \\\" and backslash \\\\\"}\n]"
+        );
+        assert_eq!(to_json(&[]), "[]");
     }
 }

@@ -2,18 +2,32 @@
 //!
 //! ```text
 //! cole_lint --dir <path>        # lint the tree rooted at <path> (default .)
+//! cole_lint --dir <path> --json # findings as a JSON array on stdout
+//! cole_lint --dir <path> --github
+//!                               # findings as GitHub `::error` annotations
 //! cole_lint --dir <path> --dump-orderings
 //!                               # print the observed ORDERINGS.md rows
 //! ```
+//!
+//! `--json` and `--github` change only the output format; the exit code
+//! is the same in every mode (0 clean, 1 findings, 2 usage/IO error).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut dump = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,8 +39,10 @@ fn main() -> ExitCode {
                 }
             },
             "--dump-orderings" => dump = true,
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
             "--help" | "-h" => {
-                println!("usage: cole_lint [--dir <path>] [--dump-orderings]");
+                println!("usage: cole_lint [--dir <path>] [--json | --github] [--dump-orderings]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -50,16 +66,40 @@ fn main() -> ExitCode {
     }
 
     match cole_lint::lint_dir(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("cole_lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
+            match format {
+                Format::Json => println!("{}", cole_lint::to_json(&findings)),
+                Format::Github => {
+                    // Workflow-command annotations: rendered by GitHub on
+                    // the PR diff. Newlines in messages would terminate
+                    // the command, but messages are single-line by
+                    // construction.
+                    for f in &findings {
+                        println!(
+                            "::error file={},line={},title=cole_lint {}::{}",
+                            f.path.display().to_string().replace('\\', "/"),
+                            f.line.max(1),
+                            f.rule,
+                            f.message
+                        );
+                    }
+                    eprintln!("cole_lint: {} finding(s)", findings.len());
+                }
+                Format::Text if findings.is_empty() => {
+                    println!("cole_lint: clean ({})", root.display());
+                }
+                Format::Text => {
+                    for finding in &findings {
+                        println!("{finding}");
+                    }
+                    println!("cole_lint: {} finding(s)", findings.len());
+                }
             }
-            println!("cole_lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(err) => {
             eprintln!("cole_lint: {err}");

@@ -76,6 +76,56 @@ fn waived_and_test_code_sites_are_clean() {
 }
 
 #[test]
+fn lock_order_inversion_nesting_and_stale_class_are_caught() {
+    let findings = lint_fixture("bad_lock_order");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "lock-order"));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("rank inversion")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("same-class nesting")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`ghost`") && m.contains("stale")),
+        "{messages:?}"
+    );
+    // The stale-class finding anchors to the declaration file itself.
+    assert!(findings
+        .iter()
+        .any(|f| f.path == Path::new("LOCKS.md") && f.line == 0));
+}
+
+#[test]
+fn condvar_wait_outside_a_loop_is_caught() {
+    let findings = lint_fixture("bad_condvar_wait");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "condvar-wait-loop");
+    assert_eq!(findings[0].path, Path::new("src/lib.rs"));
+    assert_eq!(findings[0].line, 17, "the bare wait, not the looped one");
+}
+
+#[test]
+fn panic_sites_reachable_from_decode_are_caught() {
+    let findings = lint_fixture("bad_panic_path");
+    // One finding per line of `body`: arithmetic, indexing, expect. The
+    // waived site and the encode-path index must stay silent.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "panic-path"));
+    assert!(findings
+        .iter()
+        .all(|f| f.path == Path::new("crates/protocol/src/parse.rs")));
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![20, 21, 22], "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("`body`")));
+}
+
+#[test]
 fn repo_tree_is_clean() {
     let findings = lint_dir(&repo_root()).unwrap();
     assert!(findings.is_empty(), "{findings:?}");

@@ -378,11 +378,14 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        match end {
-            Some(end) => {
-                let slice = &self.bytes[self.pos..end];
-                self.pos = end;
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end));
+        match slice {
+            Some(slice) => {
+                // In range: the successful `get` proved `pos + n <= len`.
+                self.pos += n;
                 Ok(slice)
             }
             None => Err(ColeError::InvalidEncoding(format!(
@@ -393,35 +396,43 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// [`Self::take`] as a fixed array. The conversion cannot fail —
+    /// `take(N)` returns exactly `N` bytes — but the wire surface is
+    /// panic-free by policy (`cole_lint`'s `panic-path` rule), so the
+    /// impossible branch is an error, not an `expect`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ColeError::InvalidEncoding("internal length mismatch".into()))
+    }
+
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn addr(&mut self) -> Result<Address> {
-        let bytes: [u8; ADDRESS_LEN] = self.take(ADDRESS_LEN)?.try_into().expect("addr len");
-        Ok(Address::new(bytes))
+        Ok(Address::new(self.array::<ADDRESS_LEN>()?))
     }
 
     fn value(&mut self) -> Result<StateValue> {
-        let bytes: [u8; VALUE_LEN] = self.take(VALUE_LEN)?.try_into().expect("value len");
-        Ok(StateValue::new(bytes))
+        Ok(StateValue::new(self.array::<VALUE_LEN>()?))
     }
 
     fn digest(&mut self) -> Result<Digest> {
-        let bytes: [u8; DIGEST_LEN] = self.take(DIGEST_LEN)?.try_into().expect("digest len");
-        Ok(Digest::new(bytes))
+        Ok(Digest::new(self.array::<DIGEST_LEN>()?))
     }
 
     /// Reads a `u32` element count and checks the remaining payload can hold
@@ -430,10 +441,10 @@ impl<'a> Cursor<'a> {
     fn counted(&mut self, element_len: usize) -> Result<usize> {
         let count = self.u32()? as usize;
         let need = count.saturating_mul(element_len);
-        if need > self.bytes.len() - self.pos {
+        if need > self.remaining() {
             return Err(ColeError::InvalidEncoding(format!(
                 "declared count {count} needs {need} bytes but only {} remain",
-                self.bytes.len() - self.pos
+                self.remaining()
             )));
         }
         Ok(count)
@@ -448,7 +459,7 @@ impl<'a> Cursor<'a> {
         if self.pos != self.bytes.len() {
             return Err(ColeError::InvalidEncoding(format!(
                 "{} trailing bytes after message body",
-                self.bytes.len() - self.pos
+                self.remaining()
             )));
         }
         Ok(())

@@ -1,0 +1,112 @@
+//! Model check (e): the pipe transport's byte-queue handshake.
+//!
+//! Compile and run with `RUSTFLAGS="--cfg loom" cargo test -p
+//! cole_protocol --test loom_pipe`.
+//!
+//! PR 6 shipped the `Mutex`/`Condvar` byte queues of [`pipe_pair`]
+//! unmodelled; this suite drives the three-way race the protocol must
+//! survive — `send` (write + notify) vs `wait_readable` (condvar wait
+//! with timeout) vs close (drop of the peer) — under every bounded
+//! schedule: no byte written before a close is lost or reordered, a
+//! wakeup is never missed once the write happened, EOF is always
+//! reached, and a write racing the peer's drop resolves to exactly
+//! `Ok` or `BrokenPipe`, never a hang.
+#![cfg(loom)]
+
+use std::collections::BTreeSet;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+use cole_protocol::{pipe_pair, Connection};
+
+#[test]
+fn bytes_sent_before_close_arrive_in_order_then_eof() {
+    loom::model(|| {
+        let (a, mut b) = pipe_pair("client", "server");
+        let t = loom::thread::spawn(move || {
+            let mut a = a;
+            a.write_all(b"hi").expect("peer still open: reader holds b");
+            // Dropping the writer closes the pipe: the reader must see
+            // exactly the queued bytes, then EOF.
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 1];
+        loop {
+            let n = b.read(&mut buf).expect("pipe reads cannot fail");
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(&got, b"hi", "no loss, no reorder, no duplication");
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn wait_readable_never_misses_a_completed_write() {
+    loom::model(|| {
+        let (a, mut b) = pipe_pair("client", "server");
+        let t = loom::thread::spawn(move || {
+            let mut a = a;
+            a.write_all(b"x").expect("reader end still alive");
+            a // keep the writer open: only the write races the wait
+        });
+        t.join().unwrap();
+        // The write happened-before this point, so the poll must report
+        // readable regardless of how earlier wakeups interleaved.
+        assert!(
+            b.wait_readable(Duration::from_millis(10)).unwrap(),
+            "a completed write must be visible to wait_readable"
+        );
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'x');
+    });
+}
+
+#[test]
+fn wait_readable_sees_peer_close_as_readable_eof() {
+    loom::model(|| {
+        let (a, mut b) = pipeline_close_race();
+        a.join().unwrap();
+        assert!(
+            b.wait_readable(Duration::from_millis(10)).unwrap(),
+            "a close must wake and satisfy wait_readable"
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF after peer drop");
+    });
+}
+
+/// Spawns a thread that immediately drops one end of a fresh pipe.
+fn pipeline_close_race() -> (loom::thread::JoinHandle<()>, cole_protocol::PipeConn) {
+    let (a, b) = pipe_pair("client", "server");
+    let t = loom::thread::spawn(move || drop(a));
+    (t, b)
+}
+
+#[test]
+fn write_racing_peer_drop_is_ok_or_broken_pipe() {
+    let outcomes: &'static StdMutex<BTreeSet<&'static str>> =
+        Box::leak(Box::new(StdMutex::new(BTreeSet::new())));
+    loom::model(move || {
+        let (mut a, b) = pipe_pair("client", "server");
+        let t = loom::thread::spawn(move || drop(b));
+        let outcome = match a.write(b"abc") {
+            Ok(3) => "ok",
+            Ok(_) => "short-write",
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => "broken-pipe",
+            Err(_) => "other-error",
+        };
+        outcomes.lock().unwrap().insert(outcome);
+        t.join().unwrap();
+    });
+    let got = outcomes.lock().unwrap().clone();
+    let want: BTreeSet<&str> = ["ok", "broken-pipe"].into_iter().collect();
+    assert_eq!(
+        got, want,
+        "both outcomes must be reachable and nothing else ever is"
+    );
+}

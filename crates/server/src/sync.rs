@@ -9,10 +9,18 @@
 //! bounded interleaving. See `ROADMAP.md` § "Concurrency analysis & lint
 //! gate".
 
-#[cfg(not(loom))]
+#[cfg(not(any(loom, lock_order)))]
 pub use std::sync::{
     atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+
+// Deadlock-analysis build (`RUSTFLAGS="--cfg lock_order"`): the
+// order-tracked wrappers from `cole_storage::sync` (via `cole_core`), so lock identity is
+// shared workspace-wide; atomics stay `std`. `loom` wins if both are set.
+#[cfg(all(lock_order, not(loom)))]
+pub use cole_core::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(all(lock_order, not(loom)))]
+pub use std::sync::atomic;
 
 #[cfg(loom)]
 pub use loom::sync::{

@@ -18,8 +18,11 @@
 //!
 //! - `SeqCst` loads always observe the newest store (stronger than C++11,
 //!   so it never produces a false failure for `SeqCst` code).
-//! - Release sequences are not modeled: an `Acquire` load synchronizes only
-//!   when the store it reads was itself `Release` or stronger.
+//! - Release sequences *are* modeled: every store carries a
+//!   release-sequence vector clock (`Release` stores head a sequence,
+//!   RMWs of any ordering continue the one they read from), and an
+//!   `Acquire` load joins that clock — so an `AcqRel`/`Relaxed` RMW
+//!   chain behind a `Release` head synchronizes exactly as C11 says.
 //! - `RwLock` joins reader clocks on read-lock as well as write-lock
 //!   (stronger than real guarantees; readers do not mutate, so no bug is
 //!   hidden).

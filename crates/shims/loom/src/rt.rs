@@ -105,10 +105,17 @@ impl Path {
 #[derive(Clone, Debug)]
 struct StoreEv {
     val: u64,
-    /// The storing thread's clock at the store (its happens-before set).
+    /// The storing thread's clock at the store (its happens-before set);
+    /// the coherence floor for later loads.
     clock: VClock,
-    /// Whether an `Acquire` load reading this store synchronizes with it.
-    release: bool,
+    /// The release-sequence clock: what an `Acquire` load reading this
+    /// store joins. Empty for a plain `Relaxed` store (no
+    /// synchronization); the storer's clock for a `Release` store; for
+    /// an RMW, the previous store's `sync` — joined with the storer's
+    /// clock when the RMW is itself `Release` — so a release sequence
+    /// survives arbitrarily long chains of relaxed/`AcqRel` RMWs, as C11
+    /// requires.
+    sync: VClock,
 }
 
 /// Why a thread cannot currently run.
@@ -429,7 +436,7 @@ impl Execution {
             stores: vec![StoreEv {
                 val: seed,
                 clock: VClock::default(),
-                release: false,
+                sync: VClock::default(),
             }],
             last_seen: [0; MAX_THREADS],
         })
@@ -463,8 +470,11 @@ impl Execution {
         };
         last_seen[tid] = pick;
         let ev = stores[pick].clone();
-        if is_acquire(order) && ev.release {
-            st.threads[tid].clock.join(&ev.clock);
+        if is_acquire(order) {
+            // `sync` is empty unless the store heads or continues a
+            // release sequence, so this join is exactly C11's
+            // synchronizes-with edge.
+            st.threads[tid].clock.join(&ev.sync);
         }
         ev.val
     }
@@ -486,11 +496,10 @@ impl Execution {
         let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
             unreachable!("object {idx} is not an atomic");
         };
-        stores.push(StoreEv {
-            val,
-            clock,
-            release,
-        });
+        // A plain store always starts a fresh (possibly empty) release
+        // sequence; it never continues the previous store's.
+        let sync = if release { clock } else { VClock::default() };
+        stores.push(StoreEv { val, clock, sync });
         last_seen[tid] = stores.len() - 1;
     }
 
@@ -516,19 +525,24 @@ impl Execution {
             unreachable!("object {idx} is not an atomic");
         };
         let prev = stores.last().expect("atomic store history is never empty");
-        let (old, was_release) = (prev.val, prev.release);
-        if is_acquire(order) && was_release {
-            let clock = prev.clock;
-            st.threads[tid].clock.join(&clock);
+        let (old, prev_sync) = (prev.val, prev.sync);
+        if is_acquire(order) {
+            st.threads[tid].clock.join(&prev_sync);
         }
         let clock = st.threads[tid].clock;
+        // An RMW continues the release sequence it reads from; if it is
+        // itself `Release` it additionally heads a new one.
+        let mut sync = prev_sync;
+        if is_release(order) {
+            sync.join(&clock);
+        }
         let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
             unreachable!();
         };
         stores.push(StoreEv {
             val: f(old),
             clock,
-            release: is_release(order),
+            sync,
         });
         last_seen[tid] = stores.len() - 1;
         old
@@ -555,26 +569,32 @@ impl Execution {
             unreachable!("object {idx} is not an atomic");
         };
         let prev = stores.last().expect("atomic store history is never empty");
-        let (old, was_release, prev_clock) = (prev.val, prev.release, prev.clock);
+        let (old, prev_sync) = (prev.val, prev.sync);
         last_seen[tid] = stores.len() - 1;
         if old == current {
-            if is_acquire(success) && was_release {
-                st.threads[tid].clock.join(&prev_clock);
+            if is_acquire(success) {
+                st.threads[tid].clock.join(&prev_sync);
             }
             let clock = st.threads[tid].clock;
+            // A successful CAS is an RMW: it continues the release
+            // sequence of the store it replaced.
+            let mut sync = prev_sync;
+            if is_release(success) {
+                sync.join(&clock);
+            }
             let Obj::Atomic { stores, last_seen } = &mut st.objs[idx] else {
                 unreachable!();
             };
             stores.push(StoreEv {
                 val: new,
                 clock,
-                release: is_release(success),
+                sync,
             });
             last_seen[tid] = stores.len() - 1;
             Ok(old)
         } else {
-            if is_acquire(failure) && was_release {
-                st.threads[tid].clock.join(&prev_clock);
+            if is_acquire(failure) {
+                st.threads[tid].clock.join(&prev_sync);
             }
             Err(old)
         }

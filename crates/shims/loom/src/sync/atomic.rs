@@ -4,11 +4,15 @@
 //! `Relaxed` or `Acquire` load may observe any store not ruled out by
 //! coherence and happens-before — in particular a *stale* value another
 //! thread already overwrote — and the choice is a recorded exploration
-//! decision. An `Acquire` load synchronizes (joins vector clocks) only
-//! when the store it reads was `Release` or stronger, so missing release
-//! edges manifest as real model failures. `SeqCst` loads conservatively
-//! read the newest store. Outside a model every operation falls through
-//! to the underlying [`std::sync::atomic`] type.
+//! decision. Each store carries a release-sequence vector clock: a
+//! `Release` store heads a sequence with the storer's clock, an RMW of
+//! any ordering continues the sequence of the store it read (joining its
+//! own clock when itself `Release`), and a plain `Relaxed` store breaks
+//! the sequence. An `Acquire` load joins the clock of the store it
+//! reads, so missing release edges manifest as real model failures while
+//! `AcqRel` RMW chains synchronize precisely. `SeqCst` loads
+//! conservatively read the newest store. Outside a model every operation
+//! falls through to the underlying [`std::sync::atomic`] type.
 
 pub use std::sync::atomic::Ordering;
 

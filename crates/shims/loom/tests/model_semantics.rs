@@ -363,3 +363,92 @@ fn primitives_work_outside_a_model() {
     *rw.write().unwrap() = 8;
     assert_eq!(rw.into_inner().unwrap(), 8);
 }
+
+// --- release sequences (vector-clock model) ----------------------------
+
+#[test]
+fn release_sequence_through_relaxed_rmw_synchronizes() {
+    // C11 release sequences: a `Relaxed` RMW that reads a `Release`
+    // store continues its release sequence, so an `Acquire` load of the
+    // RMW's result still synchronizes with the sequence head. The old
+    // boolean "was the store itself release?" model could not represent
+    // this and failed the assertion below.
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Release); // heads the sequence
+        });
+        let f2 = Arc::clone(&flag);
+        let t2 = thread::spawn(move || {
+            f2.fetch_add(1, Ordering::Relaxed); // continues it
+        });
+        // Only the schedule `store(1, Release)` then `fetch_add` yields 2.
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "acquire of a relaxed RMW continuing a release sequence \
+                 must synchronize with the sequence head"
+            );
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+#[test]
+fn acq_rel_rmw_chain_carries_both_writers() {
+    // Two publishers: a `Release` head plus an `AcqRel` RMW that both
+    // continues the head's sequence and starts its own. A reader that
+    // acquires the RMW's store must see *both* payloads.
+    loom::model(|| {
+        let d1 = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1a, fa) = (Arc::clone(&d1), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1a.store(1, Ordering::Relaxed);
+            fa.store(1, Ordering::Release);
+        });
+        let (d2b, fb) = (Arc::clone(&d2), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            d2b.store(2, Ordering::Relaxed);
+            fb.fetch_add(1, Ordering::AcqRel);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(d1.load(Ordering::Relaxed), 1, "head payload visible");
+            assert_eq!(d2.load(Ordering::Relaxed), 2, "RMW payload visible");
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+#[test]
+fn plain_relaxed_store_breaks_the_release_sequence() {
+    // Per C++17, only RMWs continue a release sequence: a later plain
+    // `Relaxed` store — even by the same thread — ends it, so acquiring
+    // that store must NOT synchronize and the model must be able to
+    // surface the stale read.
+    let failure = model_failure(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Release);
+            f1.store(2, Ordering::Relaxed); // breaks the sequence
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        failure.is_some(),
+        "a plain relaxed store must not carry the release edge"
+    );
+}

@@ -45,6 +45,8 @@
 
 mod cache;
 mod kv;
+#[cfg(all(lock_order, not(loom)))]
+pub mod lock_order;
 mod page;
 pub mod sync;
 mod util;

@@ -1,0 +1,590 @@
+//! Runtime lock-order tracking, compiled only under `--cfg lock_order`.
+//!
+//! The instrumented build replaces the workspace's lock types with thin
+//! wrappers around `std::sync` that feed every acquisition into a global
+//! lock-order graph (the lockdep idea): each lock belongs to a *class* —
+//! the source location that constructed it, stable across runs and
+//! immune to allocator address reuse — and each thread keeps the set of
+//! locks it currently holds. Acquiring lock `B` while holding lock `A`
+//! inserts the edge `A → B`; a cycle in that graph is a *potential*
+//! deadlock and is reported (and panicked on) even if the schedule that
+//! would actually hang never ran. The check happens *before* blocking on
+//! the lock, so a genuinely deadlocking schedule produces a report
+//! instead of a wedged test run.
+//!
+//! Reports carry both acquisition sites of the closing edge plus the
+//! sites recorded for the reverse path — the practical equivalent of the
+//! two acquisition stacks. `CI` runs the full workspace test suite with
+//! `RUSTFLAGS="--cfg lock_order"` and fails on any cycle; see
+//! `LOCKS.md` for the declared class order the static `cole_lint` rule
+//! checks against.
+//!
+//! Everything here deliberately uses raw `std::sync` primitives (not the
+//! instrumented wrappers) so the tracker cannot recurse into itself.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LockResult, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// A lock class: the source location that constructed the lock.
+pub type Class = &'static Location<'static>;
+
+/// Orderable key for a class (Location itself is not `Ord`).
+type Key = (&'static str, u32, u32);
+
+fn key(c: Class) -> Key {
+    (c.file(), c.line(), c.column())
+}
+
+/// One lock a thread currently holds.
+#[derive(Clone, Copy)]
+struct Held {
+    class: Class,
+    instance: u64,
+    /// Where this particular acquisition happened.
+    site: Class,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// First-observed acquisition sites of a graph edge.
+struct Edge {
+    from_site: Class,
+    to_site: Class,
+}
+
+struct Graph {
+    edges: BTreeMap<Key, BTreeMap<Key, Edge>>,
+    reports: Vec<String>,
+}
+
+impl Graph {
+    /// Is `to` reachable from `from` over recorded edges?
+    fn reaches(&self, from: Key, to: Key) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                for &m in next.keys() {
+                    if !seen.contains(&m) {
+                        seen.push(m);
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+// Relaxed everywhere in this module: the counter only needs uniqueness
+// and the instance slot only needs atomicity; the graph itself is under
+// a (raw std) mutex. See ORDERINGS.md.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+static GRAPH: std::sync::Mutex<Graph> = std::sync::Mutex::new(Graph {
+    edges: BTreeMap::new(),
+    reports: Vec::new(),
+});
+
+/// Cycle reports accumulated so far (each cycle is also a panic at the
+/// acquisition that closed it; the report survives for inspection).
+#[must_use]
+pub fn cycle_reports() -> Vec<String> {
+    GRAPH
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .reports
+        .clone()
+}
+
+/// Records the would-be acquisition of (`class`, `instance`) at `site`
+/// against every lock the thread already holds, and panics if an edge
+/// closes a cycle. Called *before* blocking on the lock.
+fn before_acquire(class: Class, instance: u64, site: Class) {
+    let held: Vec<Held> = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+    if held.is_empty() {
+        return;
+    }
+    let to = key(class);
+    for h in &held {
+        if h.instance == instance {
+            // Re-acquisition of the same lock (shared read locks): not
+            // an ordering edge.
+            continue;
+        }
+        let from = key(h.class);
+        if from == to {
+            let report = format!(
+                "lock-order cycle: same-class nesting of {class} — acquiring at {site} \
+                 while already holding an instance acquired at {held_site}",
+                class = h.class,
+                site = site,
+                held_site = h.site,
+            );
+            let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+            g.reports.push(report.clone());
+            drop(g);
+            panic!("{report}");
+        }
+        let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        let known = g.edges.get(&from).is_some_and(|m| m.contains_key(&to));
+        if known {
+            continue;
+        }
+        // Check for a reverse path *before* inserting, so the report can
+        // name the conflicting edge's own sites.
+        let closes_cycle = g.reaches(to, from);
+        let reverse = if closes_cycle {
+            g.edges.get(&to).and_then(|m| m.get(&from)).map(|e| {
+                format!(
+                    " conflicting order observed earlier: {to_class} (acquired at {fs}) \
+                     then {from_class} (acquired at {ts});",
+                    to_class = h.class,
+                    from_class = class,
+                    fs = e.from_site,
+                    ts = e.to_site,
+                )
+            })
+        } else {
+            None
+        };
+        g.edges.entry(from).or_default().insert(
+            to,
+            Edge {
+                from_site: h.site,
+                to_site: site,
+            },
+        );
+        if closes_cycle {
+            let report = format!(
+                "lock-order cycle: acquiring {to_class} at {site} while holding \
+                 {from_class} (acquired at {held_site});{reverse} a schedule \
+                 interleaving these acquisitions deadlocks",
+                to_class = class,
+                from_class = h.class,
+                site = site,
+                held_site = h.site,
+                reverse = reverse.unwrap_or_default(),
+            );
+            g.reports.push(report.clone());
+            drop(g);
+            panic!("{report}");
+        }
+    }
+}
+
+fn push_held(class: Class, instance: u64, site: Class) {
+    HELD.try_with(|h| {
+        h.borrow_mut().push(Held {
+            class,
+            instance,
+            site,
+        });
+    })
+    .ok();
+}
+
+fn pop_held(instance: u64) {
+    HELD.try_with(|h| {
+        let mut v = h.borrow_mut();
+        if let Some(i) = v.iter().rposition(|x| x.instance == instance) {
+            v.remove(i);
+        }
+    })
+    .ok();
+}
+
+/// Lazily assigns the per-instance id (kept out of `new` so construction
+/// stays `const`).
+fn assign_instance(slot: &AtomicU64) -> u64 {
+    let cur = slot.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let id = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => id,
+        Err(raced) => raced,
+    }
+}
+
+// --- Mutex ---------------------------------------------------------------
+
+/// Order-tracked [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    class: Class,
+    instance: AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a tracked mutex; the call site is the lock's class.
+    #[must_use]
+    #[track_caller]
+    pub fn new(t: T) -> Self {
+        Mutex {
+            class: Location::caller(),
+            instance: AtomicU64::new(0),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::Mutex::into_inner`] on poison.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, recording the acquisition in the lock-order
+    /// graph first (panics if it closes a cycle).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::Mutex::lock`] on poison.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let site = Location::caller();
+        let instance = assign_instance(&self.instance);
+        before_acquire(self.class, instance, site);
+        let (inner, poisoned) = match self.inner.lock() {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), true),
+        };
+        push_held(self.class, instance, site);
+        let guard = MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard of a tracked [`Mutex`]; releasing it pops the held-lock set.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `None` means a condvar wait took the inner guard and already
+        // popped the held entry.
+        if self.inner.is_some() {
+            pop_held(self.lock.instance.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// --- RwLock --------------------------------------------------------------
+
+/// Order-tracked [`std::sync::RwLock`]. Shared and exclusive
+/// acquisitions feed the same graph: reader/writer inversions deadlock
+/// just like writer/writer ones.
+pub struct RwLock<T: ?Sized> {
+    class: Class,
+    instance: AtomicU64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a tracked rwlock; the call site is the lock's class.
+    #[must_use]
+    #[track_caller]
+    pub fn new(t: T) -> Self {
+        RwLock {
+            class: Location::caller(),
+            instance: AtomicU64::new(0),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::RwLock::into_inner`] on poison.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires the lock shared, recording the acquisition first.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::RwLock::read`] on poison.
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let site = Location::caller();
+        let instance = assign_instance(&self.instance);
+        before_acquire(self.class, instance, site);
+        let (inner, poisoned) = match self.inner.read() {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), true),
+        };
+        push_held(self.class, instance, site);
+        let guard = RwLockReadGuard { lock: self, inner };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Acquires the lock exclusive, recording the acquisition first.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::RwLock::write`] on poison.
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let site = Location::caller();
+        let instance = assign_instance(&self.instance);
+        before_acquire(self.class, instance, site);
+        let (inner, poisoned) = match self.inner.write() {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), true),
+        };
+        push_held(self.class, instance, site);
+        let guard = RwLockWriteGuard { lock: self, inner };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Shared guard of a tracked [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        pop_held(self.lock.instance.load(Ordering::Relaxed));
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive guard of a tracked [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        pop_held(self.lock.instance.load(Ordering::Relaxed));
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// --- Condvar -------------------------------------------------------------
+
+/// Order-tracked [`std::sync::Condvar`]: waiting releases the mutex's
+/// held-set entry for the duration of the wait and re-records the
+/// reacquisition (which can itself close a cycle).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Releases `guard`, waits, and reacquires — re-running the
+    /// lock-order check on reacquisition.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::Condvar::wait`] on poison.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let site = Location::caller();
+        let lock = guard.lock;
+        let instance = lock.instance.load(Ordering::Relaxed);
+        let inner = guard.inner.take().expect("guard present");
+        pop_held(instance);
+        drop(guard);
+        // The loop obligation is the *caller's*: this wrapper forwards one
+        // wait and re-runs the order check. cole_lint: allow(condvar-wait-loop)
+        let (inner, poisoned) = match self.inner.wait(inner) {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), true),
+        };
+        before_acquire(lock.class, instance, site);
+        push_held(lock.class, instance, site);
+        let guard = MutexGuard {
+            lock,
+            inner: Some(inner),
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// [`Self::wait`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`std::sync::Condvar::wait_timeout`] on poison.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let site = Location::caller();
+        let lock = guard.lock;
+        let instance = lock.instance.load(Ordering::Relaxed);
+        let inner = guard.inner.take().expect("guard present");
+        pop_held(instance);
+        drop(guard);
+        // Caller owns the predicate loop. cole_lint: allow(condvar-wait-loop)
+        let (inner, timed_out, poisoned) = match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => (g, t, false),
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                (g, t, true)
+            }
+        };
+        before_acquire(lock.class, instance, site);
+        push_held(lock.class, instance, site);
+        let guard = MutexGuard {
+            lock,
+            inner: Some(inner),
+        };
+        if poisoned {
+            Err(PoisonError::new((guard, timed_out)))
+        } else {
+            Ok((guard, timed_out))
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}

@@ -6,8 +6,11 @@
 //! directly. A normal build re-exports `std`; a model-checking build
 //! (`RUSTFLAGS="--cfg loom"`) re-exports the `loom` shim, whose scheduler
 //! explores thread interleavings and whose atomics admit every
-//! coherence-permitted stale read. See `ROADMAP.md` § "Concurrency
-//! analysis & lint gate".
+//! coherence-permitted stale read; a deadlock-analysis build
+//! (`RUSTFLAGS="--cfg lock_order"`) re-exports the [`crate::lock_order`]
+//! wrappers, which fold every acquisition into a global lock-order graph
+//! and panic on cycles. See `ROADMAP.md` § "Concurrency analysis & lint
+//! gate" and `LOCKS.md`.
 //!
 //! The module also hosts the workspace-wide lock-poisoning policy: the
 //! [`lock_recover`] / [`read_recover`] / [`write_recover`] helpers. A
@@ -19,7 +22,7 @@
 //! `lock-unwrap` rejects bare `.lock().unwrap()` in library code in favor
 //! of these helpers.
 
-#[cfg(not(loom))]
+#[cfg(not(any(loom, lock_order)))]
 pub use std::sync::{
     atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
@@ -29,21 +32,35 @@ pub use loom::sync::{
     atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 
+// Deadlock-analysis build (`RUSTFLAGS="--cfg lock_order"`): locks are
+// order-tracked wrappers feeding the global lock-order graph; atomics
+// stay `std`. `loom` wins if both cfgs are set — the model checker has
+// its own deadlock detector.
+#[cfg(all(lock_order, not(loom)))]
+pub use crate::lock_order::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+#[cfg(all(lock_order, not(loom)))]
+pub use std::sync::atomic;
+
 use std::sync::PoisonError;
 
 /// Acquires `mutex`, recovering the guard if a previous holder panicked.
+#[cfg_attr(lock_order, track_caller)]
 pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Acquires `rwlock` for reading, recovering the guard if a previous
 /// holder panicked.
+#[cfg_attr(lock_order, track_caller)]
 pub fn read_recover<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     rwlock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Acquires `rwlock` for writing, recovering the guard if a previous
 /// holder panicked.
+#[cfg_attr(lock_order, track_caller)]
 pub fn write_recover<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     rwlock.write().unwrap_or_else(PoisonError::into_inner)
 }

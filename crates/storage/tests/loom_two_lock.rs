@@ -1,0 +1,72 @@
+//! Model check (f): lock-ordered two-lock transfer.
+//!
+//! Compile and run with `RUSTFLAGS="--cfg loom" cargo test -p cole_storage
+//! --test loom_two_lock`.
+//!
+//! The classic two-account transfer: each thread moves a unit between two
+//! mutex-protected balances. Acquiring the accounts in a fixed order
+//! (LOCKS.md's rule, enforced statically by `cole_lint` and dynamically by
+//! the `--cfg lock_order` tracker) is deadlock-free under every explored
+//! schedule; the seeded AB/BA inversion must be *driven to deadlock* by
+//! the explorer — this is the model-checking leg of the triple detection
+//! the CI `analysis` job requires (static lint fixture, runtime tracker
+//! test in `tests/lock_order.rs`, and this suite).
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use cole_storage::{lock_recover, sync::Mutex};
+
+/// Runs `f` under the model and returns the failure message, if any.
+fn model_failure(f: impl Fn() + Send + Sync + 'static) -> Option<String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loom::model(f)));
+    result.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string())
+    })
+}
+
+fn transfer(from: &Mutex<i64>, to: &Mutex<i64>, amount: i64) {
+    let mut a = lock_recover(from);
+    let mut b = lock_recover(to);
+    *a -= amount;
+    *b += amount;
+}
+
+#[test]
+fn ordered_transfer_never_deadlocks_and_conserves_balance() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(100i64));
+        let b = Arc::new(Mutex::new(100i64));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        // Both threads honor the declared order: `a` before `b`, even
+        // when the payment direction is b→a.
+        let t1 = loom::thread::spawn(move || transfer(&a1, &b1, 10));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = loom::thread::spawn(move || transfer(&a2, &b2, -30));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let total = *lock_recover(&a) + *lock_recover(&b);
+        assert_eq!(total, 200, "transfers must conserve the total balance");
+    });
+}
+
+#[test]
+fn seeded_ab_ba_inversion_is_driven_to_deadlock() {
+    let failure = model_failure(|| {
+        let a = Arc::new(Mutex::new(100i64));
+        let b = Arc::new(Mutex::new(100i64));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = loom::thread::spawn(move || transfer(&a1, &b1, 10));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        // The inversion: the second thread acquires b first.
+        let t2 = loom::thread::spawn(move || transfer(&b2, &a2, 30));
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    let msg = failure.expect("the explorer must find the AB/BA deadlock");
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
