@@ -1,0 +1,383 @@
+//! Chaos experiment: graceful degradation of the served engine under
+//! injected faults.
+//!
+//! Opens COLE with an armed [`FaultPlan`], serves it behind `cole_server`
+//! with a deliberately small in-flight cap (so overload shedding fires),
+//! and drives two phases of retrying-client load over the in-process pipe
+//! transport:
+//!
+//! 1. **faulted** — transient I/O faults are armed at the page-read, WAL,
+//!    and manifest-commit sites while clients hammer a mixed get / write /
+//!    verified-provenance workload through [`RetryingClient`]s;
+//! 2. **recovered** — the faults are cleared and the identical workload
+//!    must run error-free.
+//!
+//! Afterwards the store is flushed, shut down, and reopened *without*
+//! faults; every account read over the wire must read back identically
+//! from the reopened store, and a provenance proof must verify against the
+//! recomputed `Hstate`. `--assert-recovered true` turns all of this into
+//! hard assertions (the CI smoke gate); either way the run is reported as
+//! `BENCH_chaos.json` (schema in ROADMAP.md) plus a CSV under `results/`.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cole_bench::{
+    preload_over_wire, run_chaos_phase, Args, ChaosLoadConfig, ChaosPhaseResult, Table,
+};
+use cole_core::{compute_hstate, Cole, ColeConfig, MetricsSnapshot};
+use cole_primitives::{Address, AuthenticatedStorage, Result, StateValue};
+use cole_protocol::{pipe_transport, Client, Connection, RetryPolicy};
+use cole_server::{serve, ServerConfig, SharedEngine};
+use cole_storage::{FaultKind, FaultPlan};
+
+/// Fault schedule for the faulted phase, as armed from the CLI.
+struct FaultMix {
+    page_read: u64,
+    wal_append: u64,
+    wal_fsync: u64,
+    manifest_commit: u64,
+}
+
+impl FaultMix {
+    fn arm(&self, faults: &FaultPlan) {
+        faults.fail("page:read", FaultKind::Io, self.page_read);
+        faults.fail("wal:append", FaultKind::Io, self.wal_append);
+        faults.fail("wal:fsync", FaultKind::FsyncFail, self.wal_fsync);
+        faults.fail("manifest:commit", FaultKind::Io, self.manifest_commit);
+    }
+}
+
+/// One reported phase: the client-side result plus the server-side counter
+/// deltas observed across it.
+struct Phase {
+    name: &'static str,
+    result: ChaosPhaseResult,
+    shed_delta: u64,
+    timeout_delta: u64,
+    transient_io_delta: u64,
+}
+
+fn phase_json(p: &Phase) -> String {
+    let r = &p.result;
+    format!(
+        "    {{\"phase\": \"{}\", \"ops\": {}, \"ok\": {}, \"failed\": {}, \
+         \"drained_ok\": {}, \
+         \"gets\": {}, \"provs\": {}, \"verified_proofs\": {}, \"writes\": {}, \
+         \"client_retries\": {}, \"reconnects\": {}, \
+         \"busy_seen\": {}, \"timeouts_seen\": {}, \"retryable_seen\": {}, \
+         \"server_sheds\": {}, \"server_timeouts\": {}, \"server_transient_io\": {}, \
+         \"ops_per_s\": {:.0}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+        p.name,
+        r.ops,
+        r.ok,
+        r.failed,
+        r.drained_ok,
+        r.gets,
+        r.provs,
+        r.verified_proofs,
+        r.writes,
+        r.client_retries,
+        r.reconnects,
+        r.sheds_seen,
+        r.timeouts_seen,
+        r.retryable_seen,
+        p.shed_delta,
+        p.timeout_delta,
+        p.transient_io_delta,
+        r.ops_per_s(),
+        r.latency.p50_us,
+        r.latency.p99_us,
+    )
+}
+
+/// Renders the run as the `BENCH_chaos.json` document (schema in
+/// ROADMAP.md).
+#[allow(clippy::too_many_arguments)]
+fn chaos_json(
+    mix: &FaultMix,
+    phases: &[Phase],
+    faults_injected: u64,
+    idle_disconnects: u64,
+    reopen_verified: bool,
+    accounts: u64,
+    connections: usize,
+    max_in_flight: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"chaos\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"engine\": \"cole\",\n  \"transport\": \"pipe\",\n");
+    out.push_str(&format!(
+        "  \"connections\": {connections},\n  \"accounts\": {accounts},\n  \
+         \"max_in_flight\": {max_in_flight},\n"
+    ));
+    out.push_str(&format!(
+        "  \"fault_mix\": {{\"page_read\": {}, \"wal_append\": {}, \"wal_fsync\": {}, \
+         \"manifest_commit\": {}}},\n",
+        mix.page_read, mix.wal_append, mix.wal_fsync, mix.manifest_commit
+    ));
+    out.push_str(&format!("  \"faults_injected\": {faults_injected},\n"));
+    out.push_str(&format!("  \"idle_disconnects\": {idle_disconnects},\n"));
+    out.push_str(&format!("  \"reopen_verified\": {reopen_verified},\n"));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&phase_json(p));
+        out.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Reads every account over the wire (post-phases ground truth), then
+/// flushes, shuts the server down, reopens the store without faults, and
+/// checks that nothing manifest-covered was lost and that a provenance
+/// proof still verifies.
+fn verify_reopen(
+    shared: &Arc<SharedEngine<Cole>>,
+    connect: &dyn Fn() -> Result<Box<dyn Connection>>,
+    dir: &std::path::Path,
+    config: &ColeConfig,
+    accounts: u64,
+) -> Result<()> {
+    let mut reader = Client::from_boxed(connect()?);
+    let mut expected: Vec<(Address, Option<StateValue>)> = Vec::new();
+    for a in 0..accounts {
+        let addr = Address::from_low_u64(a);
+        expected.push((addr, reader.get(addr)?));
+    }
+    let (head, _) = shared.head();
+    drop(reader);
+    shared.flush()?;
+
+    let mut reopened = Cole::open(dir, *config)?;
+    for (addr, want) in &expected {
+        let got = reopened.get(*addr)?;
+        if got != *want {
+            return Err(cole_primitives::ColeError::InvalidState(format!(
+                "reopen lost {addr:?}: served {want:?}, reopened {got:?}"
+            )));
+        }
+    }
+    // A provenance proof over the reopened store must verify against the
+    // recomputed Hstate: the authenticated structure survived the faults.
+    let hstate = compute_hstate(&reopened.root_hash_list());
+    let addr = Address::from_low_u64(0);
+    let lo = head.saturating_sub(4).max(1);
+    let result = reopened.prov_query(addr, lo, head)?;
+    if !reopened.verify_prov(addr, lo, head, &result, hstate)? {
+        return Err(cole_primitives::ColeError::VerificationFailed(
+            "provenance proof over the reopened store".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        println!(
+            "exp_chaos — graceful degradation under injected faults\n\
+             --connections 6          concurrent retrying clients\n\
+             --ops 60                 operations per client per phase\n\
+             --accounts 128           distinct addresses\n\
+             --prov-every 6           every Nth op is a verified provenance query\n\
+             --prov-span 8            block span of provenance queries\n\
+             --write-every 9          every Nth op is a put_batch\n\
+             --writes-per-batch 8     entries per injected batch\n\
+             --preload-blocks 20      blocks written before the phases\n\
+             --writes-per-block 32    writes per preload block\n\
+             --max-in-flight 2        server in-flight cap (small → shedding)\n\
+             --page-read-faults 24    transient Io faults armed at page:read\n\
+             --wal-append-faults 3    transient Io faults armed at wal:append\n\
+             --wal-fsync-faults 3     fsync failures armed at wal:fsync\n\
+             --manifest-faults 2      transient Io faults armed at manifest:commit\n\
+             --seed 3                 workload / jitter base seed\n\
+             --assert-recovered false fail unless the recovered phase and reopen are clean\n\
+             --json-out BENCH_chaos.json  machine-readable report\n\
+             --workdir bench_work --out results/chaos.csv"
+        );
+        return;
+    }
+    let connections = args.get_u64("connections", 6) as usize;
+    let ops = args.get_u64("ops", 60);
+    let accounts = args.get_u64("accounts", 128);
+    let max_in_flight = args.get_u64("max-in-flight", 2) as usize;
+    let mix = FaultMix {
+        page_read: args.get_u64("page-read-faults", 24),
+        wal_append: args.get_u64("wal-append-faults", 3),
+        wal_fsync: args.get_u64("wal-fsync-faults", 3),
+        manifest_commit: args.get_u64("manifest-faults", 2),
+    };
+    let seed = args.get_u64("seed", 3);
+    let workdir = args.get_str("workdir", "bench_work");
+    let dir = std::path::Path::new(&workdir).join("chaos");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let faults = Arc::new(FaultPlan::new());
+    let config = ColeConfig::default()
+        .with_memtable_capacity(args.get_u64("memtable", 128) as usize)
+        .with_wal_enabled(true);
+    let engine = Cole::open_with_faults(&dir, config, Arc::clone(&faults)).expect("open engine");
+    let shared = Arc::new(SharedEngine::new(engine));
+    let metrics = Arc::clone(shared.metrics());
+    let (listener, connector) = pipe_transport();
+    let server_config = ServerConfig {
+        max_in_flight,
+        request_deadline: Some(Duration::from_secs(2)),
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&shared), Box::new(listener), server_config);
+    let connect = {
+        let connector = connector.clone();
+        move || Ok(Box::new(connector.connect()?) as Box<dyn Connection>)
+    };
+
+    let mut writer = Client::from_boxed(connect().expect("connect writer"));
+    let head = preload_over_wire(
+        &mut writer,
+        args.get_u64("preload-blocks", 20),
+        args.get_u64("writes-per-block", 32),
+        accounts,
+    )
+    .expect("preload over the wire");
+    drop(writer);
+    println!("preloaded to height {head}; cap={max_in_flight}, {connections} retrying clients");
+
+    let cfg = ChaosLoadConfig {
+        connections,
+        ops_per_connection: ops,
+        accounts,
+        prov_every: args.get_u64("prov-every", 6),
+        prov_span: args.get_u64("prov-span", 8),
+        write_every: args.get_u64("write-every", 9),
+        writes_per_batch: args.get_u64("writes-per-batch", 8),
+        seed,
+    };
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_micros(500),
+        max_delay: Duration::from_millis(20),
+        call_deadline: Some(Duration::from_secs(60)),
+        ..RetryPolicy::with_seed(seed)
+    };
+
+    let mut phases = Vec::new();
+    let mut run_phase = |name: &'static str| {
+        let before: MetricsSnapshot = metrics.snapshot();
+        let result = run_chaos_phase(connect.clone(), &cfg, &policy)
+            .unwrap_or_else(|e| panic!("{name} phase failed hard (proof or setup): {e}"));
+        let after = metrics.snapshot();
+        phases.push(Phase {
+            name,
+            result,
+            shed_delta: after.requests_shed - before.requests_shed,
+            timeout_delta: after.requests_timed_out - before.requests_timed_out,
+            transient_io_delta: after.transient_io_errors - before.transient_io_errors,
+        });
+    };
+
+    mix.arm(&faults);
+    run_phase("faulted");
+    faults.clear_all();
+    run_phase("recovered");
+    let faults_injected = faults.injected();
+
+    let reopen = verify_reopen(&shared, &connect, &dir, &config, accounts);
+    let reopen_verified = reopen.is_ok();
+    if let Err(e) = &reopen {
+        eprintln!("reopen verification FAILED: {e}");
+    }
+    handle.shutdown();
+    let idle_disconnects = metrics.snapshot().idle_disconnects;
+
+    let mut table = Table::new(
+        "chaos: faulted vs recovered",
+        &[
+            "phase",
+            "ops",
+            "ok",
+            "failed",
+            "drained",
+            "retries",
+            "sheds",
+            "transient_io",
+            "provs_ok",
+            "ops_per_s",
+            "p99_us",
+        ],
+    );
+    for p in &phases {
+        let r = &p.result;
+        table.push_row(vec![
+            p.name.to_string(),
+            r.ops.to_string(),
+            r.ok.to_string(),
+            r.failed.to_string(),
+            r.drained_ok.to_string(),
+            r.client_retries.to_string(),
+            p.shed_delta.to_string(),
+            p.transient_io_delta.to_string(),
+            r.verified_proofs.to_string(),
+            format!("{:.0}", r.ops_per_s()),
+            format!("{:.0}", r.latency.p99_us),
+        ]);
+    }
+
+    table.print();
+    println!("faults injected: {faults_injected}; reopen verified: {reopen_verified}");
+    let out = args.get_str("out", "results/chaos.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {out}");
+
+    let json = chaos_json(
+        &mix,
+        &phases,
+        faults_injected,
+        idle_disconnects,
+        reopen_verified,
+        accounts,
+        connections,
+        max_in_flight,
+    );
+    let json_out = args.get_str("json-out", "BENCH_chaos.json");
+    if let Some(parent) = std::path::Path::new(&json_out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("json-out dir");
+        }
+    }
+    std::fs::write(&json_out, &json).expect("write JSON");
+    println!("wrote {json_out}");
+
+    if args.get_str("assert-recovered", "false") == "true" {
+        let faulted = &phases[0];
+        let recovered = &phases[1];
+        assert_eq!(
+            faulted.result.ok + faulted.result.failed,
+            faulted.result.ops,
+            "every faulted-phase op must succeed or surface a classified error"
+        );
+        assert!(
+            faults_injected > 0,
+            "the faulted phase must actually have injected faults"
+        );
+        assert_eq!(
+            recovered.result.failed, 0,
+            "no failures may survive once the faults clear"
+        );
+        assert_eq!(
+            recovered.result.verified_proofs, recovered.result.provs,
+            "every recovered-phase proof must verify"
+        );
+        reopen.expect("reopen verification");
+        println!(
+            "assert-recovered: {} faults absorbed, recovered phase clean, reopen verified",
+            faults_injected
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -36,6 +36,15 @@ struct Point {
     depth: usize,
     result: ServerLoadResult,
     served_delta: u64,
+    /// Degradation-counter deltas across the point (shed, timed out, idle
+    /// disconnects, transient I/O errors). All zero under this benchmark's
+    /// default server config — the columns exist so a fault- or
+    /// overload-configured run (and the chaos harness) reports through the
+    /// same schema.
+    shed_delta: u64,
+    timed_out_delta: u64,
+    idle_delta: u64,
+    transient_io_delta: u64,
 }
 
 /// A started server plus the means to connect to it.
@@ -129,7 +138,8 @@ fn server_json(meta: &RunMeta, points: &[Point]) -> String {
             "    {{\"connections\": {}, \"depth\": {}, \"total_ops\": {}, \"gets\": {}, \
              \"provs\": {}, \"verified_proofs\": {}, \"ops_per_s\": {:.0}, \
              \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"max_us\": {:.2}, \
-             \"requests_served_delta\": {}}}{}\n",
+             \"requests_served_delta\": {}, \"client_retries\": {}, \"requests_shed\": {}, \
+             \"requests_timed_out\": {}, \"idle_disconnects\": {}, \"transient_io_errors\": {}}}{}\n",
             p.connections,
             p.depth,
             r.total_ops,
@@ -142,6 +152,11 @@ fn server_json(meta: &RunMeta, points: &[Point]) -> String {
             r.latency.p999_us,
             r.latency.max_us,
             p.served_delta,
+            r.client_retries,
+            p.shed_delta,
+            p.timed_out_delta,
+            p.idle_delta,
+            p.transient_io_delta,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -198,7 +213,19 @@ fn main() {
     let mut table = Table::new(
         &format!("exp_server — {engine} over {transport}"),
         &[
-            "conns", "depth", "ops", "provs", "ops/s", "p50 µs", "p99 µs", "p999 µs",
+            "conns",
+            "depth",
+            "ops",
+            "provs",
+            "ops/s",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "retries",
+            "shed",
+            "timed_out",
+            "idle_dc",
+            "transient_io",
         ],
     );
     let mut points = Vec::new();
@@ -213,9 +240,10 @@ fn main() {
                 prov_every,
                 prov_span,
             };
-            let before = served.metrics.snapshot().requests_served;
+            let before = served.metrics.snapshot();
             let result = run_closed_loop(&served.connect, &cfg).expect("closed-loop run");
-            let served_delta = served.metrics.snapshot().requests_served - before;
+            let after = served.metrics.snapshot();
+            let served_delta = after.requests_served - before.requests_served;
             assert_eq!(
                 result.verified_proofs, result.provs,
                 "every provenance proof must verify client-side"
@@ -229,12 +257,21 @@ fn main() {
                 fmt_f64(result.latency.p50_us),
                 fmt_f64(result.latency.p99_us),
                 fmt_f64(result.latency.p999_us),
+                result.client_retries.to_string(),
+                (after.requests_shed - before.requests_shed).to_string(),
+                (after.requests_timed_out - before.requests_timed_out).to_string(),
+                (after.idle_disconnects - before.idle_disconnects).to_string(),
+                (after.transient_io_errors - before.transient_io_errors).to_string(),
             ]);
             points.push(Point {
                 connections: conns,
                 depth: depth as usize,
                 result,
                 served_delta,
+                shed_delta: after.requests_shed - before.requests_shed,
+                timed_out_delta: after.requests_timed_out - before.requests_timed_out,
+                idle_delta: after.idle_disconnects - before.idle_disconnects,
+                transient_io_delta: after.transient_io_errors - before.transient_io_errors,
             });
         }
     }

@@ -17,6 +17,7 @@ const KNOWN_BENCHES: &[(&str, &str)] = &[
     ("read_path", "cache_sweep"),
     ("write_path", "sweep"),
     ("server", "sweep"),
+    ("chaos", "phases"),
 ];
 
 fn validate(text: &str) -> std::result::Result<String, String> {

@@ -1,0 +1,382 @@
+//! Chaos load generator for the served engine (`exp_chaos`).
+//!
+//! Drives a mixed read / write / provenance workload through
+//! [`RetryingClient`]s against a server configured for overload (a small
+//! in-flight cap) while a [`FaultPlan`] injects transient storage faults
+//! underneath the engine. The harness asserts the graceful-degradation
+//! contract end to end:
+//!
+//! * **no false positives** — every provenance proof is verified
+//!   client-side, and a proof that fails verification aborts the run
+//!   immediately (it is never retried: integrity failures are evidence,
+//!   not transients);
+//! * **classified failure** — every operation either eventually succeeds
+//!   (possibly after retries the client absorbs) or surfaces a typed,
+//!   wire-classified error; nothing hangs and nothing is silently
+//!   dropped;
+//! * **recovery** — once the faults burn out, a follow-up phase must run
+//!   loss- and error-free.
+
+use std::time::{Duration, Instant};
+
+use cole_primitives::{Address, ColeError, Result, StateValue};
+use cole_protocol::{Connection, RetryPolicy, RetryingClient};
+
+use crate::stats::LatencyStats;
+
+/// Workload shape of one chaos phase.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosLoadConfig {
+    /// Concurrent client connections (each with its own [`RetryingClient`]).
+    pub connections: usize,
+    /// Operations each connection issues.
+    pub ops_per_connection: u64,
+    /// Size of the preloaded key space.
+    pub accounts: u64,
+    /// Every `prov_every`-th op is a provenance query with client-side
+    /// proof verification; `0` disables provenance traffic.
+    pub prov_every: u64,
+    /// Block span of each provenance query (clamped to the chain head).
+    pub prov_span: u64,
+    /// Every `write_every`-th op is a `put_batch`; `0` makes the phase
+    /// read-only.
+    pub write_every: u64,
+    /// Entries per injected `put_batch`.
+    pub writes_per_batch: u64,
+    /// Base seed; each connection derives its own key sequence and retry
+    /// jitter stream from it.
+    pub seed: u64,
+}
+
+/// Aggregate outcome of one chaos phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosPhaseResult {
+    /// Operations issued across all connections.
+    pub ops: u64,
+    /// Operations that (eventually) succeeded, including those that only
+    /// made it through the sequential drain pass.
+    pub ok: u64,
+    /// Operations that surfaced a classified error after the client's
+    /// retry policy was exhausted *and* the drain pass.
+    pub failed: u64,
+    /// Operations that failed during the concurrent storm but succeeded
+    /// when re-run in the single-in-flight drain pass (a drained op is the
+    /// load-shedding contract working: the server answered `Busy` under
+    /// overload, and the same call succeeded once the pressure lifted).
+    pub drained_ok: u64,
+    /// Point lookups issued.
+    pub gets: u64,
+    /// Provenance queries issued.
+    pub provs: u64,
+    /// Provenance proofs that verified client-side (every successful prov
+    /// op contributes exactly one).
+    pub verified_proofs: u64,
+    /// Write batches issued.
+    pub writes: u64,
+    /// Retries the clients absorbed (attempts beyond each op's first).
+    pub client_retries: u64,
+    /// Reconnects the clients performed.
+    pub reconnects: u64,
+    /// `Busy` answers absorbed (server shed under overload).
+    pub sheds_seen: u64,
+    /// `Timeout` answers absorbed.
+    pub timeouts_seen: u64,
+    /// `Retryable` answers absorbed (transient engine faults surfaced over
+    /// the wire).
+    pub retryable_seen: u64,
+    /// Wall-clock time of the slowest connection, in microseconds.
+    pub elapsed_us: u64,
+    /// Per-operation latencies pooled across connections (whole-op time,
+    /// including every absorbed retry and backoff).
+    pub latency: LatencyStats,
+}
+
+impl ChaosPhaseResult {
+    /// Aggregate throughput in (logical) operations per second.
+    #[must_use]
+    pub fn ops_per_s(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.elapsed_us as f64 / 1e6)
+    }
+}
+
+struct PerConnection {
+    ops: u64,
+    ok: u64,
+    gets: u64,
+    provs: u64,
+    verified: u64,
+    writes: u64,
+    stats: cole_protocol::RetryStats,
+    elapsed: Duration,
+    latencies: Vec<Duration>,
+    /// Ops whose retry policy was exhausted during the storm, kept for the
+    /// sequential drain pass.
+    failed_ops: Vec<ChaosOp>,
+}
+
+/// A replayable operation, retained when its in-storm retries ran out.
+enum ChaosOp {
+    Get(Address),
+    Prov(Address, u64, u64),
+    Write(Vec<(Address, StateValue)>),
+}
+
+/// One splitmix64 step over `state`.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one chaos phase: `connections` threads of sequential (one in
+/// flight) retrying operations per [`ChaosLoadConfig`], followed by a
+/// single-connection **drain pass** that re-runs every op whose in-storm
+/// retries were exhausted. The drain has at most one request in flight, so
+/// it can never be shed by the in-flight cap — once the faults are clear,
+/// "every op eventually succeeds" holds deterministically, not just with
+/// high probability.
+///
+/// # Errors
+///
+/// Returns an error if a thread panics, a connection cannot be set up at
+/// all, or — the hard failure — a provenance proof fails verification.
+/// Classified per-op errors do *not* fail the phase; they are counted in
+/// [`ChaosPhaseResult::failed`].
+pub fn run_chaos_phase<F>(
+    connect: F,
+    cfg: &ChaosLoadConfig,
+    policy: &RetryPolicy,
+) -> Result<ChaosPhaseResult>
+where
+    F: Fn() -> Result<Box<dyn Connection>> + Send + Sync + Clone + 'static,
+{
+    assert!(cfg.connections >= 1, "at least one connection");
+    let per: Vec<Result<PerConnection>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|thread| {
+                let connect = connect.clone();
+                let policy = RetryPolicy {
+                    seed: policy.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9),
+                    ..policy.clone()
+                };
+                scope.spawn(move || run_connection(connect, cfg, policy, thread as u64))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ColeError::InvalidState("chaos thread panicked".into()))
+                })
+            })
+            .collect()
+    });
+
+    let mut out = ChaosPhaseResult::default();
+    let mut latencies = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    let mut leftovers = Vec::new();
+    for outcome in per {
+        let c = outcome?;
+        out.ops += c.ops;
+        out.ok += c.ok;
+        out.gets += c.gets;
+        out.provs += c.provs;
+        out.verified_proofs += c.verified;
+        out.writes += c.writes;
+        out.client_retries += c.stats.retries;
+        out.reconnects += c.stats.reconnects;
+        out.sheds_seen += c.stats.busy_seen;
+        out.timeouts_seen += c.stats.timeouts_seen;
+        out.retryable_seen += c.stats.retryable_seen;
+        elapsed = elapsed.max(c.elapsed);
+        latencies.extend(c.latencies);
+        leftovers.extend(c.failed_ops);
+    }
+    out.elapsed_us = elapsed.as_micros() as u64;
+    out.latency = LatencyStats::from_durations(&latencies);
+
+    // Drain pass: one client, one request in flight — overload shedding
+    // cannot occur, so only a still-armed fault can make these fail.
+    if !leftovers.is_empty() {
+        let mut client = RetryingClient::new(connect, policy.clone());
+        for op in leftovers {
+            let outcome: Result<()> = match &op {
+                ChaosOp::Get(addr) => client.get(*addr).map(|_| ()),
+                ChaosOp::Prov(addr, lo, hi) => match client.prov_query_verified(*addr, *lo, *hi) {
+                    Ok(_) => {
+                        out.verified_proofs += 1;
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+                ChaosOp::Write(batch) => client.put_batch(batch).map(|_| ()),
+            };
+            match outcome {
+                Ok(()) => {
+                    out.ok += 1;
+                    out.drained_ok += 1;
+                }
+                Err(e @ ColeError::VerificationFailed(_)) => return Err(e),
+                Err(_) => out.failed += 1,
+            }
+        }
+        let drain_stats = client.stats();
+        out.client_retries += drain_stats.retries;
+        out.reconnects += drain_stats.reconnects;
+        out.sheds_seen += drain_stats.busy_seen;
+        out.timeouts_seen += drain_stats.timeouts_seen;
+        out.retryable_seen += drain_stats.retryable_seen;
+    }
+    Ok(out)
+}
+
+fn run_connection<F>(
+    connect: F,
+    cfg: &ChaosLoadConfig,
+    policy: RetryPolicy,
+    thread: u64,
+) -> Result<PerConnection>
+where
+    F: Fn() -> Result<Box<dyn Connection>> + Send + 'static,
+{
+    let mut client = RetryingClient::new(connect, policy);
+    let (_, head, _, _) = client.info()?;
+    let prov_lo = head.saturating_sub(cfg.prov_span.saturating_sub(1)).max(1);
+    let prov_hi = head.max(1);
+    let mut rng = cfg.seed ^ (thread + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+
+    let mut out = PerConnection {
+        ops: 0,
+        ok: 0,
+        gets: 0,
+        provs: 0,
+        verified: 0,
+        writes: 0,
+        stats: cole_protocol::RetryStats::default(),
+        elapsed: Duration::ZERO,
+        latencies: Vec::with_capacity(cfg.ops_per_connection as usize),
+        failed_ops: Vec::new(),
+    };
+    let started = Instant::now();
+    for op in 0..cfg.ops_per_connection {
+        let addr = Address::from_low_u64(next_u64(&mut rng) % cfg.accounts);
+        let at = Instant::now();
+        let is_write = cfg.write_every > 0 && (op + 1) % cfg.write_every == 0;
+        let is_prov = !is_write && cfg.prov_every > 0 && (op + 1) % cfg.prov_every == 0;
+        let (chaos_op, outcome): (ChaosOp, Result<()>) = if is_write {
+            out.writes += 1;
+            let batch: Vec<_> = (0..cfg.writes_per_batch)
+                .map(|_| {
+                    let a = Address::from_low_u64(next_u64(&mut rng) % cfg.accounts);
+                    (a, StateValue::from_u64(next_u64(&mut rng)))
+                })
+                .collect();
+            let outcome = client.put_batch(&batch).map(|_| ());
+            (ChaosOp::Write(batch), outcome)
+        } else if is_prov {
+            out.provs += 1;
+            let outcome = match client.prov_query_verified(addr, prov_lo, prov_hi) {
+                Ok(_) => {
+                    out.verified += 1;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            };
+            (ChaosOp::Prov(addr, prov_lo, prov_hi), outcome)
+        } else {
+            out.gets += 1;
+            (ChaosOp::Get(addr), client.get(addr).map(|_| ()))
+        };
+        out.latencies.push(at.elapsed());
+        out.ops += 1;
+        match outcome {
+            Ok(()) => out.ok += 1,
+            // An unverifiable proof is never a "classified failure" to
+            // tally — it is the one outcome the whole harness exists to
+            // rule out, so it aborts the phase.
+            Err(e @ ColeError::VerificationFailed(_)) => return Err(e),
+            Err(_) => out.failed_ops.push(chaos_op),
+        }
+    }
+    out.elapsed = started.elapsed();
+    out.stats = client.stats();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cole_core::{Cole, ColeConfig};
+    use cole_protocol::{pipe_transport, Client};
+    use cole_server::{serve, ServerConfig, SharedEngine};
+    use cole_storage::{FaultKind, FaultPlan};
+    use std::sync::Arc;
+
+    #[test]
+    fn chaos_phase_survives_faults_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("cole-chaos-mod-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let faults = Arc::new(FaultPlan::new());
+        let config = ColeConfig::default()
+            .with_memtable_capacity(64)
+            .with_wal_enabled(true);
+        let engine = Cole::open_with_faults(&dir, config, Arc::clone(&faults)).unwrap();
+        let shared = Arc::new(SharedEngine::new(engine));
+        let (listener, connector) = pipe_transport();
+        let server_config = ServerConfig {
+            max_in_flight: 2,
+            ..ServerConfig::default()
+        };
+        let handle = serve(shared, Box::new(listener), server_config);
+
+        let mut writer = Client::new(connector.connect().unwrap());
+        crate::preload_over_wire(&mut writer, 10, 16, 32).unwrap();
+        drop(writer);
+
+        faults.fail("page:read", FaultKind::Io, 4);
+        faults.fail("wal:append", FaultKind::Io, 1);
+
+        let cfg = ChaosLoadConfig {
+            connections: 3,
+            ops_per_connection: 40,
+            accounts: 32,
+            prov_every: 7,
+            prov_span: 6,
+            write_every: 5,
+            writes_per_batch: 4,
+            seed: 0xC0FE,
+        };
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(5),
+            jitter: 0.5,
+            call_deadline: Some(Duration::from_secs(30)),
+            seed: 1,
+        };
+        let connector2 = connector.clone();
+        let connect = move || Ok(Box::new(connector2.connect()?) as Box<dyn Connection>);
+        let faulted = run_chaos_phase(connect.clone(), &cfg, &policy).unwrap();
+        assert_eq!(faulted.ops, 120);
+        assert_eq!(
+            faulted.ok + faulted.failed,
+            faulted.ops,
+            "every op accounted"
+        );
+
+        faults.clear_all();
+        let recovered = run_chaos_phase(connect, &cfg, &policy).unwrap();
+        assert_eq!(recovered.failed, 0, "no failures once faults clear");
+        assert_eq!(recovered.ok, recovered.ops);
+        assert_eq!(recovered.verified_proofs, recovered.provs);
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,12 +19,14 @@
 //! | `exp_ablation` | extra ablations (ε sweep, Bloom-filter effect, read-path cache sweep → `BENCH_read_path.json`, write-path shards × WAL-sync sweep → `BENCH_write_path.json`) |
 //! | `exp_concurrent` | concurrent point-lookup throughput & page-cache ablation |
 //! | `exp_server` | served-engine throughput & latency: connections × pipelining depth over `cole_server` → `BENCH_server.json` |
+//! | `exp_chaos` | graceful degradation under injected faults: retrying clients vs transient storage faults + overload shedding → `BENCH_chaos.json` |
 //! | `validate_bench` | CI gate: every committed `BENCH_*.json` parses with a known `schema_version` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
+mod chaos;
 mod driver;
 mod engines;
 mod json;
@@ -35,6 +37,7 @@ mod stats;
 mod writepath;
 
 pub use args::Args;
+pub use chaos::{run_chaos_phase, ChaosLoadConfig, ChaosPhaseResult};
 pub use driver::{
     prepare_provenance_engine, run_kvstore, run_provenance_phase, run_smallbank,
     run_workload_blocks, Measurement, ProvenanceMeasurement,

@@ -49,6 +49,11 @@ pub struct ServerLoadResult {
     pub provs: u64,
     /// Provenance proofs that verified client-side (must equal `provs`).
     pub verified_proofs: u64,
+    /// Retries the clients performed. Structurally `0` here: the raw
+    /// pipelined clients treat every error frame as fatal — retrying load
+    /// comes from [`run_chaos_phase`](crate::run_chaos_phase), which
+    /// reports real values in `BENCH_chaos.json`.
+    pub client_retries: u64,
     /// Wall-clock time of the slowest connection.
     pub elapsed: Duration,
     /// Request latencies pooled across connections.
@@ -147,6 +152,7 @@ where
         gets: 0,
         provs: 0,
         verified_proofs: 0,
+        client_retries: 0,
         elapsed: Duration::ZERO,
         latency: LatencyStats::default(),
     };

@@ -100,6 +100,34 @@ impl Cole {
         config: ColeConfig,
         kill_points: Option<Arc<KillPoints>>,
     ) -> Result<Self> {
+        Cole::open_instrumented(dir, config, kill_points, None)
+    }
+
+    /// [`Cole::open`] with a recoverable-fault plan attached to every layer
+    /// of the engine's storage: run-file page reads, WAL appends/fsyncs and
+    /// manifest commits all consult it (used by the chaos harness; see
+    /// [`cole_storage::FaultPlan`]). Unlike kill points, an injected fault
+    /// is *recoverable*: the failed call returns `Err` with the engine's
+    /// in-memory and on-disk state intact, and the same call succeeds once
+    /// the fault clears.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cole::open`].
+    pub fn open_with_faults<P: AsRef<Path>>(
+        dir: P,
+        config: ColeConfig,
+        faults: Arc<cole_storage::FaultPlan>,
+    ) -> Result<Self> {
+        Cole::open_instrumented(dir, config, None, Some(faults))
+    }
+
+    fn open_instrumented<P: AsRef<Path>>(
+        dir: P,
+        config: ColeConfig,
+        kill_points: Option<Arc<KillPoints>>,
+        faults: Option<Arc<cole_storage::FaultPlan>>,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -107,7 +135,13 @@ impl Cole {
         if let Some(kp) = &kill_points {
             ctx = ctx.with_kill_points(Arc::clone(kp));
         }
-        let (manifest, state) = Manifest::open(&dir, kill_points)?;
+        if let Some(faults) = &faults {
+            ctx = ctx.with_faults(Arc::clone(faults));
+        }
+        let (mut manifest, state) = Manifest::open(&dir, kill_points)?;
+        if let Some(faults) = &faults {
+            manifest.attach_faults(Arc::clone(faults));
+        }
         let mut cole = Cole {
             dir,
             config,
@@ -157,6 +191,9 @@ impl Cole {
                 },
             )?;
             wal.attach_io_counters(Arc::clone(&self.ctx.metrics.wal_io));
+            if let Some(faults) = &self.ctx.faults {
+                wal.attach_faults(Arc::clone(faults));
+            }
             self.wal = Some(wal);
         }
         Ok(())
@@ -231,10 +268,17 @@ impl Cole {
     /// files are orphans, GC'd on reopen); a crash after step 2 leaves
     /// superseded files as orphans. No crash point loses committed data.
     ///
-    /// If an error escapes mid-way (a real I/O failure or an injected kill
-    /// point), the *in-memory* state may be inconsistent — the caller must
-    /// treat the error as fatal, drop the engine, and reopen the directory;
-    /// the on-disk state is unharmed by the ordering above.
+    /// The same ordering also makes the flush **recoverable in place**: all
+    /// pre-commit work mutates scratch copies (`self` is published only
+    /// after the manifest commit succeeds), so an error before or at the
+    /// commit — a transient I/O failure, `ENOSPC`, a failed manifest write
+    /// — returns `Err` with the engine fully usable: the memtable still
+    /// holds every entry, queries keep serving the old levels, and the next
+    /// block boundary simply retries the flush. Partially built run files
+    /// stay behind as orphans until a later reopen GCs them. An error
+    /// *after* the commit (WAL truncation, superseded-file deletion) also
+    /// leaves the engine consistent — the new state is already durable and
+    /// published, and both cleanups retry naturally.
     fn flush_and_merge(&mut self) -> Result<()> {
         // Flush the memtable to level 1 as a sorted run (Algorithm 1 line
         // 5). With sharded write heads this is a k-way merge over the
@@ -250,39 +294,49 @@ impl Cole {
         if entries.is_empty() {
             return Ok(());
         }
-        let id = self.alloc_run_id();
+        // Scratch state: run-id allocation and the level lists are copied
+        // (cheap `Arc` clones) and everything below mutates the copies. A
+        // retried flush re-allocates fresh run ids, so it can never collide
+        // with the orphans of a failed attempt.
+        let mut next_run_id = self.next_run_id;
+        let mut levels = self.levels.clone();
+
+        // Metrics are accumulated locally and published only after the
+        // manifest commit: a failed flush leaves the counters (like the
+        // engine) exactly as they were, so `flushes`/`merges` count
+        // *completed* operations.
+        let mut merges = 0u64;
+        let mut entries_merged = 0u64;
+        let mut pages_written = 0u64;
+
+        let id = next_run_id;
+        next_run_id += 1;
         let run = build_run_from_entries(&self.dir, id, &entries, &self.config, self.ctx.clone())?;
-        Metrics::inc(&self.ctx.metrics.flushes);
-        Metrics::add(
-            &self.ctx.metrics.pages_written,
-            run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64),
-        );
-        if self.levels.is_empty() {
-            self.levels.push(Vec::new());
+        pages_written += run.data_bytes().div_ceil(cole_primitives::PAGE_SIZE as u64);
+        if levels.is_empty() {
+            levels.push(Vec::new());
         }
-        self.levels[0].insert(0, Arc::new(run));
+        levels[0].insert(0, Arc::new(run));
         self.ctx.kill("flush:run_built")?;
 
         // Recursively merge full levels (Algorithm 1 lines 8–12), deferring
         // the deletion of superseded runs until after the manifest commit.
         let mut superseded: Vec<Arc<Run>> = Vec::new();
         let mut i = 0usize;
-        while i < self.levels.len() && self.levels[i].len() >= self.config.size_ratio {
-            let runs = std::mem::take(&mut self.levels[i]);
-            let id = self.alloc_run_id();
+        while i < levels.len() && levels[i].len() >= self.config.size_ratio {
+            let runs = std::mem::take(&mut levels[i]);
+            let id = next_run_id;
+            next_run_id += 1;
             let merged = merge_runs(&self.dir, id, &runs, &self.config, self.ctx.clone())?;
-            Metrics::inc(&self.ctx.metrics.merges);
-            Metrics::add(&self.ctx.metrics.entries_merged, merged.num_entries());
-            Metrics::add(
-                &self.ctx.metrics.pages_written,
-                merged
-                    .data_bytes()
-                    .div_ceil(cole_primitives::PAGE_SIZE as u64),
-            );
-            if self.levels.len() <= i + 1 {
-                self.levels.push(Vec::new());
+            merges += 1;
+            entries_merged += merged.num_entries();
+            pages_written += merged
+                .data_bytes()
+                .div_ceil(cole_primitives::PAGE_SIZE as u64);
+            if levels.len() <= i + 1 {
+                levels.push(Vec::new());
             }
-            self.levels[i + 1].insert(0, Arc::new(merged));
+            levels[i + 1].insert(0, Arc::new(merged));
             superseded.extend(runs);
             self.ctx.kill("merge:run_built")?;
             i += 1;
@@ -304,9 +358,26 @@ impl Cole {
         // finalized block — is in the flushed run, so the manifest also
         // records the current height as durably flushed.
         self.ctx.kill("flush:pre_manifest")?;
-        self.flushed_block = self.current_block;
-        let state = self.manifest_state();
+        let state = ManifestState {
+            block: self.current_block,
+            flushed_block: self.current_block,
+            next_run: next_run_id,
+            levels: levels
+                .iter()
+                .map(|level| level.iter().map(|r| r.id()).collect())
+                .collect(),
+        };
         self.manifest.commit(&state)?;
+
+        // The commit is durable: publish the scratch state. Everything past
+        // this point is cleanup of now-redundant copies.
+        self.levels = levels;
+        self.next_run_id = next_run_id;
+        self.flushed_block = self.current_block;
+        Metrics::inc(&self.ctx.metrics.flushes);
+        Metrics::add(&self.ctx.metrics.merges, merges);
+        Metrics::add(&self.ctx.metrics.entries_merged, entries_merged);
+        Metrics::add(&self.ctx.metrics.pages_written, pages_written);
 
         // The flushed memtable is durable now — forget its volatile copies.
         self.mem.clear();
@@ -322,12 +393,6 @@ impl Cole {
             self.ctx.kill("flush:run_deleted")?;
         }
         Ok(())
-    }
-
-    fn alloc_run_id(&mut self) -> RunId {
-        let id = self.next_run_id;
-        self.next_run_id += 1;
-        id
     }
 
     // ------------------------------------------------------------------ root hashes

@@ -14,6 +14,15 @@
 //! treated as durable — the harness simulates process death, while fsync
 //! *ordering* bugs are prevented structurally by the manifest protocol).
 //!
+//! Kill points model the *die* half of the paper's failure model. Their
+//! recoverable generalization is [`FaultPlan`] (re-exported from
+//! `cole_storage`): per-site transient I/O errors, `ENOSPC`, short reads
+//! and fsync failures that the engine must survive **in place** — the
+//! failed call returns `Err` without corrupting state, and the same call
+//! succeeds once the fault clears. Attach one with
+//! [`Cole::open_with_faults`](crate::Cole::open_with_faults).
+//!
+//! [`FaultPlan`]: cole_storage::FaultPlan
 //! [`RunContext`]: crate::RunContext
 
 use cole_primitives::{ColeError, Result};

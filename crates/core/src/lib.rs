@@ -65,6 +65,7 @@ pub mod sync;
 
 pub use async_cole::AsyncCole;
 pub use cole::Cole;
+pub use cole_storage::{FaultKind, FaultPlan};
 pub use config::ColeConfig;
 pub use failpoint::KillPoints;
 pub use manifest::{gc_orphan_runs, Manifest, ManifestState};

@@ -234,6 +234,9 @@ pub struct Manifest {
     dir: PathBuf,
     next_seq: u64,
     kill: Option<Arc<KillPoints>>,
+    /// Recoverable fault injection consulted at the head of every commit
+    /// (site `manifest:commit`), if any.
+    faults: Option<Arc<cole_storage::FaultPlan>>,
 }
 
 impl Manifest {
@@ -259,6 +262,7 @@ impl Manifest {
             dir: dir.to_path_buf(),
             next_seq: 1,
             kill,
+            faults: None,
         };
         let state = if current_path.exists() {
             let name = std::fs::read_to_string(&current_path)?;
@@ -328,6 +332,15 @@ impl Manifest {
         &self.dir
     }
 
+    /// Consults `faults` (site `manifest:commit`) at the head of every
+    /// [`commit`](Self::commit), before any disk mutation, so a chaos
+    /// harness can inject transient commit failures. The previously
+    /// committed manifest stays intact and a later commit retries the same
+    /// sequence number.
+    pub fn attach_faults(&mut self, faults: Arc<cole_storage::FaultPlan>) {
+        self.faults = Some(faults);
+    }
+
     /// Durably publishes `state` as the new committed manifest:
     /// tmp → fsync → rename → fsync dir, then the same for `CURRENT`, then
     /// best-effort pruning of superseded manifest files.
@@ -337,6 +350,11 @@ impl Manifest {
     /// Returns an error if any write, sync, or rename fails; the previously
     /// committed manifest remains intact in that case.
     pub fn commit(&mut self, state: &ManifestState) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            // Before any disk mutation: an injected commit failure leaves
+            // the previous manifest (and this one's sequence number) intact.
+            faults.check("manifest:commit")?;
+        }
         let seq = self.next_seq;
         let name = manifest_name(seq);
         let path = self.dir.join(&name);

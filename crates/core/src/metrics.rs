@@ -69,6 +69,18 @@ pub struct Metrics {
     pub put_batch_requests: AtomicU64,
     /// `prov_query` requests served over the wire.
     pub prov_requests: AtomicU64,
+    /// Requests answered `Busy` by the server's in-flight cap (load
+    /// shedding) instead of being dispatched to the engine.
+    pub requests_shed: AtomicU64,
+    /// Read-only requests whose dispatch overran the server's per-request
+    /// deadline and were answered `Timeout`.
+    pub requests_timed_out: AtomicU64,
+    /// Connections the server closed for exceeding the slow-client idle
+    /// timeout.
+    pub idle_disconnects: AtomicU64,
+    /// Engine errors classified as transient I/O and answered with a
+    /// retryable wire code (the chaos harness's storage faults land here).
+    pub transient_io_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -127,6 +139,10 @@ impl Metrics {
             get_requests: self.get_requests.load(Ordering::Relaxed),
             put_batch_requests: self.put_batch_requests.load(Ordering::Relaxed),
             prov_requests: self.prov_requests.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            requests_timed_out: self.requests_timed_out.load(Ordering::Relaxed),
+            idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
+            transient_io_errors: self.transient_io_errors.load(Ordering::Relaxed),
             cache_hits: value_cache_hits + index_cache_hits + merkle_cache_hits,
             cache_misses: value_cache_misses + index_cache_misses + merkle_cache_misses,
             value_cache_hits,
@@ -191,6 +207,15 @@ pub struct MetricsSnapshot {
     pub put_batch_requests: u64,
     /// `prov_query` requests served over the wire.
     pub prov_requests: u64,
+    /// Requests answered `Busy` by the server's in-flight cap.
+    pub requests_shed: u64,
+    /// Read-only requests answered `Timeout` after overrunning the server's
+    /// per-request deadline.
+    pub requests_timed_out: u64,
+    /// Connections closed for exceeding the slow-client idle timeout.
+    pub idle_disconnects: u64,
+    /// Engine errors classified as transient I/O and answered retryable.
+    pub transient_io_errors: u64,
     /// Page-cache hits across the engine's run files, all kinds.
     pub cache_hits: u64,
     /// Page-cache misses across the engine's run files, all kinds.

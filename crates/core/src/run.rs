@@ -45,6 +45,10 @@ pub struct RunContext {
     /// Crash-injection hook crossed by every write-path step; `None` (the
     /// default outside crash tests) makes every crossing free.
     pub kill_points: Option<Arc<KillPoints>>,
+    /// Recoverable fault injection consulted by the storage layer (page
+    /// reads, WAL appends/fsyncs, manifest commits); `None` (the default
+    /// outside chaos tests) makes every check free.
+    pub faults: Option<Arc<cole_storage::FaultPlan>>,
 }
 
 impl RunContext {
@@ -55,6 +59,7 @@ impl RunContext {
             cache,
             metrics,
             kill_points: None,
+            faults: None,
         }
     }
 
@@ -71,6 +76,15 @@ impl RunContext {
     #[must_use]
     pub fn with_kill_points(mut self, kill_points: Arc<KillPoints>) -> Self {
         self.kill_points = Some(kill_points);
+        self
+    }
+
+    /// Attaches a recoverable-fault plan (see [`cole_storage::FaultPlan`]):
+    /// every run file the engine opens or builds from here on consults it
+    /// before disk reads, and the engine wires it into its WAL and manifest.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<cole_storage::FaultPlan>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -120,6 +134,11 @@ fn attach_run_io(
     value_file.attach_stats(Arc::clone(&ctx.metrics.value_io));
     index.attach_stats(Arc::clone(&ctx.metrics.index_io));
     merkle.attach_stats(Arc::clone(&ctx.metrics.merkle_io));
+    if let Some(faults) = &ctx.faults {
+        value_file.attach_faults(Arc::clone(faults));
+        index.attach_faults(Arc::clone(faults));
+        merkle.attach_faults(Arc::clone(faults));
+    }
 }
 
 /// Number of compound key–value entries per value-file page.

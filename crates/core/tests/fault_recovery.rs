@@ -1,0 +1,208 @@
+//! Regression tests for graceful degradation under injected transient
+//! faults: a failed operation returns `Err` without corrupting in-memory or
+//! on-disk state, and the same call succeeds once the fault clears.
+//!
+//! The headline case is a failed manifest commit: the engine must stay
+//! usable **in place** (no drop-and-reopen), keep serving reads from the
+//! intact memtable and the previously committed runs, and retry the flush
+//! at the next block boundary.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cole_core::{Cole, ColeConfig, FaultKind, FaultPlan};
+use cole_primitives::{Address, AuthenticatedStorage, ColeError, StateValue};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cole-fault-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn small_config() -> ColeConfig {
+    ColeConfig::default()
+        .with_memtable_capacity(8)
+        .with_size_ratio(2)
+        .with_page_cache_pages(1)
+        .with_wal_enabled(true)
+}
+
+fn addr(n: u64) -> Address {
+    Address::from_low_u64(n)
+}
+
+/// Applies block `blk` writing 4 fresh addresses, returning the result of
+/// `finalize_block`.
+fn apply_block(cole: &mut Cole, blk: u64) -> cole_primitives::Result<cole_primitives::Digest> {
+    cole.begin_block(blk)?;
+    for a in 0..4u64 {
+        cole.put(addr(blk * 10 + a), StateValue::from_u64(blk))?;
+    }
+    cole.finalize_block()
+}
+
+fn assert_all_readable(cole: &Cole, blocks: u64) {
+    for blk in 1..=blocks {
+        for a in 0..4u64 {
+            assert_eq!(
+                cole.get(addr(blk * 10 + a)).unwrap(),
+                Some(StateValue::from_u64(blk)),
+                "address {blk}/{a}"
+            );
+        }
+    }
+}
+
+/// Satellite 1: a failed `manifest:commit` leaves the engine usable in
+/// place. Reads keep working, the memtable is intact, the next block
+/// boundary retries the flush successfully, and a reopen sees every
+/// manifest-covered write.
+#[test]
+fn failed_manifest_commit_recovers_in_place() {
+    let dir = tmpdir("manifest-commit");
+    let faults = Arc::new(FaultPlan::new());
+    let mut cole = Cole::open_with_faults(&dir, small_config(), Arc::clone(&faults)).unwrap();
+
+    // Establish some committed on-disk state first.
+    let mut blk = 0u64;
+    while cole.metrics().flushes < 2 {
+        blk += 1;
+        apply_block(&mut cole, blk).unwrap();
+    }
+    let flushes_before = cole.metrics().flushes;
+
+    // Arm a single transient I/O failure at the manifest commit point and
+    // drive blocks until a flush is attempted and fails.
+    faults.fail("manifest:commit", FaultKind::Io, 1);
+    let failed_at = loop {
+        blk += 1;
+        match apply_block(&mut cole, blk) {
+            Ok(_) => continue,
+            Err(err) => {
+                assert!(
+                    matches!(err, ColeError::Io(_)),
+                    "expected a transient I/O error, got: {err}"
+                );
+                break blk;
+            }
+        }
+    };
+    assert_eq!(faults.injected(), 1, "exactly one fault fired");
+    assert_eq!(
+        cole.metrics().flushes,
+        flushes_before,
+        "the failed flush must not count as completed"
+    );
+
+    // The engine is still usable in place: every write so far — including
+    // the ones sitting in the un-flushed memtable — stays readable, and a
+    // provenance query over committed history still answers.
+    assert_all_readable(&cole, failed_at);
+    let prov = cole.prov_query(addr(10), 1, failed_at).unwrap();
+    assert_eq!(prov.values.len(), 1);
+
+    // The fault has burned out, so the next block boundary retries the
+    // flush and succeeds without any reopen.
+    let mut hstate = None;
+    while cole.metrics().flushes == flushes_before {
+        blk += 1;
+        hstate = Some(apply_block(&mut cole, blk).unwrap());
+    }
+    let hstate = hstate.unwrap();
+    assert_all_readable(&cole, blk);
+    let prov = cole.prov_query(addr(10), 1, blk).unwrap();
+    assert!(cole.verify_prov(addr(10), 1, blk, &prov, hstate).unwrap());
+
+    // Durability: a clean reopen recovers everything, orphans from the
+    // failed attempt notwithstanding.
+    drop(cole);
+    let reopened = Cole::open(&dir, small_config()).unwrap();
+    assert_all_readable(&reopened, blk);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ENOSPC at the manifest commit behaves the same as a generic transient
+/// I/O error: classified as `ColeError::Io`, survivable in place.
+#[test]
+fn enospc_manifest_commit_is_survivable() {
+    let dir = tmpdir("manifest-enospc");
+    let faults = Arc::new(FaultPlan::new());
+    let mut cole = Cole::open_with_faults(&dir, small_config(), Arc::clone(&faults)).unwrap();
+
+    faults.fail("manifest:commit", FaultKind::Enospc, 1);
+    let mut blk = 0u64;
+    let err = loop {
+        blk += 1;
+        match apply_block(&mut cole, blk) {
+            Ok(_) => continue,
+            Err(err) => break err,
+        }
+    };
+    assert!(matches!(err, ColeError::Io(_)), "got: {err}");
+
+    // Space "freed": everything proceeds normally from here.
+    while cole.metrics().flushes == 0 {
+        blk += 1;
+        apply_block(&mut cole, blk).unwrap();
+    }
+    assert_all_readable(&cole, blk);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A transient `page:read` fault fails one read-path call; the same get
+/// succeeds on retry once the fault clears, with no state damage.
+#[test]
+fn transient_page_read_fault_clears() {
+    let dir = tmpdir("page-read");
+    let faults = Arc::new(FaultPlan::new());
+    let mut cole = Cole::open_with_faults(&dir, small_config(), Arc::clone(&faults)).unwrap();
+
+    let mut blk = 0u64;
+    while cole.metrics().flushes < 1 {
+        blk += 1;
+        apply_block(&mut cole, blk).unwrap();
+    }
+
+    // The single-page cache means a get of old (flushed, evicted) data
+    // must hit the disk, where the armed fault fires.
+    faults.fail("page:read", FaultKind::Io, 1);
+    let err = cole.get(addr(10)).unwrap_err();
+    assert!(matches!(err, ColeError::Io(_)), "got: {err}");
+
+    // Same call, fault burned out: succeeds with the right answer.
+    assert_eq!(cole.get(addr(10)).unwrap(), Some(StateValue::from_u64(1)));
+    assert_all_readable(&cole, blk);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A transient `wal:append` fault fails `finalize_block` before any flush
+/// work; re-calling `finalize_block` retries the append and lands the
+/// block durably.
+#[test]
+fn transient_wal_append_fault_clears() {
+    let dir = tmpdir("wal-append");
+    let faults = Arc::new(FaultPlan::new());
+    let mut cole = Cole::open_with_faults(&dir, small_config(), Arc::clone(&faults)).unwrap();
+
+    apply_block(&mut cole, 1).unwrap();
+
+    faults.fail("wal:append", FaultKind::Io, 1);
+    cole.begin_block(2).unwrap();
+    cole.put(addr(20), StateValue::from_u64(2)).unwrap();
+    let err = cole.finalize_block().unwrap_err();
+    assert!(matches!(err, ColeError::Io(_)), "got: {err}");
+
+    // The block's entries are still buffered: the retried finalize appends
+    // them and the write is durable across a crash-style reopen.
+    cole.finalize_block().unwrap();
+    assert_eq!(cole.get(addr(20)).unwrap(), Some(StateValue::from_u64(2)));
+    drop(cole);
+
+    let reopened = Cole::open(&dir, small_config()).unwrap();
+    assert_eq!(
+        reopened.get(addr(20)).unwrap(),
+        Some(StateValue::from_u64(2))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,22 @@
+//! Fixture: an ErrorCode enum whose ERRORS.md taxonomy is out of date —
+//! one undocumented variant, one wrong tag, one stale row.
+
+/// Wire error codes.
+pub enum ErrorCode {
+    /// Documented, correct tag.
+    Malformed,
+    /// Documented, but ERRORS.md claims the wrong tag.
+    Busy,
+    /// Not documented at all.
+    Timeout,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Busy => 4,
+            ErrorCode::Timeout => 5,
+        }
+    }
+}

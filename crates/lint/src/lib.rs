@@ -49,6 +49,12 @@
 //!   condition variables wake spuriously, so a wait whose predicate is
 //!   not re-checked in a loop is a latent lost-wakeup bug.
 //!
+//! * **`error-taxonomy`** — every variant of the wire `ErrorCode` enum
+//!   must have a row in ERRORS.md's wire-code table with the tag the
+//!   source assigns it, and the table may not list codes that no longer
+//!   exist: clients decide retry behavior from the documented taxonomy,
+//!   so an undocumented (or stale) error code is a protocol bug.
+//!
 //! * **`panic-path`** — in `cole_protocol`'s decode modules, no
 //!   `.unwrap()`, `.expect(`, direct indexing, or unchecked arithmetic
 //!   may be reachable (intra-file) from a `decode*` function: those
@@ -443,6 +449,8 @@ pub fn lint_dir(root: &Path) -> Result<Vec<Finding>, String> {
         check_condvar_wait(file, &mut findings);
         check_panic_path(file, &mut findings);
     }
+
+    check_error_taxonomy(&files, root, &mut findings);
 
     // Staleness: audit entries for files that are gone or ordering-free.
     for path in allowlist.keys() {
@@ -1004,6 +1012,155 @@ fn check_panic_path(file: &SourceFile, findings: &mut Vec<Finding>) {
                     "{} reachable from `decode*` (via `{name}`): wire bytes are untrusted, \
                      so parsers must return `InvalidEncoding`, never panic",
                     problems.join(" and ")
+                ),
+            });
+        }
+    }
+}
+
+/// `error-taxonomy`: every variant of the wire `ErrorCode` enum must have
+/// a row in the ERRORS.md wire-code table (`` | `Name` | tag | ... ``),
+/// the row's tag must match the `tag()` mapping in source, and stale rows
+/// naming no variant fail like stale ORDERINGS.md entries. A new error
+/// code cannot ship undocumented — clients decide retry behavior from the
+/// taxonomy.
+fn check_error_taxonomy(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
+    // Locate the declaration: the one non-shim, non-test file declaring
+    // `pub enum ErrorCode`.
+    let mut declared: Option<(&SourceFile, Vec<(String, usize)>)> = None;
+    for file in files {
+        if file.in_shims || file.in_test_tree {
+            continue;
+        }
+        let Some(open) = file
+            .lines
+            .iter()
+            .position(|l| !l.in_test && l.code.contains("pub enum ErrorCode"))
+        else {
+            continue;
+        };
+        let mut variants = Vec::new();
+        for (idx, line) in file.lines.iter().enumerate().skip(open + 1) {
+            let code = line.code.trim();
+            if code.starts_with('}') {
+                break;
+            }
+            let name = code.trim_end_matches(',');
+            if !name.is_empty()
+                && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && name.chars().all(char::is_alphanumeric)
+            {
+                variants.push((name.to_string(), idx + 1));
+            }
+        }
+        declared = Some((file, variants));
+        break;
+    }
+    let Some((decl_file, variants)) = declared else {
+        return;
+    };
+
+    // The `ErrorCode::Name => N` arms of `tag()` give the declared tags.
+    let mut tags: BTreeMap<String, u64> = BTreeMap::new();
+    for line in &decl_file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if let Some(pos) = code.find("ErrorCode::") {
+            let rest = &code[pos + "ErrorCode::".len()..];
+            let name: String = rest.chars().take_while(|c| c.is_alphanumeric()).collect();
+            if let Some(arrow) = rest.find("=>") {
+                let value: String = rest[arrow + 2..]
+                    .trim_start()
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect();
+                if let Ok(tag) = value.parse::<u64>() {
+                    tags.entry(name).or_insert(tag);
+                }
+            }
+        }
+    }
+
+    let errors_path = root.join("ERRORS.md");
+    let Ok(taxonomy) = std::fs::read_to_string(&errors_path) else {
+        findings.push(Finding {
+            rule: "error-taxonomy",
+            path: PathBuf::from("ERRORS.md"),
+            line: 0,
+            message: format!(
+                "`{}` declares the wire ErrorCode enum but ERRORS.md does not exist; \
+                 the error taxonomy must be documented",
+                decl_file.rel.display()
+            ),
+        });
+        return;
+    };
+
+    // Table rows of the form `| `Name` | <tag> | ... |`.
+    let mut rows: Vec<(String, u64, usize)> = Vec::new();
+    for (idx, line) in taxonomy.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 || cells[0].len() < 3 {
+            continue;
+        }
+        let first = cells[0];
+        if first.starts_with('`') && first.ends_with('`') {
+            let name = &first[1..first.len() - 1];
+            if name.chars().all(char::is_alphanumeric) {
+                if let Ok(tag) = cells[1].parse::<u64>() {
+                    rows.push((name.to_string(), tag, idx + 1));
+                }
+            }
+        }
+    }
+
+    for (name, line) in &variants {
+        match rows.iter().find(|(row_name, _, _)| row_name == name) {
+            None => findings.push(Finding {
+                rule: "error-taxonomy",
+                path: decl_file.rel.clone(),
+                line: *line,
+                message: format!(
+                    "`ErrorCode::{name}` has no row in the ERRORS.md wire-code table; \
+                     document its class and retryability before shipping it"
+                ),
+            }),
+            Some((_, row_tag, row_line)) => {
+                if let Some(code_tag) = tags.get(name) {
+                    if code_tag != row_tag {
+                        findings.push(Finding {
+                            rule: "error-taxonomy",
+                            path: PathBuf::from("ERRORS.md"),
+                            line: *row_line,
+                            message: format!(
+                                "ERRORS.md lists `{name}` with wire tag {row_tag}, but the \
+                                 source maps it to {code_tag}; the table is out of date"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (name, _, row_line) in &rows {
+        if !variants.iter().any(|(v, _)| v == name) {
+            findings.push(Finding {
+                rule: "error-taxonomy",
+                path: PathBuf::from("ERRORS.md"),
+                line: *row_line,
+                message: format!(
+                    "ERRORS.md documents wire code `{name}` but the ErrorCode enum has no \
+                     such variant; remove the stale row"
                 ),
             });
         }

@@ -126,6 +126,33 @@ fn panic_sites_reachable_from_decode_are_caught() {
 }
 
 #[test]
+fn error_taxonomy_drift_is_caught() {
+    let findings = lint_fixture("bad_error_taxonomy");
+    // Undocumented variant, wrong tag, stale row.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "error-taxonomy"));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`ErrorCode::Timeout`")
+                && f.path == Path::new("crates/protocol/src/frame.rs")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`Busy`") && f.message.contains("wire tag 9")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`Ghost`") && f.path == Path::new("ERRORS.md")),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn repo_tree_is_clean() {
     let findings = lint_dir(&repo_root()).unwrap();
     assert!(findings.is_empty(), "{findings:?}");

@@ -77,6 +77,12 @@ impl MerkleFile {
         self.file.attach_stats(stats);
     }
 
+    /// Consults `faults` before every disk read of this Merkle file (site
+    /// `page:read`; see `cole_storage::FaultPlan`).
+    pub fn attach_faults(&mut self, faults: Arc<cole_storage::FaultPlan>) {
+        self.file.attach_faults(faults);
+    }
+
     /// Drops every cached page of this file from the attached cache, if
     /// any. Call before deleting the file from disk.
     pub fn invalidate_cached_pages(&self) {

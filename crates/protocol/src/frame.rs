@@ -41,15 +41,37 @@ const KIND_INFO_OK: u8 = 0x84;
 const KIND_ERROR: u8 = 0x7f;
 
 /// Machine-readable class of a server [`Message::Error`] response.
+///
+/// The taxonomy splits along one load-bearing axis, *is retrying this exact
+/// request safe and potentially useful?* — see `ERRORS.md` at the repository
+/// root for the full fatal / retryable / corruption classification and which
+/// layer assigns each class. [`ErrorCode::is_retryable`] encodes the answer
+/// so clients never have to parse error text.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The request frame decoded but was semantically invalid (e.g. an
-    /// empty `put_batch`), or the frame kind is not a request.
+    /// empty `put_batch`), or the frame kind is not a request. Not
+    /// retryable: the same bytes will fail the same way.
     Malformed,
-    /// The engine failed to execute the request.
+    /// The engine failed to execute the request with a non-transient error
+    /// (invalid state, corruption, verification failure). Not retryable.
     Engine,
-    /// The server understood the request but does not support it.
+    /// The server understood the request but does not support it. Not
+    /// retryable.
     Unsupported,
+    /// The server shed the request under overload before dispatching it to
+    /// the engine. Nothing was executed; retrying after a backoff is safe
+    /// for every operation.
+    Busy,
+    /// The request exceeded the server's per-request deadline. Only
+    /// read-only requests are ever answered with this code — a write that
+    /// ran past its deadline still completed and reports its real result —
+    /// so retrying is safe.
+    Timeout,
+    /// The engine hit a transient fault (e.g. a failing disk read) that is
+    /// expected to clear; the operation left state intact. Retrying is
+    /// safe.
+    Retryable,
 }
 
 impl ErrorCode {
@@ -58,6 +80,9 @@ impl ErrorCode {
             ErrorCode::Malformed => 1,
             ErrorCode::Engine => 2,
             ErrorCode::Unsupported => 3,
+            ErrorCode::Busy => 4,
+            ErrorCode::Timeout => 5,
+            ErrorCode::Retryable => 6,
         }
     }
 
@@ -66,10 +91,29 @@ impl ErrorCode {
             1 => Ok(ErrorCode::Malformed),
             2 => Ok(ErrorCode::Engine),
             3 => Ok(ErrorCode::Unsupported),
+            4 => Ok(ErrorCode::Busy),
+            5 => Ok(ErrorCode::Timeout),
+            6 => Ok(ErrorCode::Retryable),
             other => Err(ColeError::InvalidEncoding(format!(
                 "unknown error code {other}"
             ))),
         }
+    }
+
+    /// `true` when re-sending the same request (after a backoff) is safe
+    /// and may succeed: the server either never executed it ([`Busy`]), it
+    /// was a read whose result went stale ([`Timeout`]), or the failure was
+    /// a transient fault that left state intact ([`Retryable`]).
+    ///
+    /// [`Busy`]: ErrorCode::Busy
+    /// [`Timeout`]: ErrorCode::Timeout
+    /// [`Retryable`]: ErrorCode::Retryable
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Timeout | ErrorCode::Retryable
+        )
     }
 }
 
@@ -581,10 +625,42 @@ mod tests {
             hstate: Digest::ZERO,
             engine: "COLE".into(),
         });
-        roundtrip(Message::Error {
-            code: ErrorCode::Engine,
-            message: "merge failed".into(),
-        });
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::Engine,
+            ErrorCode::Unsupported,
+            ErrorCode::Busy,
+            ErrorCode::Timeout,
+            ErrorCode::Retryable,
+        ] {
+            roundtrip(Message::Error {
+                code,
+                message: "merge failed".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_error_tag_is_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(KIND_ERROR);
+        payload.push(7); // one past the last assigned tag
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_payload(&payload).unwrap_err(),
+            ColeError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn retryability_follows_the_taxonomy() {
+        assert!(ErrorCode::Busy.is_retryable());
+        assert!(ErrorCode::Timeout.is_retryable());
+        assert!(ErrorCode::Retryable.is_retryable());
+        assert!(!ErrorCode::Malformed.is_retryable());
+        assert!(!ErrorCode::Engine.is_retryable());
+        assert!(!ErrorCode::Unsupported.is_retryable());
     }
 
     #[test]

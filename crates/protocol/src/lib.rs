@@ -45,6 +45,7 @@
 
 mod client;
 mod frame;
+mod retry;
 pub mod sync;
 mod transport;
 
@@ -52,6 +53,7 @@ pub use client::{Client, ProvResponse};
 pub use frame::{
     read_frame, write_frame, ErrorCode, Frame, Message, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use transport::{
     pipe_pair, pipe_transport, Connection, Listener, PipeConn, PipeConnector, PipeListener,
     TcpListenerTransport,

@@ -1,0 +1,639 @@
+//! Client-side retry with bounded exponential backoff, deterministic
+//! jitter, automatic reconnect, and per-call deadlines.
+//!
+//! The retry decision follows the wire taxonomy (`ERRORS.md`): a server
+//! answer whose [`ErrorCode::is_retryable`] is `true` (`Busy`, `Timeout`,
+//! `Retryable`) is backed off and re-sent; every other server error is
+//! surfaced immediately. Transport failures (broken pipe, server restart)
+//! trigger a reconnect, but the interrupted operation is only re-sent when
+//! it is *read-only* — a write whose connection died mid-flight may or may
+//! not have been applied, and re-sending it could apply it twice. A failed
+//! proof verification is **never** retried: it means the server (or the
+//! path to it) served data the state root does not authenticate, and
+//! asking again can only launder the evidence.
+
+use std::time::{Duration, Instant};
+
+use cole_primitives::{Address, ColeError, Digest, Result, StateValue};
+
+use crate::client::{Client, ProvResponse};
+use crate::frame::{ErrorCode, Message};
+use crate::transport::Connection;
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) nominally waits `min(base_delay · 2ⁿ, max_delay)`;
+/// the actual wait is drawn deterministically from
+/// `[nominal · (1 − jitter), nominal]` using a [splitmix64] stream seeded
+/// by `seed ^ n`, so two clients with different seeds desynchronize their
+/// retries (avoiding thundering herds) while any one schedule is exactly
+/// reproducible.
+///
+/// [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts per call, counting the first (so `1`
+    /// disables retries).
+    pub max_attempts: u32,
+    /// Nominal wait before the first retry.
+    pub base_delay: Duration,
+    /// Cap on the nominal wait: delays stop doubling here.
+    pub max_delay: Duration,
+    /// Fraction of the nominal delay the jitter may subtract, in `[0, 1]`.
+    pub jitter: f64,
+    /// Overall wall-clock budget for one logical call across all its
+    /// attempts and backoffs; `None` means unbounded.
+    pub call_deadline: Option<Duration>,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            jitter: 0.5,
+            call_deadline: Some(Duration::from_secs(10)),
+            seed: 0x5EED_C01E,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a different jitter seed (give each client
+    /// its own so their backoff schedules desynchronize).
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Nominal (un-jittered) delay before retry number `attempt` (0-based):
+    /// `min(base_delay · 2^attempt, max_delay)`.
+    #[must_use]
+    pub fn nominal_delay(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_delay
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_delay);
+        doubled.min(self.max_delay)
+    }
+
+    /// Actual delay before retry number `attempt`: the nominal delay minus
+    /// a deterministic jitter fraction, always within
+    /// `[nominal · (1 − jitter), nominal]`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let nominal = self.nominal_delay(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // 53 high bits of the splitmix64 output map uniformly onto [0, 1).
+        let frac = (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        nominal.mul_f64(1.0 - jitter * frac)
+    }
+}
+
+/// One step of the splitmix64 generator: a well-mixed 64-bit hash of `x`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counters of everything a [`RetryingClient`] absorbed on the caller's
+/// behalf; snapshot them with [`RetryingClient::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts beyond the first, summed over all calls.
+    pub retries: u64,
+    /// Times the transport was re-established.
+    pub reconnects: u64,
+    /// `Busy` answers absorbed (the server shed load).
+    pub busy_seen: u64,
+    /// `Timeout` answers absorbed (a read ran past the server deadline).
+    pub timeouts_seen: u64,
+    /// `Retryable` answers absorbed (the engine hit a transient fault).
+    pub retryable_seen: u64,
+}
+
+/// What a failed attempt tells us about the next one.
+enum Attempt {
+    /// Same request may be re-sent on the existing connection.
+    RetrySameConn(ColeError),
+    /// The connection is suspect: drop it, reconnect, then re-send.
+    RetryReconnect(ColeError),
+    /// Not retryable — surface to the caller.
+    Fatal(ColeError),
+}
+
+/// A [`Client`] wrapper that owns reconnection and retry.
+///
+/// Construct it with a *connect closure* so it can re-establish the
+/// transport on its own; each logical call then retries per its
+/// [`RetryPolicy`]. See the module docs for exactly which failures are
+/// retried.
+pub struct RetryingClient {
+    connect: Box<dyn FnMut() -> Result<Box<dyn Connection>> + Send>,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Creates a client that obtains (and re-obtains) its transport from
+    /// `connect`. The first connection is made lazily on the first call.
+    pub fn new<F>(connect: F, policy: RetryPolicy) -> Self
+    where
+        F: FnMut() -> Result<Box<dyn Connection>> + Send + 'static,
+    {
+        RetryingClient {
+            connect: Box::new(connect),
+            client: None,
+            policy,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Everything this client absorbed so far.
+    #[must_use]
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn connected(&mut self) -> Result<&mut Client> {
+        if self.client.is_none() {
+            let conn = (self.connect)()?;
+            self.client = Some(Client::from_boxed(conn));
+            self.stats.reconnects += 1;
+        }
+        // The line above just filled the slot on the `None` path.
+        match &mut self.client {
+            Some(client) => Ok(client),
+            None => Err(ColeError::InvalidState("connect yielded no client".into())),
+        }
+    }
+
+    /// Runs one request to completion under the retry policy. `read_only`
+    /// gates whether a *transport* failure may be retried (a server error
+    /// frame is decided purely by its [`ErrorCode`]).
+    fn call(&mut self, msg: &Message, read_only: bool) -> Result<Message> {
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = match self.attempt_once(msg) {
+                Ok(reply) => return Ok(reply),
+                Err(outcome) => outcome,
+            };
+            let (error, reconnect) = match outcome {
+                Attempt::Fatal(error) => return Err(error),
+                Attempt::RetrySameConn(error) => (error, false),
+                Attempt::RetryReconnect(error) if read_only => (error, true),
+                // A write interrupted by a transport failure may already be
+                // applied server-side; re-sending could double-apply it.
+                Attempt::RetryReconnect(error) => return Err(error),
+            };
+            if reconnect {
+                self.client = None;
+            }
+            attempt += 1;
+            if attempt >= self.policy.max_attempts {
+                return Err(error);
+            }
+            let delay = self.policy.delay(attempt - 1);
+            if let Some(deadline) = self.policy.call_deadline {
+                if started.elapsed() + delay >= deadline {
+                    return Err(error);
+                }
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            self.stats.retries += 1;
+        }
+    }
+
+    /// One send/recv on the current (or a fresh) connection, classifying
+    /// every failure for the retry loop.
+    fn attempt_once(&mut self, msg: &Message) -> std::result::Result<Message, Attempt> {
+        let client = match self.connected() {
+            Ok(client) => client,
+            // Connecting is side-effect free; a failure is always worth
+            // another try on a fresh transport.
+            Err(error) => return Err(Attempt::RetryReconnect(error)),
+        };
+        let sent = match client.send(msg.clone()) {
+            Ok(id) => id,
+            Err(error) => return Err(classify_transport(error)),
+        };
+        let frame = match client.recv() {
+            Ok(frame) => frame,
+            Err(error) => return Err(classify_transport(error)),
+        };
+        if frame.request_id != sent {
+            // The stream is desynchronized; only a fresh connection can
+            // restore the request/response pairing.
+            return Err(Attempt::RetryReconnect(ColeError::InvalidState(format!(
+                "response id {} does not match request id {sent}",
+                frame.request_id
+            ))));
+        }
+        match frame.msg {
+            Message::Error { code, message } => {
+                match code {
+                    ErrorCode::Busy => self.stats.busy_seen += 1,
+                    ErrorCode::Timeout => self.stats.timeouts_seen += 1,
+                    ErrorCode::Retryable => self.stats.retryable_seen += 1,
+                    _ => {}
+                }
+                let error = ColeError::InvalidState(format!("server error ({code:?}): {message}"));
+                if code.is_retryable() {
+                    Err(Attempt::RetrySameConn(error))
+                } else {
+                    Err(Attempt::Fatal(error))
+                }
+            }
+            reply => Ok(reply),
+        }
+    }
+
+    /// `Get(addr)`, retried per the policy (including across reconnects).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final error once the policy is exhausted, or any
+    /// non-retryable error immediately.
+    pub fn get(&mut self, addr: Address) -> Result<Option<StateValue>> {
+        match self.call(&Message::Get { addr }, true)? {
+            Message::GetOk { value } => Ok(value),
+            other => Err(unexpected("get_ok", &other)),
+        }
+    }
+
+    /// Applies one block of writes. Server `Busy` / `Timeout` / `Retryable`
+    /// answers are retried (the server guarantees it never executed a shed
+    /// request, and never answers `Timeout` to a write); a *transport*
+    /// failure is not, since the batch may already be applied.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::get`], plus immediate transport failures.
+    pub fn put_batch(&mut self, entries: &[(Address, StateValue)]) -> Result<(u64, Digest)> {
+        let msg = Message::PutBatch {
+            entries: entries.to_vec(),
+        };
+        match self.call(&msg, false)? {
+            Message::PutBatchOk { height, hstate } => Ok((height, hstate)),
+            other => Err(unexpected("put_batch_ok", &other)),
+        }
+    }
+
+    /// `ProvQuery` without client-side verification, retried per the
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::get`].
+    pub fn prov_query(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvResponse> {
+        let msg = Message::ProvQuery {
+            addr,
+            blk_lower,
+            blk_upper,
+        };
+        match self.call(&msg, true)? {
+            Message::ProvOk {
+                height,
+                hstate,
+                values,
+                proof,
+            } => Ok(ProvResponse {
+                height,
+                hstate,
+                values,
+                proof,
+            }),
+            other => Err(unexpected("prov_ok", &other)),
+        }
+    }
+
+    /// [`prov_query`](RetryingClient::prov_query), then verifies the proof
+    /// locally. `Busy` / `Timeout` answers are retried like any read, but a
+    /// proof that fails verification is surfaced immediately — integrity
+    /// failures are evidence, not transients, and re-asking the same server
+    /// cannot make forged data authentic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::VerificationFailed`] (never retried) on a
+    /// forged or mismatched proof, plus everything
+    /// [`RetryingClient::prov_query`] can return.
+    pub fn prov_query_verified(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+    ) -> Result<ProvResponse> {
+        let response = self.prov_query(addr, blk_lower, blk_upper)?;
+        if !response.verify(addr, blk_lower, blk_upper)? {
+            return Err(ColeError::VerificationFailed(format!(
+                "provenance proof for {addr:?} [{blk_lower}, {blk_upper}] does not \
+                 authenticate the served values"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Server introspection, retried per the policy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::get`].
+    pub fn info(&mut self) -> Result<(u32, u64, Digest, String)> {
+        match self.call(&Message::Info, true)? {
+            Message::InfoOk {
+                protocol,
+                height,
+                hstate,
+                engine,
+            } => Ok((protocol, height, hstate, engine)),
+            other => Err(unexpected("info_ok", &other)),
+        }
+    }
+}
+
+impl std::fmt::Debug for RetryingClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryingClient")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .field("connected", &self.client.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A transport-level failure: the connection state is unknown, so recovery
+/// requires a reconnect (whether the *request* is then re-sent is the
+/// caller's read-only decision).
+fn classify_transport(error: ColeError) -> Attempt {
+    match error {
+        ColeError::Io(_) => Attempt::RetryReconnect(error),
+        other => Attempt::Fatal(other),
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message) -> ColeError {
+    ColeError::InvalidState(format!("expected {wanted} response, got {}", got.op_name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+            call_deadline: None,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn nominal_delays_double_then_cap() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(55),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.nominal_delay(0), Duration::from_millis(10));
+        assert_eq!(policy.nominal_delay(1), Duration::from_millis(20));
+        assert_eq!(policy.nominal_delay(2), Duration::from_millis(40));
+        assert_eq!(policy.nominal_delay(3), Duration::from_millis(55));
+        assert_eq!(policy.nominal_delay(63), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_within_bounds() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..8 {
+            let nominal = policy.nominal_delay(attempt);
+            let delay = policy.delay(attempt);
+            assert_eq!(delay, policy.delay(attempt), "deterministic");
+            assert!(delay <= nominal);
+            assert!(delay >= nominal.mul_f64(0.5));
+        }
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(
+            (0..8).map(|a| other.delay(a)).collect::<Vec<_>>(),
+            (0..8)
+                .map(|a| RetryPolicy {
+                    seed: 42,
+                    ..other.clone()
+                }
+                .delay(a))
+                .collect::<Vec<_>>(),
+            "different seeds desynchronize"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.nominal_delay(u32::MAX), policy.max_delay);
+    }
+
+    /// A scripted "server" endpoint: answers each request with the next
+    /// scripted reply, then fails transport-style.
+    struct Scripted {
+        replies: std::collections::VecDeque<Message>,
+        buf: Vec<u8>,
+        pending: std::collections::VecDeque<u8>,
+    }
+
+    impl Scripted {
+        fn conn(replies: Vec<Message>) -> Box<dyn Connection> {
+            Box::new(Scripted {
+                replies: replies.into(),
+                buf: Vec::new(),
+                pending: std::collections::VecDeque::new(),
+            })
+        }
+    }
+
+    impl std::io::Read for Scripted {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pending.is_empty() {
+                return Err(std::io::Error::other("scripted connection exhausted"));
+            }
+            let mut n = 0;
+            while n < out.len() {
+                match self.pending.pop_front() {
+                    Some(b) => {
+                        out[n] = b;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            Ok(n)
+        }
+    }
+
+    impl Connection for Scripted {
+        fn peer(&self) -> String {
+            "scripted".into()
+        }
+
+        fn wait_readable(&mut self, _timeout: Duration) -> std::io::Result<bool> {
+            Ok(!self.pending.is_empty())
+        }
+    }
+
+    impl std::io::Write for Scripted {
+        fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(bytes);
+            // One whole frame in: queue the next scripted reply under the
+            // request id the frame carried.
+            if self.buf.len() >= 12 {
+                let request_id =
+                    u64::from_le_bytes(self.buf[4..12].try_into().map_err(std::io::Error::other)?);
+                self.buf.clear();
+                if let Some(msg) = self.replies.pop_front() {
+                    let reply = crate::frame::Frame { request_id, msg };
+                    self.pending.extend(reply.encode());
+                }
+            }
+            Ok(bytes.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn busy() -> Message {
+        Message::Error {
+            code: ErrorCode::Busy,
+            message: "shed".into(),
+        }
+    }
+
+    #[test]
+    fn busy_answers_are_retried_until_success() {
+        let mut scripts = vec![vec![
+            busy(),
+            busy(),
+            Message::GetOk {
+                value: Some(StateValue::from_u64(7)),
+            },
+        ]]
+        .into_iter();
+        let mut client = RetryingClient::new(
+            move || -> Result<Box<dyn Connection>> {
+                scripts
+                    .next()
+                    .map(Scripted::conn)
+                    .ok_or_else(|| ColeError::InvalidState("no more connections".into()))
+            },
+            zero_policy(),
+        );
+        let value = client.get(Address::from_low_u64(1)).unwrap();
+        assert_eq!(value, Some(StateValue::from_u64(7)));
+        assert_eq!(client.stats().retries, 2);
+        assert_eq!(client.stats().busy_seen, 2);
+    }
+
+    #[test]
+    fn fatal_codes_are_not_retried() {
+        let mut scripts = vec![vec![Message::Error {
+            code: ErrorCode::Malformed,
+            message: "bad".into(),
+        }]]
+        .into_iter();
+        let mut client = RetryingClient::new(
+            move || {
+                scripts
+                    .next()
+                    .map(Scripted::conn)
+                    .ok_or_else(|| ColeError::InvalidState("no more connections".into()))
+            },
+            zero_policy(),
+        );
+        assert!(client.get(Address::from_low_u64(1)).is_err());
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    #[test]
+    fn reads_reconnect_after_transport_failure_but_writes_do_not() {
+        // First connection dies immediately (empty script = transport
+        // error); the second serves the read.
+        let mut scripts = vec![vec![], vec![Message::GetOk { value: None }]].into_iter();
+        let mut client = RetryingClient::new(
+            move || {
+                scripts
+                    .next()
+                    .map(Scripted::conn)
+                    .ok_or_else(|| ColeError::InvalidState("no more connections".into()))
+            },
+            zero_policy(),
+        );
+        assert_eq!(client.get(Address::from_low_u64(1)).unwrap(), None);
+        assert_eq!(client.stats().reconnects, 2);
+
+        // A write on a dying connection fails without a retry.
+        let mut scripts = vec![vec![], vec![]].into_iter();
+        let mut client = RetryingClient::new(
+            move || {
+                scripts
+                    .next()
+                    .map(Scripted::conn)
+                    .ok_or_else(|| ColeError::InvalidState("no more connections".into()))
+            },
+            zero_policy(),
+        );
+        let entries = [(Address::from_low_u64(1), StateValue::from_u64(1))];
+        assert!(client.put_batch(&entries).is_err());
+        assert_eq!(client.stats().retries, 0, "write not re-sent");
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut scripts = vec![vec![busy(), busy(), busy(), busy(), busy(), busy()]].into_iter();
+        let mut client = RetryingClient::new(
+            move || {
+                scripts
+                    .next()
+                    .map(Scripted::conn)
+                    .ok_or_else(|| ColeError::InvalidState("no more connections".into()))
+            },
+            zero_policy(),
+        );
+        assert!(client.get(Address::from_low_u64(1)).is_err());
+        // max_attempts = 4 → 3 retries after the first attempt.
+        assert_eq!(client.stats().retries, 3);
+        assert_eq!(client.stats().busy_seen, 4);
+    }
+}

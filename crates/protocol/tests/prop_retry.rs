@@ -1,0 +1,75 @@
+//! Property-based tests of [`RetryPolicy`]'s backoff schedule: nominal
+//! delays are monotone non-decreasing and capped, jittered delays stay
+//! within their declared band, and the schedule is a pure function of the
+//! policy (same seed → same delays, so a failure report reproduces
+//! exactly).
+
+use std::time::Duration;
+
+use cole_protocol::RetryPolicy;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u64..5_000, 1u64..60_000, 0u64..1_001, any::<u64>()).prop_map(
+        |(base_ms, max_ms, jitter_millis, seed)| RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms.max(base_ms)),
+            jitter: jitter_millis as f64 / 1000.0,
+            call_deadline: None,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The un-jittered schedule never shrinks between consecutive attempts
+    /// and never exceeds the cap — even for attempt numbers far past any
+    /// realistic retry budget (where the doubling would overflow).
+    #[test]
+    fn nominal_schedule_is_monotone_and_capped(policy in arb_policy()) {
+        let mut prev = Duration::ZERO;
+        for attempt in 0..64u32 {
+            let nominal = policy.nominal_delay(attempt);
+            prop_assert!(nominal >= prev, "attempt {attempt}: {nominal:?} < {prev:?}");
+            prop_assert!(nominal <= policy.max_delay);
+            prev = nominal;
+        }
+        prop_assert_eq!(policy.nominal_delay(u32::MAX), policy.max_delay);
+    }
+
+    /// Every jittered delay lands inside `[nominal·(1−jitter), nominal]`.
+    #[test]
+    fn jittered_delays_stay_within_their_band(policy in arb_policy()) {
+        for attempt in 0..32u32 {
+            let nominal = policy.nominal_delay(attempt);
+            let delay = policy.delay(attempt);
+            let floor = nominal.mul_f64(1.0 - policy.jitter);
+            prop_assert!(delay <= nominal, "attempt {attempt}: {delay:?} > {nominal:?}");
+            // The floor comparison tolerates one nanosecond of f64 rounding.
+            prop_assert!(
+                delay + Duration::from_nanos(1) >= floor,
+                "attempt {attempt}: {delay:?} below floor {floor:?}"
+            );
+        }
+    }
+
+    /// The schedule is deterministic in the policy: recomputing any attempt
+    /// yields the identical delay, and a different seed yields a different
+    /// schedule somewhere (full-schedule collisions would defeat the
+    /// thundering-herd spreading).
+    #[test]
+    fn schedule_is_a_pure_function_of_the_policy(policy in arb_policy()) {
+        for attempt in 0..16u32 {
+            prop_assert_eq!(policy.delay(attempt), policy.delay(attempt));
+        }
+        // With zero jitter the seed must not matter at all.
+        let frozen = RetryPolicy { jitter: 0.0, ..policy.clone() };
+        let reseeded = RetryPolicy { seed: policy.seed.wrapping_add(1), ..frozen.clone() };
+        for attempt in 0..16u32 {
+            prop_assert_eq!(frozen.delay(attempt), reseeded.delay(attempt));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Lock-free in-flight request accounting for load shedding.
+//!
+//! [`InFlightGauge`] is a counting semaphore without a wait queue: the
+//! serve loop *tries* to admit a request and answers `Busy` instead of
+//! queueing when the cap is reached — overload control by shedding, never
+//! by unbounded buffering. Admission is a CAS loop, release an RAII
+//! decrement, so the gauge is correct under any number of racing handler
+//! threads (model-checked in `tests/loom_inflight.rs`).
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared counter of requests currently being served, bounded by a cap.
+///
+/// The invariant — the number of live [`InFlightPermit`]s never exceeds
+/// `cap` — holds because the only increment is the successful
+/// compare-exchange in [`try_acquire`](InFlightGauge::try_acquire), which
+/// cannot move the counter past the cap it just checked.
+#[derive(Debug)]
+pub struct InFlightGauge {
+    current: AtomicUsize,
+    cap: usize,
+}
+
+impl InFlightGauge {
+    /// A gauge admitting at most `cap` concurrent permits (`cap == 0`
+    /// sheds everything — useful in tests).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        InFlightGauge {
+            current: AtomicUsize::new(0),
+            cap,
+        }
+    }
+
+    /// The configured cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests currently admitted (racy snapshot, for stats only).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Admits one request unless the cap is reached; the permit releases
+    /// its slot on drop.
+    ///
+    /// The success ordering is `Acquire` and the release decrement in
+    /// [`InFlightPermit::drop`] is `Release`: a thread that wins a slot
+    /// also observes everything the handler that freed it wrote while
+    /// holding it, making the permit a hand-off edge and not just a
+    /// counter (see `ORDERINGS.md`).
+    #[must_use]
+    pub fn try_acquire(&self) -> Option<InFlightPermit<'_>> {
+        let mut current = self.current.load(Ordering::Relaxed);
+        loop {
+            if current >= self.cap {
+                return None;
+            }
+            match self.current.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(InFlightPermit { gauge: self }),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// One admitted request; dropping it frees the slot.
+#[derive(Debug)]
+pub struct InFlightPermit<'a> {
+    gauge: &'a InFlightGauge,
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.gauge.current.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_enforced_and_slots_return() {
+        let gauge = InFlightGauge::new(2);
+        let a = gauge.try_acquire().unwrap();
+        let b = gauge.try_acquire().unwrap();
+        assert!(gauge.try_acquire().is_none(), "cap reached");
+        assert_eq!(gauge.in_flight(), 2);
+        drop(a);
+        let c = gauge.try_acquire().unwrap();
+        assert!(gauge.try_acquire().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(gauge.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_cap_sheds_everything() {
+        let gauge = InFlightGauge::new(0);
+        assert!(gauge.try_acquire().is_none());
+    }
+
+    #[test]
+    fn hammered_gauge_never_exceeds_cap() {
+        let gauge = std::sync::Arc::new(InFlightGauge::new(3));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gauge = std::sync::Arc::clone(&gauge);
+                let peak = std::sync::Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(permit) = gauge.try_acquire() {
+                            peak.fetch_max(gauge.in_flight(), Ordering::Relaxed);
+                            drop(permit);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+        assert_eq!(gauge.in_flight(), 0);
+    }
+}

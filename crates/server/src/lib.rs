@@ -17,13 +17,26 @@
 //! Request counts land in the engine's own
 //! [`Metrics`](cole_core::Metrics) (`requests_served` and per-op counters),
 //! next to the IO counters the requests cause.
+//!
+//! # Overload control and graceful degradation
+//!
+//! The serve loop degrades by *answering*, never by queueing or dying:
+//! requests beyond [`ServerConfig::max_in_flight`] are shed with a `Busy`
+//! error frame before touching the engine (an [`InFlightGauge`] CAS
+//! semaphore admits them), read-only requests that outlive
+//! [`ServerConfig::request_deadline`] are answered `Timeout`, idle
+//! connections past [`ServerConfig::idle_timeout`] are disconnected, and
+//! transient engine faults come back as `Retryable` error frames with the
+//! handler and process intact. The full taxonomy is in `ERRORS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod inflight;
 mod serve;
 mod shared;
 pub mod sync;
 
+pub use inflight::{InFlightGauge, InFlightPermit};
 pub use serve::{serve, ServerConfig, ServerHandle, ServerStats};
 pub use shared::{ServableEngine, SharedEngine};

@@ -1,8 +1,9 @@
-//! The accept loop, per-connection handlers, and graceful shutdown.
+//! The accept loop, per-connection handlers, overload control, and
+//! graceful shutdown.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cole_core::Metrics;
 use cole_primitives::ColeError;
@@ -10,6 +11,7 @@ use cole_protocol::{
     read_frame, write_frame, Connection, ErrorCode, Frame, Listener, Message, PROTOCOL_VERSION,
 };
 
+use crate::inflight::InFlightGauge;
 use crate::shared::{ServableEngine, SharedEngine};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -23,6 +25,23 @@ pub struct ServerConfig {
     pub read_poll: Duration,
     /// Connections beyond this are closed immediately on accept.
     pub max_connections: usize,
+    /// Requests dispatched concurrently across all connections; a request
+    /// arriving with the cap reached is *shed* — answered with
+    /// [`ErrorCode::Busy`] before touching the engine, never silently
+    /// dropped — so an overloaded server degrades to fast rejections
+    /// instead of unbounded queueing.
+    pub max_in_flight: usize,
+    /// Per-request deadline. A **read-only** request whose handling ran
+    /// past it is answered with [`ErrorCode::Timeout`] instead of its (now
+    /// stale) result. Writes are exempt: a `put_batch` that ran long still
+    /// completed, and reporting `Timeout` would bait the client into
+    /// re-applying the block. `None` disables the deadline.
+    pub request_deadline: Option<Duration>,
+    /// Idle disconnect: a connection that neither delivers a request nor
+    /// closes for this long is dropped, so slow or dead clients cannot pin
+    /// handler threads (and their `max_connections` slots) forever. `None`
+    /// disables it.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +50,9 @@ impl Default for ServerConfig {
             accept_poll: Duration::from_millis(25),
             read_poll: Duration::from_millis(100),
             max_connections: 1024,
+            max_in_flight: 256,
+            request_deadline: None,
+            idle_timeout: None,
         }
     }
 }
@@ -45,6 +67,14 @@ pub struct ServerStats {
     pub connections_rejected: AtomicU64,
     /// Handler threads currently alive.
     pub active_connections: AtomicUsize,
+    /// Requests answered [`ErrorCode::Busy`] because `max_in_flight` was
+    /// reached.
+    pub requests_shed: AtomicU64,
+    /// Read-only requests answered [`ErrorCode::Timeout`] after running
+    /// past `request_deadline`.
+    pub requests_timed_out: AtomicU64,
+    /// Connections dropped by the `idle_timeout` watchdog.
+    pub idle_disconnects: AtomicU64,
 }
 
 /// A running server; dropping it (or calling [`shutdown`]
@@ -97,6 +127,7 @@ pub fn serve<E: ServableEngine>(
 ) -> ServerHandle {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let in_flight = Arc::new(InFlightGauge::new(config.max_in_flight));
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_stats = Arc::clone(&stats);
     let accept = std::thread::spawn(move || {
@@ -127,8 +158,9 @@ pub fn serve<E: ServableEngine>(
                     let shared = Arc::clone(&shared);
                     let shutdown = Arc::clone(&accept_shutdown);
                     let stats = Arc::clone(&accept_stats);
+                    let in_flight = Arc::clone(&in_flight);
                     handlers.push(std::thread::spawn(move || {
-                        handle_connection(&shared, conn, &shutdown, config.read_poll);
+                        handle_connection(&shared, conn, &shutdown, &in_flight, &stats, config);
                         stats.active_connections.fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
@@ -152,21 +184,30 @@ pub fn serve<E: ServableEngine>(
 
 /// Serves one connection until the client disconnects, the stream breaks,
 /// a frame fails to decode (the stream is then desynchronized — closing is
-/// the only safe answer), or shutdown is signalled between requests.
+/// the only safe answer), the idle watchdog fires, or shutdown is
+/// signalled between requests.
+///
+/// An engine error inside a request is answered as an error *frame* — the
+/// handler, its connection, and the server all stay alive (classification
+/// lives in [`engine_error`]; see `ERRORS.md`).
 fn handle_connection<E: ServableEngine>(
     shared: &SharedEngine<E>,
     mut conn: Box<dyn Connection>,
     shutdown: &AtomicBool,
-    read_poll: Duration,
+    in_flight: &InFlightGauge,
+    stats: &ServerStats,
+    config: ServerConfig,
 ) {
     let peer = conn.peer();
+    let mut last_activity = Instant::now();
     loop {
-        match conn.wait_readable(read_poll) {
+        match conn.wait_readable(config.read_poll) {
             Ok(true) => match read_frame(&mut conn) {
                 Ok(Some(frame)) => {
+                    last_activity = Instant::now();
                     let response = Frame {
                         request_id: frame.request_id,
-                        msg: dispatch(shared, frame.msg),
+                        msg: serve_request(shared, frame.msg, in_flight, stats, &config),
                     };
                     if let Err(e) = write_frame(&mut conn, &response) {
                         eprintln!("[cole_server] write to {peer} failed: {e}");
@@ -183,6 +224,13 @@ fn handle_connection<E: ServableEngine>(
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                if let Some(idle) = config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                        Metrics::inc(&shared.metrics().idle_disconnects);
+                        return;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("[cole_server] poll of {peer} failed: {e}");
@@ -190,6 +238,50 @@ fn handle_connection<E: ServableEngine>(
             }
         }
     }
+}
+
+/// Admission control plus dispatch for one decoded request.
+///
+/// Overload: if no in-flight slot is free the request is shed — answered
+/// [`ErrorCode::Busy`] *without* touching the engine, so a retry is safe
+/// by construction. Deadline: a read-only request that ran past
+/// `request_deadline` is answered [`ErrorCode::Timeout`]; a write is never
+/// converted (it completed — its real result is the truth).
+fn serve_request<E: ServableEngine>(
+    shared: &SharedEngine<E>,
+    msg: Message,
+    in_flight: &InFlightGauge,
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> Message {
+    let Some(_permit) = in_flight.try_acquire() else {
+        stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+        Metrics::inc(&shared.metrics().requests_shed);
+        return Message::Error {
+            code: ErrorCode::Busy,
+            message: format!(
+                "server is at its in-flight cap ({}); retry after a backoff",
+                in_flight.cap()
+            ),
+        };
+    };
+    let read_only = !matches!(msg, Message::PutBatch { .. });
+    let started = Instant::now();
+    let response = dispatch(shared, msg);
+    if let Some(deadline) = config.request_deadline {
+        if read_only && started.elapsed() >= deadline {
+            stats.requests_timed_out.fetch_add(1, Ordering::Relaxed);
+            Metrics::inc(&shared.metrics().requests_timed_out);
+            return Message::Error {
+                code: ErrorCode::Timeout,
+                message: format!(
+                    "request exceeded the {}ms server deadline",
+                    deadline.as_millis()
+                ),
+            };
+        }
+    }
+    response
 }
 
 /// Executes one request against the shared engine; every path increments
@@ -202,14 +294,14 @@ fn dispatch<E: ServableEngine>(shared: &SharedEngine<E>, msg: Message) -> Messag
             Metrics::inc(&metrics.get_requests);
             match shared.get(addr) {
                 Ok(value) => Message::GetOk { value },
-                Err(e) => engine_error(&e),
+                Err(e) => engine_error(shared, &e),
             }
         }
         Message::PutBatch { entries } => {
             Metrics::inc(&metrics.put_batch_requests);
             match shared.apply_block(&entries) {
                 Ok((height, hstate)) => Message::PutBatchOk { height, hstate },
-                Err(e) => engine_error(&e),
+                Err(e) => engine_error(shared, &e),
             }
         }
         Message::ProvQuery {
@@ -225,7 +317,7 @@ fn dispatch<E: ServableEngine>(shared: &SharedEngine<E>, msg: Message) -> Messag
                     values: result.values,
                     proof: result.proof,
                 },
-                Err(e) => engine_error(&e),
+                Err(e) => engine_error(shared, &e),
             }
         }
         Message::Info => {
@@ -244,9 +336,22 @@ fn dispatch<E: ServableEngine>(shared: &SharedEngine<E>, msg: Message) -> Messag
     }
 }
 
-fn engine_error(e: &ColeError) -> Message {
+/// Maps an engine failure onto the wire taxonomy (`ERRORS.md`): transient
+/// I/O faults — the kind the engine survives in place — are
+/// [`ErrorCode::Retryable`]; everything else (invalid state, corruption,
+/// verification failures) is [`ErrorCode::Engine`] and not worth
+/// re-sending. Either way the failure is *answered*, never crashed on:
+/// the handler and the process stay up.
+fn engine_error<E: ServableEngine>(shared: &SharedEngine<E>, e: &ColeError) -> Message {
+    let code = match e {
+        ColeError::Io(_) => {
+            Metrics::inc(&shared.metrics().transient_io_errors);
+            ErrorCode::Retryable
+        }
+        _ => ErrorCode::Engine,
+    };
     Message::Error {
-        code: ErrorCode::Engine,
+        code,
         message: e.to_string(),
     }
 }

@@ -146,17 +146,41 @@ impl<E: ServableEngine> SharedEngine<E> {
     /// finalizes an empty block (a heartbeat), which still advances the
     /// chain and re-publishes `Hstate`.
     ///
+    /// A failed apply (e.g. a transient fault inside `finalize_block`)
+    /// leaves the head *height* unchanged, and a *retry* of the same block
+    /// is safe: the engine is already positioned at `height` from the
+    /// failed attempt, so `begin_block` is skipped, and re-inserted entries
+    /// coalesce on their compound keys `⟨addr, height⟩`.
+    ///
+    /// The head *hstate* is recomputed even on failure: the batch may
+    /// already sit in the memtable when `finalize_block` errors, and a
+    /// concurrent `prov_query` builds its proof against that actual engine
+    /// state — serving the stale pre-block hstate alongside it would make a
+    /// perfectly honest proof fail client-side verification.
+    ///
     /// # Errors
     ///
     /// Returns an error if the engine fails.
     pub fn apply_block(&self, entries: &[(Address, StateValue)]) -> Result<(u64, Digest)> {
         let mut guard = self.write();
         let height = guard.head.height + 1;
-        guard.engine.begin_block(height)?;
-        guard.engine.put_batch(entries)?;
-        let hstate = guard.engine.finalize_block()?;
-        guard.head = Head { height, hstate };
-        Ok((height, hstate))
+        let applied = (|| {
+            if guard.engine.current_block_height() < height {
+                guard.engine.begin_block(height)?;
+            }
+            guard.engine.put_batch(entries)?;
+            guard.engine.finalize_block()
+        })();
+        match applied {
+            Ok(hstate) => {
+                guard.head = Head { height, hstate };
+                Ok((height, hstate))
+            }
+            Err(e) => {
+                guard.head.hstate = compute_hstate(&guard.engine.root_hash_list());
+                Err(e)
+            }
+        }
     }
 
     /// Engine name ("COLE", "COLE*").

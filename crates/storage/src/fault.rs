@@ -1,0 +1,256 @@
+//! Recoverable fault injection for the storage layer.
+//!
+//! [`FaultPlan`] generalizes the crash-only kill points of
+//! `cole_core::failpoint::KillPoints`: where a kill point simulates a crash
+//! (the injected error is fatal by design and the harness reopens the
+//! store), a fault plan injects *recoverable* failures — a transient `EIO`
+//! that clears after N occurrences, a full disk, a short read, a failed
+//! fsync — at named storage sites. The engine contract under a fault plan
+//! is graceful degradation: a failed operation returns `Err` without
+//! corrupting in-memory or on-disk state, and the same call succeeds once
+//! the fault clears. See `ERRORS.md` for the workspace error taxonomy.
+//!
+//! Sites are plain strings checked at the start of the instrumented
+//! operation, before any bytes move, so an injected failure never leaves a
+//! partial write behind that the real failure mode would not:
+//!
+//! | Site | Instrumented operation |
+//! |---|---|
+//! | `page:read` | [`PageFile::read_page`](crate::PageFile::read_page) disk reads (cache hits are never faulted) |
+//! | `wal:append` | [`WriteAheadLog`](crate::WriteAheadLog) frame writes |
+//! | `wal:fsync` | [`WriteAheadLog`](crate::WriteAheadLog) data fsyncs |
+//! | `manifest:commit` | Manifest commits (instrumented in `cole_core`) |
+//!
+//! # Examples
+//!
+//! ```
+//! use cole_storage::{FaultKind, FaultPlan};
+//! let plan = FaultPlan::new();
+//! plan.fail("page:read", FaultKind::Io, 2);
+//! assert!(plan.check("page:read").is_err()); // first occurrence fails
+//! assert!(plan.check("page:read").is_err()); // second occurrence fails
+//! assert!(plan.check("page:read").is_ok()); // fault exhausted: recovered
+//! assert_eq!(plan.injected(), 2);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock_recover, Mutex};
+
+/// The shape of an injected storage failure.
+///
+/// Every kind surfaces as a `std::io::Error` from the instrumented call, so
+/// the error travels the same `From<std::io::Error>` path into `ColeError`
+/// that a real kernel-reported failure would take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient I/O error (`EIO`-flavoured), the classic retryable fault.
+    Io,
+    /// Device full: the error carries the OS `ENOSPC` error kind on Unix.
+    Enospc,
+    /// A short read (`ErrorKind::UnexpectedEof`), as a truncated or
+    /// concurrently-shrunk file would produce.
+    ShortRead,
+    /// A failed fsync — the data may or may not be durable; the caller must
+    /// treat the sync as not having happened.
+    FsyncFail,
+}
+
+impl FaultKind {
+    /// Builds the `std::io::Error` this fault kind injects at `site`.
+    fn to_io_error(self, site: &str) -> std::io::Error {
+        match self {
+            FaultKind::Io => std::io::Error::other(format!(
+                "injected transient I/O error at fault site `{site}`"
+            )),
+            FaultKind::Enospc => std::io::Error::new(
+                enospc_kind(),
+                format!("injected ENOSPC (device full) at fault site `{site}`"),
+            ),
+            FaultKind::ShortRead => std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("injected short read at fault site `{site}`"),
+            ),
+            FaultKind::FsyncFail => {
+                std::io::Error::other(format!("injected fsync failure at fault site `{site}`"))
+            }
+        }
+    }
+}
+
+/// The `ErrorKind` the host OS reports for a full disk, derived from the
+/// raw `ENOSPC` code so the injected error classifies exactly like a real
+/// one without naming any unstable `ErrorKind` variant.
+fn enospc_kind() -> std::io::ErrorKind {
+    #[cfg(unix)]
+    {
+        std::io::Error::from_raw_os_error(28).kind()
+    }
+    #[cfg(not(unix))]
+    {
+        std::io::ErrorKind::Other
+    }
+}
+
+/// One armed site: fail the next `remaining` occurrences with `kind`.
+#[derive(Clone, Copy, Debug)]
+struct Armed {
+    kind: FaultKind,
+    remaining: u64,
+}
+
+/// A registry of recoverable storage faults, armed per named site.
+///
+/// Shared by `Arc` between the test/bench harness (which arms faults) and
+/// the storage objects that consult it ([`PageFile`](crate::PageFile),
+/// [`WriteAheadLog`](crate::WriteAheadLog), and `cole_core`'s manifest via
+/// their `attach_faults` methods). A disarmed plan is a single uncontended
+/// mutex lookup per instrumented operation and is never attached in
+/// production paths unless explicitly requested.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Armed sites. Innermost lock in the workspace (`fault-registry` in
+    /// `LOCKS.md`): faults fire from any depth of the read and write paths,
+    /// and `check` never takes another lock under it.
+    sites: Mutex<HashMap<String, Armed>>,
+    /// Total failures injected so far, surfaced by the chaos harness to
+    /// prove the fault schedule actually fired.
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with no sites armed.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan {
+            sites: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms `site` to fail its next `times` occurrences with `kind`, then
+    /// succeed again (transient-fault semantics). Re-arming an armed site
+    /// replaces its previous schedule; `times == 0` disarms.
+    pub fn fail(&self, site: &str, kind: FaultKind, times: u64) {
+        let mut sites = lock_recover(&self.sites);
+        if times == 0 {
+            sites.remove(site);
+        } else {
+            sites.insert(
+                site.to_string(),
+                Armed {
+                    kind,
+                    remaining: times,
+                },
+            );
+        }
+    }
+
+    /// Disarms `site`, clearing any remaining scheduled failures.
+    pub fn clear(&self, site: &str) {
+        lock_recover(&self.sites).remove(site);
+    }
+
+    /// Disarms every site — the "fault window closes" transition of a chaos
+    /// schedule. Already-injected errors stay counted.
+    pub fn clear_all(&self) {
+        lock_recover(&self.sites).clear();
+    }
+
+    /// Number of failures injected so far, across all sites.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consulted by instrumented operations: returns the injected error if
+    /// `site` is armed with occurrences remaining, `Ok` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the armed [`FaultKind`]'s error while occurrences remain.
+    pub fn check(&self, site: &str) -> std::io::Result<()> {
+        let mut sites = lock_recover(&self.sites);
+        let Some(armed) = sites.get_mut(site) else {
+            return Ok(());
+        };
+        armed.remaining -= 1;
+        let kind = armed.kind;
+        if armed.remaining == 0 {
+            sites.remove(site);
+        }
+        drop(sites);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Err(kind.to_io_error(site))
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fails_n_times_then_succeeds() {
+        let plan = FaultPlan::new();
+        plan.fail("wal:append", FaultKind::Io, 3);
+        for _ in 0..3 {
+            assert!(plan.check("wal:append").is_err());
+        }
+        assert!(plan.check("wal:append").is_ok());
+        assert!(plan.check("wal:append").is_ok());
+        assert_eq!(plan.injected(), 3);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::new();
+        plan.fail("page:read", FaultKind::ShortRead, 1);
+        assert!(plan.check("wal:fsync").is_ok());
+        assert!(plan.check("page:read").is_err());
+        assert!(plan.check("page:read").is_ok());
+    }
+
+    #[test]
+    fn clear_and_clear_all_disarm() {
+        let plan = FaultPlan::new();
+        plan.fail("a", FaultKind::Io, 10);
+        plan.fail("b", FaultKind::Enospc, 10);
+        plan.clear("a");
+        assert!(plan.check("a").is_ok());
+        assert!(plan.check("b").is_err());
+        plan.clear_all();
+        assert!(plan.check("b").is_ok());
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn rearming_replaces_and_zero_disarms() {
+        let plan = FaultPlan::new();
+        plan.fail("s", FaultKind::Io, 100);
+        plan.fail("s", FaultKind::Io, 1);
+        assert!(plan.check("s").is_err());
+        assert!(plan.check("s").is_ok());
+        plan.fail("s", FaultKind::Io, 5);
+        plan.fail("s", FaultKind::Io, 0);
+        assert!(plan.check("s").is_ok());
+    }
+
+    #[test]
+    fn kinds_surface_distinguishable_errors() {
+        let plan = FaultPlan::new();
+        plan.fail("s", FaultKind::ShortRead, 1);
+        let err = plan.check("s").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        plan.fail("s", FaultKind::Enospc, 1);
+        let err = plan.check("s").unwrap_err();
+        assert_eq!(err.kind(), enospc_kind());
+        assert!(err.to_string().contains("fault site `s`"));
+    }
+}

@@ -14,6 +14,11 @@
 //!   `PageFile` reads use positioned I/O (`pread`-style), so `&self` reads
 //!   are safe from many threads at once.
 //!
+//! * **Recoverable fault injection** ([`FaultPlan`]) — a per-site registry
+//!   of transient failures (I/O errors, `ENOSPC`, short reads, failed
+//!   fsyncs) that the page, WAL and manifest layers consult, powering the
+//!   chaos harness's graceful-degradation proofs.
+//!
 //! * **A write-ahead log** ([`WriteAheadLog`]) — block-boundary, framed and
 //!   checksummed, with torn-tail repair on open. The COLE engines use it to
 //!   make the unflushed memtable survive a crash; [`WalSyncPolicy`] states
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
 mod kv;
 #[cfg(all(lock_order, not(loom)))]
 pub mod lock_order;
@@ -53,6 +59,7 @@ mod util;
 mod wal;
 
 pub use cache::{next_file_id, FileId, PageCache, PageIoStats};
+pub use fault::{FaultKind, FaultPlan};
 pub use kv::{FileKvStore, KvStore, MemKvStore};
 pub use page::{PageFile, PageWriter};
 pub use sync::{lock_recover, read_recover, write_recover};

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use cole_primitives::{ColeError, Result, PAGE_SIZE};
 
 use crate::cache::{next_file_id, FileId, PageCache, PageIoStats};
+use crate::fault::FaultPlan;
 
 /// Reads exactly `buf.len()` bytes at `offset` without touching any file
 /// cursor, so concurrent readers of one [`File`] never race.
@@ -111,6 +112,8 @@ pub struct PageFile {
     cache: Option<Arc<PageCache>>,
     /// Per-file-kind IO counters shared with the owning engine, if any.
     stats: Option<Arc<PageIoStats>>,
+    /// Recoverable fault injection consulted before disk reads, if any.
+    faults: Option<Arc<FaultPlan>>,
     /// Tolerate a final page that is short on disk (zero-fill the tail).
     /// Off by default: a truncated value or index file must fail loudly.
     allow_short_final_page: bool,
@@ -140,6 +143,7 @@ impl PageFile {
             id: next_file_id(),
             cache: None,
             stats: None,
+            faults: None,
             allow_short_final_page: false,
         })
     }
@@ -160,6 +164,7 @@ impl PageFile {
             id: next_file_id(),
             cache: None,
             stats: None,
+            faults: None,
             allow_short_final_page: false,
         })
     }
@@ -175,6 +180,13 @@ impl PageFile {
     /// metrics can attribute IO to value, index and Merkle pages separately.
     pub fn attach_stats(&mut self, stats: Arc<PageIoStats>) {
         self.stats = Some(stats);
+    }
+
+    /// Consults `faults` (site `page:read`) before every disk read of this
+    /// file, so a chaos harness can inject transient read failures. Cache
+    /// hits are never faulted — the fault models the disk, not the cache.
+    pub fn attach_faults(&mut self, faults: Arc<FaultPlan>) {
+        self.faults = Some(faults);
     }
 
     /// Tolerates a final page that is short on disk: `read_page` zero-fills
@@ -266,6 +278,9 @@ impl PageFile {
         }
         if let Some(stats) = &self.stats {
             stats.record_read(self.cache.as_ref().map(|_| false));
+        }
+        if let Some(faults) = &self.faults {
+            faults.check("page:read")?;
         }
         let offset = page_id * PAGE_SIZE as u64;
         let mut buf = vec![0u8; PAGE_SIZE];
@@ -567,6 +582,25 @@ mod tests {
             (stats.logical_reads(), stats.hits(), stats.misses()),
             (3, 1, 1)
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_read_faults_spare_cache_hits_and_clear() {
+        let path = tmp("faults");
+        let mut f = PageFile::create(&path).unwrap();
+        f.append_page(&[9u8; 16]).unwrap();
+        f.attach_cache(std::sync::Arc::new(crate::PageCache::new(8)));
+        let faults = std::sync::Arc::new(crate::FaultPlan::new());
+        f.attach_faults(std::sync::Arc::clone(&faults));
+        f.read_page(0).unwrap(); // miss fills the cache
+        faults.fail("page:read", crate::FaultKind::Io, 1);
+        // A cache hit never touches the disk, so the armed fault stays put.
+        assert_eq!(f.read_page(0).unwrap()[..16], [9u8; 16]);
+        f.invalidate_cached_pages();
+        assert!(f.read_page(0).is_err(), "disk read hits the armed fault");
+        // Transient: the same read succeeds once the fault is exhausted.
+        assert_eq!(f.read_page(0).unwrap()[..16], [9u8; 16]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -33,6 +33,7 @@ use cole_primitives::{
     ColeError, CompoundKey, Result, StateValue, COMPOUND_KEY_LEN, ENTRY_LEN, VALUE_LEN,
 };
 
+use crate::fault::FaultPlan;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::util::sync_dir;
 
@@ -175,6 +176,9 @@ pub struct WriteAheadLog {
     /// and barriers — not truncations). Shared with the owning engine's
     /// metrics so WAL batching is observable from other threads.
     io: Arc<WalIoCounters>,
+    /// Recoverable fault injection consulted before appends (`wal:append`)
+    /// and data fsyncs (`wal:fsync`), if any.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl WriteAheadLog {
@@ -230,6 +234,7 @@ impl WriteAheadLog {
                 pending_blocks: 0,
                 encode_buf: Vec::new(),
                 io: Arc::new(WalIoCounters::new()),
+                faults: None,
             },
             blocks,
         ))
@@ -273,9 +278,20 @@ impl WriteAheadLog {
         Arc::clone(&self.io)
     }
 
+    /// Consults `faults` before every frame write (site `wal:append`) and
+    /// every append-path fsync (site `wal:fsync`), so a chaos harness can
+    /// inject transient append and sync failures. An injected failure fires
+    /// before any bytes move, leaving the log's durable prefix intact.
+    pub fn attach_faults(&mut self, faults: Arc<FaultPlan>) {
+        self.faults = Some(faults);
+    }
+
     /// Fsyncs on the append path, then publishes the covered length
     /// through the shared counters.
     fn sync_appends(&mut self) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            faults.check("wal:fsync")?;
+        }
         self.file.sync_data()?;
         self.synced_len = self.len;
         self.pending_blocks = 0;
@@ -353,6 +369,11 @@ impl WriteAheadLog {
     }
 
     fn write_frame(&mut self, height: u64, entries: &[(CompoundKey, StateValue)]) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            // Before any bytes move: an injected append failure never leaves
+            // a torn frame behind (torn frames are the crash tests' job).
+            faults.check("wal:append")?;
+        }
         // One reused buffer: frame the header placeholder, stream the
         // entries, then patch the checksum — no per-block allocations once
         // the buffer has grown to the block size.
@@ -642,6 +663,31 @@ mod tests {
             0,
             "OsBuffered opts out of power-loss durability entirely"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_faults_fail_transiently_then_clear() {
+        let path = tmp("faults");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path, WalSyncPolicy::Always).unwrap();
+        let faults = Arc::new(crate::FaultPlan::new());
+        wal.attach_faults(Arc::clone(&faults));
+        wal.append_block(1, &[entry(1, 1)]).unwrap();
+        // An injected append failure fires before any bytes move: the
+        // durable prefix is intact and the retry of the same call lands.
+        faults.fail("wal:append", crate::FaultKind::Io, 1);
+        assert!(wal.append_block(2, &[entry(2, 2)]).is_err());
+        assert_eq!(replay_wal(&path).unwrap().len(), 1);
+        wal.append_block(2, &[entry(2, 2)]).unwrap();
+        // An injected fsync failure leaves the frame written but unsynced;
+        // once the fault clears, a barrier makes it durable in place.
+        faults.fail("wal:fsync", crate::FaultKind::FsyncFail, 1);
+        assert!(wal.append_block(3, &[entry(3, 3)]).is_err());
+        wal.sync_barrier().unwrap();
+        assert_eq!(wal.synced_len_bytes(), wal.len_bytes());
+        assert_eq!(replay_wal(&path).unwrap().len(), 3);
+        assert_eq!(faults.injected(), 2);
         std::fs::remove_file(&path).ok();
     }
 

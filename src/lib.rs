@@ -55,9 +55,9 @@ pub use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
-pub use cole_protocol::{Client, ProvResponse};
+pub use cole_protocol::{Client, ProvResponse, RetryPolicy, RetryingClient};
 pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
-pub use cole_storage::{PageCache, WalSyncPolicy};
+pub use cole_storage::{FaultKind, FaultPlan, PageCache, WalSyncPolicy};
 
 /// Convenient glob import for examples and applications.
 pub mod prelude {
@@ -68,7 +68,7 @@ pub mod prelude {
         Address, AuthenticatedStorage, CompoundKey, Digest, ProvenanceResult, StateValue,
         StorageStats, VersionedValue,
     };
-    pub use cole_protocol::{Client, ProvResponse};
+    pub use cole_protocol::{Client, ProvResponse, RetryPolicy, RetryingClient};
     pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
-    pub use cole_storage::{PageCache, WalSyncPolicy};
+    pub use cole_storage::{FaultKind, FaultPlan, PageCache, WalSyncPolicy};
 }
