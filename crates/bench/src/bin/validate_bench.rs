@@ -9,15 +9,15 @@
 
 use cole_bench::{Args, Json};
 
-/// Schema versions this validator understands. Bump alongside the writers.
-const KNOWN_SCHEMA_VERSIONS: &[u64] = &[1];
-
-/// Known `bench` discriminators and the array field each schema requires.
-const KNOWN_BENCHES: &[(&str, &str)] = &[
-    ("read_path", "cache_sweep"),
-    ("write_path", "sweep"),
-    ("server", "sweep"),
-    ("chaos", "phases"),
+/// Known `bench` discriminators with the array field each schema requires
+/// and the schema versions the validator accepts *for that bench*. Bump a
+/// bench's entry alongside its writer — `server` moved to 2 when the sweep
+/// gained the under-ingest pass and historical-query columns.
+const KNOWN_BENCHES: &[(&str, &str, &[u64])] = &[
+    ("read_path", "cache_sweep", &[1]),
+    ("write_path", "sweep", &[1]),
+    ("server", "sweep", &[2]),
+    ("chaos", "phases", &[1]),
 ];
 
 fn validate(text: &str) -> std::result::Result<String, String> {
@@ -26,19 +26,20 @@ fn validate(text: &str) -> std::result::Result<String, String> {
         .get("schema_version")
         .and_then(Json::as_f64)
         .ok_or("missing numeric schema_version")?;
-    if version.fract() != 0.0 || !KNOWN_SCHEMA_VERSIONS.contains(&(version as u64)) {
-        return Err(format!(
-            "unknown schema_version {version} (known: {KNOWN_SCHEMA_VERSIONS:?})"
-        ));
-    }
     let bench = doc
         .get("bench")
         .and_then(Json::as_str)
         .ok_or("missing string field 'bench'")?;
-    let Some((_, rows_field)) = KNOWN_BENCHES.iter().find(|(name, _)| *name == bench) else {
-        let names: Vec<&str> = KNOWN_BENCHES.iter().map(|(n, _)| *n).collect();
+    let Some((_, rows_field, versions)) = KNOWN_BENCHES.iter().find(|(name, ..)| *name == bench)
+    else {
+        let names: Vec<&str> = KNOWN_BENCHES.iter().map(|(n, ..)| *n).collect();
         return Err(format!("unknown bench '{bench}' (known: {names:?})"));
     };
+    if version.fract() != 0.0 || !versions.contains(&(version as u64)) {
+        return Err(format!(
+            "unknown schema_version {version} for bench '{bench}' (known: {versions:?})"
+        ));
+    }
     let rows = doc
         .get(rows_field)
         .and_then(Json::as_array)

@@ -32,6 +32,11 @@ pub struct ServerLoadConfig {
     pub prov_every: u64,
     /// Block span `[head - prov_span + 1, head]` of each provenance query.
     pub prov_span: u64,
+    /// Every `historical_every`-th provenance query targets a retained
+    /// *historical* snapshot (`at_height` = the head most recently learned
+    /// from a provenance response), so the proof must verify against that
+    /// height's own `Hstate`; `0` keeps all provenance traffic at the head.
+    pub historical_every: u64,
 }
 
 /// Aggregate outcome of one closed-loop run.
@@ -47,6 +52,9 @@ pub struct ServerLoadResult {
     pub gets: u64,
     /// Provenance queries among them.
     pub provs: u64,
+    /// Provenance queries answered from a retained historical snapshot
+    /// (`at_height` set); a subset of `provs`.
+    pub historical_provs: u64,
     /// Provenance proofs that verified client-side (must equal `provs`).
     pub verified_proofs: u64,
     /// Retries the clients performed. Structurally `0` here: the raw
@@ -103,12 +111,19 @@ pub fn preload_over_wire(
 /// What a pending pipelined request expects back.
 enum Expect {
     Get,
-    Prov { addr: Address, lo: u64, hi: u64 },
+    Prov {
+        addr: Address,
+        lo: u64,
+        hi: u64,
+        /// The targeted historical height, `None` for a head query.
+        at: Option<u64>,
+    },
 }
 
 struct PerConnection {
     gets: u64,
     provs: u64,
+    historical: u64,
     verified: u64,
     elapsed: Duration,
     latencies: Vec<Duration>,
@@ -151,6 +166,7 @@ where
         total_ops: 0,
         gets: 0,
         provs: 0,
+        historical_provs: 0,
         verified_proofs: 0,
         client_retries: 0,
         elapsed: Duration::ZERO,
@@ -160,6 +176,7 @@ where
         let c = outcome?;
         result.gets += c.gets;
         result.provs += c.provs;
+        result.historical_provs += c.historical;
         result.verified_proofs += c.verified;
         result.elapsed = result.elapsed.max(c.elapsed);
         latencies.extend(c.latencies);
@@ -192,10 +209,17 @@ fn run_connection(
     let mut out = PerConnection {
         gets: 0,
         provs: 0,
+        historical: 0,
         verified: 0,
         elapsed: Duration::ZERO,
         latencies: Vec::with_capacity(cfg.ops_per_connection as usize),
     };
+    // The most recent head height a provenance response reported; a
+    // historical query targets this — a height the server provably served
+    // moments ago, well inside any reasonable retention window even while
+    // a writer advances the chain underneath.
+    let mut last_known_height = head;
+    let mut prov_seq = 0u64;
     let started = Instant::now();
     let mut sent = 0u64;
     let mut received = 0u64;
@@ -204,16 +228,21 @@ fn run_connection(
             let addr = Address::from_low_u64(next_key());
             let is_prov = cfg.prov_every > 0 && (sent + 1) % cfg.prov_every == 0;
             let (msg, expect) = if is_prov {
+                prov_seq += 1;
+                let at = (cfg.historical_every > 0 && prov_seq % cfg.historical_every == 0)
+                    .then_some(last_known_height);
                 (
                     Message::ProvQuery {
                         addr,
                         blk_lower: prov_lo,
                         blk_upper: head,
+                        at_height: at,
                     },
                     Expect::Prov {
                         addr,
                         lo: prov_lo,
                         hi: head,
+                        at,
                     },
                 )
             } else {
@@ -238,7 +267,7 @@ fn run_connection(
         match (expect, frame.msg) {
             (Expect::Get, Message::GetOk { .. }) => out.gets += 1,
             (
-                Expect::Prov { addr, lo, hi },
+                Expect::Prov { addr, lo, hi, at },
                 Message::ProvOk {
                     height,
                     hstate,
@@ -247,6 +276,17 @@ fn run_connection(
                 },
             ) => {
                 out.provs += 1;
+                match at {
+                    Some(target) => {
+                        if height != target {
+                            return Err(ColeError::InvalidState(format!(
+                                "historical query for height {target} was answered at {height}"
+                            )));
+                        }
+                        out.historical += 1;
+                    }
+                    None => last_known_height = height,
+                }
                 let resp = ProvResponse {
                     height,
                     hstate,
@@ -255,7 +295,8 @@ fn run_connection(
                 };
                 if !resp.verify(addr, lo, hi)? {
                     return Err(ColeError::VerificationFailed(format!(
-                        "served proof for {addr:?} [{lo}, {hi}] failed verification"
+                        "served proof for {addr:?} [{lo}, {hi}] failed verification \
+                         (at_height {at:?})"
                     )));
                 }
                 out.verified += 1;
@@ -305,6 +346,7 @@ mod tests {
             accounts: 32,
             prov_every: 10,
             prov_span: 8,
+            historical_every: 2,
         };
         let result = run_closed_loop(
             || Ok(Box::new(connector.connect()?) as Box<dyn Connection>),
@@ -313,6 +355,8 @@ mod tests {
         .unwrap();
         assert_eq!(result.total_ops, 180);
         assert_eq!(result.provs, 18);
+        // Every second provenance query per connection was historical.
+        assert_eq!(result.historical_provs, 9);
         assert_eq!(result.verified_proofs, result.provs);
         assert_eq!(result.latency.count as u64, result.total_ops);
         assert!(result.ops_per_s() > 0.0);

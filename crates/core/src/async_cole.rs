@@ -19,6 +19,7 @@ use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
 use crate::run::{Run, RunContext, RunId};
+use crate::snapshot::{reclaim_retired_runs, Snapshot, SnapshotMemGroup};
 
 /// A sealed in-memory group: the level-0 merging group. Its contents are
 /// immutable (the flush thread reads them) but remain visible to queries.
@@ -94,6 +95,11 @@ pub struct AsyncCole {
     wal_seq: u64,
     /// Entries `put` since the last `finalize_block`, in insertion order.
     wal_block_buf: Vec<(CompoundKey, StateValue)>,
+    /// Runs dropped from the committed structure but possibly still pinned
+    /// by published [`Snapshot`]s; their files are deleted by
+    /// [`reclaim`](AsyncCole::reclaim) once the engine holds the last
+    /// `Arc`.
+    retired: Vec<Arc<Run>>,
 }
 
 impl AsyncCole {
@@ -155,6 +161,7 @@ impl AsyncCole {
             wal_retired: Vec::new(),
             wal_seq: 1,
             wal_block_buf: Vec::new(),
+            retired: Vec::new(),
         };
         cole.recover(state)?;
         Ok(cole)
@@ -438,11 +445,63 @@ impl AsyncCole {
         self.ctx.kill("async-merge:published")?;
         self.commit_manifest()?;
         self.ctx.kill("async-merge:committed")?;
-        for old in obsolete {
-            old.delete_files()?;
-            self.ctx.kill("async-merge:run_deleted")?;
+        // The obsolete merging group is out of the committed manifest;
+        // retire it. Embedded engines (no published snapshots) delete the
+        // files right here, as before; pinned runs wait for their last
+        // reader.
+        self.retired.extend(obsolete);
+        self.reclaim()
+    }
+
+    /// Deletes the files of every retired run no snapshot pins any more
+    /// (see [`Cole::reclaim`](crate::Cole::reclaim)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file deletion fails; the remaining runs stay
+    /// queued and the next call (or orphan GC on reopen) retries.
+    pub fn reclaim(&mut self) -> Result<()> {
+        reclaim_retired_runs(&mut self.retired, &self.ctx, "async-merge:run_deleted")
+    }
+
+    /// Number of retired runs whose deletion is still deferred.
+    #[must_use]
+    pub fn retired_runs(&self) -> usize {
+        self.retired.len()
+    }
+
+    // ------------------------------------------------------------------ snapshots
+
+    /// An immutable point-in-time snapshot stamped with `height`: frozen
+    /// clones of the writing write heads, a shared handle to the sealed
+    /// merging group (already immutable), and shared handles to every
+    /// on-disk run of both groups, young to old — the exact
+    /// `root_hash_list` order, so [`Snapshot::hstate`] equals the engine's
+    /// current state root.
+    pub fn snapshot_at(&mut self, height: u64) -> Snapshot {
+        let roots = self.mem_writing.root_hashes();
+        let mut groups = vec![SnapshotMemGroup::frozen(
+            self.mem_writing.shards().to_vec(),
+            roots,
+        )];
+        if let Some(sealed) = &self.mem_merging {
+            groups.push(SnapshotMemGroup {
+                trees: Arc::clone(&sealed.trees),
+                roots: sealed.roots.clone(),
+            });
         }
-        Ok(())
+        let runs: Vec<Arc<Run>> = self
+            .levels
+            .iter()
+            .flat_map(|level| level.writing.iter().chain(level.merging.iter()).cloned())
+            .collect();
+        Snapshot::new(height, groups, runs, Arc::clone(&self.ctx.metrics))
+    }
+
+    /// [`snapshot_at`](AsyncCole::snapshot_at) stamped with the current
+    /// block height.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.snapshot_at(self.current_block)
     }
 
     /// Swaps the groups of on-disk `level` (1-based) and starts a background

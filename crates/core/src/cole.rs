@@ -17,6 +17,7 @@ use crate::merge::{build_run_from_entries, merge_runs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
 use crate::run::{Run, RunContext, RunId};
+use crate::snapshot::{reclaim_retired_runs, Snapshot, SnapshotMemGroup};
 
 /// Once an all-empty-records WAL exceeds this size, it is reset instead of
 /// growing further (bounds an idle chain's log at ~2.7k empty-block
@@ -64,6 +65,10 @@ pub struct Cole {
     /// Entries `put` since the last `finalize_block`, in insertion order
     /// (the WAL record of the block being built).
     wal_block_buf: Vec<(CompoundKey, StateValue)>,
+    /// Runs dropped from the committed structure but possibly still pinned
+    /// by published [`Snapshot`]s; their files are deleted by
+    /// [`reclaim`](Cole::reclaim) once the engine holds the last `Arc`.
+    retired: Vec<Arc<Run>>,
 }
 
 impl Cole {
@@ -155,6 +160,7 @@ impl Cole {
             manifest,
             wal: None,
             wal_block_buf: Vec::new(),
+            retired: Vec::new(),
         };
         cole.recover(state)?;
         Ok(cole)
@@ -386,13 +392,60 @@ impl Cole {
         }
         self.ctx.kill("flush:wal_truncated")?;
 
-        // Superseded runs are dropped from the committed manifest; deleting
-        // their files is now safe (a crash mid-deletion leaves orphans).
-        for run in superseded {
-            run.delete_files()?;
-            self.ctx.kill("flush:run_deleted")?;
-        }
-        Ok(())
+        // Superseded runs are dropped from the committed manifest; retiring
+        // them makes their deletion safe. An embedded engine (no published
+        // snapshots) deletes the files right here, exactly as before; under
+        // a serving front-end, runs still pinned by a snapshot wait in the
+        // retired list until the last reader drops (a crash mid-deletion
+        // leaves orphans either way).
+        self.retired.extend(superseded);
+        self.reclaim()
+    }
+
+    /// Deletes the files of every retired run no snapshot pins any more.
+    /// Called automatically at flush/merge commits; a serving front-end
+    /// also calls it per applied block so runs unpinned by snapshot
+    /// eviction are reclaimed promptly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a file deletion fails; the remaining runs stay
+    /// queued and the next call (or orphan GC on reopen) retries.
+    pub fn reclaim(&mut self) -> Result<()> {
+        reclaim_retired_runs(&mut self.retired, &self.ctx, "flush:run_deleted")
+    }
+
+    /// Number of retired runs whose deletion is still deferred (pinned by
+    /// at least one published snapshot, or awaiting a reclaim retry).
+    #[must_use]
+    pub fn retired_runs(&self) -> usize {
+        self.retired.len()
+    }
+
+    // ------------------------------------------------------------------ snapshots
+
+    /// An immutable point-in-time snapshot of the current state, stamped
+    /// with `height`: frozen clones of the memtable write heads plus shared
+    /// handles to every on-disk run. Queries against it are lock-free and
+    /// its proofs verify against [`Snapshot::hstate`], which equals the
+    /// engine's current state root. The caller supplies the height so a
+    /// front-end can republish a recomputed snapshot at an unchanged
+    /// published height after a failed block.
+    pub fn snapshot_at(&mut self, height: u64) -> Snapshot {
+        let roots = self.mem.root_hashes();
+        let group = SnapshotMemGroup::frozen(self.mem.shards().to_vec(), roots);
+        let runs: Vec<Arc<Run>> = self
+            .levels
+            .iter()
+            .flat_map(|level| level.iter().cloned())
+            .collect();
+        Snapshot::new(height, vec![group], runs, Arc::clone(&self.ctx.metrics))
+    }
+
+    /// [`snapshot_at`](Cole::snapshot_at) stamped with the current block
+    /// height.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.snapshot_at(self.current_block)
     }
 
     // ------------------------------------------------------------------ root hashes

@@ -61,6 +61,7 @@ mod merge;
 mod metrics;
 mod proof;
 mod run;
+mod snapshot;
 pub mod sync;
 
 pub use async_cole::AsyncCole;
@@ -76,3 +77,4 @@ pub use proof::{compute_hstate, ColeProof, ComponentProof, RootEntryKind};
 pub use run::{
     PinnedPage, PinnedSlot, Run, RunBuilder, RunContext, RunEntryIter, RunId, RunMeta, RunRangeScan,
 };
+pub use snapshot::Snapshot;

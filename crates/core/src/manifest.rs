@@ -414,7 +414,11 @@ impl Manifest {
 /// Call only after a successful [`Manifest::open`]: orphans are runs whose
 /// flush or merge crashed before the manifest commit, or superseded runs
 /// whose deletion crashed after it — both are unreferenced by the committed
-/// manifest and therefore invisible to queries.
+/// manifest and therefore invisible to queries. The second category
+/// includes the MVCC deferred-delete backlog: runs retired under a live
+/// snapshot pin are unlinked only by a later reclaim pass, so a crash
+/// while they wait (or mid-reclaim) leaves their files behind, and this GC
+/// is the backstop that collects them.
 ///
 /// # Errors
 ///

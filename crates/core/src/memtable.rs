@@ -39,6 +39,17 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The shard owning `addr` among `num_shards` write heads. Standalone so a
+/// frozen [`Snapshot`](crate::Snapshot) clone of the shard trees routes
+/// lookups exactly like the live [`ShardedMemtable`] that produced it.
+pub(crate) fn shard_index(addr: &Address, num_shards: usize) -> usize {
+    if num_shards == 1 {
+        0
+    } else {
+        (fnv1a64(addr.as_slice()) % num_shards as u64) as usize
+    }
+}
+
 /// K-way merges already-sorted entry lists into one sorted list (the same
 /// heap discipline as [`merge_runs`](crate::merge_runs), applied to
 /// in-memory shards). Keys are unique across lists — each address lives in
@@ -105,11 +116,7 @@ impl ShardedMemtable {
     /// The shard owning `addr` (stable address-hash partitioning).
     #[must_use]
     pub fn shard_of(&self, addr: &Address) -> usize {
-        if self.shards.len() == 1 {
-            0
-        } else {
-            (fnv1a64(addr.as_slice()) % self.shards.len() as u64) as usize
-        }
+        shard_index(addr, self.shards.len())
     }
 
     /// The shard trees, in `root_hash_list` order (shard 0 first).

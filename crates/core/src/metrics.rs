@@ -81,6 +81,25 @@ pub struct Metrics {
     /// Engine errors classified as transient I/O and answered with a
     /// retryable wire code (the chaos harness's storage faults land here).
     pub transient_io_errors: AtomicU64,
+    /// Reads (gets, provenance queries, head lookups) served from a pinned
+    /// immutable [`Snapshot`](crate::Snapshot) without touching any engine
+    /// lock.
+    pub snapshot_reads: AtomicU64,
+    /// Reads that had to block on the single-writer engine lock. Zero by
+    /// construction on the snapshot read path — `exp_server
+    /// --assert-snapshot-reads true` fails CI if it ever moves.
+    pub reads_blocked_on_writer: AtomicU64,
+    /// Snapshots published (one per applied block plus the initial one).
+    pub snapshots_published: AtomicU64,
+    /// Snapshots dropped from the retention ring (or replaced in place by
+    /// an error-path/flush republication at the same height).
+    pub snapshots_retired: AtomicU64,
+    /// Provenance queries answered from a retained historical snapshot
+    /// (`ProvQuery` with an explicit target height).
+    pub historical_provs: AtomicU64,
+    /// Superseded run files deleted by deferred reclamation, after the last
+    /// snapshot pinning them dropped.
+    pub retired_runs_deleted: AtomicU64,
 }
 
 impl Metrics {
@@ -143,6 +162,12 @@ impl Metrics {
             requests_timed_out: self.requests_timed_out.load(Ordering::Relaxed),
             idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
             transient_io_errors: self.transient_io_errors.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            reads_blocked_on_writer: self.reads_blocked_on_writer.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
+            historical_provs: self.historical_provs.load(Ordering::Relaxed),
+            retired_runs_deleted: self.retired_runs_deleted.load(Ordering::Relaxed),
             cache_hits: value_cache_hits + index_cache_hits + merkle_cache_hits,
             cache_misses: value_cache_misses + index_cache_misses + merkle_cache_misses,
             value_cache_hits,
@@ -216,6 +241,19 @@ pub struct MetricsSnapshot {
     pub idle_disconnects: u64,
     /// Engine errors classified as transient I/O and answered retryable.
     pub transient_io_errors: u64,
+    /// Reads served from a pinned immutable snapshot, lock-free.
+    pub snapshot_reads: u64,
+    /// Reads that blocked on the single-writer engine lock (zero by
+    /// construction on the snapshot read path).
+    pub reads_blocked_on_writer: u64,
+    /// Snapshots published (one per applied block plus the initial one).
+    pub snapshots_published: u64,
+    /// Snapshots dropped from the retention ring or replaced in place.
+    pub snapshots_retired: u64,
+    /// Provenance queries answered from a retained historical snapshot.
+    pub historical_provs: u64,
+    /// Superseded run files deleted by deferred reclamation.
+    pub retired_runs_deleted: u64,
     /// Page-cache hits across the engine's run files, all kinds.
     pub cache_hits: u64,
     /// Page-cache misses across the engine's run files, all kinds.

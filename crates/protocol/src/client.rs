@@ -159,10 +159,40 @@ impl Client {
         blk_lower: u64,
         blk_upper: u64,
     ) -> Result<ProvResponse> {
+        self.prov_query_inner(addr, blk_lower, blk_upper, None)
+    }
+
+    /// Point-in-time `ProvQuery` answered from the server's retained
+    /// snapshot at exactly block height `at_height`: the returned proof
+    /// verifies against the `Hstate` that was published for that block.
+    /// The server answers `NotRetained` when the height fell outside its
+    /// retention window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a server-side error.
+    pub fn prov_query_at(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        at_height: u64,
+    ) -> Result<ProvResponse> {
+        self.prov_query_inner(addr, blk_lower, blk_upper, Some(at_height))
+    }
+
+    fn prov_query_inner(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        at_height: Option<u64>,
+    ) -> Result<ProvResponse> {
         let msg = Message::ProvQuery {
             addr,
             blk_lower,
             blk_upper,
+            at_height,
         };
         match self.roundtrip(msg)? {
             Message::ProvOk {
@@ -198,6 +228,31 @@ impl Client {
             return Err(ColeError::VerificationFailed(format!(
                 "provenance proof for {addr:?} [{blk_lower}, {blk_upper}] does not \
                  authenticate the served values"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// [`prov_query_at`](Client::prov_query_at), then verifies the proof
+    /// locally — against the *historical* `Hstate` the server answered
+    /// with — and fails if it does not authenticate the returned values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColeError::VerificationFailed`] on a forged or mismatched
+    /// proof, plus any transport or server error.
+    pub fn prov_query_at_verified(
+        &mut self,
+        addr: Address,
+        blk_lower: u64,
+        blk_upper: u64,
+        at_height: u64,
+    ) -> Result<ProvResponse> {
+        let response = self.prov_query_at(addr, blk_lower, blk_upper, at_height)?;
+        if !response.verify(addr, blk_lower, blk_upper)? {
+            return Err(ColeError::VerificationFailed(format!(
+                "historical provenance proof for {addr:?} [{blk_lower}, {blk_upper}] at \
+                 height {at_height} does not authenticate the served values"
             )));
         }
         Ok(response)

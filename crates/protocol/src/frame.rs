@@ -72,6 +72,12 @@ pub enum ErrorCode {
     /// expected to clear; the operation left state intact. Retrying is
     /// safe.
     Retryable,
+    /// A point-in-time `prov_query` targeted a block height the server no
+    /// longer (or does not yet) retain a snapshot for. Not retryable: the
+    /// retention window only moves forward, so the same request can only
+    /// fall further outside it. Re-issue without a target height (or query
+    /// `info` for the head) instead.
+    NotRetained,
 }
 
 impl ErrorCode {
@@ -83,6 +89,7 @@ impl ErrorCode {
             ErrorCode::Busy => 4,
             ErrorCode::Timeout => 5,
             ErrorCode::Retryable => 6,
+            ErrorCode::NotRetained => 7,
         }
     }
 
@@ -94,6 +101,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::Busy),
             5 => Ok(ErrorCode::Timeout),
             6 => Ok(ErrorCode::Retryable),
+            7 => Ok(ErrorCode::NotRetained),
             other => Err(ColeError::InvalidEncoding(format!(
                 "unknown error code {other}"
             ))),
@@ -135,7 +143,8 @@ pub enum Message {
         entries: Vec<(Address, StateValue)>,
     },
     /// `ProvQuery(addr, [blk_lower, blk_upper])` — historical values plus
-    /// integrity proof.
+    /// integrity proof, served from the chain head or (optionally) from a
+    /// retained point-in-time snapshot.
     ProvQuery {
         /// Queried address.
         addr: Address,
@@ -143,6 +152,13 @@ pub enum Message {
         blk_lower: u64,
         /// Upper bound of the queried block range (inclusive).
         blk_upper: u64,
+        /// `Some(h)` asks the server to answer from its retained snapshot
+        /// at exactly block height `h`, so the proof verifies against the
+        /// `Hstate` published for `h`; answered `NotRetained` if that
+        /// height fell out of the retention window. `None` queries the
+        /// head. Encoded as an optional trailing field, so old peers'
+        /// head-query frames decode unchanged.
+        at_height: Option<u64>,
     },
     /// Server/state introspection (protocol version, engine, chain head).
     Info,
@@ -261,10 +277,14 @@ impl Frame {
                 addr,
                 blk_lower,
                 blk_upper,
+                at_height,
             } => {
                 body.extend_from_slice(addr.as_slice());
                 body.extend_from_slice(&blk_lower.to_le_bytes());
                 body.extend_from_slice(&blk_upper.to_le_bytes());
+                if let Some(h) = at_height {
+                    body.extend_from_slice(&h.to_le_bytes());
+                }
             }
             Message::Info => {}
             Message::GetOk { value } => match value {
@@ -341,11 +361,24 @@ impl Frame {
                 }
                 Message::PutBatch { entries }
             }
-            KIND_PROV_QUERY => Message::ProvQuery {
-                addr: cur.addr()?,
-                blk_lower: cur.u64()?,
-                blk_upper: cur.u64()?,
-            },
+            KIND_PROV_QUERY => {
+                let addr = cur.addr()?;
+                let blk_lower = cur.u64()?;
+                let blk_upper = cur.u64()?;
+                // Optional trailing target height; absent means "head".
+                // `finish()` below still rejects any bytes beyond it.
+                let at_height = if cur.remaining() > 0 {
+                    Some(cur.u64()?)
+                } else {
+                    None
+                };
+                Message::ProvQuery {
+                    addr,
+                    blk_lower,
+                    blk_upper,
+                    at_height,
+                }
+            }
             KIND_INFO => Message::Info,
             KIND_GET_OK => {
                 let value = match cur.u8()? {
@@ -603,6 +636,13 @@ mod tests {
             addr: Address::from_low_u64(9),
             blk_lower: 3,
             blk_upper: 17,
+            at_height: None,
+        });
+        roundtrip(Message::ProvQuery {
+            addr: Address::from_low_u64(9),
+            blk_lower: 3,
+            blk_upper: 17,
+            at_height: Some(42),
         });
         roundtrip(Message::Info);
         roundtrip(Message::GetOk { value: None });
@@ -632,6 +672,7 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Timeout,
             ErrorCode::Retryable,
+            ErrorCode::NotRetained,
         ] {
             roundtrip(Message::Error {
                 code,
@@ -645,7 +686,7 @@ mod tests {
         let mut payload = Vec::new();
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.push(KIND_ERROR);
-        payload.push(7); // one past the last assigned tag
+        payload.push(8); // one past the last assigned tag
         payload.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             Frame::decode_payload(&payload).unwrap_err(),
@@ -661,6 +702,25 @@ mod tests {
         assert!(!ErrorCode::Malformed.is_retryable());
         assert!(!ErrorCode::Engine.is_retryable());
         assert!(!ErrorCode::Unsupported.is_retryable());
+        assert!(!ErrorCode::NotRetained.is_retryable());
+    }
+
+    #[test]
+    fn head_prov_query_layout_is_unchanged() {
+        // A head query (no target height) must keep the exact 36-byte body
+        // old peers emit, and such a body must decode to `at_height: None`.
+        let frame = Frame {
+            request_id: 3,
+            msg: Message::ProvQuery {
+                addr: Address::from_low_u64(9),
+                blk_lower: 3,
+                blk_upper: 17,
+                at_height: None,
+            },
+        };
+        let wire = frame.encode();
+        assert_eq!(wire.len(), 4 + HEADER_LEN + ADDRESS_LEN + 8 + 8);
+        assert_eq!(read_frame(&mut wire.as_slice()).unwrap().unwrap(), frame);
     }
 
     #[test]

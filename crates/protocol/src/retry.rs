@@ -313,6 +313,7 @@ impl RetryingClient {
             addr,
             blk_lower,
             blk_upper,
+            at_height: None,
         };
         match self.call(&msg, true)? {
             Message::ProvOk {

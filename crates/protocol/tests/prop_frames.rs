@@ -48,7 +48,11 @@ proptest! {
         roundtrips(&Frame { request_id: id, msg: Message::Info }).unwrap();
         roundtrips(&Frame {
             request_id: id,
-            msg: Message::ProvQuery { addr, blk_lower: lo, blk_upper: hi },
+            msg: Message::ProvQuery { addr, blk_lower: lo, blk_upper: hi, at_height: None },
+        }).unwrap();
+        roundtrips(&Frame {
+            request_id: id,
+            msg: Message::ProvQuery { addr, blk_lower: lo, blk_upper: hi, at_height: Some(hi) },
         }).unwrap();
         roundtrips(&Frame { request_id: id, msg: Message::PutBatch { entries } }).unwrap();
     }

@@ -1,11 +1,14 @@
 //! Network front-end for the COLE engine: an authenticated KV server.
 //!
 //! [`SharedEngine`] turns an embedded [`Cole`](cole_core::Cole) or
-//! [`AsyncCole`](cole_core::AsyncCole) into a concurrently servable handle:
-//! `get` / `prov_query` run under a read lock (the engines' whole query
-//! surface is `&self`, so reader connections proceed in parallel), while
-//! `put_batch` takes the write lock, applies one block, and publishes the
-//! new chain head `(height, Hstate)` atomically with it.
+//! [`AsyncCole`](cole_core::AsyncCole) into a concurrently servable handle,
+//! MVCC style: reads pin the immutable head
+//! [`Snapshot`](cole_core::Snapshot) with one `Arc` clone and never touch
+//! the writer's mutex — writers never block readers — while `put_batch`
+//! applies one block under the single-writer mutex and publishes the next
+//! snapshot (and with it the chain head `(height, Hstate)`) atomically. A
+//! ring of recent snapshots also answers *point-in-time* authenticated
+//! provenance queries at retained historical heights.
 //!
 //! [`serve`] runs the accept loop: one handler thread per connection, each
 //! speaking length-prefixed [`cole_protocol`] frames, polling its stream
@@ -39,4 +42,4 @@ pub mod sync;
 
 pub use inflight::{InFlightGauge, InFlightPermit};
 pub use serve::{serve, ServerConfig, ServerHandle, ServerStats};
-pub use shared::{ServableEngine, SharedEngine};
+pub use shared::{ReadSnapshot, ServableEngine, SharedEngine, DEFAULT_SNAPSHOT_RETENTION};

@@ -308,15 +308,30 @@ fn dispatch<E: ServableEngine>(shared: &SharedEngine<E>, msg: Message) -> Messag
             addr,
             blk_lower,
             blk_upper,
+            at_height,
         } => {
             Metrics::inc(&metrics.prov_requests);
-            match shared.prov_query(addr, blk_lower, blk_upper) {
-                Ok((height, hstate, result)) => Message::ProvOk {
+            let answer = match at_height {
+                None => shared.prov_query(addr, blk_lower, blk_upper).map(Some),
+                Some(h) => shared.prov_query_at(addr, blk_lower, blk_upper, h),
+            };
+            match answer {
+                Ok(Some((height, hstate, result))) => Message::ProvOk {
                     height,
                     hstate,
                     values: result.values,
                     proof: result.proof,
                 },
+                Ok(None) => {
+                    let (oldest, head) = shared.retained_heights();
+                    Message::Error {
+                        code: ErrorCode::NotRetained,
+                        message: format!(
+                            "no snapshot retained at height {} (retained: {oldest}..={head})",
+                            at_height.unwrap_or(0),
+                        ),
+                    }
+                }
                 Err(e) => engine_error(shared, &e),
             }
         }

@@ -16,12 +16,12 @@
 
 use std::sync::Arc;
 
-use cole_core::{Metrics, MetricsSnapshot, RootEntryKind};
+use cole_core::{Metrics, MetricsSnapshot};
 use cole_primitives::{
     Address, AuthenticatedStorage, Digest, ProvenanceResult, Result, StateValue, StorageStats,
     VersionedValue,
 };
-use cole_server::{ServableEngine, SharedEngine};
+use cole_server::{ReadSnapshot, ServableEngine, SharedEngine};
 
 /// The digest the mock publishes for a finalized height.
 fn digest_for(height: u64) -> Digest {
@@ -107,13 +107,50 @@ impl AuthenticatedStorage for MockEngine {
     }
 }
 
+/// The mock's point-in-time view: the state *is* the height, so a snapshot
+/// is just the height it was taken at, and its proofs encode exactly that.
+struct MockSnapshot {
+    height: u64,
+}
+
+impl ReadSnapshot for MockSnapshot {
+    fn height(&self) -> u64 {
+        self.height
+    }
+
+    fn hstate(&self) -> Digest {
+        digest_for(self.height)
+    }
+
+    fn get(&self, _addr: Address) -> Result<Option<StateValue>> {
+        Ok(Some(StateValue::from_u64(self.height)))
+    }
+
+    fn prov_query(
+        &self,
+        _addr: Address,
+        _blk_lower: u64,
+        _blk_upper: u64,
+    ) -> Result<ProvenanceResult> {
+        Ok(ProvenanceResult {
+            values: vec![VersionedValue::new(
+                self.height,
+                StateValue::from_u64(self.height),
+            )],
+            proof: self.height.to_le_bytes().to_vec(),
+        })
+    }
+}
+
 impl ServableEngine for MockEngine {
+    type Snapshot = MockSnapshot;
+
     fn put_batch(&mut self, _entries: &[(Address, StateValue)]) -> Result<()> {
         Ok(())
     }
 
-    fn root_hash_list(&mut self) -> Vec<(RootEntryKind, Digest)> {
-        Vec::new()
+    fn snapshot_at(&mut self, height: u64) -> MockSnapshot {
+        MockSnapshot { height }
     }
 
     fn metrics_handle(&self) -> Arc<Metrics> {

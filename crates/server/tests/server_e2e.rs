@@ -254,6 +254,71 @@ fn async_engine_serves_identically() {
 }
 
 #[test]
+fn historical_prov_queries_round_trip_over_the_wire() {
+    let dir = tmpdir("historical");
+    let shared = Arc::new(SharedEngine::with_retention(
+        Cole::open(&dir, config()).unwrap(),
+        16,
+    ));
+    let (listener, connector) = pipe_transport();
+    let handle = serve(
+        Arc::clone(&shared),
+        Box::new(listener),
+        ServerConfig::default(),
+    );
+    let accounts = 6u64;
+    let (head, _) = preload(&connector, 40, accounts);
+    assert_eq!(head, 40);
+
+    let mut client = Client::new(connector.connect().unwrap());
+    let addr = Address::from_low_u64(3);
+
+    // A point-in-time query inside the retention window is answered — and
+    // client-verified against that height's own Hstate — at exactly the
+    // requested height, not the head.
+    let resp = client.prov_query_at_verified(addr, 20, 30, 33).unwrap();
+    assert_eq!(resp.height, 33, "answered at the requested height");
+    assert_eq!(resp.values.len(), 11, "one version per block in [20, 30]");
+    for v in &resp.values {
+        assert_eq!(v.value, StateValue::from_u64(v.block_height * 1000 + 3));
+    }
+
+    // The pinned snapshot predates blocks 34..=40: a range reaching past
+    // its height proves the later versions absent instead of serving them.
+    let resp = client.prov_query_at_verified(addr, 30, 40, 33).unwrap();
+    assert_eq!(resp.height, 33);
+    assert_eq!(
+        resp.values.len(),
+        4,
+        "only blocks 30..=33 existed at height 33"
+    );
+
+    // Heights outside the retention window — evicted or never published —
+    // are NotRetained: fatal, since the window only moves forward.
+    for gone in [3u64, 24, 41] {
+        let err = client.prov_query_at(addr, 1, 40, gone).unwrap_err();
+        assert!(
+            err.to_string().contains("NotRetained"),
+            "height {gone}: {err}"
+        );
+    }
+    // The connection survives the error responses.
+    assert_eq!(
+        client.get(addr).unwrap(),
+        Some(StateValue::from_u64(40_003))
+    );
+
+    let snapshot = shared.metrics().snapshot();
+    assert_eq!(snapshot.historical_provs, 2);
+    assert_eq!(snapshot.reads_blocked_on_writer, 0);
+    assert!(snapshot.snapshots_published >= 40);
+    assert!(snapshot.snapshots_retired >= 24, "ring evicted beyond 16");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn graceful_shutdown_with_connected_clients_is_bounded() {
     let dir = tmpdir("shutdown");
     let shared = Arc::new(SharedEngine::new(Cole::open(&dir, config()).unwrap()));

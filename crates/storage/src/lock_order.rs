@@ -40,6 +40,17 @@ fn key(c: Class) -> Key {
     (c.file(), c.line(), c.column())
 }
 
+/// How a lock is being acquired. Shared acquisitions (RwLock reads) can
+/// coexist with each other *across* threads, but re-acquiring the same
+/// rwlock shared on one thread is a deadlock hazard: a writer queued
+/// between the two reads blocks the second read, which blocks the first
+/// guard's release, which blocks the writer.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AcquireMode {
+    Shared,
+    Exclusive,
+}
+
 /// One lock a thread currently holds.
 #[derive(Clone, Copy)]
 struct Held {
@@ -47,6 +58,7 @@ struct Held {
     instance: u64,
     /// Where this particular acquisition happened.
     site: Class,
+    mode: AcquireMode,
 }
 
 thread_local! {
@@ -110,7 +122,7 @@ pub fn cycle_reports() -> Vec<String> {
 /// Records the would-be acquisition of (`class`, `instance`) at `site`
 /// against every lock the thread already holds, and panics if an edge
 /// closes a cycle. Called *before* blocking on the lock.
-fn before_acquire(class: Class, instance: u64, site: Class) {
+fn before_acquire(class: Class, instance: u64, site: Class, mode: AcquireMode) {
     let held: Vec<Held> = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
     if held.is_empty() {
         return;
@@ -118,8 +130,27 @@ fn before_acquire(class: Class, instance: u64, site: Class) {
     let to = key(class);
     for h in &held {
         if h.instance == instance {
-            // Re-acquisition of the same lock (shared read locks): not
-            // an ordering edge.
+            if h.mode == AcquireMode::Shared && mode == AcquireMode::Shared {
+                // Not an ordering edge either, but a self-deadlock hazard
+                // in its own right: `std::sync::RwLock` makes no
+                // reentrancy guarantee, and on writer-priority
+                // implementations a writer queued between the two read
+                // acquisitions blocks the second read forever.
+                let report = format!(
+                    "read-read self-nesting: re-acquiring {class} shared at {site} while \
+                     already holding a read guard acquired at {held_site} — a writer \
+                     queued between the two acquisitions deadlocks all three threads",
+                    class = h.class,
+                    site = site,
+                    held_site = h.site,
+                );
+                let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+                g.reports.push(report.clone());
+                drop(g);
+                panic!("{report}");
+            }
+            // Other re-acquisitions of the same lock (e.g. a condvar wait
+            // re-taking its mutex): not an ordering edge.
             continue;
         }
         let from = key(h.class);
@@ -183,12 +214,13 @@ fn before_acquire(class: Class, instance: u64, site: Class) {
     }
 }
 
-fn push_held(class: Class, instance: u64, site: Class) {
+fn push_held(class: Class, instance: u64, site: Class, mode: AcquireMode) {
     HELD.try_with(|h| {
         h.borrow_mut().push(Held {
             class,
             instance,
             site,
+            mode,
         });
     })
     .ok();
@@ -260,12 +292,12 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
         let site = Location::caller();
         let instance = assign_instance(&self.instance);
-        before_acquire(self.class, instance, site);
+        before_acquire(self.class, instance, site, AcquireMode::Exclusive);
         let (inner, poisoned) = match self.inner.lock() {
             Ok(g) => (g, false),
             Err(p) => (p.into_inner(), true),
         };
-        push_held(self.class, instance, site);
+        push_held(self.class, instance, site, AcquireMode::Exclusive);
         let guard = MutexGuard {
             lock: self,
             inner: Some(inner),
@@ -372,12 +404,12 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
         let site = Location::caller();
         let instance = assign_instance(&self.instance);
-        before_acquire(self.class, instance, site);
+        before_acquire(self.class, instance, site, AcquireMode::Shared);
         let (inner, poisoned) = match self.inner.read() {
             Ok(g) => (g, false),
             Err(p) => (p.into_inner(), true),
         };
-        push_held(self.class, instance, site);
+        push_held(self.class, instance, site, AcquireMode::Shared);
         let guard = RwLockReadGuard { lock: self, inner };
         if poisoned {
             Err(PoisonError::new(guard))
@@ -395,12 +427,12 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
         let site = Location::caller();
         let instance = assign_instance(&self.instance);
-        before_acquire(self.class, instance, site);
+        before_acquire(self.class, instance, site, AcquireMode::Exclusive);
         let (inner, poisoned) = match self.inner.write() {
             Ok(g) => (g, false),
             Err(p) => (p.into_inner(), true),
         };
-        push_held(self.class, instance, site);
+        push_held(self.class, instance, site, AcquireMode::Exclusive);
         let guard = RwLockWriteGuard { lock: self, inner };
         if poisoned {
             Err(PoisonError::new(guard))
@@ -531,8 +563,8 @@ impl Condvar {
             Ok(g) => (g, false),
             Err(p) => (p.into_inner(), true),
         };
-        before_acquire(lock.class, instance, site);
-        push_held(lock.class, instance, site);
+        before_acquire(lock.class, instance, site, AcquireMode::Exclusive);
+        push_held(lock.class, instance, site, AcquireMode::Exclusive);
         let guard = MutexGuard {
             lock,
             inner: Some(inner),
@@ -569,8 +601,8 @@ impl Condvar {
                 (g, t, true)
             }
         };
-        before_acquire(lock.class, instance, site);
-        push_held(lock.class, instance, site);
+        before_acquire(lock.class, instance, site, AcquireMode::Exclusive);
+        push_held(lock.class, instance, site, AcquireMode::Exclusive);
         let guard = MutexGuard {
             lock,
             inner: Some(inner),

@@ -50,25 +50,27 @@ pub use cole_server;
 pub use cole_storage;
 pub use cole_workloads;
 
-pub use cole_core::{AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable};
+pub use cole_core::{
+    AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable, Snapshot,
+};
 pub use cole_primitives::{
     Address, AuthenticatedStorage, ColeError, CompoundKey, Digest, ProvenanceResult, Result,
     StateValue, StorageStats, VersionedValue,
 };
 pub use cole_protocol::{Client, ProvResponse, RetryPolicy, RetryingClient};
-pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
+pub use cole_server::{serve, ReadSnapshot, ServerConfig, ServerHandle, SharedEngine};
 pub use cole_storage::{FaultKind, FaultPlan, PageCache, WalSyncPolicy};
 
 /// Convenient glob import for examples and applications.
 pub mod prelude {
     pub use cole_core::{
-        AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable,
+        AsyncCole, Cole, ColeConfig, KillPoints, MetricsSnapshot, ShardedMemtable, Snapshot,
     };
     pub use cole_primitives::{
         Address, AuthenticatedStorage, CompoundKey, Digest, ProvenanceResult, StateValue,
         StorageStats, VersionedValue,
     };
     pub use cole_protocol::{Client, ProvResponse, RetryPolicy, RetryingClient};
-    pub use cole_server::{serve, ServerConfig, ServerHandle, SharedEngine};
+    pub use cole_server::{serve, ReadSnapshot, ServerConfig, ServerHandle, SharedEngine};
     pub use cole_storage::{FaultKind, FaultPlan, PageCache, WalSyncPolicy};
 }

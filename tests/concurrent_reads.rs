@@ -220,6 +220,189 @@ fn concurrent_provenance_queries_verify_against_hstate() {
 }
 
 #[test]
+fn pinned_snapshot_serves_verified_proofs_across_flush_and_merge() {
+    // The MVCC lifetime contract at the engine layer: a snapshot pinned at
+    // epoch N keeps serving correct, *verifiable* reads while later blocks
+    // flush and merge away every run it references — and the superseded
+    // runs' files are unlinked only after the pin drops.
+    let dir = tmpdir("pinned");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let mut store = Cole::open(&dir, config).unwrap();
+    let target = addr(7);
+    let mut hstate_20 = Digest::ZERO;
+    for blk in 1..=20u64 {
+        store.begin_block(blk).unwrap();
+        store.put(target, StateValue::from_u64(blk)).unwrap();
+        store
+            .put(addr(100 + blk), StateValue::from_u64(blk))
+            .unwrap();
+        hstate_20 = store.finalize_block().unwrap();
+    }
+    store.flush().unwrap();
+
+    let pinned = Arc::new(store.snapshot());
+    assert_eq!(pinned.height(), 20);
+    assert_eq!(
+        pinned.hstate(),
+        hstate_20,
+        "snapshot carries epoch-20 Hstate"
+    );
+    assert!(pinned.num_runs() > 0, "epoch 20 must reference disk runs");
+
+    // 40 more blocks: flushes and cascade merges supersede epoch 20's runs
+    // while the pin is live.
+    for blk in 21..=60u64 {
+        store.begin_block(blk).unwrap();
+        store.put(target, StateValue::from_u64(blk)).unwrap();
+        store
+            .put(addr(100 + blk), StateValue::from_u64(blk))
+            .unwrap();
+        store.finalize_block().unwrap();
+    }
+    store.flush().unwrap();
+    assert!(
+        store.retired_runs() > 0,
+        "runs superseded under a live pin must be retired, not deleted"
+    );
+
+    // The pin still answers from epoch 20: frozen values, verifiable proof.
+    assert_eq!(
+        pinned.get(target).unwrap(),
+        Some(StateValue::from_u64(20)),
+        "pinned read must not see blocks 21..=60"
+    );
+    assert_eq!(pinned.get(addr(100 + 40)).unwrap(), None);
+    let result = pinned.prov_query(target, 5, 15).unwrap();
+    let got: Vec<u64> = result.values.iter().map(|v| v.block_height).collect();
+    let expected: Vec<u64> = (5..=15u64).rev().collect();
+    assert_eq!(got, expected);
+    assert!(
+        store
+            .verify_prov(target, 5, 15, &result, hstate_20)
+            .unwrap(),
+        "pinned proof must verify against epoch 20's Hstate, not the head's"
+    );
+    // The head, meanwhile, moved on.
+    assert_eq!(store.get(target).unwrap(), Some(StateValue::from_u64(60)));
+
+    // Dropping the last pin makes the retired runs reclaimable.
+    drop(pinned);
+    store.reclaim().unwrap();
+    assert_eq!(
+        store.retired_runs(),
+        0,
+        "unpinned retirees must be deleted by the next reclaim"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn four_readers_on_a_pinned_snapshot_while_the_writer_advances() {
+    // Readers share one pinned snapshot (Arc) while the owning thread keeps
+    // writing: every read must come back frozen at the pinned epoch.
+    let dir = tmpdir("pinreaders");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let mut store = Cole::open(&dir, config).unwrap();
+    let writes = 5u64;
+    populate(&mut store, 30, writes);
+    let pinned = Arc::new(store.snapshot());
+    assert_eq!(pinned.height(), 30);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let pinned = Arc::clone(&pinned);
+                scope.spawn(move || {
+                    for round in 0..4u64 {
+                        for blk in 1..=30u64 {
+                            let w = (t + round) % writes;
+                            assert_eq!(
+                                pinned.get(addr(blk * writes + w)).unwrap(),
+                                Some(StateValue::from_u64(blk)),
+                                "reader {t} block {blk}"
+                            );
+                        }
+                        // Addresses first written after the pin stay absent.
+                        assert_eq!(pinned.get(addr(40 * writes)).unwrap(), None);
+                    }
+                })
+            })
+            .collect();
+        // The writer advances (and retires runs) under the readers' feet.
+        for blk in 31..=45u64 {
+            store.begin_block(blk).unwrap();
+            for w in 0..writes {
+                store
+                    .put(addr(blk * writes + w), StateValue::from_u64(blk))
+                    .unwrap();
+            }
+            store.finalize_block().unwrap();
+        }
+        store.flush().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    drop(pinned);
+    store.reclaim().unwrap();
+    assert_eq!(store.retired_runs(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pinned_snapshot_survives_async_merges_too() {
+    // Same lifetime contract for the async engine, whose merges retire runs
+    // from `commit_disk_level` rather than the synchronous cascade.
+    let dir = tmpdir("pinasync");
+    let config = ColeConfig::default()
+        .with_memtable_capacity(16)
+        .with_size_ratio(3);
+    let mut store = AsyncCole::open(&dir, config).unwrap();
+    let target = addr(9);
+    let mut hstate_25 = Digest::ZERO;
+    for blk in 1..=25u64 {
+        store.begin_block(blk).unwrap();
+        store.put(target, StateValue::from_u64(blk)).unwrap();
+        store
+            .put(addr(200 + blk), StateValue::from_u64(blk))
+            .unwrap();
+        hstate_25 = store.finalize_block().unwrap();
+    }
+    let pinned = Arc::new(store.snapshot());
+    assert_eq!(pinned.height(), 25);
+    assert_eq!(pinned.hstate(), hstate_25);
+
+    for blk in 26..=70u64 {
+        store.begin_block(blk).unwrap();
+        store.put(target, StateValue::from_u64(blk)).unwrap();
+        store
+            .put(addr(200 + blk), StateValue::from_u64(blk))
+            .unwrap();
+        store.finalize_block().unwrap();
+    }
+    store.flush().unwrap();
+
+    assert_eq!(pinned.get(target).unwrap(), Some(StateValue::from_u64(25)));
+    let result = pinned.prov_query(target, 10, 20).unwrap();
+    assert!(
+        store
+            .verify_prov(target, 10, 20, &result, hstate_25)
+            .unwrap(),
+        "async pinned proof must verify against epoch 25's Hstate"
+    );
+
+    drop(pinned);
+    store.reclaim().unwrap();
+    assert_eq!(store.retired_runs(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn eight_threads_point_lookups_share_one_async_cole() {
     let dir = tmpdir("async");
     let config = ColeConfig::default()

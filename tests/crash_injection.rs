@@ -348,6 +348,53 @@ fn manifest_covered_blocks_survive_total_wal_loss_under_group_commit() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The MVCC variant of the post-commit window: a pinned snapshot defers the
+/// deletion of superseded runs past their merge, the pin drops, and the
+/// crash lands inside the *reclaim* that finally unlinks the backlog. The
+/// committed manifest stopped referencing those runs at merge time, so the
+/// not-yet-unlinked remainder must be collected as orphans on reopen — the
+/// deferred-delete path gets the same crash-safety backstop as the eager
+/// one.
+#[test]
+fn deferred_deletes_crossed_by_a_crash_are_orphan_gced() {
+    let dir = tmpdir("deferred-delete");
+    let kp = Arc::new(KillPoints::new());
+    let mut store = Cole::open_with_kill_points(&dir, config(), Some(Arc::clone(&kp))).unwrap();
+
+    // Build several levels of runs, then pin them.
+    drive(&mut store, 1, 12).expect("clean run");
+    let pinned = Arc::new(store.snapshot());
+    assert!(pinned.num_runs() > 0, "the pin must reference disk runs");
+
+    // Supersede the pinned runs: merges retire them, the live pin defers
+    // every deletion.
+    drive(&mut store, 13, BLOCKS).expect("clean run");
+    assert!(
+        store.retired_runs() >= 2,
+        "the workload must leave a multi-run deferred-delete backlog, got {}",
+        store.retired_runs()
+    );
+
+    // Drop the pin and crash inside the reclaim that drains the backlog:
+    // the first run's files are unlinked, then the kill point fires with
+    // the rest still on disk.
+    drop(pinned);
+    kp.arm_at("flush:run_deleted", 0);
+    store
+        .reclaim()
+        .expect_err("reclaim must crash at the armed deletion kill point");
+    drop(store);
+    kp.disarm();
+
+    let mut recovered = Cole::open(&dir, config()).unwrap();
+    assert!(
+        recovered.metrics().orphan_runs_deleted > 0,
+        "the retired-but-not-unlinked runs must be collected as orphans"
+    );
+    verify_recovered(&mut recovered, BLOCKS);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Crash *after* the manifest commit but before the superseded runs are
 /// deleted: the new manifest is live, the stale files are orphans, and the
 /// next open garbage-collects them without touching committed data.
